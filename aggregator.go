@@ -1,0 +1,268 @@
+package anomalia
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Policy selects which verdicts the operator wants surfaced — the two
+// deployment stories of the paper's introduction.
+type Policy int
+
+// Policies.
+const (
+	// PolicyReportIsolated is the ISP call-center story: isolated
+	// verdicts become tickets (the device's own fault), massive verdicts
+	// are aggregated into incidents the NOC already sees.
+	PolicyReportIsolated Policy = iota + 1
+	// PolicyReportMassive is the over-the-top operator story: massive
+	// verdicts page on a network-level incident, isolated ones are logged
+	// silently.
+	PolicyReportMassive
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyReportIsolated:
+		return "report-isolated"
+	case PolicyReportMassive:
+		return "report-massive"
+	default:
+		return "unknown"
+	}
+}
+
+// Incident is a deduplicated massive anomaly tracked across observation
+// windows: the set of devices it covers and its lifetime.
+type Incident struct {
+	// ID numbers incidents in creation order.
+	ID int
+	// Devices covered so far, sorted.
+	Devices []int
+	// FirstWindow and LastWindow bound the incident's observed lifetime
+	// (window indices as counted by the aggregator).
+	FirstWindow, LastWindow int
+	// Open reports whether the incident was seen in the latest window.
+	Open bool
+}
+
+// WindowSummary is what one observation window contributed.
+type WindowSummary struct {
+	// Window is the aggregator's window counter.
+	Window int
+	// Tickets lists devices that filed a ticket this window (deduplicated
+	// against earlier windows).
+	Tickets []int
+	// IncidentIDs lists incidents touched (created or extended).
+	IncidentIDs []int
+	// Suppressed counts per-device reports that the characterization
+	// avoided sending (the paper's headline saving).
+	Suppressed int
+}
+
+// Aggregator is the operator-side collector: it ingests per-window
+// outcomes, groups massive devices into incidents (devices sharing a
+// τ-dense motion are the same incident; incidents overlapping a live
+// incident's devices extend it), deduplicates isolated tickets, and
+// counts the reports the local characterization suppressed.
+//
+// Aggregator is not safe for concurrent use.
+type Aggregator struct {
+	policy    Policy
+	window    int
+	incidents []*Incident
+	ticketed  map[int]bool
+	tickets   int
+	suppress  int
+}
+
+// NewAggregator returns an empty collector for the given policy.
+func NewAggregator(policy Policy) (*Aggregator, error) {
+	if policy != PolicyReportIsolated && policy != PolicyReportMassive {
+		return nil, fmt.Errorf("policy %d: %w", policy, ErrInvalidInput)
+	}
+	return &Aggregator{
+		policy:   policy,
+		ticketed: make(map[int]bool),
+	}, nil
+}
+
+// Ingest folds one window's outcome into the collector. A nil outcome
+// (healthy window) just advances the window counter and ages incidents.
+func (a *Aggregator) Ingest(out *Outcome) WindowSummary {
+	summary := WindowSummary{Window: a.window}
+	a.window++
+
+	// Age out incidents not refreshed this window.
+	touched := make(map[int]bool)
+	defer func() {
+		for _, inc := range a.incidents {
+			if inc.Open && !touched[inc.ID] {
+				inc.Open = false
+			}
+		}
+	}()
+	if out == nil {
+		return summary
+	}
+
+	// Group massive devices into connected components over shared dense
+	// motions.
+	groups := massiveGroups(out)
+	for _, group := range groups {
+		inc := a.matchIncident(group)
+		if inc == nil {
+			inc = &Incident{
+				ID:          len(a.incidents),
+				FirstWindow: summary.Window,
+			}
+			a.incidents = append(a.incidents, inc)
+		}
+		inc.Devices = unionSorted(inc.Devices, group)
+		inc.LastWindow = summary.Window
+		inc.Open = true
+		touched[inc.ID] = true
+		summary.IncidentIDs = append(summary.IncidentIDs, inc.ID)
+	}
+	sort.Ints(summary.IncidentIDs)
+
+	// Tickets and suppression counting per policy.
+	switch a.policy {
+	case PolicyReportIsolated:
+		for _, dev := range out.Isolated {
+			if a.ticketed[dev] {
+				continue
+			}
+			a.ticketed[dev] = true
+			a.tickets++
+			summary.Tickets = append(summary.Tickets, dev)
+		}
+		// Every massive device would have phoned the call center without
+		// local characterization.
+		summary.Suppressed = len(out.Massive)
+	case PolicyReportMassive:
+		// One page per incident instead of one per device.
+		for _, group := range groups {
+			summary.Suppressed += len(group) - 1
+		}
+		// Isolated reports are suppressed entirely.
+		summary.Suppressed += len(out.Isolated)
+	}
+	a.suppress += summary.Suppressed
+	sort.Ints(summary.Tickets)
+	return summary
+}
+
+// matchIncident returns the live incident whose devices overlap the
+// group, if any.
+func (a *Aggregator) matchIncident(group []int) *Incident {
+	for _, inc := range a.incidents {
+		if !inc.Open {
+			continue
+		}
+		if intersects(inc.Devices, group) {
+			return inc
+		}
+	}
+	return nil
+}
+
+// Incidents returns a copy of all incidents, in creation order.
+func (a *Aggregator) Incidents() []Incident {
+	out := make([]Incident, len(a.incidents))
+	for i, inc := range a.incidents {
+		cp := *inc
+		cp.Devices = append([]int(nil), inc.Devices...)
+		out[i] = cp
+	}
+	return out
+}
+
+// Tickets returns the total deduplicated ticket count.
+func (a *Aggregator) Tickets() int { return a.tickets }
+
+// Suppressed returns the total number of per-device reports the local
+// characterization avoided.
+func (a *Aggregator) Suppressed() int { return a.suppress }
+
+// massiveGroups partitions the massive devices of an outcome into
+// connected components, where two devices connect when they share one of
+// the reported dense motions.
+func massiveGroups(out *Outcome) [][]int {
+	massive := make(map[int]bool, len(out.Massive))
+	for _, dev := range out.Massive {
+		massive[dev] = true
+	}
+	if len(massive) == 0 {
+		return nil
+	}
+	parent := make(map[int]int, len(massive))
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	union := func(x, y int) { parent[find(x)] = find(y) }
+	for dev := range massive {
+		parent[dev] = dev
+	}
+	for _, rep := range out.Reports {
+		if !massive[rep.Device] {
+			continue
+		}
+		for _, m := range rep.DenseMotions {
+			for _, other := range m {
+				if massive[other] {
+					union(rep.Device, other)
+				}
+			}
+		}
+	}
+	byRoot := make(map[int][]int)
+	for dev := range massive {
+		root := find(dev)
+		byRoot[root] = append(byRoot[root], dev)
+	}
+	groups := make([][]int, 0, len(byRoot))
+	for _, g := range byRoot {
+		sort.Ints(g)
+		groups = append(groups, g)
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i][0] < groups[j][0] })
+	return groups
+}
+
+func unionSorted(a, b []int) []int {
+	seen := make(map[int]bool, len(a)+len(b))
+	var out []int
+	for _, v := range a {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	for _, v := range b {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func intersects(a, b []int) bool {
+	set := make(map[int]bool, len(a))
+	for _, v := range a {
+		set[v] = true
+	}
+	for _, v := range b {
+		if set[v] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,173 @@
+package anomalia
+
+import (
+	"errors"
+	"testing"
+)
+
+// outcomeFor builds the outcome of one quickstart-style window.
+func outcomeFor(t *testing.T, prev, cur [][]float64, abnormal []int) *Outcome {
+	t.Helper()
+	out, err := Characterize(prev, cur, abnormal, WithRadius(0.03), WithTau(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestNewAggregatorValidation(t *testing.T) {
+	t.Parallel()
+
+	if _, err := NewAggregator(Policy(0)); !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("bad policy = %v", err)
+	}
+	if PolicyReportIsolated.String() != "report-isolated" ||
+		PolicyReportMassive.String() != "report-massive" ||
+		Policy(0).String() != "unknown" {
+		t.Error("Policy.String misbehaved")
+	}
+}
+
+func TestAggregatorISPStory(t *testing.T) {
+	t.Parallel()
+
+	agg, err := NewAggregator(PolicyReportIsolated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Healthy window: nothing happens.
+	s := agg.Ingest(nil)
+	if len(s.Tickets) != 0 || len(s.IncidentIDs) != 0 || s.Suppressed != 0 {
+		t.Errorf("healthy window summary = %+v", s)
+	}
+
+	// Window 1: a 4-device massive group plus one isolated device.
+	prev := [][]float64{{0.95}, {0.94}, {0.95}, {0.96}, {0.60}}
+	cur := [][]float64{{0.55}, {0.54}, {0.56}, {0.55}, {0.20}}
+	out := outcomeFor(t, prev, cur, []int{0, 1, 2, 3, 4})
+	s = agg.Ingest(out)
+	if len(s.Tickets) != 1 || s.Tickets[0] != 4 {
+		t.Errorf("tickets = %v, want [4]", s.Tickets)
+	}
+	if len(s.IncidentIDs) != 1 {
+		t.Errorf("incidents touched = %v, want one", s.IncidentIDs)
+	}
+	if s.Suppressed != 4 {
+		t.Errorf("suppressed = %d, want 4 massive reports", s.Suppressed)
+	}
+
+	// Window 2: the same massive event continues; the isolated device
+	// keeps failing but must not re-ticket.
+	out2 := outcomeFor(t, cur, [][]float64{{0.50}, {0.49}, {0.51}, {0.50}, {0.15}}, []int{0, 1, 2, 3, 4})
+	s = agg.Ingest(out2)
+	if len(s.Tickets) != 0 {
+		t.Errorf("repeat window re-ticketed: %v", s.Tickets)
+	}
+	incidents := agg.Incidents()
+	if len(incidents) != 1 {
+		t.Fatalf("incidents = %+v, want one merged incident", incidents)
+	}
+	inc := incidents[0]
+	if inc.FirstWindow != 1 || inc.LastWindow != 2 || !inc.Open {
+		t.Errorf("incident lifetime = %+v", inc)
+	}
+	if len(inc.Devices) != 4 {
+		t.Errorf("incident devices = %v", inc.Devices)
+	}
+	if agg.Tickets() != 1 {
+		t.Errorf("total tickets = %d", agg.Tickets())
+	}
+	if agg.Suppressed() != 8 {
+		t.Errorf("total suppressed = %d, want 8", agg.Suppressed())
+	}
+
+	// Healthy window closes the incident.
+	agg.Ingest(nil)
+	if agg.Incidents()[0].Open {
+		t.Error("incident must close after a quiet window")
+	}
+}
+
+func TestAggregatorOTTStory(t *testing.T) {
+	t.Parallel()
+
+	agg, err := NewAggregator(PolicyReportMassive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := [][]float64{{0.95}, {0.94}, {0.95}, {0.96}, {0.60}}
+	cur := [][]float64{{0.55}, {0.54}, {0.56}, {0.55}, {0.20}}
+	out := outcomeFor(t, prev, cur, []int{0, 1, 2, 3, 4})
+	s := agg.Ingest(out)
+	// One incident page instead of 4 device reports, isolated silenced:
+	// suppression = 3 + 1.
+	if s.Suppressed != 4 {
+		t.Errorf("suppressed = %d, want 4", s.Suppressed)
+	}
+	if len(s.Tickets) != 0 {
+		t.Errorf("OTT policy must not ticket isolated devices: %v", s.Tickets)
+	}
+	if len(s.IncidentIDs) != 1 {
+		t.Errorf("incidents = %v", s.IncidentIDs)
+	}
+}
+
+func TestAggregatorSeparateIncidents(t *testing.T) {
+	t.Parallel()
+
+	agg, err := NewAggregator(PolicyReportIsolated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two disjoint massive groups in one window (far apart in QoS).
+	prev := [][]float64{
+		{0.95}, {0.94}, {0.95}, {0.96}, // group A
+		{0.60}, {0.61}, {0.60}, {0.59}, // group B
+	}
+	cur := [][]float64{
+		{0.55}, {0.54}, {0.56}, {0.55},
+		{0.20}, {0.21}, {0.20}, {0.19},
+	}
+	out := outcomeFor(t, prev, cur, []int{0, 1, 2, 3, 4, 5, 6, 7})
+	if len(out.Massive) != 8 {
+		t.Fatalf("expected both groups massive: %+v", out)
+	}
+	s := agg.Ingest(out)
+	if len(s.IncidentIDs) != 2 {
+		t.Errorf("incident ids = %v, want two distinct incidents", s.IncidentIDs)
+	}
+	incidents := agg.Incidents()
+	if len(incidents) != 2 {
+		t.Fatalf("incidents = %+v", incidents)
+	}
+	if intersects(incidents[0].Devices, incidents[1].Devices) {
+		t.Error("separate incidents share devices")
+	}
+}
+
+func TestAggregatorIncidentGrowth(t *testing.T) {
+	t.Parallel()
+
+	agg, err := NewAggregator(PolicyReportIsolated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window 1: devices 0-3 massive; device 4 sits nearby but its own
+	// detector stayed quiet.
+	prev := [][]float64{{0.95}, {0.94}, {0.95}, {0.96}, {0.56}}
+	cur := [][]float64{{0.55}, {0.54}, {0.56}, {0.55}, {0.56}}
+	out := outcomeFor(t, prev, cur, []int{0, 1, 2, 3})
+	agg.Ingest(out)
+	// Window 2: the whole cluster — device 4 included — moves together.
+	prev2 := cur
+	cur2 := [][]float64{{0.30}, {0.29}, {0.31}, {0.30}, {0.30}}
+	out2 := outcomeFor(t, prev2, cur2, []int{0, 1, 2, 3, 4})
+	s := agg.Ingest(out2)
+	if len(s.IncidentIDs) != 1 {
+		t.Fatalf("incident ids = %v", s.IncidentIDs)
+	}
+	incidents := agg.Incidents()
+	if len(incidents) != 1 || len(incidents[0].Devices) != 5 {
+		t.Errorf("incident did not absorb the new device: %+v", incidents)
+	}
+}

@@ -1,0 +1,281 @@
+package anomalia
+
+import (
+	"errors"
+	"fmt"
+
+	"anomalia/internal/core"
+	"anomalia/internal/motion"
+	"anomalia/internal/space"
+)
+
+// Class is the verdict for one abnormal device.
+type Class int
+
+// Verdicts. The zero value is invalid.
+const (
+	// Isolated: the error hit at most τ devices in every admissible
+	// scenario — report it, it is this device's problem.
+	Isolated Class = iota + 1
+	// Massive: the error hit more than τ devices in every admissible
+	// scenario — a network-level event.
+	Massive
+	// Unresolved: admissible scenarios disagree; even an omniscient
+	// observer could not tell (the paper's impossibility result).
+	Unresolved
+)
+
+// String renders the class.
+func (c Class) String() string {
+	switch c {
+	case Isolated:
+		return "isolated"
+	case Massive:
+		return "massive"
+	case Unresolved:
+		return "unresolved"
+	default:
+		return "unknown"
+	}
+}
+
+// Cost reports the work one device spent deciding (the counters of the
+// paper's Table III).
+type Cost struct {
+	// MaximalMotions is the number of maximal r-consistent motions
+	// enumerated around the device.
+	MaximalMotions int `json:"maximal_motions"`
+	// DenseMotions is the number of maximal τ-dense motions containing
+	// the device.
+	DenseMotions int `json:"dense_motions"`
+	// NeighborsScanned counts neighbours whose motions were enumerated.
+	NeighborsScanned int `json:"neighbors_scanned"`
+	// CollectionsTested counts the collections examined by the exact
+	// (Theorem 7) search, when it ran.
+	CollectionsTested int `json:"collections_tested"`
+}
+
+// Report is the outcome for one device.
+type Report struct {
+	// Device is the device index.
+	Device int `json:"device"`
+	// Class is the verdict.
+	Class Class `json:"class"`
+	// Rule names the paper result that decided: "theorem5", "theorem6",
+	// "theorem7", "corollary8", or "none" (cheap mode fallback).
+	Rule string `json:"rule"`
+	// DenseMotions lists the maximal τ-dense motions containing the
+	// device (sorted device indices).
+	DenseMotions [][]int `json:"dense_motions,omitempty"`
+	// Cost is the decision cost.
+	Cost Cost `json:"cost"`
+}
+
+// Outcome is the fleet-wide result of one observation window.
+type Outcome struct {
+	// Reports holds one entry per abnormal device, in device order.
+	Reports []Report `json:"reports"`
+	// Massive, Isolated and Unresolved are the M_k / I_k / U_k sets.
+	Massive    []int `json:"massive,omitempty"`
+	Isolated   []int `json:"isolated,omitempty"`
+	Unresolved []int `json:"unresolved,omitempty"`
+}
+
+// MarshalText renders the class for JSON and log output.
+func (c Class) MarshalText() ([]byte, error) { return []byte(c.String()), nil }
+
+// UnmarshalText parses a class rendered by MarshalText.
+func (c *Class) UnmarshalText(text []byte) error {
+	switch string(text) {
+	case "isolated":
+		*c = Isolated
+	case "massive":
+		*c = Massive
+	case "unresolved":
+		*c = Unresolved
+	default:
+		return fmt.Errorf("class %q: %w", text, ErrInvalidInput)
+	}
+	return nil
+}
+
+// ErrInvalidInput is returned for malformed snapshots or options.
+var ErrInvalidInput = errors.New("anomalia: invalid input")
+
+// Defaults applied when options are omitted; they are the operating point
+// the paper dimensions for 1000 devices (Section VII-A).
+const (
+	// DefaultRadius is the default consistency impact radius r.
+	DefaultRadius = 0.03
+	// DefaultTau is the default density threshold τ.
+	DefaultTau = 3
+)
+
+type config struct {
+	radius  float64
+	tau     int
+	exact   bool
+	budget  int
+	factory func(device, service int) (Detector, error)
+}
+
+func defaultConfig() config {
+	return config{
+		radius: DefaultRadius,
+		tau:    DefaultTau,
+		exact:  true,
+	}
+}
+
+// Option customizes Characterize, CharacterizeDevice and NewMonitor.
+type Option func(*config)
+
+// WithRadius sets the consistency impact radius r in [0, 1/4): devices
+// within uniform-norm distance 2r at both snapshot times are considered
+// to move consistently. Default 0.03.
+func WithRadius(r float64) Option {
+	return func(c *config) { c.radius = r }
+}
+
+// WithTau sets the density threshold τ >= 1 separating isolated (≤ τ
+// devices) from massive (> τ) anomalies. Default 3.
+func WithTau(tau int) Option {
+	return func(c *config) { c.tau = tau }
+}
+
+// WithExact toggles the full necessary-and-sufficient check (Theorem 7 /
+// Corollary 8) for devices the cheap sufficient condition cannot settle.
+// Exact mode is the default; disabling it trades a ~0.4% massive-detection
+// miss rate (paper, Table II) for strictly local, bounded work.
+func WithExact(exact bool) Option {
+	return func(c *config) { c.exact = exact }
+}
+
+// WithBudget caps the number of search nodes the exact check may explore
+// per device (0 = implementation default). Exceeding the budget surfaces
+// as an error from Characterize.
+func WithBudget(budget int) Option {
+	return func(c *config) { c.budget = budget }
+}
+
+// WithDetectorFactory sets the per-(device, service) error-detection
+// function used by Monitor. Defaults to a threshold detector with delta
+// 0.05. Ignored by Characterize, which takes the abnormal set as input.
+func WithDetectorFactory(factory func(device, service int) (Detector, error)) Option {
+	return func(c *config) { c.factory = factory }
+}
+
+// statesFromSnapshots validates and converts two raw snapshots.
+func statesFromSnapshots(prev, cur [][]float64) (*motion.Pair, error) {
+	if len(prev) == 0 || len(prev) != len(cur) {
+		return nil, fmt.Errorf("snapshots with %d and %d devices: %w", len(prev), len(cur), ErrInvalidInput)
+	}
+	ps, err := space.StateFromPoints(prev)
+	if err != nil {
+		return nil, fmt.Errorf("previous snapshot: %w", err)
+	}
+	cs, err := space.StateFromPoints(cur)
+	if err != nil {
+		return nil, fmt.Errorf("current snapshot: %w", err)
+	}
+	pair, err := motion.NewPair(ps, cs)
+	if err != nil {
+		return nil, err
+	}
+	return pair, nil
+}
+
+func toReport(res core.Result) Report {
+	return Report{
+		Device:       res.Device,
+		Class:        toClass(res.Class),
+		Rule:         res.Rule.String(),
+		DenseMotions: res.Dense,
+		Cost: Cost{
+			MaximalMotions:    res.Cost.MaximalMotions,
+			DenseMotions:      res.Cost.DenseMotions,
+			NeighborsScanned:  res.Cost.NeighborsScanned,
+			CollectionsTested: res.Cost.CollectionsTested,
+		},
+	}
+}
+
+func toClass(c core.Class) Class {
+	switch c {
+	case core.ClassIsolated:
+		return Isolated
+	case core.ClassMassive:
+		return Massive
+	default:
+		return Unresolved
+	}
+}
+
+// Characterize classifies every abnormal device over the observation
+// window delimited by two snapshots. prev and cur hold one row per device
+// (row = per-service QoS in [0,1], all rows the same length); abnormal
+// lists the devices whose error-detection function fired.
+func Characterize(prev, cur [][]float64, abnormal []int, opts ...Option) (*Outcome, error) {
+	cfg := defaultConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	pair, err := statesFromSnapshots(prev, cur)
+	if err != nil {
+		return nil, err
+	}
+	return characterizePair(pair, abnormal, cfg)
+}
+
+// characterizePair runs the core procedure over a validated state pair.
+func characterizePair(pair *motion.Pair, abnormal []int, cfg config) (*Outcome, error) {
+	char, err := core.New(pair, abnormal, core.Config{
+		R: cfg.radius, Tau: cfg.tau, Exact: cfg.exact, Budget: cfg.budget,
+	})
+	if err != nil {
+		return nil, err
+	}
+	results, err := char.CharacterizeAll()
+	if err != nil {
+		return nil, err
+	}
+	out := &Outcome{Reports: make([]Report, 0, len(results))}
+	for _, res := range results {
+		rep := toReport(res)
+		out.Reports = append(out.Reports, rep)
+		switch rep.Class {
+		case Massive:
+			out.Massive = append(out.Massive, rep.Device)
+		case Isolated:
+			out.Isolated = append(out.Isolated, rep.Device)
+		default:
+			out.Unresolved = append(out.Unresolved, rep.Device)
+		}
+	}
+	return out, nil
+}
+
+// CharacterizeDevice classifies a single abnormal device — the strictly
+// local operation a monitored device runs on its own: it only reads
+// trajectories within distance 4r of its own.
+func CharacterizeDevice(prev, cur [][]float64, abnormal []int, device int, opts ...Option) (Report, error) {
+	cfg := defaultConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	pair, err := statesFromSnapshots(prev, cur)
+	if err != nil {
+		return Report{}, err
+	}
+	char, err := core.New(pair, abnormal, core.Config{
+		R: cfg.radius, Tau: cfg.tau, Exact: cfg.exact, Budget: cfg.budget,
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	res, err := char.Characterize(device)
+	if err != nil {
+		return Report{}, err
+	}
+	return toReport(res), nil
+}

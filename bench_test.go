@@ -1,0 +1,312 @@
+package anomalia
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (Section VII), plus the ablations from DESIGN.md and micro
+// benchmarks of the public API. Each Benchmark* regenerates the full
+// artifact once per iteration; run
+//
+//	go test -bench=. -benchmem
+//
+// or regenerate the human-readable tables with cmd/anomalia-experiments.
+
+import (
+	"io"
+	"testing"
+
+	"anomalia/internal/experiments"
+	"anomalia/internal/scenario"
+	"anomalia/internal/stats"
+)
+
+// benchSweep shrinks the (A, G) grid so one iteration stays in benchmark
+// territory while exercising the full pipeline; the experiments binary
+// runs the paper-sized grid.
+func benchSweep() experiments.SweepConfig {
+	cfg := experiments.DefaultSweep()
+	cfg.As = []int{1, 20, 40}
+	cfg.Gs = []float64{0, 0.5, 1}
+	cfg.Steps = 5
+	return cfg
+}
+
+func benchTables() experiments.TablesConfig {
+	cfg := experiments.DefaultTables()
+	cfg.Steps = 10
+	return cfg
+}
+
+func BenchmarkFig6a(b *testing.B) {
+	cfg := experiments.DefaultFig6a()
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Fig6a(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tab.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6b(b *testing.B) {
+	cfg := experiments.DefaultFig6b()
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Fig6b(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tab.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	cfg := benchTables()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Table2(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	cfg := benchTables()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Table3(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	cfg := benchSweep()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8(b *testing.B) {
+	cfg := benchSweep()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig8(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9(b *testing.B) {
+	cfg := benchSweep()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig9(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationBucketSize(b *testing.B) {
+	cfg := experiments.DefaultAblation()
+	cfg.Steps = 5
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationBucketSize(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationExactness(b *testing.B) {
+	cfg := experiments.DefaultAblation()
+	cfg.Steps = 5
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationExactness(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGranularity regenerates the Section VII-C sampling-frequency
+// study (same error load across coarser/finer windows).
+func BenchmarkGranularity(b *testing.B) {
+	cfg := experiments.DefaultGranularity()
+	cfg.Bursts = 3
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Granularity(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkByzantine regenerates the collusion study (the paper's future
+// work): attack success rate versus colluder count.
+func BenchmarkByzantine(b *testing.B) {
+	cfg := experiments.DefaultByzantine()
+	cfg.Windows = 5
+	cfg.ColluderCounts = []int{1, 3, 5}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationByzantine(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDetectorStudy regenerates the error-detection-function
+// comparison on synthesized traces.
+func BenchmarkDetectorStudy(b *testing.B) {
+	cfg := experiments.DefaultDetectorStudy()
+	cfg.Traces = 10
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.DetectorStudy(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDistCost regenerates the distributed-deployment traffic study.
+func BenchmarkDistCost(b *testing.B) {
+	cfg := experiments.DefaultDistCost()
+	cfg.As = []int{10, 40}
+	cfg.Steps = 3
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.DistCost(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchWindow produces one paper-scale observation window for the micro
+// benchmarks of the public API.
+func benchWindow(b *testing.B, a int, g float64) (prev, cur [][]float64, abnormal []int) {
+	b.Helper()
+	gen, err := scenario.New(scenario.Config{
+		N: 1000, D: 2, R: 0.03, Tau: 3, A: a, G: g,
+		Concomitant: true, MaxShift: 0.06, Seed: 42,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	step, err := gen.Step()
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := step.Pair.N()
+	prev = make([][]float64, n)
+	cur = make([][]float64, n)
+	for j := 0; j < n; j++ {
+		prev[j] = step.Pair.Prev.At(j)
+		cur[j] = step.Pair.Cur.At(j)
+	}
+	return prev, cur, step.Abnormal
+}
+
+// BenchmarkCharacterizeWindow measures a fleet-wide characterization of
+// one paper-scale window (n=1000, A=20).
+func BenchmarkCharacterizeWindow(b *testing.B) {
+	prev, cur, abnormal := benchWindow(b, 20, 0.3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Characterize(prev, cur, abnormal); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCharacterizeWindowCheap measures the Theorem-6-only mode.
+func BenchmarkCharacterizeWindowCheap(b *testing.B) {
+	prev, cur, abnormal := benchWindow(b, 20, 0.3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Characterize(prev, cur, abnormal, WithExact(false)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCharacterizeSingleDevice measures the per-device local
+// operation a monitored device would run on itself.
+func BenchmarkCharacterizeSingleDevice(b *testing.B) {
+	prev, cur, abnormal := benchWindow(b, 20, 0.3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		device := abnormal[i%len(abnormal)]
+		if _, err := CharacterizeDevice(prev, cur, abnormal, device); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCharacterizeLargeFleet measures one window at 10x the paper's
+// scale (n=10000, A=100). Following the §VII-A dimensioning rule the
+// radius shrinks with the fleet (r=0.01 keeps the expected error-ball
+// population at the paper's level); decision cost then stays proportional
+// to the abnormal population and its local density, not the fleet size.
+func BenchmarkCharacterizeLargeFleet(b *testing.B) {
+	prev, cur, abnormal := benchLargeWindow(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Characterize(prev, cur, abnormal, WithRadius(0.01)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchLargeWindow(b *testing.B) (prev, cur [][]float64, abnormal []int) {
+	b.Helper()
+	gen, err := scenario.New(scenario.Config{
+		N: 10000, D: 2, R: 0.01, Tau: 3, A: 100, G: 0.3,
+		Concomitant: true, MaxShift: 0.02, Seed: 4242,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	step, err := gen.Step()
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := step.Pair.N()
+	prev = make([][]float64, n)
+	cur = make([][]float64, n)
+	for j := 0; j < n; j++ {
+		prev[j] = step.Pair.Prev.At(j)
+		cur[j] = step.Pair.Cur.At(j)
+	}
+	return prev, cur, step.Abnormal
+}
+
+// BenchmarkMonitorObserve measures the full streaming path: detection
+// plus characterization for a 200-device fleet.
+func BenchmarkMonitorObserve(b *testing.B) {
+	const n = 200
+	m, err := NewMonitor(n, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := stats.NewRNG(7)
+	healthy := make([][]float64, n)
+	faulty := make([][]float64, n)
+	for i := range healthy {
+		healthy[i] = []float64{0.95 + 0.004*rng.Float64(), 0.95 + 0.004*rng.Float64()}
+		if i < 10 {
+			faulty[i] = []float64{0.5 + 0.004*rng.Float64(), 0.5 + 0.004*rng.Float64()}
+		} else {
+			faulty[i] = healthy[i]
+		}
+	}
+	if _, err := m.Observe(healthy); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Observe(healthy); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Observe(faulty); err != nil {
+			b.Fatal(err)
+		}
+		// Re-seat the detectors on the healthy level.
+		if _, err := m.Observe(healthy); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// Command anomalia-dim runs the parameter-dimensioning analysis of
+// Section VII-A: given a population size, service count and per-device
+// isolated-error rate, it recommends the density threshold τ for a chosen
+// radius (and vice versa) and prints the probability curves behind
+// Figures 6(a) and 6(b).
+//
+// Usage:
+//
+//	anomalia-dim [-n 1000] [-d 2] [-b 0.005] [-eps 1e-6] [-r 0.03] [-tau 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"anomalia/internal/dimension"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "anomalia-dim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("anomalia-dim", flag.ContinueOnError)
+	var (
+		n   = fs.Int("n", 1000, "number of monitored devices")
+		d   = fs.Int("d", 2, "number of services (QoS dimensions)")
+		b   = fs.Float64("b", 0.005, "per-device isolated-error probability per window")
+		eps = fs.Float64("eps", 1e-6, "tolerated probability of tau+1 coincident isolated errors")
+		r   = fs.Float64("r", 0.03, "consistency impact radius to dimension tau for")
+		tau = fs.Int("tau", 3, "density threshold to dimension the radius for")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "population n=%d, services d=%d, isolated-error rate b=%g, eps=%g\n\n", *n, *d, *b, *eps)
+
+	recTau, err := dimension.TuneTau(*n, *r, *d, *b, *eps)
+	if err != nil {
+		return fmt.Errorf("tuning tau: %w", err)
+	}
+	fmt.Fprintf(out, "for r = %g: smallest safe density threshold tau = %d\n", *r, recTau)
+
+	recR, err := dimension.TuneRadius(*n, *d, *tau, *b, *eps, 0.249, 0.001)
+	if err != nil {
+		return fmt.Errorf("tuning radius: %w", err)
+	}
+	fmt.Fprintf(out, "for tau = %d: largest safe radius r = %.3f\n\n", *tau, recR)
+
+	fmt.Fprintf(out, "P{N_r(j) <= m} (vicinity radius 2r = %g):\n", 2**r)
+	for _, m := range []int{5, 10, 20, 30, 50, 100} {
+		p, err := dimension.NeighborhoodCDF(*n, 2**r, *d, m)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "  m = %3d: %.6f\n", m, p)
+	}
+
+	fmt.Fprintf(out, "\nP{F_r(j) <= tau} for tau = %d (error-ball radius r = %g):\n", *tau, *r)
+	for _, nn := range []int{1000, 2000, 5000, 10000, 15000} {
+		p, err := dimension.ImpactCDFFast(nn, *r, *d, *tau, *b)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "  n = %5d: %.6f\n", nn, p)
+	}
+	return nil
+}

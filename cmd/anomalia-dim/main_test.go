@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunDefaults(t *testing.T) {
+	t.Parallel()
+
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"population n=1000",
+		"smallest safe density threshold",
+		"largest safe radius",
+		"P{N_r(j) <= m}",
+		"P{F_r(j) <= tau}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunCustomFlags(t *testing.T) {
+	t.Parallel()
+
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "500", "-tau", "2", "-r", "0.05"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "population n=500") {
+		t.Error("custom n not honoured")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	t.Parallel()
+
+	var buf bytes.Buffer
+	if err := run([]string{"-eps", "5"}, &buf); err == nil {
+		t.Error("eps > 1 must error")
+	}
+	if err := run([]string{"-definitely-not-a-flag"}, &buf); err == nil {
+		t.Error("unknown flag must error")
+	}
+}

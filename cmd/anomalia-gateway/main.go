@@ -1,0 +1,177 @@
+// Command anomalia-gateway runs the streaming monitor over a CSV stream
+// of QoS snapshots: one row per discrete time, devices*services columns
+// (device-major: dev0_svc0, dev0_svc1, dev1_svc0, ...), values in [0,1].
+// For every observation window containing abnormal devices it prints the
+// massive / isolated / unresolved verdicts.
+//
+// Usage:
+//
+//	anomalia-gateway -devices 48 -services 2 [-r 0.03] [-tau 3]
+//	                 [-detector threshold|ewma|cusum|holtwinters|kalman]
+//	                 [-in snapshots.csv]
+//
+// With -in omitted, snapshots are read from standard input.
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"anomalia"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "anomalia-gateway:", err)
+		os.Exit(1)
+	}
+}
+
+// detectorFactory builds the per-service detector selected by name.
+func detectorFactory(name string) (func(int, int) (anomalia.Detector, error), error) {
+	switch name {
+	case "threshold":
+		return func(int, int) (anomalia.Detector, error) {
+			return anomalia.NewThresholdDetector(0.05)
+		}, nil
+	case "ewma":
+		return func(int, int) (anomalia.Detector, error) {
+			return anomalia.NewEWMADetector(0.3, 5, 0.01, 3)
+		}, nil
+	case "cusum":
+		return func(int, int) (anomalia.Detector, error) {
+			return anomalia.NewCUSUMDetector(0.01, 0.08, 0.1)
+		}, nil
+	case "holtwinters":
+		return func(int, int) (anomalia.Detector, error) {
+			return anomalia.NewHoltWintersDetector(0.5, 0.3, 0, 6, 0.05, 0)
+		}, nil
+	case "kalman":
+		return func(int, int) (anomalia.Detector, error) {
+			return anomalia.NewKalmanDetector(1e-4, 1e-3, 5)
+		}, nil
+	case "shewhart":
+		return func(int, int) (anomalia.Detector, error) {
+			return anomalia.NewShewhartDetector(5, 0.02, 5)
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown detector %q", name)
+	}
+}
+
+func run(args []string, stdin io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("anomalia-gateway", flag.ContinueOnError)
+	var (
+		devices  = fs.Int("devices", 0, "number of monitored devices (required)")
+		services = fs.Int("services", 1, "services per device")
+		radius   = fs.Float64("r", anomalia.DefaultRadius, "consistency impact radius")
+		tau      = fs.Int("tau", anomalia.DefaultTau, "density threshold")
+		detector = fs.String("detector", "threshold", "error-detection function: threshold, ewma, cusum, holtwinters, kalman")
+		inPath   = fs.String("in", "", "CSV file of snapshots (default: stdin)")
+		asJSON   = fs.Bool("json", false, "emit one JSON object per anomalous window")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *devices < 2 {
+		return errors.New("-devices is required (>= 2)")
+	}
+	factory, err := detectorFactory(*detector)
+	if err != nil {
+		return err
+	}
+
+	var input io.Reader = stdin
+	if *inPath != "" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			return fmt.Errorf("opening %s: %w", *inPath, err)
+		}
+		defer f.Close()
+		input = f
+	}
+
+	mon, err := anomalia.NewMonitor(*devices, *services,
+		anomalia.WithRadius(*radius),
+		anomalia.WithTau(*tau),
+		anomalia.WithDetectorFactory(factory),
+	)
+	if err != nil {
+		return err
+	}
+
+	reader := csv.NewReader(input)
+	reader.FieldsPerRecord = *devices * *services
+	row := 0
+	for {
+		record, err := reader.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("reading snapshot %d: %w", row, err)
+		}
+		snapshot, err := parseSnapshot(record, *devices, *services)
+		if err != nil {
+			return fmt.Errorf("snapshot %d: %w", row, err)
+		}
+		outcome, err := mon.Observe(snapshot)
+		if err != nil {
+			return fmt.Errorf("observing snapshot %d: %w", row, err)
+		}
+		if outcome != nil {
+			if *asJSON {
+				if err := emitJSON(out, row, outcome); err != nil {
+					return err
+				}
+			} else {
+				fmt.Fprintf(out, "t=%d abnormal=%d massive=%v isolated=%v unresolved=%v\n",
+					row, len(outcome.Reports), outcome.Massive, outcome.Isolated, outcome.Unresolved)
+			}
+		}
+		row++
+	}
+	if !*asJSON {
+		fmt.Fprintf(out, "processed %d snapshots\n", row)
+	}
+	return nil
+}
+
+// windowRecord is the JSON line emitted per anomalous window.
+type windowRecord struct {
+	Time    int               `json:"t"`
+	Outcome *anomalia.Outcome `json:"outcome"`
+}
+
+func emitJSON(out io.Writer, t int, outcome *anomalia.Outcome) error {
+	enc := json.NewEncoder(out)
+	return enc.Encode(windowRecord{Time: t, Outcome: outcome})
+}
+
+// parseSnapshot converts a flat CSV record into the per-device matrix.
+func parseSnapshot(record []string, devices, services int) ([][]float64, error) {
+	snapshot := make([][]float64, devices)
+	for dev := 0; dev < devices; dev++ {
+		rowVals := make([]float64, services)
+		for svc := 0; svc < services; svc++ {
+			cell := strings.TrimSpace(record[dev*services+svc])
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, fmt.Errorf("device %d service %d: %w", dev, svc, err)
+			}
+			if v < 0 || v > 1 {
+				return nil, fmt.Errorf("device %d service %d: QoS %v outside [0,1]", dev, svc, v)
+			}
+			rowVals[svc] = v
+		}
+		snapshot[dev] = rowVals
+	}
+	return snapshot, nil
+}

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+// buildCSV renders snapshots (devices x services, device-major) as CSV.
+func buildCSV(snapshots [][]float64) string {
+	var sb strings.Builder
+	for _, row := range snapshots {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = fmt.Sprintf("%.3f", v)
+		}
+		sb.WriteString(strings.Join(cells, ","))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func TestGatewayEndToEnd(t *testing.T) {
+	t.Parallel()
+
+	// 6 devices, 1 service. Three healthy snapshots, then devices 0-3
+	// drop together while device 5 drops alone.
+	healthy := []float64{0.95, 0.95, 0.95, 0.95, 0.95, 0.95}
+	faulty := []float64{0.50, 0.50, 0.51, 0.49, 0.95, 0.20}
+	csvData := buildCSV([][]float64{healthy, healthy, healthy, faulty})
+
+	var out bytes.Buffer
+	err := run([]string{"-devices", "6"}, strings.NewReader(csvData), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "massive=[0 1 2 3]") {
+		t.Errorf("output missing massive verdict:\n%s", got)
+	}
+	if !strings.Contains(got, "isolated=[5]") {
+		t.Errorf("output missing isolated verdict:\n%s", got)
+	}
+	if !strings.Contains(got, "processed 4 snapshots") {
+		t.Errorf("output missing summary:\n%s", got)
+	}
+}
+
+func TestGatewayJSONOutput(t *testing.T) {
+	t.Parallel()
+
+	healthy := []float64{0.95, 0.95, 0.95, 0.95, 0.95, 0.95}
+	faulty := []float64{0.50, 0.50, 0.51, 0.49, 0.95, 0.20}
+	csvData := buildCSV([][]float64{healthy, healthy, faulty})
+
+	var out bytes.Buffer
+	if err := run([]string{"-devices", "6", "-json"}, strings.NewReader(csvData), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, `"t":2`) || !strings.Contains(got, `"class":"massive"`) {
+		t.Errorf("JSON output unexpected:\n%s", got)
+	}
+	if strings.Contains(got, "processed") {
+		t.Error("JSON mode must not emit the text summary")
+	}
+}
+
+func TestGatewayQuietStream(t *testing.T) {
+	t.Parallel()
+
+	healthy := []float64{0.9, 0.9, 0.9}
+	csvData := buildCSV([][]float64{healthy, healthy, healthy})
+	var out bytes.Buffer
+	if err := run([]string{"-devices", "3"}, strings.NewReader(csvData), &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "t=") {
+		t.Errorf("quiet stream produced verdicts:\n%s", out.String())
+	}
+}
+
+func TestGatewayDetectorSelection(t *testing.T) {
+	t.Parallel()
+
+	for _, det := range []string{"threshold", "ewma", "cusum", "holtwinters", "kalman", "shewhart"} {
+		healthy := []float64{0.9, 0.9}
+		csvData := buildCSV([][]float64{healthy, healthy})
+		var out bytes.Buffer
+		if err := run([]string{"-devices", "2", "-detector", det},
+			strings.NewReader(csvData), &out); err != nil {
+			t.Errorf("detector %s: %v", det, err)
+		}
+	}
+}
+
+func TestGatewayErrors(t *testing.T) {
+	t.Parallel()
+
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader(""), &out); err == nil {
+		t.Error("missing -devices must error")
+	}
+	if err := run([]string{"-devices", "2", "-detector", "magic"},
+		strings.NewReader(""), &out); err == nil {
+		t.Error("unknown detector must error")
+	}
+	if err := run([]string{"-devices", "2"},
+		strings.NewReader("0.5,0.5,0.5\n"), &out); err == nil {
+		t.Error("wrong column count must error")
+	}
+	if err := run([]string{"-devices", "2"},
+		strings.NewReader("0.5,abc\n"), &out); err == nil {
+		t.Error("non-numeric cell must error")
+	}
+	if err := run([]string{"-devices", "2"},
+		strings.NewReader("0.5,1.5\n"), &out); err == nil {
+		t.Error("out-of-range QoS must error")
+	}
+	if err := run([]string{"-devices", "2", "-in", "/nonexistent.csv"},
+		strings.NewReader(""), &out); err == nil {
+		t.Error("missing input file must error")
+	}
+}
+
+func TestGatewayReadsFile(t *testing.T) {
+	t.Parallel()
+
+	dir := t.TempDir()
+	path := dir + "/snaps.csv"
+	healthy := []float64{0.9, 0.9}
+	if err := writeFile(path, buildCSV([][]float64{healthy, healthy})); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-devices", "2", "-in", path}, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "processed 2 snapshots") {
+		t.Errorf("file input not processed:\n%s", out.String())
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSmallSim(t *testing.T) {
+	t.Parallel()
+
+	var buf bytes.Buffer
+	err := run([]string{"-n", "300", "-a", "5", "-steps", "3", "-v"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"window", "isolated:", "massive:", "unresolved:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	t.Parallel()
+
+	var a, b bytes.Buffer
+	args := []string{"-n", "300", "-a", "5", "-steps", "2", "-seed", "9"}
+	if err := run(args, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same seed must give identical output")
+	}
+}
+
+func TestRunBadConfig(t *testing.T) {
+	t.Parallel()
+
+	var buf bytes.Buffer
+	if err := run([]string{"-r", "0.9"}, &buf); err == nil {
+		t.Error("invalid radius must error")
+	}
+	if err := run([]string{"-n", "1"}, &buf); err == nil {
+		t.Error("n=1 must error")
+	}
+}

@@ -1,0 +1,38 @@
+package anomalia
+
+import "anomalia/internal/dimension"
+
+// Dimensioning helpers (Section VII-A of the paper): choose the
+// consistency radius r and density threshold τ so that the probability of
+// more than τ independent isolated errors striking devices close to each
+// other — which the model would misread as one massive anomaly — stays
+// negligible.
+
+// TuneTau returns the smallest density threshold τ such that
+// P{F_r(j) > τ} < eps, where F_r(j) counts the devices within radius r of
+// a device that are hit by independent isolated errors, n is the
+// population, d the number of services, and b the per-device
+// isolated-error probability per observation window.
+func TuneTau(n int, r float64, d int, b, eps float64) (int, error) {
+	return dimension.TuneTau(n, r, d, b, eps)
+}
+
+// TuneRadius returns the largest consistency radius (searched downward
+// from just under 1/4 in steps of 0.001) for which P{F_r(j) > tau} < eps.
+func TuneRadius(n, d, tau int, b, eps float64) (float64, error) {
+	return dimension.TuneRadius(n, d, tau, b, eps, 0.249, 0.001)
+}
+
+// NeighborhoodCDF returns P{N_r(j) <= m}: the probability that at most m
+// of the n-1 other devices (placed uniformly in the QoS space) lie in the
+// 2r-vicinity of a device — the paper's Figure 6(a).
+func NeighborhoodCDF(n int, r float64, d, m int) (float64, error) {
+	return dimension.NeighborhoodCDF(n, 2*r, d, m)
+}
+
+// IsolatedImpactCDF returns P{F_r(j) <= tau} for the radius-r error ball
+// — the paper's Figure 6(b). The complement is the probability that
+// coincident isolated errors could masquerade as a massive anomaly.
+func IsolatedImpactCDF(n int, r float64, d, tau int, b float64) (float64, error) {
+	return dimension.ImpactCDFFast(n, r, d, tau, b)
+}

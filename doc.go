@@ -1,0 +1,33 @@
+// Package anomalia characterizes anomalies in large-scale monitored
+// systems: given two successive snapshots of per-device quality-of-service
+// measurements and the set of devices whose trajectories look abnormal, it
+// decides — for each abnormal device, using only that device's 4r
+// neighbourhood — whether the underlying error was massive (hit more than
+// τ devices, e.g. a network outage) or isolated (hit at most τ, e.g. a
+// broken home gateway), or whether the configuration is provably
+// unresolvable even for an omniscient observer.
+//
+// It is a from-scratch reproduction of "Anomaly Characterization in Large
+// Scale Networks" (Anceaume, Busnel, Le Merrer, Ludinard, Marchand,
+// Sericola — IEEE/IFIP DSN 2014), including the impossibility result
+// (unresolved configurations), the local decision procedures of Theorems
+// 5-7 and Corollary 8, the parameter-dimensioning analysis, the error
+// detectors the paper references, the related-work baselines, and the full
+// evaluation harness regenerating every table and figure.
+//
+// # Quick start
+//
+//	prev := [][]float64{{0.95}, {0.94}, {0.95}, {0.96}, {0.95}}
+//	cur := [][]float64{{0.55}, {0.54}, {0.56}, {0.55}, {0.20}}
+//	out, err := anomalia.Characterize(prev, cur, []int{0, 1, 2, 3, 4},
+//		anomalia.WithRadius(0.03), anomalia.WithTau(3))
+//	// devices 0-3 moved together -> massive; device 4 alone -> isolated.
+//
+// For streaming deployments, Monitor couples the characterizer with
+// per-service error-detection functions (threshold, EWMA, CUSUM,
+// Holt-Winters, Kalman) so that raw QoS samples go in and verdicts come
+// out; see NewMonitor.
+//
+// Parameter selection (the consistency radius r and density threshold τ)
+// follows Section VII-A of the paper via TuneTau and TuneRadius.
+package anomalia

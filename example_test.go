@@ -1,0 +1,101 @@
+package anomalia_test
+
+import (
+	"fmt"
+	"time"
+
+	"anomalia"
+)
+
+// The fleet's QoS dropped for five devices; four moved together (network
+// event) and one alone (local fault).
+func ExampleCharacterize() {
+	prev := [][]float64{{0.95}, {0.94}, {0.95}, {0.96}, {0.60}}
+	cur := [][]float64{{0.55}, {0.54}, {0.56}, {0.55}, {0.20}}
+
+	out, err := anomalia.Characterize(prev, cur, []int{0, 1, 2, 3, 4},
+		anomalia.WithRadius(0.03), anomalia.WithTau(3))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("massive:", out.Massive)
+	fmt.Println("isolated:", out.Isolated)
+	// Output:
+	// massive: [0 1 2 3]
+	// isolated: [4]
+}
+
+// A device decides for itself, locally.
+func ExampleCharacterizeDevice() {
+	prev := [][]float64{{0.95}, {0.94}, {0.95}, {0.96}, {0.60}}
+	cur := [][]float64{{0.55}, {0.54}, {0.56}, {0.55}, {0.20}}
+
+	rep, err := anomalia.CharacterizeDevice(prev, cur, []int{0, 1, 2, 3, 4}, 4)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("device %d is %s (by %s)\n", rep.Device, rep.Class, rep.Rule)
+	// Output:
+	// device 4 is isolated (by theorem5)
+}
+
+// Streaming monitoring: detectors learn the healthy level, then a shared
+// drop is classified on the spot.
+func ExampleMonitor() {
+	mon, err := anomalia.NewMonitor(6, 1)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	healthy := [][]float64{{0.95}, {0.95}, {0.95}, {0.95}, {0.95}, {0.95}}
+	for i := 0; i < 3; i++ {
+		if _, err := mon.Observe(healthy); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+	}
+	faulty := [][]float64{{0.5}, {0.5}, {0.51}, {0.49}, {0.5}, {0.95}}
+	out, err := mon.Observe(faulty)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("massive:", out.Massive)
+	// Output:
+	// massive: [0 1 2 3 4]
+}
+
+// Dimensioning: pick τ for a deployment, then verify the confusion
+// probability stays negligible as the fleet grows.
+func ExampleTuneTau() {
+	tau, err := anomalia.TuneTau(1000, 0.03, 2, 0.005, 1e-6)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("tau:", tau)
+	// Output:
+	// tau: 2
+}
+
+// Local sampling-frequency tuning (Section VII-C): sample fast during
+// bursts, back off when calm.
+func ExampleSamplingController() {
+	ctl, err := anomalia.NewSamplingController(anomalia.SamplerConfig{
+		Min: time.Second,
+		Max: 16 * time.Second,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(ctl.Interval())   // calm start
+	fmt.Println(ctl.Record(true)) // anomaly: speed up
+	fmt.Println(ctl.Record(true))
+	// Output:
+	// 16s
+	// 8s
+	// 4s
+}

@@ -1,0 +1,112 @@
+// ISP gateways: the paper's motivating scenario end to end.
+//
+// An ISP operates a fleet of home gateways, each measuring the end-to-end
+// QoS of two services (say, internet and IPTV). A Monitor couples
+// per-gateway error detection with local characterization. When a DSLAM
+// serving 12 gateways degrades, those gateways all see the drop, classify
+// it massive, and stay silent — the network operations centre already
+// knows. When a single gateway's hardware fails, it classifies its drop
+// isolated and files the one ticket the call centre actually needs.
+//
+// Run with: go run ./examples/ispgateways
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"anomalia"
+)
+
+const (
+	gateways = 48 // 4 DSLAMs x 12 gateways
+	perDSLAM = 12
+	services = 2
+	baseQoS  = 0.95
+)
+
+// fleet simulates the access network: per-gateway QoS with a little
+// measurement noise and multiplicative degradation per active fault.
+type fleet struct {
+	tick        int
+	dslamFault  map[int]float64 // dslam index -> severity
+	gatewayFail map[int]float64 // gateway index -> severity
+}
+
+func (f *fleet) snapshot() [][]float64 {
+	out := make([][]float64, gateways)
+	for g := 0; g < gateways; g++ {
+		row := make([]float64, services)
+		for s := 0; s < services; s++ {
+			q := baseQoS
+			if sev, ok := f.dslamFault[g/perDSLAM]; ok {
+				q *= 1 - sev
+			}
+			if sev, ok := f.gatewayFail[g]; ok {
+				q *= 1 - sev
+			}
+			// Small deterministic jitter, different per gateway/service.
+			q += 0.002 * math.Sin(float64(f.tick*(g*services+s+1)))
+			row[s] = q
+		}
+		out[g] = row
+	}
+	f.tick++
+	return out
+}
+
+func main() {
+	mon, err := anomalia.NewMonitor(gateways, services,
+		anomalia.WithRadius(0.03),
+		anomalia.WithTau(3),
+		anomalia.WithDetectorFactory(func(_, _ int) (anomalia.Detector, error) {
+			// CUSUM catches both sharp drops and slow decays.
+			return anomalia.NewCUSUMDetector(0.01, 0.08, 0.1)
+		}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	f := &fleet{dslamFault: map[int]float64{}, gatewayFail: map[int]float64{}}
+
+	// A quiet day: detectors learn the normal level.
+	for t := 0; t < 10; t++ {
+		if out, err := mon.Observe(f.snapshot()); err != nil {
+			log.Fatal(err)
+		} else if out != nil {
+			log.Fatalf("false alarm during calm period: %+v", out)
+		}
+	}
+
+	// 14:02 — DSLAM 1 starts dropping frames; gateway 40's PSU dies.
+	fmt.Println("injecting: DSLAM 1 degraded (gateways 12-23), gateway 40 hardware fault")
+	f.dslamFault[1] = 0.35
+	f.gatewayFail[40] = 0.5
+
+	out, err := mon.Observe(f.snapshot())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if out == nil {
+		log.Fatal("faults not detected")
+	}
+
+	tickets := 0
+	for _, rep := range out.Reports {
+		switch rep.Class {
+		case anomalia.Isolated:
+			tickets++
+			fmt.Printf("gateway %2d: isolated fault -> files a call-centre ticket\n", rep.Device)
+		case anomalia.Massive:
+			// Stay silent: thousands of identical reports help no one.
+		default:
+			fmt.Printf("gateway %2d: unresolved -> defer, resample sooner\n", rep.Device)
+		}
+	}
+	fmt.Printf("\n%d gateways were impacted; the call centre received %d ticket(s)\n",
+		len(out.Reports), tickets)
+	fmt.Printf("network-level event visible on %d gateways (%v...)\n",
+		len(out.Massive), out.Massive[:3])
+}

@@ -1,0 +1,106 @@
+// NOC: the operator side of the story.
+//
+// Device-local characterization only pays off if the operator's side
+// stays quiet too: thousands of devices seeing the same outage must
+// collapse into one incident, a flapping device must not re-ticket every
+// window, and the dashboard should show how many per-device reports the
+// scheme suppressed. The Aggregator does exactly that on top of the
+// per-window outcomes.
+//
+// Run with: go run ./examples/noc
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"anomalia"
+)
+
+// window synthesizes one observation window for a 30-device fleet.
+type window struct {
+	prev, cur [][]float64
+	abnormal  []int
+}
+
+func main() {
+	agg, err := anomalia.NewAggregator(anomalia.PolicyReportIsolated)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for k, w := range timeline() {
+		var out *anomalia.Outcome
+		if len(w.abnormal) > 0 {
+			out, err = anomalia.Characterize(w.prev, w.cur, w.abnormal,
+				anomalia.WithRadius(0.03), anomalia.WithTau(3))
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		summary := agg.Ingest(out)
+		switch {
+		case out == nil:
+			fmt.Printf("window %d: healthy\n", k)
+		default:
+			fmt.Printf("window %d: %d abnormal -> tickets %v, incidents %v (suppressed %d reports)\n",
+				k, len(out.Reports), summary.Tickets, summary.IncidentIDs, summary.Suppressed)
+		}
+	}
+
+	fmt.Println("\n--- shift report ---")
+	for _, inc := range agg.Incidents() {
+		state := "closed"
+		if inc.Open {
+			state = "open"
+		}
+		fmt.Printf("incident #%d: %d devices, windows %d-%d, %s\n",
+			inc.ID, len(inc.Devices), inc.FirstWindow, inc.LastWindow, state)
+	}
+	fmt.Printf("tickets filed: %d, per-device reports suppressed: %d\n",
+		agg.Tickets(), agg.Suppressed())
+}
+
+// timeline builds four windows: calm, a DSLAM outage that persists for
+// two windows (devices 0-9 drop and stay down), and a lone device fault.
+func timeline() []window {
+	const n = 30
+	flat := func(level float64) [][]float64 {
+		out := make([][]float64, n)
+		for i := range out {
+			out[i] = []float64{level}
+		}
+		return out
+	}
+	healthy := flat(0.95)
+
+	// Window 1: devices 0..9 drop together.
+	w1cur := flat(0.95)
+	for i := 0; i < 10; i++ {
+		w1cur[i] = []float64{0.55 + 0.002*float64(i)}
+	}
+	// Window 2: the same devices sag further (incident continues).
+	w2cur := make([][]float64, n)
+	copy(w2cur, w1cur)
+	for i := 0; i < 10; i++ {
+		w2cur[i] = []float64{0.40 + 0.002*float64(i)}
+	}
+	// Window 3: device 25 fails alone.
+	w3cur := make([][]float64, n)
+	copy(w3cur, w2cur)
+	w3cur[25] = []float64{0.30}
+
+	seq := func(lo, hi int) []int {
+		var out []int
+		for i := lo; i <= hi; i++ {
+			out = append(out, i)
+		}
+		return out
+	}
+	return []window{
+		{prev: healthy, cur: healthy, abnormal: nil},
+		{prev: healthy, cur: w1cur, abnormal: seq(0, 9)},
+		{prev: w1cur, cur: w2cur, abnormal: seq(0, 9)},
+		{prev: w2cur, cur: w3cur, abnormal: []int{25}},
+	}
+}

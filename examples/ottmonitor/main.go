@@ -1,0 +1,118 @@
+// OTT monitor: the dual reporting policy.
+//
+// An over-the-top operator streams content to clients across ISPs it does
+// not control. It wants to hear about *network-level* events immediately
+// (a CDN edge or peering degradation hitting many clients) while local
+// client problems — overloaded wifi, a flaky set-top box — should never
+// page the on-call engineer. This is the same characterizer as the ISP
+// example with the reporting policy flipped: report massive, silence
+// isolated.
+//
+// Run with: go run ./examples/ottmonitor
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"anomalia"
+)
+
+const (
+	clients  = 60
+	services = 2 // video bitrate score, startup-latency score
+)
+
+// world simulates the OTT delivery path: a regional CDN edge serves
+// clients 0-29, another serves 30-59; each client also has private local
+// conditions.
+type world struct {
+	tick      int
+	edgeFault map[int]float64 // edge index -> severity
+	local     map[int]float64 // client -> local degradation
+}
+
+func (w *world) edgeOf(client int) int { return client / 30 }
+
+func (w *world) snapshot() [][]float64 {
+	out := make([][]float64, clients)
+	for c := 0; c < clients; c++ {
+		row := make([]float64, services)
+		for s := 0; s < services; s++ {
+			q := 0.92
+			if sev, ok := w.edgeFault[w.edgeOf(c)]; ok {
+				q *= 1 - sev
+			}
+			if sev, ok := w.local[c]; ok {
+				q *= 1 - sev
+			}
+			q += 0.003 * math.Cos(float64(w.tick*(c+2)+s))
+			row[s] = q
+		}
+		out[c] = row
+	}
+	w.tick++
+	return out
+}
+
+func main() {
+	mon, err := anomalia.NewMonitor(clients, services,
+		anomalia.WithRadius(0.03),
+		anomalia.WithTau(3),
+		anomalia.WithDetectorFactory(func(_, _ int) (anomalia.Detector, error) {
+			return anomalia.NewEWMADetector(0.3, 6, 0.01, 3)
+		}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := &world{edgeFault: map[int]float64{}, local: map[int]float64{}}
+	for t := 0; t < 12; t++ {
+		if _, err := mon.Observe(w.snapshot()); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Scene 1: one client's wifi melts down. Nobody should be paged.
+	w.local[17] = 0.45
+	out, err := mon.Observe(w.snapshot())
+	if err != nil {
+		log.Fatal(err)
+	}
+	pages := pageOnMassive(out)
+	fmt.Printf("scene 1 (client 17 wifi): %d abnormal, %d page(s) sent\n",
+		abnormalCount(out), pages)
+
+	// Scene 2: CDN edge 1 degrades — clients 30-59 all suffer. Page.
+	delete(w.local, 17)
+	w.edgeFault[1] = 0.3
+	out, err = mon.Observe(w.snapshot())
+	if err != nil {
+		log.Fatal(err)
+	}
+	pages = pageOnMassive(out)
+	fmt.Printf("scene 2 (edge 1 degraded): %d abnormal, %d page(s) sent\n",
+		abnormalCount(out), pages)
+	if out != nil && len(out.Massive) > 0 {
+		fmt.Printf("  on-call sees one incident covering clients %d..%d\n",
+			out.Massive[0], out.Massive[len(out.Massive)-1])
+	}
+}
+
+func abnormalCount(out *anomalia.Outcome) int {
+	if out == nil {
+		return 0
+	}
+	return len(out.Reports)
+}
+
+// pageOnMassive implements the OTT policy: a single page per window when
+// a massive anomaly is present; isolated clients are logged only.
+func pageOnMassive(out *anomalia.Outcome) int {
+	if out == nil || len(out.Massive) == 0 {
+		return 0
+	}
+	return 1
+}

@@ -1,0 +1,45 @@
+// Quickstart: characterize one observation window by hand.
+//
+// Five devices each consume one service. Between the two snapshots,
+// devices 0-3 lose QoS together (a network-level event) while device 4
+// collapses on its own (a local fault). The characterizer tells each
+// device which case it is in — using only trajectories within 4r of its
+// own.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"anomalia"
+)
+
+func main() {
+	// One row per device, one column per service, values in [0,1].
+	prev := [][]float64{
+		{0.95}, {0.94}, {0.95}, {0.96}, // healthy cluster
+		{0.60}, // device 4, already mediocre
+	}
+	cur := [][]float64{
+		{0.55}, {0.54}, {0.56}, {0.55}, // the cluster dropped together
+		{0.20}, // device 4 dropped alone
+	}
+	// Every device's error-detection function fired this window.
+	abnormal := []int{0, 1, 2, 3, 4}
+
+	out, err := anomalia.Characterize(prev, cur, abnormal,
+		anomalia.WithRadius(0.03), // consistency impact radius r
+		anomalia.WithTau(3),       // >3 co-impacted devices = massive
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, rep := range out.Reports {
+		fmt.Printf("device %d: %-10s (decided by %s)\n", rep.Device, rep.Class, rep.Rule)
+	}
+	fmt.Printf("\nmassive anomaly hit %v -> network-level event, do not flood the call center\n", out.Massive)
+	fmt.Printf("isolated anomaly hit %v -> local fault, this one should file a ticket\n", out.Isolated)
+}

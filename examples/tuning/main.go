@@ -1,0 +1,63 @@
+// Tuning: choose r and τ for a deployment (Section VII-A of the paper).
+//
+// The characterizer's two knobs trade off against each other: a larger
+// consistency radius r captures more genuinely correlated devices, but
+// raises the chance that independent isolated errors land close enough
+// together to masquerade as one massive anomaly. The paper's rule: pick
+// (r, τ) so that P{F_r(j) > τ} — more than τ coincident isolated errors
+// in one vicinity — is negligible.
+//
+// Run with: go run ./examples/tuning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"anomalia"
+)
+
+func main() {
+	const (
+		n   = 1000  // fleet size
+		d   = 2     // monitored services
+		b   = 0.005 // per-device isolated-error probability per window
+		eps = 1e-6  // tolerated confusion probability
+	)
+
+	fmt.Printf("fleet: n=%d devices, d=%d services, isolated-error rate b=%g\n\n", n, d, b)
+
+	// Given the paper's radius, what density threshold is safe?
+	tau, err := anomalia.TuneTau(n, 0.03, d, b, eps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("r = 0.03  -> smallest safe tau = %d\n", tau)
+
+	// Given a desired threshold, how wide may the radius be?
+	r, err := anomalia.TuneRadius(n, d, 3, b, eps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tau = 3   -> largest safe r = %.3f\n\n", r)
+
+	// How many neighbours will a device consider? (Figure 6a.)
+	fmt.Println("expected neighbourhood (r = 0.03):")
+	for _, m := range []int{10, 20, 30} {
+		p, err := anomalia.NeighborhoodCDF(n, 0.03, d, m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  P{N <= %2d} = %.4f\n", m, p)
+	}
+
+	// How does the choice hold up as the fleet grows? (Figure 6b.)
+	fmt.Println("\nconfusion probability as the fleet grows (r=0.03, tau=3):")
+	for _, nn := range []int{1000, 5000, 15000} {
+		p, err := anomalia.IsolatedImpactCDF(nn, 0.03, d, 3, b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  n = %5d: P{F <= tau} = %.6f (confusion %.2e)\n", nn, p, 1-p)
+	}
+}

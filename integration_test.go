@@ -1,0 +1,153 @@
+package anomalia_test
+
+import (
+	"testing"
+
+	"anomalia"
+
+	"anomalia/internal/scenario"
+	"anomalia/internal/sets"
+)
+
+// TestOutcomeInvariants drives paper-scale generated windows through the
+// public API and checks the structural guarantees an integrator relies
+// on: the three sets partition the abnormal input, per-report classes
+// agree with the sets, reported dense motions contain their device, and
+// rules match classes.
+func TestOutcomeInvariants(t *testing.T) {
+	t.Parallel()
+
+	gen, err := scenario.New(scenario.Config{
+		N: 800, D: 2, R: 0.03, Tau: 3, A: 25, G: 0.4,
+		Concomitant: true, MaxShift: 0.06, Seed: 77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < 5; w++ {
+		step, err := gen.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := step.Pair.N()
+		prev := make([][]float64, n)
+		cur := make([][]float64, n)
+		for j := 0; j < n; j++ {
+			prev[j] = step.Pair.Prev.At(j)
+			cur[j] = step.Pair.Cur.At(j)
+		}
+		out, err := anomalia.Characterize(prev, cur, step.Abnormal)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// The sets partition the abnormal input.
+		union := sets.UnionInts(sets.UnionInts(out.Massive, out.Isolated), out.Unresolved)
+		if !sets.EqualInts(union, step.Abnormal) {
+			t.Fatalf("window %d: sets do not cover the abnormal input", w)
+		}
+		if len(out.Massive)+len(out.Isolated)+len(out.Unresolved) != len(step.Abnormal) {
+			t.Fatalf("window %d: sets overlap", w)
+		}
+		if len(out.Reports) != len(step.Abnormal) {
+			t.Fatalf("window %d: %d reports for %d abnormal devices", w, len(out.Reports), len(step.Abnormal))
+		}
+
+		prevDev := -1
+		for _, rep := range out.Reports {
+			if rep.Device <= prevDev {
+				t.Fatalf("window %d: reports out of device order", w)
+			}
+			prevDev = rep.Device
+
+			var wantSet []int
+			switch rep.Class {
+			case anomalia.Massive:
+				wantSet = out.Massive
+			case anomalia.Isolated:
+				wantSet = out.Isolated
+			case anomalia.Unresolved:
+				wantSet = out.Unresolved
+			default:
+				t.Fatalf("window %d device %d: unknown class", w, rep.Device)
+			}
+			if !sets.ContainsInt(wantSet, rep.Device) {
+				t.Fatalf("window %d device %d: class %v not reflected in sets", w, rep.Device, rep.Class)
+			}
+
+			for _, m := range rep.DenseMotions {
+				if !sets.ContainsInt(m, rep.Device) {
+					t.Fatalf("window %d device %d: dense motion %v without the device", w, rep.Device, m)
+				}
+				if len(m) <= anomalia.DefaultTau {
+					t.Fatalf("window %d device %d: motion %v not dense", w, rep.Device, m)
+				}
+			}
+			switch rep.Class {
+			case anomalia.Isolated:
+				if rep.Rule != "theorem5" || len(rep.DenseMotions) != 0 {
+					t.Fatalf("window %d device %d: isolated via %q with %d dense motions",
+						w, rep.Device, rep.Rule, len(rep.DenseMotions))
+				}
+			case anomalia.Massive:
+				if rep.Rule != "theorem6" && rep.Rule != "theorem7" {
+					t.Fatalf("window %d device %d: massive via %q", w, rep.Device, rep.Rule)
+				}
+			case anomalia.Unresolved:
+				if rep.Rule != "corollary8" && rep.Rule != "none" {
+					t.Fatalf("window %d device %d: unresolved via %q", w, rep.Device, rep.Rule)
+				}
+			}
+		}
+	}
+}
+
+// TestPublicAPIMatchesGroundTruthShape: at the paper's operating point,
+// verdicts track the generator's ground truth closely (massive errors
+// detected as massive, isolated as isolated) — the end-to-end quality
+// gate for the public surface.
+func TestPublicAPIMatchesGroundTruthShape(t *testing.T) {
+	t.Parallel()
+
+	gen, err := scenario.New(scenario.Config{
+		N: 1000, D: 2, R: 0.03, Tau: 3, A: 15, G: 0.5,
+		EnforceR3: true, Seed: 99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree, total := 0, 0
+	for w := 0; w < 5; w++ {
+		step, err := gen.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := step.Pair.N()
+		prev := make([][]float64, n)
+		cur := make([][]float64, n)
+		for j := 0; j < n; j++ {
+			prev[j] = step.Pair.Prev.At(j)
+			cur[j] = step.Pair.Cur.At(j)
+		}
+		out, err := anomalia.Characterize(prev, cur, step.Abnormal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rep := range out.Reports {
+			iso, ok := step.TruthIsolated(rep.Device)
+			if !ok || rep.Class == anomalia.Unresolved {
+				continue
+			}
+			total++
+			if iso == (rep.Class == anomalia.Isolated) {
+				agree++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no devices compared")
+	}
+	if rate := float64(agree) / float64(total); rate < 0.95 {
+		t.Errorf("ground-truth agreement = %.2f, want >= 0.95", rate)
+	}
+}

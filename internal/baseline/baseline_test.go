@@ -1,0 +1,262 @@
+package baseline
+
+import (
+	"errors"
+	"testing"
+
+	"anomalia/internal/motion"
+	"anomalia/internal/scenario"
+	"anomalia/internal/space"
+)
+
+func pairFrom(t testing.TB, prevCoords, curCoords [][]float64) *motion.Pair {
+	t.Helper()
+	prev, err := space.StateFromPoints(prevCoords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := space.StateFromPoints(curCoords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := motion.NewPair(prev, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pair
+}
+
+func TestTessellationValidation(t *testing.T) {
+	t.Parallel()
+
+	if _, err := NewTessellation(0, 2); !errors.Is(err, ErrBaselineConfig) {
+		t.Error("zero cell side must error")
+	}
+	if _, err := NewTessellation(1.5, 2); !errors.Is(err, ErrBaselineConfig) {
+		t.Error("cell side > 1 must error")
+	}
+	if _, err := NewTessellation(0.1, 0); !errors.Is(err, ErrBaselineConfig) {
+		t.Error("tau=0 must error")
+	}
+}
+
+func TestTessellationGroupsSameCellTransition(t *testing.T) {
+	t.Parallel()
+
+	// Three devices in one cell moving together to another cell, plus one
+	// lone device: τ=2 makes the trio massive, the loner isolated.
+	prev := [][]float64{{0.11}, {0.13}, {0.15}, {0.51}}
+	cur := [][]float64{{0.71}, {0.73}, {0.75}, {0.31}}
+	pair := pairFrom(t, prev, cur)
+	tess, err := NewTessellation(0.2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tess.Classify(pair, []int{0, 1, 2, 3})
+	for j := 0; j < 3; j++ {
+		if !got[j] {
+			t.Errorf("device %d should be massive", j)
+		}
+	}
+	if got[3] {
+		t.Error("device 3 should be isolated")
+	}
+}
+
+// TestTessellationBoundarySplit demonstrates the paper's critique: a
+// coherent massive group straddling a bucket boundary is split into two
+// sparse buckets and misclassified as isolated.
+func TestTessellationBoundarySplit(t *testing.T) {
+	t.Parallel()
+
+	// Four co-moving devices around the 0.2 bucket edge.
+	prev := [][]float64{{0.18}, {0.19}, {0.21}, {0.22}}
+	cur := [][]float64{{0.58}, {0.59}, {0.61}, {0.62}}
+	pair := pairFrom(t, prev, cur)
+	tess, err := NewTessellation(0.2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tess.Classify(pair, []int{0, 1, 2, 3})
+	for j := 0; j < 4; j++ {
+		if got[j] {
+			t.Errorf("device %d: boundary-straddling group must be (wrongly) isolated", j)
+		}
+	}
+
+	// The motion-graph characterizer has no grid anchor: the same four
+	// devices form a single dense motion.
+	g := motion.NewGraph(pair, []int{0, 1, 2, 3}, 0.05)
+	if fam := g.MaximalMotionsContaining(0); len(fam) != 1 || len(fam[0]) != 4 {
+		t.Errorf("motion graph should see one 4-device motion, got %v", fam)
+	}
+}
+
+// TestTessellationLargeBucketsMerge demonstrates the dual failure: with
+// oversized buckets, independent isolated errors that land in the same
+// cell transition are merged into a false massive anomaly.
+func TestTessellationLargeBucketsMerge(t *testing.T) {
+	t.Parallel()
+
+	// Three genuinely separate devices (pairwise far apart at both times
+	// for any reasonable radius) inside one huge bucket.
+	prev := [][]float64{{0.05}, {0.25}, {0.45}}
+	cur := [][]float64{{0.55}, {0.75}, {0.95}}
+	pair := pairFrom(t, prev, cur)
+	tess, err := NewTessellation(0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tess.Classify(pair, []int{0, 1, 2})
+	for j := 0; j < 3; j++ {
+		if !got[j] {
+			t.Errorf("device %d: oversized buckets must (wrongly) merge into massive", j)
+		}
+	}
+}
+
+func TestTessellationRightEdge(t *testing.T) {
+	t.Parallel()
+
+	// Devices at exactly 1.0 must not fall outside the grid.
+	prev := [][]float64{{1.0}, {0.99}}
+	cur := [][]float64{{0.0}, {0.01}}
+	pair := pairFrom(t, prev, cur)
+	tess, err := NewTessellation(0.25, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tess.Classify(pair, []int{0, 1})
+	if !got[0] || !got[1] {
+		t.Errorf("co-moving edge devices should share a transition: %v", got)
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	t.Parallel()
+
+	if _, err := NewKMeans(0, 2, 10, 1); !errors.Is(err, ErrBaselineConfig) {
+		t.Error("k=0 must error")
+	}
+	if _, err := NewKMeans(2, 0, 10, 1); !errors.Is(err, ErrBaselineConfig) {
+		t.Error("tau=0 must error")
+	}
+	if _, err := NewKMeans(2, 2, 0, 1); !errors.Is(err, ErrBaselineConfig) {
+		t.Error("maxIter=0 must error")
+	}
+}
+
+func TestKMeansSeparatesBlobs(t *testing.T) {
+	t.Parallel()
+
+	// A 5-device coherent blob and a far-away single device.
+	prev := [][]float64{
+		{0.10, 0.10}, {0.11, 0.10}, {0.10, 0.12}, {0.12, 0.11}, {0.11, 0.12},
+		{0.90, 0.90},
+	}
+	cur := [][]float64{
+		{0.50, 0.50}, {0.51, 0.50}, {0.50, 0.52}, {0.52, 0.51}, {0.51, 0.52},
+		{0.20, 0.80},
+	}
+	pair := pairFrom(t, prev, cur)
+	km, err := NewKMeans(2, 3, 50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, iters := km.Classify(pair, []int{0, 1, 2, 3, 4, 5})
+	if iters < 1 {
+		t.Error("expected at least one Lloyd iteration")
+	}
+	for j := 0; j < 5; j++ {
+		if !got[j] {
+			t.Errorf("blob device %d should be massive", j)
+		}
+	}
+	if got[5] {
+		t.Error("outlier device should be isolated")
+	}
+}
+
+func TestKMeansEmptyAndTiny(t *testing.T) {
+	t.Parallel()
+
+	pair := pairFrom(t, [][]float64{{0.5}}, [][]float64{{0.6}})
+	km, err := NewKMeans(3, 1, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := km.Classify(pair, nil)
+	if len(got) != 0 {
+		t.Error("empty abnormal set must classify nothing")
+	}
+	got, _ = km.Classify(pair, []int{0})
+	if len(got) != 1 || got[0] {
+		t.Errorf("single device must be isolated: %v", got)
+	}
+}
+
+func TestKMeansDeterminism(t *testing.T) {
+	t.Parallel()
+
+	gen, err := scenario.New(scenario.Config{
+		N: 300, D: 2, R: 0.03, Tau: 3, A: 10, G: 0.3, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	step, err := gen.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := ChooseK(len(step.Abnormal), 3)
+	km1, err := NewKMeans(k, 3, 50, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	km2, err := NewKMeans(k, 3, 50, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got1, _ := km1.Classify(step.Pair, step.Abnormal)
+	got2, _ := km2.Classify(step.Pair, step.Abnormal)
+	for j, v := range got1 {
+		if got2[j] != v {
+			t.Fatalf("nondeterministic verdict for device %d", j)
+		}
+	}
+}
+
+func TestChooseK(t *testing.T) {
+	t.Parallel()
+
+	if got := ChooseK(0, 3); got != 1 {
+		t.Errorf("ChooseK(0,3) = %d", got)
+	}
+	if got := ChooseK(100, 3); got != 25 {
+		t.Errorf("ChooseK(100,3) = %d", got)
+	}
+}
+
+func TestConfusion(t *testing.T) {
+	t.Parallel()
+
+	var c Confusion
+	c.Add(true, true)
+	c.Add(true, false)
+	c.Add(false, true)
+	c.Add(false, false)
+	c.Add(false, false)
+	if c.TruePositive != 1 || c.FalsePositive != 1 || c.FalseNegative != 1 || c.TrueNegative != 2 {
+		t.Errorf("confusion = %+v", c)
+	}
+	if c.Total() != 5 {
+		t.Errorf("Total = %d", c.Total())
+	}
+	if got, want := c.Accuracy(), 0.6; got != want {
+		t.Errorf("Accuracy = %v, want %v", got, want)
+	}
+	var empty Confusion
+	if empty.Accuracy() != 1 {
+		t.Error("empty accuracy must be 1")
+	}
+}

@@ -1,0 +1,176 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"anomalia/internal/motion"
+	"anomalia/internal/sets"
+	"anomalia/internal/stats"
+)
+
+// KMeans is the centralized clustering monitor of [15]'s flavour: a
+// management node gathers every abnormal trajectory (the concatenated
+// positions at k-1 and k), clusters them with Lloyd's algorithm seeded by
+// k-means++, and declares clusters larger than τ massive. It reproduces
+// the related-work baseline whose centralization the paper criticizes.
+type KMeans struct {
+	k       int
+	tau     int
+	maxIter int
+	rng     *stats.RNG
+}
+
+// NewKMeans returns a centralized clustering classifier with k clusters,
+// density threshold tau, an iteration cap, and a deterministic seed.
+func NewKMeans(k, tau, maxIter int, seed int64) (*KMeans, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("k = %d: %w", k, ErrBaselineConfig)
+	}
+	if tau < 1 {
+		return nil, fmt.Errorf("tau = %d: %w", tau, ErrBaselineConfig)
+	}
+	if maxIter < 1 {
+		return nil, fmt.Errorf("maxIter = %d: %w", maxIter, ErrBaselineConfig)
+	}
+	return &KMeans{k: k, tau: tau, maxIter: maxIter, rng: stats.NewRNG(seed)}, nil
+}
+
+// ChooseK is the usual heuristic for the cluster count: one cluster per
+// τ+1 abnormal devices, at least one.
+func ChooseK(abnormalCount, tau int) int {
+	k := abnormalCount / (tau + 1)
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// Classify clusters the abnormal trajectories and returns, per device,
+// whether its cluster is massive. The second return value is the number
+// of Lloyd iterations performed (the centralized cost driver).
+func (km *KMeans) Classify(pair *motion.Pair, abnormal []int) (map[int]bool, int) {
+	abnormal = sets.Canon(sets.CloneInts(abnormal))
+	m := len(abnormal)
+	if m == 0 {
+		return map[int]bool{}, 0
+	}
+	dim := 2 * pair.Dim()
+	features := make([][]float64, m)
+	for i, j := range abnormal {
+		f := make([]float64, 0, dim)
+		f = append(f, pair.Prev.At(j)...)
+		f = append(f, pair.Cur.At(j)...)
+		features[i] = f
+	}
+	k := km.k
+	if k > m {
+		k = m
+	}
+	centroids := km.seedPlusPlus(features, k)
+	assign := make([]int, m)
+	iterations := 0
+	for ; iterations < km.maxIter; iterations++ {
+		changed := false
+		for i, f := range features {
+			best, bestDist := 0, math.Inf(1)
+			for c, cent := range centroids {
+				if d := sqDist(f, cent); d < bestDist {
+					best, bestDist = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iterations > 0 {
+			break
+		}
+		// Recompute centroids.
+		counts := make([]int, k)
+		sums := make([][]float64, k)
+		for c := range sums {
+			sums[c] = make([]float64, dim)
+		}
+		for i, f := range features {
+			c := assign[i]
+			counts[c]++
+			for x := range f {
+				sums[c][x] += f[x]
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				continue // keep the empty centroid where it was
+			}
+			for x := range centroids[c] {
+				centroids[c][x] = sums[c][x] / float64(counts[c])
+			}
+		}
+	}
+
+	sizes := make([]int, k)
+	for _, c := range assign {
+		sizes[c]++
+	}
+	out := make(map[int]bool, m)
+	for i, j := range abnormal {
+		out[j] = sizes[assign[i]] > km.tau
+	}
+	return out, iterations
+}
+
+// seedPlusPlus picks k initial centroids with k-means++ weighting.
+func (km *KMeans) seedPlusPlus(features [][]float64, k int) [][]float64 {
+	m := len(features)
+	centroids := make([][]float64, 0, k)
+	first := km.rng.Intn(m)
+	centroids = append(centroids, cloneVec(features[first]))
+	dists := make([]float64, m)
+	for len(centroids) < k {
+		total := 0.0
+		for i, f := range features {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if d := sqDist(f, c); d < best {
+					best = d
+				}
+			}
+			dists[i] = best
+			total += best
+		}
+		if total == 0 {
+			// All remaining points coincide with centroids; duplicate one.
+			centroids = append(centroids, cloneVec(features[km.rng.Intn(m)]))
+			continue
+		}
+		target := km.rng.Float64() * total
+		acc := 0.0
+		pick := m - 1
+		for i, d := range dists {
+			acc += d
+			if acc >= target {
+				pick = i
+				break
+			}
+		}
+		centroids = append(centroids, cloneVec(features[pick]))
+	}
+	return centroids
+}
+
+func sqDist(a, b []float64) float64 {
+	sum := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return sum
+}
+
+func cloneVec(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}

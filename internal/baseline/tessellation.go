@@ -1,0 +1,127 @@
+// Package baseline implements the two comparators discussed in the
+// paper's related work: the FixMe-style fixed tessellation of the QoS
+// space [1] and a centralized k-means clustering monitor in the spirit of
+// [15]. Both classify abnormal devices as massive or isolated; the paper
+// argues qualitatively that tessellation is hypersensitive to bucket size
+// and that centralized clustering does not scale — the ablation benchmarks
+// quantify both claims against the local characterizer.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"anomalia/internal/motion"
+	"anomalia/internal/sets"
+)
+
+// ErrBaselineConfig is returned for invalid baseline parameters.
+var ErrBaselineConfig = errors.New("baseline: invalid configuration")
+
+// Tessellation classifies devices by bucketing the QoS space into a fixed
+// grid of the given cell side: all abnormal devices sharing the same
+// (cell at k-1, cell at k) transition are presumed hit by the same error,
+// and the transition is massive when its population exceeds τ.
+//
+// Unlike the characterizer, the grid is anchored at the origin: a
+// coherent group straddling a cell boundary is split (false isolated) and
+// unrelated devices co-resident in a large cell are merged (false
+// massive) — the failure modes the paper attributes to [1].
+type Tessellation struct {
+	cellSide float64
+	tau      int
+}
+
+// NewTessellation returns a tessellation classifier with the given bucket
+// side in (0, 1] and density threshold tau >= 1.
+func NewTessellation(cellSide float64, tau int) (*Tessellation, error) {
+	if cellSide <= 0 || cellSide > 1 || math.IsNaN(cellSide) {
+		return nil, fmt.Errorf("cell side %v: %w", cellSide, ErrBaselineConfig)
+	}
+	if tau < 1 {
+		return nil, fmt.Errorf("tau %d: %w", tau, ErrBaselineConfig)
+	}
+	return &Tessellation{cellSide: cellSide, tau: tau}, nil
+}
+
+// Classify returns, for every abnormal device, whether the tessellation
+// deems it part of a massive anomaly.
+func (t *Tessellation) Classify(pair *motion.Pair, abnormal []int) map[int]bool {
+	abnormal = sets.Canon(sets.CloneInts(abnormal))
+	transitions := make(map[string][]int, len(abnormal))
+	for _, j := range abnormal {
+		key := t.cellKey(pair, j)
+		transitions[key] = append(transitions[key], j)
+	}
+	out := make(map[int]bool, len(abnormal))
+	for _, members := range transitions {
+		massive := len(members) > t.tau
+		for _, j := range members {
+			out[j] = massive
+		}
+	}
+	return out
+}
+
+// cellKey encodes the (cell at k-1, cell at k) transition of device j.
+func (t *Tessellation) cellKey(pair *motion.Pair, j int) string {
+	d := pair.Dim()
+	buf := make([]byte, 0, 4*d)
+	encode := func(p []float64) {
+		for _, x := range p {
+			c := int(x / t.cellSide)
+			if x >= 1 { // right-edge devices belong to the last cell
+				c = int(1/t.cellSide) - 1
+				if c < 0 {
+					c = 0
+				}
+			}
+			buf = append(buf, byte(c), byte(c>>8))
+		}
+	}
+	encode(pair.Prev.At(j))
+	buf = append(buf, '|')
+	encode(pair.Cur.At(j))
+	return string(buf)
+}
+
+// Confusion compares a massive/isolated classification with ground truth.
+type Confusion struct {
+	// TruePositive counts devices correctly classified massive.
+	TruePositive int
+	// FalsePositive counts isolated devices classified massive.
+	FalsePositive int
+	// TrueNegative counts devices correctly classified isolated.
+	TrueNegative int
+	// FalseNegative counts massive devices classified isolated.
+	FalseNegative int
+}
+
+// Add folds one device verdict into the matrix.
+func (c *Confusion) Add(predictedMassive, trulyMassive bool) {
+	switch {
+	case predictedMassive && trulyMassive:
+		c.TruePositive++
+	case predictedMassive && !trulyMassive:
+		c.FalsePositive++
+	case !predictedMassive && trulyMassive:
+		c.FalseNegative++
+	default:
+		c.TrueNegative++
+	}
+}
+
+// Total returns the number of classified devices.
+func (c Confusion) Total() int {
+	return c.TruePositive + c.FalsePositive + c.TrueNegative + c.FalseNegative
+}
+
+// Accuracy returns the fraction of correct verdicts (1 for empty input).
+func (c Confusion) Accuracy() float64 {
+	total := c.Total()
+	if total == 0 {
+		return 1
+	}
+	return float64(c.TruePositive+c.TrueNegative) / float64(total)
+}

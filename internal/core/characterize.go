@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+
+	"anomalia/internal/sets"
+)
+
+// Characterize classifies device j, running the paper's Algorithm 3 and,
+// when Config.Exact is set and Theorem 6 is inconclusive, Algorithm 4/5.
+func (c *Characterizer) Characterize(j int) (Result, error) {
+	if !sets.ContainsInt(c.abnormal, j) {
+		return Result{}, fmt.Errorf("device %d: %w", j, ErrNotAbnormal)
+	}
+	res := Result{Device: j}
+
+	// Line 2-3 of Algorithm 3: maximal motions of j, then W̄_k(j).
+	dense, totalMotions := c.denseMotionsOf(j)
+	res.Cost.MaximalMotions = totalMotions
+	res.Cost.DenseMotions = len(dense)
+	res.Dense = dense
+
+	// Theorem 5: no dense motion -> isolated.
+	if len(dense) == 0 {
+		res.Class = ClassIsolated
+		res.Rule = RuleTheorem5
+		return res, nil
+	}
+
+	// Build D_k(j) and split it into J_k(j) / L_k(j).
+	var dk []int
+	for _, m := range dense {
+		dk = sets.UnionInts(dk, m)
+	}
+	for _, l := range dk {
+		lDense, _ := c.denseMotionsOf(l)
+		if l != j {
+			res.Cost.NeighborsScanned++
+		}
+		inL := false
+		for _, m := range lDense {
+			if !sets.ContainsInt(m, j) {
+				inL = true
+				break
+			}
+		}
+		if inL {
+			res.L = append(res.L, l)
+		} else {
+			res.J = append(res.J, l)
+		}
+	}
+
+	// Theorem 6 (lines 17-18 of Algorithm 3): a dense motion of j inside
+	// J_k(j) proves massive. |M ∩ J| > τ suffices because M ∩ J is itself
+	// a motion (subset of the clique M) containing j.
+	for _, m := range dense {
+		if len(sets.IntersectInts(m, res.J)) > c.cfg.Tau {
+			res.Class = ClassMassive
+			res.Rule = RuleTheorem6
+			return res, nil
+		}
+	}
+
+	if !c.cfg.Exact {
+		res.Class = ClassUnresolved
+		res.Rule = RuleNone
+		return res, nil
+	}
+
+	// Algorithms 4/5: exhaustive collection search deciding between
+	// Theorem 7 (massive) and Corollary 8 (unresolved).
+	violating, tested, err := c.searchViolating(j, dk, res.L)
+	res.Cost.CollectionsTested = tested
+	if err != nil {
+		return res, err
+	}
+	if violating {
+		res.Class = ClassUnresolved
+		res.Rule = RuleCorollary8
+	} else {
+		res.Class = ClassMassive
+		res.Rule = RuleTheorem7
+	}
+	return res, nil
+}
+
+// CharacterizeAll classifies every abnormal device, in id order.
+func (c *Characterizer) CharacterizeAll() ([]Result, error) {
+	out := make([]Result, 0, len(c.abnormal))
+	for _, j := range c.abnormal {
+		res, err := c.Characterize(j)
+		if err != nil {
+			return nil, fmt.Errorf("characterizing device %d: %w", j, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// Sets groups results into the M_k / I_k / U_k decomposition.
+type Sets struct {
+	Massive    []int
+	Isolated   []int
+	Unresolved []int
+}
+
+// Decompose runs CharacterizeAll and folds the verdicts into sets.
+func (c *Characterizer) Decompose() (Sets, error) {
+	results, err := c.CharacterizeAll()
+	if err != nil {
+		return Sets{}, err
+	}
+	var s Sets
+	for _, r := range results {
+		switch r.Class {
+		case ClassMassive:
+			s.Massive = append(s.Massive, r.Device)
+		case ClassIsolated:
+			s.Isolated = append(s.Isolated, r.Device)
+		default:
+			s.Unresolved = append(s.Unresolved, r.Device)
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,209 @@
+// Package core implements the paper's primary contribution (Section V):
+// local decision procedures that let every abnormal device classify the
+// anomaly that hit it as isolated, massive, or unresolved, with exactly
+// the accuracy of an omniscient observer.
+//
+//   - Theorem 5 (NSC for I_k): j is isolated iff no τ-dense motion
+//     contains it.
+//   - Theorem 6 (sufficient for M_k): j is massive if one of its maximal
+//     dense motions lies inside J_k(j), the neighbours whose every maximal
+//     dense motion also contains j.
+//   - Theorem 7 (NSC for M_k) / Corollary 8 (NSC for U_k): j is massive
+//     iff no collection of pairwise-disjoint dense motions anchored at
+//     L_k(j) can simultaneously starve all of j's dense motions
+//     (relation 4) while never being extensible by j (relation 5).
+//
+// The procedures are the paper's Algorithms 3 (characterize) and 4/5
+// (fullcharacterize). Everything a device needs lives within distance 4r
+// of its own trajectory; TestLocality4r verifies that claim.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"anomalia/internal/motion"
+	"anomalia/internal/sets"
+)
+
+// Class is the verdict a device reaches about the anomaly that hit it.
+type Class int
+
+// Possible verdicts. ClassUnknown is the zero value and never returned by
+// a successful characterization.
+const (
+	ClassUnknown Class = iota
+	// ClassIsolated: the error affected at most τ devices in every
+	// admissible scenario (j ∈ I_k).
+	ClassIsolated
+	// ClassMassive: the error affected more than τ devices in every
+	// admissible scenario (j ∈ M_k).
+	ClassMassive
+	// ClassUnresolved: admissible scenarios disagree (j ∈ U_k).
+	ClassUnresolved
+)
+
+// String renders the class for logs and tables.
+func (c Class) String() string {
+	switch c {
+	case ClassIsolated:
+		return "isolated"
+	case ClassMassive:
+		return "massive"
+	case ClassUnresolved:
+		return "unresolved"
+	default:
+		return "unknown"
+	}
+}
+
+// Rule identifies which result of the paper produced a verdict.
+type Rule int
+
+// Decision rules, in the order Algorithm 3 applies them.
+const (
+	RuleNone Rule = iota
+	// RuleTheorem5 decided via W̄_k(j) = ∅ (isolated).
+	RuleTheorem5
+	// RuleTheorem6 decided via a dense motion inside J_k(j) (massive).
+	RuleTheorem6
+	// RuleCorollary8 found a violating collection (unresolved).
+	RuleCorollary8
+	// RuleTheorem7 exhausted all collections (massive).
+	RuleTheorem7
+)
+
+// String names the rule as in the paper.
+func (r Rule) String() string {
+	switch r {
+	case RuleTheorem5:
+		return "theorem5"
+	case RuleTheorem6:
+		return "theorem6"
+	case RuleCorollary8:
+		return "corollary8"
+	case RuleTheorem7:
+		return "theorem7"
+	default:
+		return "none"
+	}
+}
+
+var (
+	// ErrNotAbnormal is returned when characterizing a device outside A_k.
+	ErrNotAbnormal = errors.New("core: device is not abnormal")
+	// ErrBudget is returned when the Theorem 7 collection search exceeds
+	// its node budget.
+	ErrBudget = errors.New("core: exact search exceeded its budget")
+	// ErrConfig is returned for invalid configurations.
+	ErrConfig = errors.New("core: invalid configuration")
+)
+
+// Config parameterizes a characterizer.
+type Config struct {
+	// R is the consistency impact radius, in [0, 1/4).
+	R float64
+	// Tau is the density threshold separating isolated from massive
+	// anomalies (Definition 4), in [1, n-1].
+	Tau int
+	// Exact enables the full NSC (Theorem 7 / Corollary 8, Algorithms 4
+	// and 5) when Theorem 6 is inconclusive. When false, inconclusive
+	// devices are reported unresolved by RuleNone — the cheap mode whose
+	// miss rate Table II bounds at ~0.4%.
+	Exact bool
+	// Budget caps the number of collection-search nodes per device in
+	// exact mode; 0 means DefaultBudget.
+	Budget int
+}
+
+// DefaultBudget bounds the exact-search effort per device.
+const DefaultBudget = 10_000_000
+
+// Cost records the work a device spent deciding, mirroring the counters
+// of Table III.
+type Cost struct {
+	// MaximalMotions is |M(j)|, the maximal motions enumerated for j.
+	MaximalMotions int
+	// DenseMotions is |W̄_k(j)|.
+	DenseMotions int
+	// NeighborsScanned counts devices ℓ whose own maximal dense motions
+	// were computed to build J_k(j)/L_k(j).
+	NeighborsScanned int
+	// CollectionsTested counts the candidate collections examined by the
+	// Theorem 7 / Corollary 8 search (0 when the search never ran).
+	CollectionsTested int
+}
+
+// Result is the outcome of characterizing one device.
+type Result struct {
+	// Device is the device id.
+	Device int
+	// Class is the verdict.
+	Class Class
+	// Rule is the paper result that produced the verdict.
+	Rule Rule
+	// Dense is W̄_k(j), the maximal τ-dense motions containing the device.
+	Dense [][]int
+	// J and L are the neighbourhood split of Section V-B.
+	J, L []int
+	// Cost is the decision cost.
+	Cost Cost
+}
+
+// Characterizer runs the local decision procedures over one observation
+// window. It caches per-device motion enumerations so that a fleet-wide
+// pass costs each neighbourhood once.
+type Characterizer struct {
+	pair     *motion.Pair
+	abnormal []int
+	cfg      Config
+	graph    *motion.Graph
+	// denseCache memoizes W̄_k(ℓ) per device.
+	denseCache map[int][][]int
+	// motionsCache memoizes |M(ℓ)| for cost reporting.
+	motionsCache map[int]int
+}
+
+// New builds a characterizer for the window described by pair, the
+// abnormal set A_k, and the configuration.
+func New(pair *motion.Pair, abnormal []int, cfg Config) (*Characterizer, error) {
+	if pair == nil {
+		return nil, fmt.Errorf("nil pair: %w", ErrConfig)
+	}
+	if err := motion.ValidateRadius(cfg.R); err != nil {
+		return nil, err
+	}
+	if cfg.Tau < 1 {
+		return nil, fmt.Errorf("tau = %d must be >= 1: %w", cfg.Tau, ErrConfig)
+	}
+	ids := sets.Canon(sets.CloneInts(abnormal))
+	for _, id := range ids {
+		if id < 0 || id >= pair.N() {
+			return nil, fmt.Errorf("abnormal device %d outside population of %d: %w", id, pair.N(), ErrConfig)
+		}
+	}
+	return &Characterizer{
+		pair:         pair,
+		abnormal:     ids,
+		cfg:          cfg,
+		graph:        motion.NewGraph(pair, ids, cfg.R),
+		denseCache:   make(map[int][][]int, len(ids)),
+		motionsCache: make(map[int]int, len(ids)),
+	}, nil
+}
+
+// Abnormal returns the (sorted) abnormal set the characterizer covers.
+func (c *Characterizer) Abnormal() []int { return sets.CloneInts(c.abnormal) }
+
+// denseMotionsOf returns W̄_k(ℓ): the maximal τ-dense motions containing
+// ℓ, memoized. The second return value is |M(ℓ)| before density filtering.
+func (c *Characterizer) denseMotionsOf(l int) ([][]int, int) {
+	if cached, ok := c.denseCache[l]; ok {
+		return cached, c.motionsCache[l]
+	}
+	all := c.graph.MaximalMotionsContaining(l)
+	dense := motion.DenseOf(all, c.cfg.Tau)
+	c.denseCache[l] = dense
+	c.motionsCache[l] = len(all)
+	return dense, len(all)
+}

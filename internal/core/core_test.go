@@ -1,0 +1,308 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"anomalia/internal/motion"
+	"anomalia/internal/paperfig"
+	"anomalia/internal/sets"
+	"anomalia/internal/space"
+	"anomalia/internal/stats"
+)
+
+func mustFigure(t testing.TB, build func() (*paperfig.Config, error)) *paperfig.Config {
+	t.Helper()
+	cfg, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func newChar(t testing.TB, fig *paperfig.Config, exact bool) *Characterizer {
+	t.Helper()
+	c, err := New(fig.Pair, fig.Abnormal, Config{R: fig.R, Tau: fig.Tau, Exact: exact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestClassAndRuleStrings(t *testing.T) {
+	t.Parallel()
+
+	if ClassIsolated.String() != "isolated" || ClassMassive.String() != "massive" ||
+		ClassUnresolved.String() != "unresolved" || ClassUnknown.String() != "unknown" {
+		t.Error("Class.String misbehaved")
+	}
+	if RuleTheorem5.String() != "theorem5" || RuleTheorem6.String() != "theorem6" ||
+		RuleCorollary8.String() != "corollary8" || RuleTheorem7.String() != "theorem7" ||
+		RuleNone.String() != "none" {
+		t.Error("Rule.String misbehaved")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	t.Parallel()
+
+	fig := mustFigure(t, paperfig.Figure3)
+	if _, err := New(nil, fig.Abnormal, Config{R: 0.1, Tau: 1}); !errors.Is(err, ErrConfig) {
+		t.Errorf("nil pair error = %v", err)
+	}
+	if _, err := New(fig.Pair, fig.Abnormal, Config{R: 0.5, Tau: 1}); !errors.Is(err, motion.ErrRadius) {
+		t.Errorf("bad radius error = %v", err)
+	}
+	if _, err := New(fig.Pair, fig.Abnormal, Config{R: 0.1, Tau: 0}); !errors.Is(err, ErrConfig) {
+		t.Errorf("bad tau error = %v", err)
+	}
+	if _, err := New(fig.Pair, []int{99}, Config{R: 0.1, Tau: 1}); !errors.Is(err, ErrConfig) {
+		t.Errorf("out-of-range abnormal error = %v", err)
+	}
+	c, err := New(fig.Pair, []int{2, 0, 2, 1}, Config{R: 0.1, Tau: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Abnormal(); !sets.EqualInts(got, []int{0, 1, 2}) {
+		t.Errorf("Abnormal() = %v", got)
+	}
+}
+
+func TestCharacterizeNotAbnormal(t *testing.T) {
+	t.Parallel()
+
+	fig := mustFigure(t, paperfig.Figure3)
+	c, err := New(fig.Pair, []int{0, 1, 2}, Config{R: fig.R, Tau: fig.Tau})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Characterize(4); !errors.Is(err, ErrNotAbnormal) {
+		t.Errorf("Characterize(4) error = %v, want ErrNotAbnormal", err)
+	}
+}
+
+// TestPaperFiguresExact verifies the full decision procedure against the
+// omniscient classification of every reconstructed figure.
+func TestPaperFiguresExact(t *testing.T) {
+	t.Parallel()
+
+	figs, err := paperfig.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, fig := range figs {
+		fig := fig
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			c := newChar(t, fig, true)
+			got, err := c.Decompose()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sets.EqualInts(got.Massive, fig.Massive) {
+				t.Errorf("Massive = %v, want %v", got.Massive, fig.Massive)
+			}
+			if !sets.EqualInts(got.Isolated, fig.Isolated) {
+				t.Errorf("Isolated = %v, want %v", got.Isolated, fig.Isolated)
+			}
+			if !sets.EqualInts(got.Unresolved, fig.Unresolved) {
+				t.Errorf("Unresolved = %v, want %v", got.Unresolved, fig.Unresolved)
+			}
+		})
+	}
+}
+
+// TestFigure4JLSplit verifies the J/L neighbourhood decomposition the
+// paper works out for device 4 of Figures 4(a) and 4(b).
+func TestFigure4JLSplit(t *testing.T) {
+	t.Parallel()
+
+	figA := mustFigure(t, paperfig.Figure4a)
+	cA := newChar(t, figA, true)
+	res, err := cA.Characterize(3) // paper device 4
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sets.EqualInts(res.J, []int{0, 1, 2, 3, 4}) || len(res.L) != 0 {
+		t.Errorf("figure 4a: J = %v, L = %v; want J = all, L = empty", res.J, res.L)
+	}
+	if res.Class != ClassMassive || res.Rule != RuleTheorem6 {
+		t.Errorf("figure 4a device 4: %v by %v, want massive by theorem6", res.Class, res.Rule)
+	}
+
+	figB := mustFigure(t, paperfig.Figure4b)
+	cB := newChar(t, figB, true)
+	res, err = cB.Characterize(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sets.EqualInts(res.J, []int{0, 1, 2, 3}) || !sets.EqualInts(res.L, []int{4}) {
+		t.Errorf("figure 4b: J = %v, L = %v; want J = {0,1,2,3}, L = {4}", res.J, res.L)
+	}
+	if res.Class != ClassMassive || res.Rule != RuleTheorem6 {
+		t.Errorf("figure 4b device 4: %v by %v, want massive by theorem6", res.Class, res.Rule)
+	}
+}
+
+// TestFigure5NeedsTheorem7 checks the paper's flagship example of a
+// massive device Theorem 6 cannot decide: every device of Figure 5 is
+// massive, certified only by the exhaustive collection search.
+func TestFigure5NeedsTheorem7(t *testing.T) {
+	t.Parallel()
+
+	fig := mustFigure(t, paperfig.Figure5)
+	c := newChar(t, fig, true)
+	for _, j := range fig.Abnormal {
+		res, err := c.Characterize(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Class != ClassMassive {
+			t.Errorf("device %d: class %v, want massive", j, res.Class)
+		}
+		if res.Rule != RuleTheorem7 {
+			t.Errorf("device %d: rule %v, want theorem7", j, res.Rule)
+		}
+		if res.Cost.CollectionsTested == 0 {
+			t.Errorf("device %d: expected the exact search to run", j)
+		}
+	}
+	// The paper works out J_k(1) = {1,2} and L_k(1) = {3,4,7,8}.
+	res, err := c.Characterize(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sets.EqualInts(res.J, []int{0, 1}) || !sets.EqualInts(res.L, []int{2, 3, 6, 7}) {
+		t.Errorf("figure 5: J = %v, L = %v; want {0,1} and {2,3,6,7}", res.J, res.L)
+	}
+}
+
+// TestInexactModeFallsBackToUnresolved: without Exact, Theorem-6-undecided
+// devices stay unresolved with RuleNone (the cheap mode of Table II).
+func TestInexactModeFallsBackToUnresolved(t *testing.T) {
+	t.Parallel()
+
+	fig := mustFigure(t, paperfig.Figure5)
+	c := newChar(t, fig, false)
+	for _, j := range fig.Abnormal {
+		res, err := c.Characterize(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Class != ClassUnresolved || res.Rule != RuleNone {
+			t.Errorf("device %d: %v by %v, want unresolved by none", j, res.Class, res.Rule)
+		}
+		if res.Cost.CollectionsTested != 0 {
+			t.Errorf("device %d: exact search must not run in cheap mode", j)
+		}
+	}
+}
+
+func TestIsolatedByTheorem5(t *testing.T) {
+	t.Parallel()
+
+	// Far-apart devices: everyone isolated, zero dense motions.
+	prev, err := space.StateFromPoints([][]float64{{0.1}, {0.5}, {0.9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := motion.NewPair(prev, prev.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(pair, []int{0, 1, 2}, Config{R: 0.05, Tau: 1, Exact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := c.CharacterizeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range results {
+		if res.Class != ClassIsolated || res.Rule != RuleTheorem5 {
+			t.Errorf("device %d: %v by %v, want isolated by theorem5", res.Device, res.Class, res.Rule)
+		}
+		if res.Cost.MaximalMotions < 1 {
+			t.Errorf("device %d: missing motion cost", res.Device)
+		}
+	}
+}
+
+func TestTauAtLeastAbnormalSize(t *testing.T) {
+	t.Parallel()
+
+	fig := mustFigure(t, paperfig.Figure5)
+	c, err := New(fig.Pair, fig.Abnormal, Config{R: fig.R, Tau: len(fig.Abnormal), Exact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := c.Decompose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Isolated) != len(fig.Abnormal) {
+		t.Errorf("with τ >= |A_k| everyone must be isolated, got %+v", s)
+	}
+}
+
+func TestExactBudgetExceeded(t *testing.T) {
+	t.Parallel()
+
+	fig := mustFigure(t, paperfig.Figure5)
+	c, err := New(fig.Pair, fig.Abnormal, Config{R: fig.R, Tau: fig.Tau, Exact: true, Budget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Characterize(0); !errors.Is(err, ErrBudget) {
+		t.Errorf("tiny budget error = %v, want ErrBudget", err)
+	}
+}
+
+func TestDecomposePartitionsAbnormalSet(t *testing.T) {
+	t.Parallel()
+
+	rng := stats.NewRNG(11)
+	pair := randomPair(t, rng, 30, 2, 0.3)
+	c, err := New(pair, allIds(30), Config{R: 0.05, Tau: 2, Exact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := c.Decompose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := sets.UnionInts(sets.UnionInts(s.Massive, s.Isolated), s.Unresolved)
+	if !sets.EqualInts(total, allIds(30)) {
+		t.Errorf("decomposition does not cover A_k: %v", total)
+	}
+	if len(s.Massive)+len(s.Isolated)+len(s.Unresolved) != 30 {
+		t.Error("decomposition sets must be disjoint")
+	}
+}
+
+func randomPair(t testing.TB, rng *stats.RNG, n, d int, side float64) *motion.Pair {
+	t.Helper()
+	prev, err := space.NewState(n, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := space.NewState(n, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev.Uniform(func() float64 { return rng.Float64() * side })
+	cur.Uniform(func() float64 { return rng.Float64() * side })
+	pair, err := motion.NewPair(prev, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pair
+}
+
+func allIds(n int) []int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"anomalia/internal/motion"
+	"anomalia/internal/space"
+)
+
+// TestExactSearchHugeGroundSet: a maximal dense motion with more than
+// maxSubsetGround members anchored at L_k(j) must surface ErrBudget
+// instead of silently truncating the search.
+func TestExactSearchHugeGroundSet(t *testing.T) {
+	t.Parallel()
+
+	// Geometry (1-d, r = 0.06, 2r = 0.12):
+	//   j and a friend at 0.00 (j's blob),
+	//   a bridge device at 0.10 (adjacent to blob and big blob),
+	//   24 devices at 0.20 (big blob, adjacent to bridge, not to j).
+	coords := [][]float64{{0.0}, {0.004}, {0.10}}
+	for i := 0; i < 24; i++ {
+		coords = append(coords, []float64{0.20 + 0.001*float64(i)})
+	}
+	prev, err := space.StateFromPoints(coords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := motion.NewPair(prev, prev.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	abnormal := make([]int, len(coords))
+	for i := range abnormal {
+		abnormal[i] = i
+	}
+	c, err := New(pair, abnormal, Config{R: 0.06, Tau: 2, Exact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// j = 0: its dense motion is {0, 1, 2}; the bridge (2) has a maximal
+	// dense motion of 25 devices avoiding j, far beyond maxSubsetGround.
+	_, err = c.Characterize(0)
+	if !errors.Is(err, ErrBudget) {
+		t.Errorf("Characterize(0) error = %v, want ErrBudget", err)
+	}
+}
+
+// TestCharacterizeAllPropagatesBudget: fleet-wide characterization
+// surfaces per-device budget errors with context.
+func TestCharacterizeAllPropagatesBudget(t *testing.T) {
+	t.Parallel()
+
+	coords := [][]float64{{0.0}, {0.004}, {0.10}}
+	for i := 0; i < 24; i++ {
+		coords = append(coords, []float64{0.20 + 0.001*float64(i)})
+	}
+	prev, err := space.StateFromPoints(coords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := motion.NewPair(prev, prev.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	abnormal := make([]int, len(coords))
+	for i := range abnormal {
+		abnormal[i] = i
+	}
+	c, err := New(pair, abnormal, Config{R: 0.06, Tau: 2, Exact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CharacterizeAll(); !errors.Is(err, ErrBudget) {
+		t.Errorf("CharacterizeAll error = %v, want wrapped ErrBudget", err)
+	}
+}
+
+// TestSingleAbnormalDevice: a lone abnormal device is always isolated.
+func TestSingleAbnormalDevice(t *testing.T) {
+	t.Parallel()
+
+	prev, err := space.StateFromPoints([][]float64{{0.5}, {0.52}, {0.48}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := motion.NewPair(prev, prev.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(pair, []int{1}, Config{R: 0.06, Tau: 1, Exact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Characterize(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class != ClassIsolated {
+		t.Errorf("lone abnormal device classified %v", res.Class)
+	}
+}
+
+// TestAbnormalSubsetOnly: devices outside the abnormal set never appear
+// in motions even when geometrically close.
+func TestAbnormalSubsetOnly(t *testing.T) {
+	t.Parallel()
+
+	// Five co-located devices, but only two are abnormal: no dense motion
+	// at tau=2 within A_k.
+	prev, err := space.StateFromPoints([][]float64{{0.5}, {0.5}, {0.5}, {0.5}, {0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := motion.NewPair(prev, prev.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(pair, []int{0, 1}, Config{R: 0.06, Tau: 2, Exact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := c.Decompose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Isolated) != 2 {
+		t.Errorf("normal neighbours must not contribute density: %+v", s)
+	}
+}
+
+// TestResultDenseMotionsSorted: reported dense motions use canonical
+// sorted order for deterministic downstream consumption.
+func TestResultDenseMotionsSorted(t *testing.T) {
+	t.Parallel()
+
+	prev, err := space.StateFromPoints([][]float64{{0.5}, {0.51}, {0.49}, {0.52}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := motion.NewPair(prev, prev.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(pair, []int{3, 1, 0, 2}, Config{R: 0.06, Tau: 2, Exact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Characterize(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Dense) != 1 {
+		t.Fatalf("dense motions = %v", res.Dense)
+	}
+	m := res.Dense[0]
+	for i := 1; i < len(m); i++ {
+		if m[i-1] >= m[i] {
+			t.Fatalf("dense motion not sorted: %v", m)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"anomalia/internal/sets"
+)
+
+// maxSubsetGround bounds the per-motion ground set for exhaustive subset
+// enumeration in the exact search (2^20 masks at worst). Realistic
+// neighbourhood sizes stay far below this.
+const maxSubsetGround = 20
+
+// searchViolating implements Algorithms 4/5: it hunts for a collection C
+// of pairwise-disjoint dense motions from the family
+//
+//	{B ∈ W_k(ℓ) | ℓ ∈ L_k(j), j ∉ B}
+//
+// for which relation (4) fails — no dense motion containing j survives in
+// D_k(j) \ ∪C — and relation (5) fails — no B ∈ C extends to a dense
+// motion with j. Such a C certifies j ∈ U_k (Corollary 8); exhausting the
+// space without finding one certifies j ∈ M_k (Theorem 7).
+//
+// Every member of a violating collection must contain a device of L_k(j),
+// have more than τ members, and include at least one device non-adjacent
+// to j (otherwise B ∪ {j} would be a dense motion and relation (5) would
+// hold). Every such B is a subset of some maximal dense motion M ∈ W̄_k(ℓ)
+// with ℓ ∈ L_k(j) and j ∉ M, so the search enumerates subsets of that
+// maximal family.
+func (c *Characterizer) searchViolating(j int, dk, L []int) (bool, int, error) {
+	budget := c.cfg.Budget
+	if budget <= 0 {
+		budget = DefaultBudget
+	}
+
+	// Assemble the deduplicated family MS of maximal dense motions
+	// anchored at L and excluding j.
+	seen := make(map[string]struct{})
+	var ms [][]int
+	for _, l := range L {
+		lDense, _ := c.denseMotionsOf(l)
+		for _, m := range lDense {
+			if sets.ContainsInt(m, j) {
+				continue
+			}
+			key := fmt.Sprint(m)
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+			ms = append(ms, m)
+		}
+	}
+	sets.SortSets(ms)
+
+	s := &violSearch{
+		c:      c,
+		j:      j,
+		dk:     dk,
+		L:      L,
+		ms:     ms,
+		budget: budget,
+	}
+	found, err := s.dfs(0, nil)
+	return found, s.tested, err
+}
+
+type violSearch struct {
+	c      *Characterizer
+	j      int
+	dk     []int
+	L      []int
+	ms     [][]int
+	budget int
+	tested int
+}
+
+// dfs extends the current collection (whose union is `used`, sorted) with
+// subsets drawn from ms[idx:]. It tests the violation condition at every
+// node, including the empty collection at the root.
+func (s *violSearch) dfs(idx int, used []int) (bool, error) {
+	s.tested++
+	s.budget--
+	if s.budget < 0 {
+		return false, fmt.Errorf("device %d: %w", s.j, ErrBudget)
+	}
+	// Relation (4) for the current collection: does any dense motion
+	// containing j survive within D_k(j) \ used? Relation (5) fails by
+	// construction of every added subset, so failure of (4) certifies a
+	// violating collection.
+	allowed := sets.DiffInts(s.dk, used)
+	if !s.c.graph.HasDenseMotionContaining(s.j, allowed, s.c.cfg.Tau) {
+		return true, nil
+	}
+
+	for mi := idx; mi < len(s.ms); mi++ {
+		avail := sets.DiffInts(s.ms[mi], used)
+		if len(avail) <= s.c.cfg.Tau {
+			continue
+		}
+		subsetsFound, err := s.subsets(avail)
+		if err != nil {
+			return false, err
+		}
+		for _, b := range subsetsFound {
+			// Staying at index mi permits a second disjoint subset of the
+			// same maximal motion when it is large enough.
+			found, err := s.dfs(mi, sets.UnionInts(used, b))
+			if err != nil {
+				return false, err
+			}
+			if found {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}
+
+// subsets enumerates the admissible blocker subsets of avail, in
+// decreasing size (the order of Algorithm 5): more than τ members, at
+// least one member of L_k(j), and at least one member non-adjacent to j.
+func (s *violSearch) subsets(avail []int) ([][]int, error) {
+	n := len(avail)
+	if n > maxSubsetGround {
+		return nil, fmt.Errorf("ground set of %d devices for device %d: %w", n, s.j, ErrBudget)
+	}
+	var lMask, nonAdjMask uint32
+	for i, id := range avail {
+		if sets.ContainsInt(s.L, id) {
+			lMask |= 1 << uint(i)
+		}
+		if !s.c.graph.Adjacent(id, s.j) {
+			nonAdjMask |= 1 << uint(i)
+		}
+	}
+	var out [][]int
+	for mask := uint32(1); mask < 1<<uint(n); mask++ {
+		if bits.OnesCount32(mask) <= s.c.cfg.Tau {
+			continue
+		}
+		if mask&lMask == 0 || mask&nonAdjMask == 0 {
+			continue
+		}
+		b := make([]int, 0, bits.OnesCount32(mask))
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				b = append(b, avail[i])
+			}
+		}
+		out = append(out, b)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if len(out[a]) != len(out[b]) {
+			return len(out[a]) > len(out[b])
+		}
+		for i := range out[a] {
+			if out[a][i] != out[b][i] {
+				return out[a][i] < out[b][i]
+			}
+		}
+		return false
+	})
+	return out, nil
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"testing"
+
+	"anomalia/internal/partition"
+	"anomalia/internal/sets"
+	"anomalia/internal/stats"
+)
+
+// TestAgainstOracle is the central correctness test of the reproduction:
+// on random configurations, the local decision procedure (Theorems 5/6/7,
+// Corollary 8) must agree exactly with the omniscient observer obtained by
+// enumerating every anomaly partition — the paper's claim that "local
+// algorithms are as accurate as an omniscient observer".
+func TestAgainstOracle(t *testing.T) {
+	t.Parallel()
+
+	rng := stats.NewRNG(424242)
+	const trials = 120
+	checked := 0
+	for trial := 0; trial < trials; trial++ {
+		n := 5 + rng.Intn(6) // 5..10 abnormal devices keeps Bell numbers sane
+		side := 0.15 + 0.2*rng.Float64()
+		pair := randomPair(t, rng, n, 1+rng.Intn(2), side)
+		tau := 1 + rng.Intn(3)
+		const r = 0.06
+
+		oracle, err := partition.Oracle(pair, allIds(n), r, tau, 0)
+		if err != nil {
+			continue // budget blowup on a dense blob; skip
+		}
+		c, err := New(pair, allIds(n), Config{R: r, Tau: tau, Exact: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		local, err := c.Decompose()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sets.EqualInts(local.Massive, oracle.Massive) ||
+			!sets.EqualInts(local.Isolated, oracle.Isolated) ||
+			!sets.EqualInts(local.Unresolved, oracle.Unresolved) {
+			t.Fatalf("trial %d (n=%d τ=%d side=%.3f): local %+v != oracle %+v",
+				trial, n, tau, side, local, oracle)
+		}
+		checked++
+	}
+	if checked < trials/2 {
+		t.Fatalf("only %d/%d trials were checked against the oracle", checked, trials)
+	}
+}
+
+// TestTheorem6Soundness: whenever Theorem 6 claims massive, the oracle
+// must agree (the condition is sufficient), across denser configurations
+// than TestAgainstOracle uses.
+func TestTheorem6Soundness(t *testing.T) {
+	t.Parallel()
+
+	rng := stats.NewRNG(777)
+	for trial := 0; trial < 60; trial++ {
+		n := 6 + rng.Intn(5)
+		pair := randomPair(t, rng, n, 2, 0.12)
+		const r, tau = 0.05, 2
+
+		oracle, err := partition.Oracle(pair, allIds(n), r, tau, 0)
+		if err != nil {
+			continue
+		}
+		c, err := New(pair, allIds(n), Config{R: r, Tau: tau})
+		if err != nil {
+			t.Fatal(err)
+		}
+		results, err := c.CharacterizeAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, res := range results {
+			if res.Rule == RuleTheorem6 && oracle.ClassOf(res.Device) != "M" {
+				t.Fatalf("trial %d: theorem 6 claimed device %d massive, oracle says %q",
+					trial, res.Device, oracle.ClassOf(res.Device))
+			}
+			if res.Rule == RuleTheorem5 && oracle.ClassOf(res.Device) != "I" {
+				t.Fatalf("trial %d: theorem 5 claimed device %d isolated, oracle says %q",
+					trial, res.Device, oracle.ClassOf(res.Device))
+			}
+		}
+	}
+}
+
+// TestLocality4r verifies the paper's locality claim: restricting the
+// abnormal set to the devices within 4r of j (at both times) never changes
+// j's verdict.
+func TestLocality4r(t *testing.T) {
+	t.Parallel()
+
+	rng := stats.NewRNG(1313)
+	for trial := 0; trial < 40; trial++ {
+		n := 15 + rng.Intn(20)
+		pair := randomPair(t, rng, n, 2, 0.5)
+		const r, tau = 0.05, 2
+
+		full, err := New(pair, allIds(n), Config{R: r, Tau: tau, Exact: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		j := rng.Intn(n)
+		want, err := full.Characterize(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// 4r neighbourhood of j at both times.
+		var local []int
+		for i := 0; i < n; i++ {
+			if pair.Prev.Dist(i, j) <= 4*r && pair.Cur.Dist(i, j) <= 4*r {
+				local = append(local, i)
+			}
+		}
+		restricted, err := New(pair, local, Config{R: r, Tau: tau, Exact: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := restricted.Characterize(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Class != want.Class {
+			t.Fatalf("trial %d device %d: local view says %v, global view says %v",
+				trial, j, got.Class, want.Class)
+		}
+	}
+}
+
+// TestDeterminism: identical inputs produce identical results, including
+// costs.
+func TestDeterminism(t *testing.T) {
+	t.Parallel()
+
+	rng := stats.NewRNG(555)
+	pair := randomPair(t, rng, 20, 2, 0.2)
+	cfg := Config{R: 0.05, Tau: 2, Exact: true}
+	c1, err := New(pair, allIds(20), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := New(pair, allIds(20), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := c1.CharacterizeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c2.CharacterizeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1 {
+		if r1[i].Class != r2[i].Class || r1[i].Rule != r2[i].Rule ||
+			r1[i].Cost != r2[i].Cost {
+			t.Fatalf("nondeterministic result for device %d: %+v vs %+v",
+				r1[i].Device, r1[i], r2[i])
+		}
+	}
+}
+
+func BenchmarkCharacterizeExact(b *testing.B) {
+	rng := stats.NewRNG(5)
+	pair := randomPair(b, rng, 100, 2, 1.0)
+	c, err := New(pair, allIds(100), Config{R: 0.03, Tau: 3, Exact: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.CharacterizeAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

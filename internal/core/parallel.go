@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// CharacterizeAllParallel classifies every abnormal device using a pool
+// of workers, producing exactly the results of CharacterizeAll in device
+// order. workers <= 0 selects GOMAXPROCS.
+//
+// The computation has two phases: first the per-device maximal-motion
+// enumerations — the shared memo every decision reads — are filled in
+// parallel; then the decisions themselves run in parallel against the
+// read-only cache. This mirrors the deployment reality that each device
+// decides independently once trajectories are exchanged.
+//
+// Worth knowing: per-device decisions are microseconds at the paper's
+// density, so the pool only pays off on windows with expensive exact
+// searches or very large abnormal sets; on small windows the coordination
+// overhead dominates (see BenchmarkCharacterizeAllParallel).
+func (c *Characterizer) CharacterizeAllParallel(workers int) ([]Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(c.abnormal) {
+		workers = len(c.abnormal)
+	}
+	if workers <= 1 {
+		return c.CharacterizeAll()
+	}
+
+	// Phase 1: fill the motion memo for every abnormal device in
+	// parallel. Each worker computes into its own shard; shards merge
+	// into the shared cache before any decision reads it.
+	type entry struct {
+		id     int
+		dense  [][]int
+		motion int
+	}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		tasks = make(chan int)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]entry, 0, len(c.abnormal)/workers+1)
+			for idx := range tasks {
+				id := c.abnormal[idx]
+				all := c.graph.MaximalMotionsContaining(id)
+				dense := make([][]int, 0, len(all))
+				for _, m := range all {
+					if len(m) > c.cfg.Tau {
+						dense = append(dense, m)
+					}
+				}
+				local = append(local, entry{id: id, dense: dense, motion: len(all)})
+			}
+			mu.Lock()
+			for _, e := range local {
+				c.denseCache[e.id] = e.dense
+				c.motionsCache[e.id] = e.motion
+			}
+			mu.Unlock()
+		}()
+	}
+	for idx := range c.abnormal {
+		tasks <- idx
+	}
+	close(tasks)
+	wg.Wait()
+
+	// Phase 2: decide in parallel against the warm, now read-only cache.
+	results := make([]Result, len(c.abnormal))
+	errs := make([]error, len(c.abnormal))
+	tasks2 := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range tasks2 {
+				results[idx], errs[idx] = c.Characterize(c.abnormal[idx])
+			}
+		}()
+	}
+	for idx := range c.abnormal {
+		tasks2 <- idx
+	}
+	close(tasks2)
+	wg.Wait()
+
+	for idx, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("characterizing device %d: %w", c.abnormal[idx], err)
+		}
+	}
+	sort.Slice(results, func(a, b int) bool { return results[a].Device < results[b].Device })
+	return results, nil
+}

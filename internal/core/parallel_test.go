@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+
+	"anomalia/internal/stats"
+)
+
+// TestParallelMatchesSequential: the parallel fleet pass must produce
+// byte-identical results to the sequential one.
+func TestParallelMatchesSequential(t *testing.T) {
+	t.Parallel()
+
+	rng := stats.NewRNG(60606)
+	for trial := 0; trial < 10; trial++ {
+		n := 30 + rng.Intn(60)
+		pair := randomPair(t, rng, n, 2, 0.4)
+		cfg := Config{R: 0.04, Tau: 2, Exact: true}
+
+		seq, err := New(pair, allIds(n), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantResults, err := seq.CharacterizeAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		par, err := New(pair, allIds(n), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotResults, err := par.CharacterizeAllParallel(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(gotResults) != len(wantResults) {
+			t.Fatalf("trial %d: %d vs %d results", trial, len(gotResults), len(wantResults))
+		}
+		for i := range wantResults {
+			w, g := wantResults[i], gotResults[i]
+			if w.Device != g.Device || w.Class != g.Class || w.Rule != g.Rule {
+				t.Fatalf("trial %d device %d: parallel (%v,%v) != sequential (%v,%v)",
+					trial, w.Device, g.Class, g.Rule, w.Class, w.Rule)
+			}
+		}
+	}
+}
+
+// TestParallelWorkerEdgeCases: degenerate worker counts fall back safely.
+func TestParallelWorkerEdgeCases(t *testing.T) {
+	t.Parallel()
+
+	rng := stats.NewRNG(7)
+	pair := randomPair(t, rng, 10, 2, 0.3)
+	cfg := Config{R: 0.05, Tau: 2, Exact: true}
+	for _, workers := range []int{-1, 0, 1, 2, 100} {
+		c, err := New(pair, allIds(10), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results, err := c.CharacterizeAllParallel(workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(results) != 10 {
+			t.Fatalf("workers=%d: %d results", workers, len(results))
+		}
+		for i := 1; i < len(results); i++ {
+			if results[i-1].Device >= results[i].Device {
+				t.Fatalf("workers=%d: results out of order", workers)
+			}
+		}
+	}
+}
+
+func BenchmarkCharacterizeAllParallel(b *testing.B) {
+	rng := stats.NewRNG(5)
+	pair := randomPair(b, rng, 300, 2, 1.0)
+	cfg := Config{R: 0.03, Tau: 3, Exact: true}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c, err := New(pair, allIds(300), cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := c.CharacterizeAll(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c, err := New(pair, allIds(300), cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := c.CharacterizeAllParallel(0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

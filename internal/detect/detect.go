@@ -1,0 +1,177 @@
+// Package detect implements the error-detection functions a_k(j) of
+// Section III-A. The paper leaves their implementation out of scope but
+// cites threshold tests, Holt-Winters forecasting [6][12], CUSUM [10] and
+// Kalman filters [7]; this package provides all of them behind a common
+// interface, plus the per-device composite that ORs the per-service
+// verdicts into the abnormal flag a_k(j).
+//
+// Every detector follows the same contract: Update consumes the QoS
+// sample of one discrete time and reports whether the observed value
+// deviates abnormally from the detector's prediction of it.
+package detect
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Detector is a single-service error-detection function: it predicts the
+// next QoS sample from the past sequence and flags observations that
+// deviate too much.
+type Detector interface {
+	// Update folds in the sample observed at the current discrete time
+	// and reports whether it is abnormal.
+	Update(sample float64) bool
+	// Predict returns the detector's current one-step-ahead prediction.
+	Predict() float64
+	// Reset returns the detector to its initial, untrained state.
+	Reset()
+}
+
+// ErrDetectorConfig is returned by constructors for invalid parameters.
+var ErrDetectorConfig = errors.New("detect: invalid detector configuration")
+
+// Threshold flags a sample whose jump from the previous sample exceeds
+// Delta — the simplest detector the paper mentions.
+type Threshold struct {
+	delta   float64
+	last    float64
+	trained bool
+}
+
+var _ Detector = (*Threshold)(nil)
+
+// NewThreshold returns a jump detector with the given maximum normal
+// inter-sample variation delta > 0.
+func NewThreshold(delta float64) (*Threshold, error) {
+	if delta <= 0 || math.IsNaN(delta) {
+		return nil, fmt.Errorf("delta = %v: %w", delta, ErrDetectorConfig)
+	}
+	return &Threshold{delta: delta}, nil
+}
+
+// Update implements Detector.
+func (t *Threshold) Update(sample float64) bool {
+	if !t.trained {
+		t.last = sample
+		t.trained = true
+		return false
+	}
+	abnormal := math.Abs(sample-t.last) > t.delta
+	t.last = sample
+	return abnormal
+}
+
+// Predict implements Detector: the last observation.
+func (t *Threshold) Predict() float64 { return t.last }
+
+// Reset implements Detector.
+func (t *Threshold) Reset() { t.last, t.trained = 0, false }
+
+// EWMA tracks an exponentially weighted mean and variance and flags
+// samples more than K deviations from the mean.
+type EWMA struct {
+	alpha   float64
+	k       float64
+	minStd  float64
+	warmup  int
+	seen    int
+	mean    float64
+	varEst  float64
+	trained bool
+}
+
+var _ Detector = (*EWMA)(nil)
+
+// NewEWMA returns an EWMA band detector: smoothing alpha in (0, 1], gate
+// width k > 0 (in standard deviations), floor minStd >= 0 on the deviation
+// estimate, and warmup samples during which nothing is flagged.
+func NewEWMA(alpha, k, minStd float64, warmup int) (*EWMA, error) {
+	if alpha <= 0 || alpha > 1 || k <= 0 || minStd < 0 || warmup < 0 {
+		return nil, fmt.Errorf("alpha=%v k=%v minStd=%v warmup=%d: %w",
+			alpha, k, minStd, warmup, ErrDetectorConfig)
+	}
+	return &EWMA{alpha: alpha, k: k, minStd: minStd, warmup: warmup}, nil
+}
+
+// Update implements Detector.
+func (e *EWMA) Update(sample float64) bool {
+	if !e.trained {
+		e.mean = sample
+		e.trained = true
+		e.seen = 1
+		return false
+	}
+	e.seen++
+	dev := sample - e.mean
+	std := math.Sqrt(e.varEst)
+	if std < e.minStd {
+		std = e.minStd
+	}
+	abnormal := e.seen > e.warmup && math.Abs(dev) > e.k*std
+	// Abnormal samples still update the model, but with the deviation
+	// clamped so a single spike does not blow up the band.
+	e.mean += e.alpha * dev
+	e.varEst = (1-e.alpha)*e.varEst + e.alpha*dev*dev
+	return abnormal
+}
+
+// Predict implements Detector.
+func (e *EWMA) Predict() float64 { return e.mean }
+
+// Reset implements Detector.
+func (e *EWMA) Reset() { e.mean, e.varEst, e.seen, e.trained = 0, 0, 0, false }
+
+// CUSUM is Page's two-sided cumulative-sum test [10] around a running
+// baseline: it accumulates deviations beyond a drift allowance and alarms
+// when either side exceeds the decision threshold.
+type CUSUM struct {
+	drift     float64
+	threshold float64
+	alpha     float64 // baseline smoothing
+	baseline  float64
+	pos, neg  float64
+	trained   bool
+}
+
+var _ Detector = (*CUSUM)(nil)
+
+// NewCUSUM returns a two-sided CUSUM detector: drift is the slack k per
+// sample, threshold the decision level h, alpha the baseline smoothing in
+// (0, 1].
+func NewCUSUM(drift, threshold, alpha float64) (*CUSUM, error) {
+	if drift < 0 || threshold <= 0 || alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("drift=%v threshold=%v alpha=%v: %w",
+			drift, threshold, alpha, ErrDetectorConfig)
+	}
+	return &CUSUM{drift: drift, threshold: threshold, alpha: alpha}, nil
+}
+
+// Update implements Detector.
+func (c *CUSUM) Update(sample float64) bool {
+	if !c.trained {
+		c.baseline = sample
+		c.trained = true
+		return false
+	}
+	dev := sample - c.baseline
+	c.pos = math.Max(0, c.pos+dev-c.drift)
+	c.neg = math.Max(0, c.neg-dev-c.drift)
+	abnormal := c.pos > c.threshold || c.neg > c.threshold
+	if abnormal {
+		// Restart the test after an alarm (standard practice) and re-seat
+		// the baseline on the new level.
+		c.pos, c.neg = 0, 0
+		c.baseline = sample
+	} else {
+		c.baseline += c.alpha * dev
+	}
+	return abnormal
+}
+
+// Predict implements Detector.
+func (c *CUSUM) Predict() float64 { return c.baseline }
+
+// Reset implements Detector.
+func (c *CUSUM) Reset() { c.baseline, c.pos, c.neg, c.trained = 0, 0, 0, false }

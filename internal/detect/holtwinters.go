@@ -1,0 +1,157 @@
+package detect
+
+import (
+	"fmt"
+	"math"
+)
+
+// HoltWinters is double (level + trend) exponential smoothing [6][12] with
+// an optional additive seasonal component, flagging samples outside a band
+// of k times the exponentially weighted mean absolute deviation around the
+// one-step forecast.
+type HoltWinters struct {
+	alpha, beta, gamma float64
+	k                  float64
+	minBand            float64
+	period             int // 0 disables seasonality
+
+	level, trend float64
+	seasonal     []float64
+	step         int
+	trained      bool
+	mad          float64
+}
+
+var _ Detector = (*HoltWinters)(nil)
+
+// NewHoltWinters returns a Holt-Winters detector. alpha/beta in (0,1] are
+// the level/trend gains; gamma in [0,1] the seasonal gain (ignored when
+// period == 0); k > 0 the band width in MAD units; minBand >= 0 a floor on
+// the band; period >= 0 the seasonal length in samples.
+func NewHoltWinters(alpha, beta, gamma, k, minBand float64, period int) (*HoltWinters, error) {
+	if alpha <= 0 || alpha > 1 || beta <= 0 || beta > 1 || gamma < 0 || gamma > 1 ||
+		k <= 0 || minBand < 0 || period < 0 {
+		return nil, fmt.Errorf("alpha=%v beta=%v gamma=%v k=%v minBand=%v period=%d: %w",
+			alpha, beta, gamma, k, minBand, period, ErrDetectorConfig)
+	}
+	hw := &HoltWinters{
+		alpha: alpha, beta: beta, gamma: gamma,
+		k: k, minBand: minBand, period: period,
+	}
+	if period > 0 {
+		hw.seasonal = make([]float64, period)
+	}
+	return hw, nil
+}
+
+// Update implements Detector.
+func (h *HoltWinters) Update(sample float64) bool {
+	if !h.trained {
+		h.level = sample
+		h.trend = 0
+		h.trained = true
+		h.step = 1
+		return false
+	}
+	forecast := h.Predict()
+	residual := sample - forecast
+	band := h.k * h.mad
+	if band < h.minBand {
+		band = h.minBand
+	}
+	// Flag only once the MAD estimate has had a few samples to form.
+	abnormal := h.step > 3 && math.Abs(residual) > band
+
+	// Smooth the deviation estimate (abnormal residuals are clamped so the
+	// band does not explode after a genuine anomaly).
+	upd := math.Abs(residual)
+	if abnormal {
+		upd = band
+	}
+	h.mad = 0.9*h.mad + 0.1*upd
+
+	seasonIdx := 0
+	seasonComp := 0.0
+	if h.period > 0 {
+		seasonIdx = h.step % h.period
+		seasonComp = h.seasonal[seasonIdx]
+	}
+	prevLevel := h.level
+	h.level = h.alpha*(sample-seasonComp) + (1-h.alpha)*(h.level+h.trend)
+	h.trend = h.beta*(h.level-prevLevel) + (1-h.beta)*h.trend
+	if h.period > 0 {
+		h.seasonal[seasonIdx] = h.gamma*(sample-h.level) + (1-h.gamma)*seasonComp
+	}
+	h.step++
+	return abnormal
+}
+
+// Predict implements Detector: the one-step-ahead forecast.
+func (h *HoltWinters) Predict() float64 {
+	f := h.level + h.trend
+	if h.period > 0 {
+		f += h.seasonal[h.step%h.period]
+	}
+	return f
+}
+
+// Reset implements Detector.
+func (h *HoltWinters) Reset() {
+	h.level, h.trend, h.mad = 0, 0, 0
+	h.step = 0
+	h.trained = false
+	for i := range h.seasonal {
+		h.seasonal[i] = 0
+	}
+}
+
+// Kalman is a scalar local-level Kalman filter [7]: the latent QoS level
+// evolves as a random walk with process variance Q observed with noise
+// variance R. A sample is abnormal when its normalized innovation exceeds
+// the gate.
+type Kalman struct {
+	q, r    float64
+	gate    float64
+	x       float64 // state estimate
+	p       float64 // estimate variance
+	trained bool
+}
+
+var _ Detector = (*Kalman)(nil)
+
+// NewKalman returns a local-level Kalman innovation detector with process
+// variance q > 0, observation variance r > 0, and gate > 0 (in standard
+// deviations of the innovation).
+func NewKalman(q, r, gate float64) (*Kalman, error) {
+	if q <= 0 || r <= 0 || gate <= 0 {
+		return nil, fmt.Errorf("q=%v r=%v gate=%v: %w", q, r, gate, ErrDetectorConfig)
+	}
+	return &Kalman{q: q, r: r, gate: gate}, nil
+}
+
+// Update implements Detector.
+func (k *Kalman) Update(sample float64) bool {
+	if !k.trained {
+		k.x = sample
+		k.p = k.r
+		k.trained = true
+		return false
+	}
+	// Predict step: random walk.
+	k.p += k.q
+	// Innovation test.
+	innovation := sample - k.x
+	s := k.p + k.r
+	abnormal := innovation*innovation > k.gate*k.gate*s
+	// Update step.
+	gain := k.p / s
+	k.x += gain * innovation
+	k.p *= 1 - gain
+	return abnormal
+}
+
+// Predict implements Detector.
+func (k *Kalman) Predict() float64 { return k.x }
+
+// Reset implements Detector.
+func (k *Kalman) Reset() { k.x, k.p, k.trained = 0, 0, false }

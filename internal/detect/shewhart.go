@@ -1,0 +1,86 @@
+package detect
+
+import (
+	"fmt"
+	"math"
+)
+
+// Shewhart is the individuals control chart: the process level is the
+// running mean and the dispersion is estimated from the mean moving range
+// (sigma ≈ MR̄ / 1.128, the d2 constant for subgroups of two). A sample
+// beyond k sigmas from the centre line is abnormal. The classic statistical
+// process-control companion to CUSUM [10].
+type Shewhart struct {
+	k       float64
+	minMR   float64
+	warmup  int
+	seen    int
+	mean    float64
+	mrSum   float64
+	mrCount int
+	last    float64
+	trained bool
+}
+
+var _ Detector = (*Shewhart)(nil)
+
+// d2 for subgroups of size two, the moving-range-to-sigma constant.
+const shewhartD2 = 1.128
+
+// NewShewhart returns an individuals chart with gate width k > 0 sigmas,
+// a floor minMR >= 0 on the moving-range estimate, and a warmup sample
+// count during which nothing is flagged.
+func NewShewhart(k, minMR float64, warmup int) (*Shewhart, error) {
+	if k <= 0 || minMR < 0 || warmup < 0 || math.IsNaN(k) {
+		return nil, fmt.Errorf("k=%v minMR=%v warmup=%d: %w", k, minMR, warmup, ErrDetectorConfig)
+	}
+	return &Shewhart{k: k, minMR: minMR, warmup: warmup}, nil
+}
+
+// Update implements Detector.
+func (s *Shewhart) Update(sample float64) bool {
+	if !s.trained {
+		s.mean = sample
+		s.last = sample
+		s.seen = 1
+		s.trained = true
+		return false
+	}
+	s.seen++
+	mr := math.Abs(sample - s.last)
+	sigma := s.sigma()
+	abnormal := s.seen > s.warmup && math.Abs(sample-s.mean) > s.k*sigma
+
+	// Abnormal samples update the chart with clamped influence so a
+	// single excursion does not widen the limits.
+	upd := mr
+	if abnormal && sigma > 0 && mr > shewhartD2*sigma {
+		upd = shewhartD2 * sigma
+	}
+	s.mrSum += upd
+	s.mrCount++
+	s.mean += (sample - s.mean) / float64(s.seen)
+	s.last = sample
+	return abnormal
+}
+
+// sigma estimates the process dispersion from the mean moving range.
+func (s *Shewhart) sigma() float64 {
+	mr := s.minMR
+	if s.mrCount > 0 {
+		if est := s.mrSum / float64(s.mrCount); est > mr {
+			mr = est
+		}
+	}
+	return mr / shewhartD2
+}
+
+// Predict implements Detector: the centre line.
+func (s *Shewhart) Predict() float64 { return s.mean }
+
+// Reset implements Detector.
+func (s *Shewhart) Reset() {
+	s.seen, s.mrCount = 0, 0
+	s.mean, s.mrSum, s.last = 0, 0, 0
+	s.trained = false
+}

@@ -1,0 +1,106 @@
+package detect
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"anomalia/internal/stats"
+)
+
+func newShewhart(t *testing.T) *Shewhart {
+	t.Helper()
+	s, err := NewShewhart(4, 0.01, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestShewhartValidation(t *testing.T) {
+	t.Parallel()
+
+	cases := []struct {
+		k, minMR float64
+		warmup   int
+	}{
+		{0, 0.1, 1},
+		{-1, 0.1, 1},
+		{3, -0.1, 1},
+		{3, 0.1, -1},
+		{math.NaN(), 0.1, 1},
+	}
+	for i, c := range cases {
+		if _, err := NewShewhart(c.k, c.minMR, c.warmup); !errors.Is(err, ErrDetectorConfig) {
+			t.Errorf("case %d: error = %v", i, err)
+		}
+	}
+}
+
+func TestShewhartDetectsExcursion(t *testing.T) {
+	t.Parallel()
+
+	s := newShewhart(t)
+	rng := stats.NewRNG(3)
+	alarms := 0
+	for i := 0; i < 300; i++ {
+		if s.Update(0.9 + 0.005*(rng.Float64()-0.5)) {
+			alarms++
+		}
+	}
+	if alarms > 3 {
+		t.Errorf("%d false alarms on in-control process", alarms)
+	}
+	if p := s.Predict(); math.Abs(p-0.9) > 0.01 {
+		t.Errorf("centre line = %v", p)
+	}
+	if !s.Update(0.5) {
+		t.Error("4-sigma excursion not flagged")
+	}
+}
+
+func TestShewhartLimitsDoNotExplodeAfterExcursion(t *testing.T) {
+	t.Parallel()
+
+	s := newShewhart(t)
+	rng := stats.NewRNG(5)
+	for i := 0; i < 200; i++ {
+		s.Update(0.9 + 0.005*(rng.Float64()-0.5))
+	}
+	s.Update(0.3) // single wild excursion
+	// The chart must still flag a repeat excursion immediately.
+	if !s.Update(0.3) {
+		t.Error("limits widened too much after one excursion")
+	}
+}
+
+func TestShewhartResetAndFirstSample(t *testing.T) {
+	t.Parallel()
+
+	s := newShewhart(t)
+	for i := 0; i < 50; i++ {
+		s.Update(0.8)
+	}
+	s.Reset()
+	if s.Update(0.1) {
+		t.Error("first sample after reset must not alarm")
+	}
+}
+
+// TestShewhartInDetectorStudyHarness: the new detector satisfies the
+// shared Detector contract used across the module.
+func TestShewhartContract(t *testing.T) {
+	t.Parallel()
+
+	var det Detector = newShewhart(t)
+	for i := 0; i < 100; i++ {
+		det.Update(0.85)
+	}
+	if !det.Update(0.2) {
+		t.Error("contract shock not flagged")
+	}
+	det.Reset()
+	if det.Predict() != 0 {
+		t.Error("Predict after reset must be zero value")
+	}
+}

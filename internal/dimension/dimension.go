@@ -1,0 +1,161 @@
+// Package dimension implements the parameter-dimensioning analysis of
+// Section VII-A: the distribution of the number of devices N_r(j) in the
+// vicinity of a device, the number F_r(j) of devices in that vicinity hit
+// by independent isolated errors, and the resulting tuning of the
+// consistency radius r and density threshold τ so that
+// P{F_r(j) > τ} stays negligible (Figures 6(a) and 6(b)).
+package dimension
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"anomalia/internal/stats"
+)
+
+// ErrParam is returned for out-of-domain parameters.
+var ErrParam = errors.New("dimension: parameter out of range")
+
+// VicinityProb returns q_j, the probability that a uniformly placed device
+// falls within uniform-norm distance `radius` of device j in [0,1]^d,
+// ignoring boundary clipping: q = (2·radius)^d.
+//
+// The paper's analysis defines the vicinity as the ball of radius 2r
+// (pass radius = 2r to match Figure 6(a)); its Figure 6(b) numbers match
+// the ball of radius r — the ball in which Section VII-A's generator
+// draws the devices impacted by one error (pass radius = r).
+func VicinityProb(radius float64, d int) (float64, error) {
+	if radius < 0 || radius > 0.5 {
+		return 0, fmt.Errorf("radius = %v: %w", radius, ErrParam)
+	}
+	if d < 1 {
+		return 0, fmt.Errorf("d = %d: %w", d, ErrParam)
+	}
+	return math.Pow(2*radius, float64(d)), nil
+}
+
+// VicinityProbBoundary returns E[q_j] for a uniformly placed device j,
+// accounting for clipping of the vicinity at the borders of [0,1]^d:
+// per axis the expected covered length is 2·radius − radius², so
+// q = (2·radius − radius²)^d... with window half-width w = radius the
+// expected clipped length of [x−w, x+w] ∩ [0,1] over uniform x is
+// 2w − w². Use this variant for boundary-sensitive populations.
+func VicinityProbBoundary(radius float64, d int) (float64, error) {
+	if radius < 0 || radius > 0.5 {
+		return 0, fmt.Errorf("radius = %v: %w", radius, ErrParam)
+	}
+	if d < 1 {
+		return 0, fmt.Errorf("d = %d: %w", d, ErrParam)
+	}
+	per := 2*radius - radius*radius
+	return math.Pow(per, float64(d)), nil
+}
+
+// NeighborhoodCDF returns P{N_r(j) <= m}: the probability that at most m
+// of the other n-1 uniformly placed devices lie in j's vicinity of the
+// given radius (Figure 6(a) uses radius = 2r). N_r(j) ~ Binomial(n-1, q).
+func NeighborhoodCDF(n int, radius float64, d, m int) (float64, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("n = %d: %w", n, ErrParam)
+	}
+	q, err := VicinityProb(radius, d)
+	if err != nil {
+		return 0, err
+	}
+	return stats.BinomialCDF(n-1, m, q)
+}
+
+// ImpactCDF returns P{F_r(j) <= tau} via the paper's double sum:
+//
+//	P{F_r(j) <= τ} = Σ_m Σ_{ℓ<=τ} C(m,ℓ) b^ℓ (1-b)^{m-ℓ} P{N_r(j) = m}
+//
+// where b is the per-device isolated-error probability. Figure 6(b) plots
+// this against n for τ = 2..5 with radius = r = 0.03, b = 0.005.
+func ImpactCDF(n int, radius float64, d, tau int, b float64) (float64, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("n = %d: %w", n, ErrParam)
+	}
+	if b < 0 || b > 1 {
+		return 0, stats.ErrInvalidProbability
+	}
+	q, err := VicinityProb(radius, d)
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for m := 0; m <= n-1; m++ {
+		pm, err := stats.BinomialPMF(n-1, m, q)
+		if err != nil {
+			return 0, err
+		}
+		if pm == 0 {
+			continue
+		}
+		inner, err := stats.BinomialCDF(m, tau, b)
+		if err != nil {
+			return 0, err
+		}
+		total += pm * inner
+	}
+	if total > 1 {
+		total = 1
+	}
+	return total, nil
+}
+
+// ImpactCDFFast computes the same quantity via the thinning identity
+// F_r(j) ~ Binomial(n-1, q·b): a uniformly placed device is both in the
+// vicinity and hit with probability q·b, independently across devices.
+func ImpactCDFFast(n int, radius float64, d, tau int, b float64) (float64, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("n = %d: %w", n, ErrParam)
+	}
+	if b < 0 || b > 1 {
+		return 0, stats.ErrInvalidProbability
+	}
+	q, err := VicinityProb(radius, d)
+	if err != nil {
+		return 0, err
+	}
+	return stats.BinomialCDF(n-1, tau, q*b)
+}
+
+// TuneTau returns the smallest τ >= 1 such that P{F_r(j) > τ} < eps, i.e.
+// the density threshold that makes τ+1 coincident independent isolated
+// errors negligible — the paper's tuning rule. It returns an error when
+// even τ = n-1 cannot satisfy eps.
+func TuneTau(n int, radius float64, d int, b, eps float64) (int, error) {
+	if eps <= 0 || eps >= 1 {
+		return 0, fmt.Errorf("eps = %v: %w", eps, ErrParam)
+	}
+	for tau := 1; tau < n; tau++ {
+		cdf, err := ImpactCDFFast(n, radius, d, tau, b)
+		if err != nil {
+			return 0, err
+		}
+		if 1-cdf < eps {
+			return tau, nil
+		}
+	}
+	return 0, fmt.Errorf("no τ < n reaches P{F>τ} < %v: %w", eps, ErrParam)
+}
+
+// TuneRadius returns the largest radius in (0, maxRadius] (stepping down
+// by step) for which P{F_r(j) > tau} < eps. A larger radius captures more
+// correlated neighbours, so the largest admissible radius is preferred.
+func TuneRadius(n, d, tau int, b, eps, maxRadius, step float64) (float64, error) {
+	if eps <= 0 || eps >= 1 || maxRadius <= 0 || step <= 0 {
+		return 0, fmt.Errorf("eps=%v maxRadius=%v step=%v: %w", eps, maxRadius, step, ErrParam)
+	}
+	for radius := maxRadius; radius > 0; radius -= step {
+		cdf, err := ImpactCDFFast(n, radius, d, tau, b)
+		if err != nil {
+			return 0, err
+		}
+		if 1-cdf < eps {
+			return radius, nil
+		}
+	}
+	return 0, fmt.Errorf("no radius in (0, %v] reaches P{F>τ} < %v: %w", maxRadius, eps, ErrParam)
+}

@@ -1,0 +1,282 @@
+package dimension
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"anomalia/internal/space"
+	"anomalia/internal/stats"
+)
+
+func TestVicinityProb(t *testing.T) {
+	t.Parallel()
+
+	tests := []struct {
+		radius float64
+		d      int
+		want   float64
+	}{
+		{0.06, 2, 0.0144}, // 2r with r=0.03, the Figure 6(a) vicinity
+		{0.03, 2, 0.0036}, // r = 0.03, the Figure 6(b) ball
+		{0.1, 1, 0.2},
+		{0.5, 2, 1},
+		{0, 2, 0},
+	}
+	for _, tt := range tests {
+		got, err := VicinityProb(tt.radius, tt.d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("VicinityProb(%v, %d) = %v, want %v", tt.radius, tt.d, got, tt.want)
+		}
+	}
+	if _, err := VicinityProb(-0.1, 2); !errors.Is(err, ErrParam) {
+		t.Error("negative radius must error")
+	}
+	if _, err := VicinityProb(0.6, 2); !errors.Is(err, ErrParam) {
+		t.Error("radius beyond 0.5 must error")
+	}
+	if _, err := VicinityProb(0.1, 0); !errors.Is(err, ErrParam) {
+		t.Error("d=0 must error")
+	}
+}
+
+func TestVicinityProbBoundary(t *testing.T) {
+	t.Parallel()
+
+	got, err := VicinityProbBoundary(0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 0.19; math.Abs(got-want) > 1e-12 {
+		t.Errorf("boundary-corrected q = %v, want %v", got, want)
+	}
+	interior, err := VicinityProb(0.1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrected, err := VicinityProbBoundary(0.1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrected >= interior {
+		t.Error("boundary correction must shrink q")
+	}
+	if _, err := VicinityProbBoundary(0.9, 2); !errors.Is(err, ErrParam) {
+		t.Error("radius beyond 0.5 must error")
+	}
+}
+
+// TestVicinityProbBoundaryMonteCarlo validates the boundary-averaged q
+// against direct simulation of uniform pairs.
+func TestVicinityProbBoundaryMonteCarlo(t *testing.T) {
+	t.Parallel()
+
+	const radius = 0.12
+	rng := stats.NewRNG(2718)
+	const samples = 200000
+	hits := 0
+	for i := 0; i < samples; i++ {
+		a := space.Point{rng.Float64(), rng.Float64()}
+		b := space.Point{rng.Float64(), rng.Float64()}
+		if space.Dist(a, b) <= radius {
+			hits++
+		}
+	}
+	mc := float64(hits) / samples
+	exact, err := VicinityProbBoundary(radius, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mc-exact) > 0.002 {
+		t.Errorf("MC q = %v, boundary-corrected q = %v", mc, exact)
+	}
+}
+
+func TestNeighborhoodCDFMonotone(t *testing.T) {
+	t.Parallel()
+
+	prev := -1.0
+	for m := 0; m <= 200; m += 10 {
+		p, err := NeighborhoodCDF(1000, 0.2, 2, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < prev {
+			t.Fatalf("CDF not monotone at m=%d", m)
+		}
+		prev = p
+	}
+	if p, _ := NeighborhoodCDF(1000, 0.2, 2, 1000); p != 1 {
+		t.Error("CDF at m=n must be 1")
+	}
+	if _, err := NeighborhoodCDF(0, 0.2, 2, 5); !errors.Is(err, ErrParam) {
+		t.Error("n=0 must error")
+	}
+}
+
+// TestNeighborhoodCDFFigure6aShape verifies the qualitative shape of
+// Figure 6(a): larger radii shift the CDF right (more neighbours), and at
+// r=0.03 (vicinity 2r=0.06) the paper's "m logarithmic in n" sweet spot
+// holds: a vicinity of ~30 devices is nearly certain.
+func TestNeighborhoodCDFFigure6aShape(t *testing.T) {
+	t.Parallel()
+
+	const n, d = 1000, 2
+	// Paper's r values for Figure 6(a); vicinity radius is 2r.
+	rs := []float64{0.1, 0.05, 0.033, 0.025, 0.02}
+	const m = 50
+	prev := -1.0
+	for i := len(rs) - 1; i >= 0; i-- { // increasing radius
+		p, err := NeighborhoodCDF(n, 2*rs[i], d, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p > 1 || p < 0 {
+			t.Fatalf("CDF out of range: %v", p)
+		}
+		if i < len(rs)-1 && p > prev {
+			t.Errorf("larger radius %v should give smaller P{N<=50}: %v > %v", rs[i], p, prev)
+		}
+		prev = p
+	}
+	p30, err := NeighborhoodCDF(n, 2*0.03, d, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p30 < 0.999 {
+		t.Errorf("P{N <= 30} at r=0.03 = %v, want near-certain", p30)
+	}
+}
+
+// TestImpactCDFMatchesFast: the paper's double sum and the thinning
+// identity Binomial(n-1, q·b) must agree to numerical precision.
+func TestImpactCDFMatchesFast(t *testing.T) {
+	t.Parallel()
+
+	for _, n := range []int{10, 100, 1000, 5000} {
+		for _, tau := range []int{1, 2, 3, 5} {
+			slow, err := ImpactCDF(n, 0.03, 2, tau, 0.005)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fast, err := ImpactCDFFast(n, 0.03, 2, tau, 0.005)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(slow-fast) > 1e-9 {
+				t.Errorf("n=%d τ=%d: double sum %v != thinning %v", n, tau, slow, fast)
+			}
+		}
+	}
+}
+
+// TestImpactCDFFigure6bValues pins the Figure 6(b) operating point: with
+// r = 0.03, b = 0.005, τ = 2..5, the curves stay above 0.997 up to
+// n = 15000 — exactly the y-range the paper plots.
+func TestImpactCDFFigure6bValues(t *testing.T) {
+	t.Parallel()
+
+	for _, tau := range []int{2, 3, 4, 5} {
+		p, err := ImpactCDFFast(15000, 0.03, 2, tau, 0.005)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < 0.997 {
+			t.Errorf("τ=%d: P{F <= τ} = %v, want >= 0.997 (Figure 6b)", tau, p)
+		}
+		if p > 1 {
+			t.Errorf("τ=%d: probability %v > 1", tau, p)
+		}
+	}
+	// Monotone in τ.
+	p2, _ := ImpactCDFFast(15000, 0.03, 2, 2, 0.005)
+	p5, _ := ImpactCDFFast(15000, 0.03, 2, 5, 0.005)
+	if p5 < p2 {
+		t.Error("P{F <= τ} must grow with τ")
+	}
+	// Decreasing in n.
+	small, _ := ImpactCDFFast(1000, 0.03, 2, 2, 0.005)
+	large, _ := ImpactCDFFast(15000, 0.03, 2, 2, 0.005)
+	if large > small {
+		t.Error("P{F <= τ} must decrease with n")
+	}
+}
+
+func TestImpactCDFValidation(t *testing.T) {
+	t.Parallel()
+
+	if _, err := ImpactCDF(0, 0.03, 2, 2, 0.005); !errors.Is(err, ErrParam) {
+		t.Error("n=0 must error")
+	}
+	if _, err := ImpactCDF(10, 0.03, 2, 2, 1.5); !errors.Is(err, stats.ErrInvalidProbability) {
+		t.Error("b>1 must error")
+	}
+	if _, err := ImpactCDFFast(10, 0.03, 2, 2, -0.1); !errors.Is(err, stats.ErrInvalidProbability) {
+		t.Error("b<0 must error")
+	}
+}
+
+func TestTuneTau(t *testing.T) {
+	t.Parallel()
+
+	// The paper's operating point: n=1000, r=0.03, b=0.005 — τ=3 keeps
+	// coincident isolated errors negligible at eps=1e-4... compute what we
+	// get and check consistency instead of pinning blindly.
+	tau, err := TuneTau(1000, 0.03, 2, 0.005, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tau < 1 || tau > 5 {
+		t.Errorf("TuneTau = %d, expected a small threshold", tau)
+	}
+	// Verify the defining property: P{F > τ} < eps <= P{F > τ-1}.
+	cdf, err := ImpactCDFFast(1000, 0.03, 2, tau, 0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if 1-cdf >= 1e-6 {
+		t.Errorf("returned τ=%d does not satisfy eps", tau)
+	}
+	if tau > 1 {
+		cdfPrev, err := ImpactCDFFast(1000, 0.03, 2, tau-1, 0.005)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if 1-cdfPrev < 1e-6 {
+			t.Errorf("τ=%d is not minimal", tau)
+		}
+	}
+	if _, err := TuneTau(1000, 0.03, 2, 0.005, 0); !errors.Is(err, ErrParam) {
+		t.Error("eps=0 must error")
+	}
+}
+
+func TestTuneRadius(t *testing.T) {
+	t.Parallel()
+
+	radius, err := TuneRadius(1000, 2, 3, 0.005, 1e-6, 0.24, 0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if radius <= 0 || radius > 0.24 {
+		t.Errorf("TuneRadius = %v out of range", radius)
+	}
+	cdf, err := ImpactCDFFast(1000, radius, 2, 3, 0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if 1-cdf >= 1e-6 {
+		t.Errorf("returned radius %v violates eps", radius)
+	}
+	if _, err := TuneRadius(1000, 2, 3, 0.005, 1e-6, -1, 0.01); !errors.Is(err, ErrParam) {
+		t.Error("bad maxRadius must error")
+	}
+	// Unsatisfiable: with b = 1 every neighbour is hit, so even tiny radii
+	// leave P{F > τ} above an absurdly small eps.
+	if _, err := TuneRadius(1000, 2, 3, 1.0, 1e-12, 0.249, 0.05); !errors.Is(err, ErrParam) {
+		t.Error("unsatisfiable TuneRadius must error")
+	}
+}

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"anomalia/internal/baseline"
+	"anomalia/internal/core"
+	"anomalia/internal/scenario"
+)
+
+// AblationConfig parameterizes the comparison experiments that go beyond
+// the paper: baseline accuracy and the price of exactness.
+type AblationConfig struct {
+	// Scenario is the generator configuration.
+	Scenario scenario.Config
+	// Steps is the number of windows per measurement.
+	Steps int
+	// CellSides are the tessellation bucket sizes swept by
+	// AblationBucketSize.
+	CellSides []float64
+}
+
+// DefaultAblation returns sensible ablation parameters around the paper's
+// operating point, using the calibrated concomitant-error regime so that
+// hard (Theorem 7 / unresolved) cases actually occur.
+func DefaultAblation() AblationConfig {
+	return AblationConfig{
+		Scenario: scenario.Config{
+			N: 1000, D: 2, R: 0.03, Tau: 3, A: 20, G: 0.5,
+			EnforceR3: true, Concomitant: true, MaxShift: 0.06, Seed: 9,
+		},
+		Steps:     20,
+		CellSides: []float64{0.015, 0.03, 0.06, 0.12, 0.24},
+	}
+}
+
+// AblationBucketSize quantifies the paper's critique of tessellation-based
+// detection [1]: classification accuracy against ground truth as a
+// function of the bucket size, compared with the local characterizer run
+// on the same windows.
+func AblationBucketSize(cfg AblationConfig) (*Table, error) {
+	t := &Table{
+		Title: fmt.Sprintf("Ablation: tessellation bucket-size sensitivity (n=%d, A=%d, tau=%d)",
+			cfg.Scenario.N, cfg.Scenario.A, cfg.Scenario.Tau),
+		Header: []string{"classifier", "accuracy", "false massive", "false isolated"},
+	}
+
+	// One pass per classifier over identically seeded generators.
+	run := func(classify func(step *scenario.Step) (map[int]bool, error)) (baseline.Confusion, error) {
+		gen, err := scenario.New(cfg.Scenario)
+		if err != nil {
+			return baseline.Confusion{}, err
+		}
+		var conf baseline.Confusion
+		for s := 0; s < cfg.Steps; s++ {
+			step, err := gen.Step()
+			if err != nil {
+				return baseline.Confusion{}, err
+			}
+			verdicts, err := classify(step)
+			if err != nil {
+				return baseline.Confusion{}, err
+			}
+			for _, j := range step.Abnormal {
+				iso, ok := step.TruthIsolated(j)
+				if !ok {
+					continue
+				}
+				conf.Add(verdicts[j], !iso)
+			}
+		}
+		return conf, nil
+	}
+
+	for _, side := range cfg.CellSides {
+		side := side
+		tess, err := baseline.NewTessellation(side, cfg.Scenario.Tau)
+		if err != nil {
+			return nil, err
+		}
+		conf, err := run(func(step *scenario.Step) (map[int]bool, error) {
+			return tess.Classify(step.Pair, step.Abnormal), nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("tessellation side %v: %w", side, err)
+		}
+		t.AddRow(fmt.Sprintf("tessellation cell=%g", side),
+			pct(conf.Accuracy()),
+			fmt.Sprintf("%d", conf.FalsePositive),
+			fmt.Sprintf("%d", conf.FalseNegative))
+	}
+
+	// The k-means centralized baseline.
+	conf, err := run(func(step *scenario.Step) (map[int]bool, error) {
+		km, err := baseline.NewKMeans(
+			baseline.ChooseK(len(step.Abnormal), cfg.Scenario.Tau),
+			cfg.Scenario.Tau, 100, cfg.Scenario.Seed)
+		if err != nil {
+			return nil, err
+		}
+		verdicts, _ := km.Classify(step.Pair, step.Abnormal)
+		return verdicts, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("k-means baseline: %w", err)
+	}
+	t.AddRow("k-means (centralized)", pct(conf.Accuracy()),
+		fmt.Sprintf("%d", conf.FalsePositive), fmt.Sprintf("%d", conf.FalseNegative))
+
+	// The local characterizer (massive = ClassMassive; unresolved counts
+	// as not-massive, the conservative reading).
+	conf, err = run(func(step *scenario.Step) (map[int]bool, error) {
+		char, err := core.New(step.Pair, step.Abnormal, core.Config{
+			R: cfg.Scenario.R, Tau: cfg.Scenario.Tau, Exact: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out := make(map[int]bool, len(step.Abnormal))
+		for _, j := range step.Abnormal {
+			res, err := char.Characterize(j)
+			if err != nil {
+				return nil, err
+			}
+			out[j] = res.Class == core.ClassMassive
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("characterizer: %w", err)
+	}
+	t.AddRow("characterizer (this paper)", pct(conf.Accuracy()),
+		fmt.Sprintf("%d", conf.FalsePositive), fmt.Sprintf("%d", conf.FalseNegative))
+	return t, nil
+}
+
+// AblationExactness measures what the full NSC buys over the cheap
+// Theorem 6 pass: the share of devices each rule settles and the
+// wall-clock cost of both modes on identical workloads.
+func AblationExactness(cfg AblationConfig) (*Table, error) {
+	t := &Table{
+		Title: fmt.Sprintf("Ablation: Theorem 6 only vs full NSC (n=%d, A=%d, tau=%d)",
+			cfg.Scenario.N, cfg.Scenario.A, cfg.Scenario.Tau),
+		Header: []string{"mode", "isolated", "massive", "unresolved", "mean |A_k|", "wall time"},
+	}
+	for _, exact := range []bool{false, true} {
+		start := time.Now()
+		st, err := RunSim(SimConfig{Scenario: cfg.Scenario, Steps: cfg.Steps, Exact: exact})
+		if err != nil {
+			return nil, fmt.Errorf("exact=%v: %w", exact, err)
+		}
+		elapsed := time.Since(start)
+		mode := "theorem 6 only"
+		if exact {
+			mode = "full NSC (Thm 7/Cor 8)"
+		}
+		t.AddRow(mode,
+			pct(st.FracIsolated),
+			pct(st.FracMassive6+st.FracMassive7),
+			pct(st.FracUnresolved),
+			f(st.MeanAbnormal),
+			elapsed.Round(time.Millisecond).String())
+	}
+	return t, nil
+}

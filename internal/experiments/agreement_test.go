@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"errors"
+	"testing"
+
+	"anomalia/internal/scenario"
+)
+
+func TestAgreementIsExact(t *testing.T) {
+	t.Parallel()
+
+	cfg := DefaultAgreement()
+	cfg.Trials = 40
+	tab, err := Agreement(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// The paper proves local = omniscient; the artifact must show 100%.
+	if got := parsePct(t, tab.Rows[0][1]); got != 100 {
+		t.Errorf("agreement = %v%%, want 100%%", got)
+	}
+	if compared := tab.Rows[0][0]; compared == "0" {
+		t.Error("no windows compared; oracle always skipped?")
+	}
+}
+
+func TestAgreementValidation(t *testing.T) {
+	t.Parallel()
+
+	cfg := DefaultAgreement()
+	cfg.Trials = 0
+	if _, err := Agreement(cfg); !errors.Is(err, scenario.ErrConfig) {
+		t.Errorf("trials=0 error = %v", err)
+	}
+	cfg = DefaultAgreement()
+	cfg.Devices = 1
+	if _, err := Agreement(cfg); !errors.Is(err, scenario.ErrConfig) {
+		t.Errorf("devices=1 error = %v", err)
+	}
+}

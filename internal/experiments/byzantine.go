@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"anomalia/internal/core"
+	"anomalia/internal/scenario"
+)
+
+// ByzantineConfig parameterizes the collusion study (the paper's future
+// work, Section VIII): how many colluders does it take to defeat the
+// characterizer?
+type ByzantineConfig struct {
+	// Scenario is the honest-world generator configuration.
+	Scenario scenario.Config
+	// Windows is the number of attacked windows per measurement.
+	Windows int
+	// ColluderCounts sweeps the collusion size.
+	ColluderCounts []int
+}
+
+// DefaultByzantine returns a study around the paper's operating point.
+func DefaultByzantine() ByzantineConfig {
+	return ByzantineConfig{
+		Scenario: scenario.Config{
+			N: 1000, D: 2, R: 0.03, Tau: 3, A: 12, G: 0.5,
+			EnforceR3: true, Seed: 7,
+		},
+		Windows:        15,
+		ColluderCounts: []int{1, 2, 3, 4, 5, 8},
+	}
+}
+
+// AblationByzantine measures attack success rates: for the mimic attack,
+// the fraction of attacked windows in which the isolated victim's verdict
+// flipped to massive (its legitimate report suppressed); for the scatter
+// attack, the fraction in which an honest member of a massive group lost
+// its massive verdict (false local fault). Success should jump once the
+// colluders can push the victim's neighbourhood across the τ threshold.
+func AblationByzantine(cfg ByzantineConfig) (*Table, error) {
+	if cfg.Windows < 1 {
+		return nil, fmt.Errorf("windows = %d: %w", cfg.Windows, scenario.ErrConfig)
+	}
+	t := &Table{
+		Title: fmt.Sprintf("Future work: collusion attacks (n=%d, tau=%d, %d windows each)",
+			cfg.Scenario.N, cfg.Scenario.Tau, cfg.Windows),
+		Header: []string{"attack", "colluders", "attempted", "succeeded", "success"},
+	}
+	for _, kind := range []scenario.AttackKind{scenario.AttackMimic, scenario.AttackScatter} {
+		for _, colluders := range cfg.ColluderCounts {
+			attempted, succeeded, err := runAttack(cfg, kind, colluders)
+			if err != nil {
+				return nil, fmt.Errorf("%v with %d colluders: %w", kind, colluders, err)
+			}
+			rate := 0.0
+			if attempted > 0 {
+				rate = float64(succeeded) / float64(attempted)
+			}
+			t.AddRow(kind.String(),
+				fmt.Sprintf("%d", colluders),
+				fmt.Sprintf("%d", attempted),
+				fmt.Sprintf("%d", succeeded),
+				pct(rate))
+		}
+	}
+	return t, nil
+}
+
+// runAttack mounts one attack kind over fresh windows and counts verdict
+// flips on the victim.
+func runAttack(cfg ByzantineConfig, kind scenario.AttackKind, colluders int) (attempted, succeeded int, err error) {
+	gen, err := scenario.New(cfg.Scenario)
+	if err != nil {
+		return 0, 0, err
+	}
+	classify := func(step *scenario.Step, device int) (core.Class, error) {
+		char, err := core.New(step.Pair, step.Abnormal, core.Config{
+			R: cfg.Scenario.R, Tau: cfg.Scenario.Tau, Exact: true,
+		})
+		if err != nil {
+			return core.ClassUnknown, err
+		}
+		res, err := char.Characterize(device)
+		if err != nil {
+			return core.ClassUnknown, err
+		}
+		return res.Class, nil
+	}
+	for w := 0; w < cfg.Windows; w++ {
+		step, err := gen.Step()
+		if err != nil {
+			return 0, 0, err
+		}
+		attack := scenario.Attack{Kind: kind, Colluders: colluders, Seed: int64(w)}
+		res, err := attack.Apply(step, cfg.Scenario.Tau)
+		if err != nil {
+			if errors.Is(err, scenario.ErrAttack) {
+				continue // window not attackable (no suitable event)
+			}
+			return 0, 0, err
+		}
+		attempted++
+		after, err := classify(step, res.Victim)
+		if err != nil {
+			return 0, 0, err
+		}
+		switch kind {
+		case scenario.AttackMimic:
+			if after == core.ClassMassive {
+				succeeded++
+			}
+		case scenario.AttackScatter:
+			if after != core.ClassMassive {
+				succeeded++
+			}
+		}
+	}
+	return attempted, succeeded, nil
+}

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+
+	"anomalia/internal/detect"
+	"anomalia/internal/stats"
+	"anomalia/internal/trace"
+)
+
+// DetectorStudyConfig parameterizes the error-detection-function
+// comparison: every detector family the paper cites, measured on the same
+// synthesized QoS traces with ground-truth incident times.
+type DetectorStudyConfig struct {
+	// Traces is the number of independent traces per detector.
+	Traces int
+	// Length is the trace length in samples.
+	Length int
+	// Warmup samples at the start carry no incidents.
+	Warmup int
+	// DetectWindow is the number of samples after an incident start
+	// within which a flag counts as a detection.
+	DetectWindow int
+	// Seed drives trace synthesis.
+	Seed int64
+}
+
+// DefaultDetectorStudy returns a moderate-size study.
+func DefaultDetectorStudy() DetectorStudyConfig {
+	return DetectorStudyConfig{
+		Traces:       20,
+		Length:       600,
+		Warmup:       100,
+		DetectWindow: 10,
+		Seed:         1,
+	}
+}
+
+// detectorUnderStudy pairs a name with a fresh-detector factory.
+type detectorUnderStudy struct {
+	name  string
+	build func() (detect.Detector, error)
+}
+
+func studyDetectors() []detectorUnderStudy {
+	return []detectorUnderStudy{
+		{"threshold", func() (detect.Detector, error) { return detect.NewThreshold(0.08) }},
+		{"ewma", func() (detect.Detector, error) { return detect.NewEWMA(0.2, 5, 0.015, 10) }},
+		{"cusum", func() (detect.Detector, error) { return detect.NewCUSUM(0.01, 0.1, 0.05) }},
+		{"holt-winters", func() (detect.Detector, error) { return detect.NewHoltWinters(0.4, 0.2, 0, 6, 0.06, 0) }},
+		{"kalman", func() (detect.Detector, error) { return detect.NewKalman(5e-5, 5e-4, 5) }},
+		{"shewhart", func() (detect.Detector, error) { return detect.NewShewhart(6, 0.02, 10) }},
+	}
+}
+
+// DetectorStudy measures, for each error-detection function the paper
+// cites, the detection rate and latency on sharp dips and slow drifts,
+// plus the false-alarm rate on calm stretches — the trade-offs behind the
+// choice of a_k(j).
+func DetectorStudy(cfg DetectorStudyConfig) (*Table, error) {
+	if cfg.Traces < 1 || cfg.Length <= cfg.Warmup {
+		return nil, fmt.Errorf("traces %d length %d warmup %d: %w",
+			cfg.Traces, cfg.Length, cfg.Warmup, trace.ErrTraceConfig)
+	}
+	t := &Table{
+		Title: fmt.Sprintf("Detector study: %d traces of %d samples each", cfg.Traces, cfg.Length),
+		Header: []string{
+			"detector", "dip detect", "dip latency", "drift detect", "false/1k calm",
+		},
+	}
+	for _, d := range studyDetectors() {
+		row, err := studyOne(cfg, d)
+		if err != nil {
+			return nil, fmt.Errorf("detector %s: %w", d.name, err)
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// studyOne measures one detector family over fresh traces.
+func studyOne(cfg DetectorStudyConfig, d detectorUnderStudy) ([]string, error) {
+	var (
+		dipHits, driftHits int
+		dipLatency         stats.Welford
+		falseAlarms        int
+		calmSamples        int
+	)
+	const (
+		dipMagnitude   = 0.25
+		driftMagnitude = 0.2
+	)
+	for tr := 0; tr < cfg.Traces; tr++ {
+		// One dip and one drift per trace, placed deterministically.
+		dipAt := cfg.Warmup + 50
+		driftAt := cfg.Length * 2 / 3
+		driftDur := 40
+		events := []trace.Event{
+			{Kind: trace.Dip, At: dipAt, Duration: 20, Magnitude: dipMagnitude},
+			{Kind: trace.Drift, At: driftAt, Duration: driftDur, Magnitude: driftMagnitude},
+		}
+		xs, err := trace.Generate(trace.Config{
+			Base: 0.92, Rho: 0.4, NoiseStd: 0.008,
+			Seed: cfg.Seed + int64(tr),
+		}, cfg.Length, events)
+		if err != nil {
+			return nil, err
+		}
+		det, err := d.build()
+		if err != nil {
+			return nil, err
+		}
+		dipSeen, driftSeen := false, false
+		for i, x := range xs {
+			flagged := det.Update(x)
+			if !flagged {
+				continue
+			}
+			switch {
+			case i >= dipAt && i < dipAt+cfg.DetectWindow:
+				if !dipSeen {
+					dipSeen = true
+					dipHits++
+					dipLatency.Add(float64(i - dipAt))
+				}
+			case i >= driftAt && i < driftAt+driftDur+cfg.DetectWindow:
+				if !driftSeen {
+					driftSeen = true
+					driftHits++
+				}
+			case i > cfg.Warmup && (i < dipAt || (i >= dipAt+25 && i < driftAt)):
+				falseAlarms++
+			}
+		}
+		// Calm samples: between warmup and the dip, and between dip
+		// recovery and the drift.
+		calmSamples += (dipAt - cfg.Warmup) + (driftAt - dipAt - 25)
+	}
+	rate := func(hits int) string {
+		return pct(float64(hits) / float64(cfg.Traces))
+	}
+	faPer1k := 0.0
+	if calmSamples > 0 {
+		faPer1k = 1000 * float64(falseAlarms) / float64(calmSamples)
+	}
+	return []string{
+		d.name,
+		rate(dipHits),
+		fmt.Sprintf("%.1f", dipLatency.Mean()),
+		rate(driftHits),
+		fmt.Sprintf("%.2f", faPer1k),
+	}, nil
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"errors"
+	"strconv"
+	"testing"
+
+	"anomalia/internal/trace"
+)
+
+func TestDetectorStudyRuns(t *testing.T) {
+	t.Parallel()
+
+	cfg := DefaultDetectorStudy()
+	cfg.Traces = 8
+	tab, err := DetectorStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 detector families", len(tab.Rows))
+	}
+	// Every detector must catch the majority of sharp dips.
+	for _, row := range tab.Rows {
+		v := parsePct(t, row[1])
+		if v < 75 {
+			t.Errorf("%s dip detection = %v%%, want >= 75%%", row[0], v)
+		}
+	}
+	// CUSUM must be among the drift catchers (its design purpose).
+	for _, row := range tab.Rows {
+		if row[0] != "cusum" {
+			continue
+		}
+		if v := parsePct(t, row[3]); v < 75 {
+			t.Errorf("cusum drift detection = %v%%, want >= 75%%", v)
+		}
+	}
+}
+
+func TestDetectorStudyValidation(t *testing.T) {
+	t.Parallel()
+
+	cfg := DefaultDetectorStudy()
+	cfg.Traces = 0
+	if _, err := DetectorStudy(cfg); !errors.Is(err, trace.ErrTraceConfig) {
+		t.Errorf("traces=0 error = %v", err)
+	}
+	cfg = DefaultDetectorStudy()
+	cfg.Warmup = cfg.Length
+	if _, err := DetectorStudy(cfg); !errors.Is(err, trace.ErrTraceConfig) {
+		t.Errorf("warmup >= length error = %v", err)
+	}
+}
+
+func TestDistCostGrowsSublinearly(t *testing.T) {
+	t.Parallel()
+
+	cfg := DefaultDistCost()
+	cfg.N = 500
+	cfg.As = []int{5, 40}
+	cfg.Steps = 3
+	tab, err := DistCost(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// The per-device view depends on local density, not on |A_k|: an 8x
+	// error load must not inflate per-device messages by anything close
+	// to 8x (that is the scalability argument against centralization).
+	lo := parseFloat(t, tab.Rows[0][2])
+	hi := parseFloat(t, tab.Rows[1][2])
+	if hi > 4*lo {
+		t.Errorf("messages grew from %v to %v across an 8x load increase", lo, hi)
+	}
+}
+
+func parseFloat(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}

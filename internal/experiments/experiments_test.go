@@ -1,0 +1,323 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"anomalia/internal/scenario"
+)
+
+// smallSweep keeps simulation-driven tests fast.
+func smallSweep() SweepConfig {
+	return SweepConfig{
+		N: 400, D: 2, R: 0.03, Tau: 3,
+		As:       []int{1, 10, 25},
+		Gs:       []float64{0, 1},
+		Steps:    4,
+		Seed:     3,
+		MaxShift: 0.06,
+	}
+}
+
+func smallTables() TablesConfig {
+	cfg := DefaultTables()
+	cfg.Steps = 8
+	return cfg
+}
+
+func TestTableRendering(t *testing.T) {
+	t.Parallel()
+
+	tab := &Table{Title: "demo", Header: []string{"a", "b"}}
+	tab.AddRow("1", "2")
+	tab.AddRow("333", "4")
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# demo") || !strings.Contains(out, "333") {
+		t.Errorf("rendered table missing content:\n%s", out)
+	}
+
+	buf.Reset()
+	if err := tab.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 || lines[0] != "a,b" {
+		t.Errorf("CSV output wrong: %q", buf.String())
+	}
+}
+
+func TestFig6aTable(t *testing.T) {
+	t.Parallel()
+
+	cfg := DefaultFig6a()
+	cfg.MaxM = 50
+	cfg.StepM = 10
+	tab, err := Fig6a(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(tab.Rows))
+	}
+	// Each column must be monotone nondecreasing in m and end near 1 for
+	// the smallest radius.
+	for col := 1; col < len(tab.Header); col++ {
+		prev := -1.0
+		for _, row := range tab.Rows {
+			v, err := strconv.ParseFloat(row[col], 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v < prev-1e-9 {
+				t.Fatalf("column %s not monotone", tab.Header[col])
+			}
+			prev = v
+		}
+	}
+	last := tab.Rows[len(tab.Rows)-1]
+	v, err := strconv.ParseFloat(last[len(last)-1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < 0.999 {
+		t.Errorf("smallest radius CDF at m=50 = %v, want ~1", v)
+	}
+}
+
+func TestFig6bTable(t *testing.T) {
+	t.Parallel()
+
+	cfg := DefaultFig6b()
+	cfg.MaxN = 3000
+	cfg.StepN = 1000
+	tab, err := Fig6b(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tab.Rows))
+	}
+	// All probabilities near 1, and τ=5 >= τ=2 row-wise.
+	for _, row := range tab.Rows {
+		p2, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p5, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p2 < 0.99 || p5 < p2 {
+			t.Errorf("row %v: unexpected probabilities", row)
+		}
+	}
+}
+
+func TestRunSimBasics(t *testing.T) {
+	t.Parallel()
+
+	st, err := RunSim(SimConfig{
+		Scenario: scenario.Config{
+			N: 400, D: 2, R: 0.03, Tau: 3, A: 10, G: 0.5,
+			EnforceR3: true, Seed: 2,
+		},
+		Steps: 5,
+		Exact: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MeanAbnormal <= 0 {
+		t.Error("no abnormal devices simulated")
+	}
+	total := st.FracIsolated + st.FracMassive6 + st.FracMassive7 + st.FracUnresolved
+	if total < 0.999 || total > 1.001 {
+		t.Errorf("rule fractions sum to %v, want 1", total)
+	}
+	if st.URatio < 0 || st.URatio > 1 || st.MissedRate < 0 || st.MissedRate > 1 {
+		t.Errorf("ratios out of range: %+v", st)
+	}
+}
+
+func TestRunSimValidation(t *testing.T) {
+	t.Parallel()
+
+	if _, err := RunSim(SimConfig{Steps: 0}); err == nil {
+		t.Error("steps=0 must error")
+	}
+	if _, err := RunSim(SimConfig{Steps: 1}); err == nil {
+		t.Error("invalid scenario must error")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	t.Parallel()
+
+	tab, st, err := Table2(smallTables())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 || len(tab.Rows[0]) != 4 {
+		t.Fatalf("table II shape wrong: %+v", tab)
+	}
+	// With G = ε nearly all devices are massive; Theorem 6 must carry the
+	// bulk of the classification (the paper reports 88.34% / 0.4%).
+	if st.FracMassive6 < 0.5 {
+		t.Errorf("Theorem 6 fraction = %v, expected the bulk", st.FracMassive6)
+	}
+	if st.FracMassive7 > 0.05 {
+		t.Errorf("Theorem 7 extra fraction = %v, expected marginal (paper: 0.4%%)", st.FracMassive7)
+	}
+	if st.FracIsolated > 0.3 {
+		t.Errorf("isolated fraction = %v, expected small under G=ε", st.FracIsolated)
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	t.Parallel()
+
+	tab, st, err := Table3(smallTables())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 {
+		t.Fatal("table III must have one row")
+	}
+	// Theorem 5/6 costs are a handful of motions; the exact searches are
+	// orders of magnitude bigger whenever they run (Table III's point).
+	if st.CostIsolated <= 0 || st.CostIsolated > 10 {
+		t.Errorf("isolated cost = %v, expected a few motions", st.CostIsolated)
+	}
+	if st.CostMassive6 <= 0 || st.CostMassive6 > 10 {
+		t.Errorf("theorem-6 cost = %v, expected a few dense motions", st.CostMassive6)
+	}
+	if st.CostMassive7 > 0 && st.CostMassive7 < st.CostMassive6 {
+		t.Errorf("theorem-7 cost %v should dominate theorem-6 cost %v",
+			st.CostMassive7, st.CostMassive6)
+	}
+}
+
+func TestFig7Monotonicity(t *testing.T) {
+	t.Parallel()
+
+	tab, err := Fig7(smallSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	parse := func(cell string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "%"), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	// With a single error there can be no superposition: |U_k|/|A_k| = 0.
+	if v := parse(tab.Rows[0][1]); v != 0 {
+		t.Errorf("A=1, G=0: unresolved ratio = %v, want 0", v)
+	}
+	// More errors must not decrease the unresolved ratio under G=0
+	// (massive-only), the paper's dominant trend.
+	first, last := parse(tab.Rows[0][1]), parse(tab.Rows[len(tab.Rows)-1][1])
+	if last < first {
+		t.Errorf("unresolved ratio decreased with A: %v -> %v", first, last)
+	}
+}
+
+func TestFig8Bounded(t *testing.T) {
+	t.Parallel()
+
+	tab, err := Fig8(smallSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		for _, cell := range row[1:] {
+			v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "%"), 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v < 0 || v > 15 {
+				t.Errorf("missed detection %v%% outside the paper's <10%% envelope", v)
+			}
+		}
+	}
+}
+
+func TestFig9Runs(t *testing.T) {
+	t.Parallel()
+
+	tab, err := Fig9(smallSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 || len(tab.Rows[0]) != 3 {
+		t.Fatalf("fig9 shape: %+v", tab.Rows)
+	}
+}
+
+func TestAblationBucketSize(t *testing.T) {
+	t.Parallel()
+
+	cfg := DefaultAblation()
+	cfg.Scenario.N = 300
+	cfg.Steps = 5
+	cfg.CellSides = []float64{0.03, 0.24}
+	tab, err := AblationBucketSize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 tessellation rows + kmeans + characterizer.
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tab.Rows))
+	}
+	// The characterizer row is last; its accuracy should be at least that
+	// of every tessellation row (the paper's argument).
+	parse := func(cell string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "%"), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	ours := parse(tab.Rows[3][1])
+	for i := 0; i < 2; i++ {
+		if parse(tab.Rows[i][1]) > ours+1e-9 {
+			t.Errorf("tessellation row %v beats the characterizer (%v%%)", tab.Rows[i], ours)
+		}
+	}
+}
+
+func TestAblationExactness(t *testing.T) {
+	t.Parallel()
+
+	cfg := DefaultAblation()
+	cfg.Scenario.N = 300
+	cfg.Steps = 5
+	tab, err := AblationExactness(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tab.Rows))
+	}
+	parse := func(cell string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "%"), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	// Exact mode can only shrink the unresolved set.
+	if parse(tab.Rows[1][3]) > parse(tab.Rows[0][3])+1e-9 {
+		t.Errorf("full NSC increased unresolved: %v vs %v", tab.Rows[1][3], tab.Rows[0][3])
+	}
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"errors"
+	"strconv"
+	"strings"
+	"testing"
+
+	"anomalia/internal/scenario"
+)
+
+func parsePct(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "%"), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestGranularityShrinksUnresolved(t *testing.T) {
+	t.Parallel()
+
+	cfg := DefaultGranularity()
+	cfg.N = 600
+	cfg.TotalErrors = 36
+	cfg.Splits = []int{1, 6}
+	cfg.Bursts = 4
+	tab, err := Granularity(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	coarse := parsePct(t, tab.Rows[0][2])
+	fine := parsePct(t, tab.Rows[1][2])
+	if fine > coarse {
+		t.Errorf("finer sampling increased unresolved ratio: %v%% -> %v%%", coarse, fine)
+	}
+}
+
+func TestGranularityValidation(t *testing.T) {
+	t.Parallel()
+
+	cfg := DefaultGranularity()
+	cfg.TotalErrors = 0
+	if _, err := Granularity(cfg); !errors.Is(err, scenario.ErrConfig) {
+		t.Errorf("zero errors = %v", err)
+	}
+	cfg = DefaultGranularity()
+	cfg.Splits = []int{7} // does not divide 60
+	if _, err := Granularity(cfg); !errors.Is(err, scenario.ErrConfig) {
+		t.Errorf("bad split = %v", err)
+	}
+}
+
+func TestAblationByzantine(t *testing.T) {
+	t.Parallel()
+
+	cfg := DefaultByzantine()
+	cfg.Windows = 6
+	cfg.ColluderCounts = []int{1, 5}
+	tab, err := AblationByzantine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 attacks x 2 colluder counts.
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tab.Rows))
+	}
+	// Locate the mimic rows: with tau=3, one colluder cannot make a lone
+	// victim's neighbourhood dense, five can. Success must not decrease
+	// with more colluders.
+	var mimic1, mimic5 float64 = -1, -1
+	for _, row := range tab.Rows {
+		if row[0] != "mimic" {
+			continue
+		}
+		switch row[1] {
+		case "1":
+			mimic1 = parsePct(t, row[4])
+		case "5":
+			mimic5 = parsePct(t, row[4])
+		}
+	}
+	if mimic1 < 0 || mimic5 < 0 {
+		t.Fatalf("mimic rows missing: %+v", tab.Rows)
+	}
+	if mimic5 < mimic1 {
+		t.Errorf("more colluders lowered mimic success: %v%% -> %v%%", mimic1, mimic5)
+	}
+	if mimic5 < 50 {
+		t.Errorf("5 colluders vs tau=3 should usually succeed, got %v%%", mimic5)
+	}
+}
+
+func TestAblationByzantineValidation(t *testing.T) {
+	t.Parallel()
+
+	cfg := DefaultByzantine()
+	cfg.Windows = 0
+	if _, err := AblationByzantine(cfg); !errors.Is(err, scenario.ErrConfig) {
+		t.Errorf("windows=0 error = %v", err)
+	}
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+
+	"anomalia/internal/dimension"
+)
+
+// Fig6aConfig parameterizes the Figure 6(a) sweep: the CDF of the
+// vicinity population P{N_r(j) <= m} for several consistency radii.
+type Fig6aConfig struct {
+	// N is the population size (paper: 1000).
+	N int
+	// D is the QoS dimension (paper: 2).
+	D int
+	// Rs are the consistency radii (paper: 0.1, 0.05, 0.033, 0.025, 0.02);
+	// the vicinity has radius 2r.
+	Rs []float64
+	// MaxM is the largest vicinity size plotted (paper: 200).
+	MaxM int
+	// StepM is the m increment between rows.
+	StepM int
+}
+
+// DefaultFig6a returns the paper's Figure 6(a) parameters.
+func DefaultFig6a() Fig6aConfig {
+	return Fig6aConfig{
+		N:     1000,
+		D:     2,
+		Rs:    []float64{0.1, 0.05, 0.033, 0.025, 0.02},
+		MaxM:  200,
+		StepM: 5,
+	}
+}
+
+// Fig6a computes P{N_r(j) <= m} as a function of m for each radius —
+// Figure 6(a).
+func Fig6a(cfg Fig6aConfig) (*Table, error) {
+	if cfg.StepM <= 0 {
+		cfg.StepM = 5
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Figure 6(a): P{N_r(j) <= m}, n=%d, d=%d", cfg.N, cfg.D),
+		Header: []string{"m"},
+	}
+	for _, r := range cfg.Rs {
+		t.Header = append(t.Header, fmt.Sprintf("r=%g", r))
+	}
+	for m := 0; m <= cfg.MaxM; m += cfg.StepM {
+		row := []string{fmt.Sprintf("%d", m)}
+		for _, r := range cfg.Rs {
+			p, err := dimension.NeighborhoodCDF(cfg.N, 2*r, cfg.D, m)
+			if err != nil {
+				return nil, fmt.Errorf("fig6a at m=%d r=%v: %w", m, r, err)
+			}
+			row = append(row, f(p))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig6bConfig parameterizes the Figure 6(b) sweep: P{F_r(j) <= τ} as a
+// function of the system size for several density thresholds.
+type Fig6bConfig struct {
+	// D is the QoS dimension (paper: 2).
+	D int
+	// R is the error-ball radius (paper: 0.03).
+	R float64
+	// B is the per-device isolated-error probability (paper: 0.005).
+	B float64
+	// Taus are the density thresholds (paper: 2..5).
+	Taus []int
+	// MaxN is the largest population (paper: 15000).
+	MaxN int
+	// StepN is the population increment between rows.
+	StepN int
+}
+
+// DefaultFig6b returns the paper's Figure 6(b) parameters.
+func DefaultFig6b() Fig6bConfig {
+	return Fig6bConfig{
+		D:     2,
+		R:     0.03,
+		B:     0.005,
+		Taus:  []int{2, 3, 4, 5},
+		MaxN:  15000,
+		StepN: 500,
+	}
+}
+
+// Fig6b computes P{F_r(j) <= τ} as a function of n for each τ —
+// Figure 6(b).
+func Fig6b(cfg Fig6bConfig) (*Table, error) {
+	if cfg.StepN <= 0 {
+		cfg.StepN = 500
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Figure 6(b): P{F_r(j) <= tau}, r=%g, b=%g", cfg.R, cfg.B),
+		Header: []string{"n"},
+	}
+	for _, tau := range cfg.Taus {
+		t.Header = append(t.Header, fmt.Sprintf("tau=%d", tau))
+	}
+	for n := cfg.StepN; n <= cfg.MaxN; n += cfg.StepN {
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, tau := range cfg.Taus {
+			p, err := dimension.ImpactCDFFast(n, cfg.R, cfg.D, tau, cfg.B)
+			if err != nil {
+				return nil, fmt.Errorf("fig6b at n=%d tau=%d: %w", n, tau, err)
+			}
+			row = append(row, fmt.Sprintf("%.6f", p))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}

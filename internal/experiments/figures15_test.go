@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestWorkedFiguresTable(t *testing.T) {
+	t.Parallel()
+
+	tab, err := WorkedFigures()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 + 10 + 5 + 5 + 7 + 8 = 41 devices across the six figures.
+	if len(tab.Rows) != 41 {
+		t.Fatalf("rows = %d, want 41", len(tab.Rows))
+	}
+	// Figure 5 device 1 is the paper's flagship Theorem-7 case.
+	found := false
+	for _, row := range tab.Rows {
+		if row[0] == "figure5" && row[1] == "1" {
+			found = true
+			if row[2] != "massive" || row[3] != "theorem7" {
+				t.Errorf("figure5 device 1 = %v, want massive by theorem7", row)
+			}
+			if row[4] != "{1,2}" {
+				t.Errorf("figure5 device 1 J = %v, want {1,2}", row[4])
+			}
+		}
+	}
+	if !found {
+		t.Fatal("figure5 device 1 missing from table")
+	}
+	// Isolated rows show empty J/L.
+	for _, row := range tab.Rows {
+		if row[2] == "isolated" && (row[4] != "-" || row[5] != "-" || row[6] != "-") {
+			t.Errorf("isolated row with neighbourhood data: %v", row)
+		}
+	}
+}
+
+func TestFmtHelpers(t *testing.T) {
+	t.Parallel()
+
+	if fmtSet(nil) != "-" || fmtSet([]int{0, 2}) != "{1,3}" {
+		t.Error("fmtSet misbehaved")
+	}
+	if fmtFamily(nil) != "-" || fmtFamily([][]int{{0}, {1, 2}}) != "{1} {2,3}" {
+		t.Error("fmtFamily misbehaved")
+	}
+}

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"anomalia/internal/core"
+	"anomalia/internal/scenario"
+	"anomalia/internal/stats"
+)
+
+// SimConfig drives one Monte-Carlo measurement: a scenario generator
+// configuration, the number of observation windows to simulate, and the
+// characterizer mode.
+type SimConfig struct {
+	// Scenario is the Section VII-A generator configuration.
+	Scenario scenario.Config
+	// Steps is the number of observation windows simulated.
+	Steps int
+	// Exact runs the full NSC (Theorem 7 / Corollary 8).
+	Exact bool
+	// Budget caps the exact search per device (0: core default).
+	Budget int
+}
+
+// SimStats aggregates classification outcomes over a simulation.
+type SimStats struct {
+	// Steps actually simulated.
+	Steps int
+	// MeanAbnormal is the average |A_k| per window.
+	MeanAbnormal float64
+	// FracIsolated..FracUnresolved partition the abnormal population by
+	// deciding rule (fractions of all abnormal devices seen).
+	FracIsolated   float64 // Theorem 5
+	FracMassive6   float64 // Theorem 6
+	FracMassive7   float64 // Theorem 7 (exact mode only)
+	FracUnresolved float64 // Corollary 8 (or Theorem-6-undecided in cheap mode)
+	// URatio is the mean over windows of |U_k|/|A_k| (Figures 7 and 9).
+	URatio float64
+	// MissedRate is the mean over windows of the fraction of abnormal
+	// devices that were hit by an isolated error yet classified massive
+	// (Figure 8).
+	MissedRate float64
+	// MassiveMissRate is the mean fraction of devices hit by massive
+	// errors that were *not* classified massive (complementary diagnostic).
+	MassiveMissRate float64
+	// CostIsolated is the mean |M(j)| over Theorem-5 devices (Table III).
+	CostIsolated float64
+	// CostMassive6 is the mean |W̄_k(j)| over Theorem-6 devices.
+	CostMassive6 float64
+	// CostUnresolved is the mean number of collections tested by devices
+	// settled by Corollary 8.
+	CostUnresolved float64
+	// CostMassive7 is the mean number of collections tested by devices
+	// settled by Theorem 7 (the expensive exhaustion).
+	CostMassive7 float64
+	// BudgetFailures counts devices whose exact search ran out of budget
+	// (counted unresolved).
+	BudgetFailures int
+	// R3Failures counts isolated errors whose R3 separation retries were
+	// exhausted by the generator.
+	R3Failures int
+}
+
+// RunSim simulates cfg.Steps windows and aggregates the outcomes.
+func RunSim(cfg SimConfig) (SimStats, error) {
+	if cfg.Steps <= 0 {
+		return SimStats{}, fmt.Errorf("steps = %d: %w", cfg.Steps, scenario.ErrConfig)
+	}
+	gen, err := scenario.New(cfg.Scenario)
+	if err != nil {
+		return SimStats{}, err
+	}
+
+	var (
+		out         SimStats
+		totalAb     int
+		uRatio      stats.Welford
+		missed      stats.Welford
+		massiveMiss stats.Welford
+		costIso     stats.Welford
+		costM6      stats.Welford
+		costU       stats.Welford
+		costM7      stats.Welford
+	)
+	for s := 0; s < cfg.Steps; s++ {
+		step, err := gen.Step()
+		if err != nil {
+			return SimStats{}, fmt.Errorf("step %d: %w", s, err)
+		}
+		out.R3Failures += step.R3Failures
+		if len(step.Abnormal) == 0 {
+			continue
+		}
+		char, err := core.New(step.Pair, step.Abnormal, core.Config{
+			R:      cfg.Scenario.R,
+			Tau:    cfg.Scenario.Tau,
+			Exact:  cfg.Exact,
+			Budget: cfg.Budget,
+		})
+		if err != nil {
+			return SimStats{}, fmt.Errorf("step %d: %w", s, err)
+		}
+
+		stepU, stepMissed, stepMassiveTruth, stepMassiveMissed := 0, 0, 0, 0
+		for _, j := range step.Abnormal {
+			res, err := char.Characterize(j)
+			if err != nil {
+				if errors.Is(err, core.ErrBudget) {
+					out.BudgetFailures++
+					stepU++
+					out.FracUnresolved++
+					continue
+				}
+				return SimStats{}, fmt.Errorf("step %d device %d: %w", s, j, err)
+			}
+			switch res.Rule {
+			case core.RuleTheorem5:
+				out.FracIsolated++
+				costIso.Add(float64(res.Cost.MaximalMotions))
+			case core.RuleTheorem6:
+				out.FracMassive6++
+				costM6.Add(float64(res.Cost.DenseMotions))
+			case core.RuleTheorem7:
+				out.FracMassive7++
+				costM7.Add(float64(res.Cost.CollectionsTested))
+			default: // Corollary 8 or cheap-mode fallback
+				out.FracUnresolved++
+				stepU++
+				costU.Add(float64(res.Cost.CollectionsTested))
+			}
+
+			iso, known := step.TruthIsolated(j)
+			if !known {
+				continue
+			}
+			if iso && res.Class == core.ClassMassive {
+				stepMissed++
+			}
+			if !iso {
+				stepMassiveTruth++
+				if res.Class != core.ClassMassive {
+					stepMassiveMissed++
+				}
+			}
+		}
+		ab := len(step.Abnormal)
+		totalAb += ab
+		uRatio.Add(float64(stepU) / float64(ab))
+		missed.Add(float64(stepMissed) / float64(ab))
+		if stepMassiveTruth > 0 {
+			massiveMiss.Add(float64(stepMassiveMissed) / float64(stepMassiveTruth))
+		}
+	}
+
+	out.Steps = cfg.Steps
+	out.MeanAbnormal = float64(totalAb) / float64(cfg.Steps)
+	if totalAb > 0 {
+		out.FracIsolated /= float64(totalAb)
+		out.FracMassive6 /= float64(totalAb)
+		out.FracMassive7 /= float64(totalAb)
+		out.FracUnresolved /= float64(totalAb)
+	}
+	out.URatio = uRatio.Mean()
+	out.MissedRate = missed.Mean()
+	out.MassiveMissRate = massiveMiss.Mean()
+	out.CostIsolated = costIso.Mean()
+	out.CostMassive6 = costM6.Mean()
+	out.CostUnresolved = costU.Mean()
+	out.CostMassive7 = costM7.Mean()
+	return out, nil
+}

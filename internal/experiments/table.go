@@ -1,0 +1,98 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section VII) from the reproduced system: the dimensioning
+// curves of Figure 6, the repartition and cost tables II and III, the
+// unresolved-configuration curves of Figures 7 and 9, the missed-detection
+// curve of Figure 8, and additional ablations (bucket-size sensitivity of
+// the tessellation baseline, Theorem 6 versus Theorem 7, baseline
+// comparison).
+//
+// Each experiment returns a Table that renders as aligned text or CSV and
+// carries the raw numbers for assertions and EXPERIMENTS.md.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rendered experiment result: a titled grid with one header
+// row. Cells are pre-formatted strings; Raw carries the underlying
+// numbers (row-major, NaN-free cells only) when the experiment is
+// numeric.
+type Table struct {
+	// Title names the experiment (e.g. "Figure 7").
+	Title string
+	// Header labels the columns.
+	Header []string
+	// Rows holds the formatted cells.
+	Rows [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString("# " + t.Title + "\n")
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			if i < len(widths) {
+				for p := len(c); p < widths[i]; p++ {
+					sb.WriteByte(' ')
+				}
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	total := 0
+	for _, wdt := range widths {
+		total += wdt + 2
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// RenderCSV writes the table as CSV (header first).
+func (t *Table) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return fmt.Errorf("writing CSV header: %w", err)
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("writing CSV row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// f formats a float compactly for table cells.
+func f(x float64) string { return fmt.Sprintf("%.4f", x) }
+
+// pct formats a ratio as a percentage cell.
+func pct(x float64) string { return fmt.Sprintf("%.2f%%", 100*x) }

@@ -1,0 +1,79 @@
+package motion
+
+import (
+	"testing"
+
+	"anomalia/internal/stats"
+)
+
+// TestDegeneracyMatchesPivotBK: the degeneracy-ordered enumeration must
+// produce exactly the same maximal-motion family as the pivoting variant
+// and the sliding windows, across figures and random geometry.
+func TestDegeneracyMatchesPivotBK(t *testing.T) {
+	t.Parallel()
+
+	// Paper figures first.
+	for _, build := range []func(testing.TB) (*Pair, float64){
+		func(tb testing.TB) (*Pair, float64) { return figure1Pair(tb) },
+		func(tb testing.TB) (*Pair, float64) { return figure2Pair(tb) },
+		func(tb testing.TB) (*Pair, float64) { return figure3Pair(tb) },
+	} {
+		pair, r := build(t)
+		g := NewGraph(pair, allIds(pair.N()), r)
+		if want, got := g.MaximalMotions(), g.MaximalMotionsDegeneracy(); !sameFamily(want, got) {
+			t.Fatalf("figure: degeneracy %v != pivot %v", got, want)
+		}
+	}
+
+	rng := stats.NewRNG(515)
+	for trial := 0; trial < 30; trial++ {
+		n := 5 + rng.Intn(30)
+		pair := randomPair(t, rng, n, 2, 0.3)
+		const r = 0.05
+		g := NewGraph(pair, allIds(n), r)
+		want := g.MaximalMotions()
+		got := g.MaximalMotionsDegeneracy()
+		if !sameFamily(want, got) {
+			t.Fatalf("trial %d: degeneracy %v != pivot %v", trial, got, want)
+		}
+	}
+}
+
+func TestDegeneracyEmptyGraph(t *testing.T) {
+	t.Parallel()
+
+	pair, r := figure1Pair(t)
+	g := NewGraph(pair, nil, r)
+	if got := g.MaximalMotionsDegeneracy(); got != nil {
+		t.Errorf("empty graph produced %v", got)
+	}
+}
+
+// BenchmarkEnumerationVariants compares the three maximal-motion
+// enumeration algorithms on a sparse fleet-scale neighbourhood graph.
+func BenchmarkEnumerationVariants(b *testing.B) {
+	rng := stats.NewRNG(9)
+	pair := randomPair(b, rng, 400, 2, 1.0)
+	const r = 0.02
+	ids := allIds(400)
+	b.Run("pivot", func(b *testing.B) {
+		g := NewGraph(pair, ids, r)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = g.MaximalMotions()
+		}
+	})
+	b.Run("degeneracy", func(b *testing.B) {
+		g := NewGraph(pair, ids, r)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = g.MaximalMotionsDegeneracy()
+		}
+	})
+	b.Run("sliding", func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = SlidingWindowMotions(pair, ids, r)
+		}
+	})
+}

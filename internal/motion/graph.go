@@ -1,0 +1,262 @@
+package motion
+
+import (
+	"anomalia/internal/sets"
+)
+
+// Graph is the motion graph restricted to a subset of devices (typically
+// the abnormal set A_k): vertices are devices, edges join devices within
+// 2r at both times. Cliques of this graph are exactly the r-consistent
+// motions among the subset.
+//
+// Vertices are stored under local indices 0..m-1; the public API speaks
+// device ids.
+type Graph struct {
+	ids   []int       // local index -> device id, sorted
+	local map[int]int // device id -> local index
+	adj   []*sets.Bits
+	r     float64
+	pair  *Pair
+}
+
+// NewGraph builds the motion graph over the given device ids (deduplicated
+// and sorted). The caller is responsible for r being valid; ids outside
+// the pair's device range are ignored.
+func NewGraph(p *Pair, ids []int, r float64) *Graph {
+	clean := make([]int, 0, len(ids))
+	for _, id := range ids {
+		if id >= 0 && id < p.N() {
+			clean = append(clean, id)
+		}
+	}
+	clean = sets.Canon(clean)
+	m := len(clean)
+	g := &Graph{
+		ids:   clean,
+		local: make(map[int]int, m),
+		adj:   make([]*sets.Bits, m),
+		r:     r,
+		pair:  p,
+	}
+	for li, id := range clean {
+		g.local[id] = li
+		g.adj[li] = sets.NewBits(m)
+	}
+	for a := 0; a < m; a++ {
+		for b := a + 1; b < m; b++ {
+			if p.Adjacent(clean[a], clean[b], r) {
+				g.adj[a].Add(b)
+				g.adj[b].Add(a)
+			}
+		}
+	}
+	return g
+}
+
+// Ids returns the sorted device ids the graph covers. The slice is shared;
+// do not modify.
+func (g *Graph) Ids() []int { return g.ids }
+
+// Len returns the number of vertices.
+func (g *Graph) Len() int { return len(g.ids) }
+
+// Has reports whether device id is a vertex of the graph.
+func (g *Graph) Has(id int) bool {
+	_, ok := g.local[id]
+	return ok
+}
+
+// Adjacent reports whether devices a and b (device ids) are joined by an
+// edge. A device is considered adjacent to itself when present.
+func (g *Graph) Adjacent(a, b int) bool {
+	la, ok := g.local[a]
+	if !ok {
+		return false
+	}
+	lb, ok := g.local[b]
+	if !ok {
+		return false
+	}
+	if la == lb {
+		return true
+	}
+	return g.adj[la].Has(lb)
+}
+
+// Degree returns the number of neighbours of device id (excluding
+// itself), or -1 when the device is not a vertex.
+func (g *Graph) Degree(id int) int {
+	li, ok := g.local[id]
+	if !ok {
+		return -1
+	}
+	return g.adj[li].Len()
+}
+
+// toIds converts a local-index bitset into sorted device ids.
+func (g *Graph) toIds(b *sets.Bits) []int {
+	out := make([]int, 0, b.Len())
+	b.ForEach(func(li int) bool {
+		out = append(out, g.ids[li])
+		return true
+	})
+	return out // ids are sorted because local indices follow sorted ids
+}
+
+// toLocal converts device ids (present in the graph) to a local bitset.
+func (g *Graph) toLocal(ids []int) *sets.Bits {
+	b := sets.NewBits(len(g.ids))
+	for _, id := range ids {
+		if li, ok := g.local[id]; ok {
+			b.Add(li)
+		}
+	}
+	return b
+}
+
+// IsClique reports whether the given device ids are pairwise adjacent,
+// i.e. form an r-consistent motion within the graph.
+func (g *Graph) IsClique(ids []int) bool {
+	for i := 0; i < len(ids); i++ {
+		li, ok := g.local[ids[i]]
+		if !ok {
+			return false
+		}
+		for j := i + 1; j < len(ids); j++ {
+			lj, ok := g.local[ids[j]]
+			if !ok {
+				return false
+			}
+			if !g.adj[li].Has(lj) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MaximalMotions enumerates all maximal r-consistent motions among the
+// graph's devices (the maximal cliques), as sorted device-id sets in
+// deterministic order.
+func (g *Graph) MaximalMotions() [][]int {
+	var out [][]int
+	g.bronKerbosch(func(clique *sets.Bits) {
+		out = append(out, g.toIds(clique))
+	})
+	sets.SortSets(out)
+	return out
+}
+
+// MaximalMotionsContaining enumerates the maximal r-consistent motions
+// that include device j — the family M(j) built by the paper's
+// Algorithm 2. A motion containing j only involves devices within 2r of j
+// at both times, so maximality within the graph restricted to j's closed
+// neighbourhood coincides with maximality in the full graph. Returns nil
+// when j is not a vertex.
+func (g *Graph) MaximalMotionsContaining(j int) [][]int {
+	lj, ok := g.local[j]
+	if !ok {
+		return nil
+	}
+	m := len(g.ids)
+	r := sets.NewBits(m)
+	r.Add(lj)
+	p := g.adj[lj].Clone()
+	x := sets.NewBits(m)
+	var out [][]int
+	g.bk(r, p, x, func(clique *sets.Bits) {
+		out = append(out, g.toIds(clique))
+	})
+	sets.SortSets(out)
+	return out
+}
+
+// HasDenseMotionContaining reports whether some τ-dense motion containing
+// j lies entirely within the allowed device set (relation (4) of
+// Theorem 7 asks this with allowed = D_k(j) minus the union of a candidate
+// collection). allowed need not contain j; j is added implicitly.
+func (g *Graph) HasDenseMotionContaining(j int, allowed []int, tau int) bool {
+	lj, ok := g.local[j]
+	if !ok {
+		return false
+	}
+	p := g.toLocal(allowed)
+	p.And(g.adj[lj])
+	p.Remove(lj)
+	// Need a clique of size tau+1 total, i.e. tau more vertices from p.
+	return g.extendClique(lj, p, 1, tau+1)
+}
+
+// extendClique performs a branch-and-bound search for a clique of size at
+// least want that contains the current clique (implicitly represented by
+// the candidate set p already restricted to common neighbours).
+func (g *Graph) extendClique(_ int, p *sets.Bits, have, want int) bool {
+	if have >= want {
+		return true
+	}
+	if have+p.Len() < want {
+		return false
+	}
+	// Iterate candidates; standard inclusion/exclusion search.
+	members := p.Members(nil)
+	for _, v := range members {
+		p2 := p.Clone()
+		p2.And(g.adj[v])
+		if g.extendClique(v, p2, have+1, want) {
+			return true
+		}
+		p.Remove(v) // exclude v from further consideration on this branch
+		if have+p.Len() < want {
+			return false
+		}
+	}
+	return false
+}
+
+// bronKerbosch runs maximal-clique enumeration over the whole graph.
+func (g *Graph) bronKerbosch(report func(*sets.Bits)) {
+	m := len(g.ids)
+	r := sets.NewBits(m)
+	p := sets.NewBits(m)
+	for i := 0; i < m; i++ {
+		p.Add(i)
+	}
+	x := sets.NewBits(m)
+	g.bk(r, p, x, report)
+}
+
+// bk is Bron–Kerbosch with pivoting. r, p, x are the usual current
+// clique / candidates / excluded sets over local indices. p and x are
+// consumed by the call.
+func (g *Graph) bk(r, p, x *sets.Bits, report func(*sets.Bits)) {
+	if p.Empty() && x.Empty() {
+		report(r.Clone())
+		return
+	}
+	// Choose the pivot u in p ∪ x maximizing |p ∩ N(u)|.
+	pivot, best := -1, -1
+	consider := func(u int) bool {
+		if c := p.IntersectionLen(g.adj[u]); c > best {
+			best, pivot = c, u
+		}
+		return true
+	}
+	p.ForEach(consider)
+	x.ForEach(consider)
+
+	cand := p.Clone()
+	if pivot >= 0 {
+		cand.AndNot(g.adj[pivot])
+	}
+	for _, v := range cand.Members(nil) {
+		r.Add(v)
+		p2 := p.Clone()
+		p2.And(g.adj[v])
+		x2 := x.Clone()
+		x2.And(g.adj[v])
+		g.bk(r, p2, x2, report)
+		r.Remove(v)
+		p.Remove(v)
+		x.Add(v)
+	}
+}

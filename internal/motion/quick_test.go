@@ -1,0 +1,167 @@
+package motion
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"anomalia/internal/sets"
+	"anomalia/internal/space"
+)
+
+// quickPair builds a pair from raw byte-derived coordinates so that
+// testing/quick can drive the geometry.
+func quickPair(prevRaw, curRaw []uint8, d int) (*Pair, int, bool) {
+	n := len(prevRaw) / d
+	if m := len(curRaw) / d; m < n {
+		n = m
+	}
+	if n < 2 {
+		return nil, 0, false
+	}
+	if n > 12 {
+		n = 12
+	}
+	build := func(raw []uint8) *space.State {
+		st, err := space.NewState(n, d)
+		if err != nil {
+			return nil
+		}
+		for j := 0; j < n; j++ {
+			p := make(space.Point, d)
+			for i := 0; i < d; i++ {
+				p[i] = float64(raw[j*d+i]) / 255 * 0.3 // cluster for structure
+			}
+			if err := st.Set(j, p); err != nil {
+				return nil
+			}
+		}
+		return st
+	}
+	prev, cur := build(prevRaw), build(curRaw)
+	if prev == nil || cur == nil {
+		return nil, 0, false
+	}
+	pair, err := NewPair(prev, cur)
+	if err != nil {
+		return nil, 0, false
+	}
+	return pair, n, true
+}
+
+// TestQuickAdjacencyIsConsistency: for pairs of devices, the edge relation
+// agrees with the two-element consistent-motion test (r-consistency is
+// pairwise under the uniform norm).
+func TestQuickAdjacencyIsConsistency(t *testing.T) {
+	t.Parallel()
+
+	f := func(prevRaw, curRaw []uint8) bool {
+		pair, n, ok := quickPair(prevRaw, curRaw, 2)
+		if !ok {
+			return true
+		}
+		const r = 0.05
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				if pair.Adjacent(a, b, r) != pair.ConsistentMotion([]int{a, b}, r) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickConsistencyClosedUnderSubsets: any subset of an r-consistent
+// motion is an r-consistent motion — the property Definition 6's C1/C2
+// reductions rely on.
+func TestQuickConsistencyClosedUnderSubsets(t *testing.T) {
+	t.Parallel()
+
+	f := func(prevRaw, curRaw []uint8, mask uint16) bool {
+		pair, n, ok := quickPair(prevRaw, curRaw, 1)
+		if !ok {
+			return true
+		}
+		const r = 0.08
+		g := NewGraph(pair, allIds(n), r)
+		for _, m := range g.MaximalMotions() {
+			var sub []int
+			for i, id := range m {
+				if mask&(1<<uint(i%16)) != 0 {
+					sub = append(sub, id)
+				}
+			}
+			if !pair.ConsistentMotion(sub, r) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(13))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMaximalMotionsCoverCliqueExtensions: every motion reported as
+// maximal really cannot be extended by any other vertex.
+func TestQuickMaximalMotionsAreMaximal(t *testing.T) {
+	t.Parallel()
+
+	f := func(prevRaw, curRaw []uint8) bool {
+		pair, n, ok := quickPair(prevRaw, curRaw, 2)
+		if !ok {
+			return true
+		}
+		const r = 0.06
+		g := NewGraph(pair, allIds(n), r)
+		for _, m := range g.MaximalMotions() {
+			for v := 0; v < n; v++ {
+				if sets.ContainsInt(m, v) {
+					continue
+				}
+				ext := append(sets.CloneInts(m), v)
+				if pair.ConsistentMotion(ext, r) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(17))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickContainingSubsetOfGlobal: motions containing j are exactly the
+// global maximal motions filtered by membership of j.
+func TestQuickContainingSubsetOfGlobal(t *testing.T) {
+	t.Parallel()
+
+	f := func(prevRaw, curRaw []uint8, jRaw uint8) bool {
+		pair, n, ok := quickPair(prevRaw, curRaw, 1)
+		if !ok {
+			return true
+		}
+		const r = 0.07
+		j := int(jRaw) % n
+		g := NewGraph(pair, allIds(n), r)
+		var want [][]int
+		for _, m := range g.MaximalMotions() {
+			if sets.ContainsInt(m, j) {
+				want = append(want, m)
+			}
+		}
+		return sameFamily(g.MaximalMotionsContaining(j), want)
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(19))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,166 @@
+package motion
+
+import (
+	"anomalia/internal/sets"
+)
+
+// This file implements the paper's Algorithm 2: enumeration of maximal
+// r-consistent motions by sliding two width-2r windows (one per state)
+// along each of the d dimensions. Concatenating the coordinates at times
+// k-1 and k turns the problem into: enumerate the maximal sets of points
+// in R^{2d} that fit inside an axis-aligned hypercube of side 2r. The
+// recursion anchors a window at each candidate coordinate per dimension
+// (the window lower edge always coincides with some member's coordinate)
+// and keeps only inclusion-maximal outcomes, mirroring lines 15–17 of
+// Algorithm 2 where subsumed sets are replaced.
+
+// slidingEnum carries the shared state of one enumeration.
+type slidingEnum struct {
+	coords  [][]float64 // [local index][2d concatenated coords]
+	dims    int
+	width   float64 // 2r
+	anchor  int     // local index that must belong to every set, or -1
+	results []*sets.Bits
+	keys    map[string]struct{}
+}
+
+// SlidingWindowMotions enumerates all maximal r-consistent motions among
+// ids using the paper's Algorithm 2 window sweep. Results are sorted
+// device-id sets in deterministic order. This is the reference
+// implementation; Graph.MaximalMotions is the Bron–Kerbosch equivalent.
+func SlidingWindowMotions(p *Pair, ids []int, r float64) [][]int {
+	return slidingWindow(p, ids, r, -1)
+}
+
+// SlidingWindowMotionsContaining enumerates the maximal motions that
+// include device j (the paper's j.maxMotions, which only slides windows
+// over positions covering j). Returns nil when j is not among ids.
+func SlidingWindowMotionsContaining(p *Pair, ids []int, r float64, j int) [][]int {
+	return slidingWindow(p, ids, r, j)
+}
+
+func slidingWindow(p *Pair, ids []int, r float64, j int) [][]int {
+	clean := make([]int, 0, len(ids))
+	for _, id := range ids {
+		if id >= 0 && id < p.N() {
+			clean = append(clean, id)
+		}
+	}
+	clean = sets.Canon(clean)
+	m := len(clean)
+	if m == 0 {
+		return nil
+	}
+	d := p.Dim()
+	e := &slidingEnum{
+		coords: make([][]float64, m),
+		dims:   2 * d,
+		width:  2 * r,
+		anchor: -1,
+		keys:   make(map[string]struct{}),
+	}
+	for li, id := range clean {
+		row := make([]float64, 0, 2*d)
+		row = append(row, p.Prev.At(id)...)
+		row = append(row, p.Cur.At(id)...)
+		e.coords[li] = row
+		if id == j {
+			e.anchor = li
+		}
+	}
+	if j >= 0 && e.anchor < 0 {
+		return nil
+	}
+	all := sets.NewBits(m)
+	for li := 0; li < m; li++ {
+		all.Add(li)
+	}
+	e.sweep(all, 0)
+
+	// Keep only inclusion-maximal results.
+	maximal := antichain(e.results)
+	out := make([][]int, 0, len(maximal))
+	for _, b := range maximal {
+		idsOut := make([]int, 0, b.Len())
+		b.ForEach(func(li int) bool {
+			idsOut = append(idsOut, clean[li])
+			return true
+		})
+		out = append(out, idsOut)
+	}
+	sets.SortSets(out)
+	return out
+}
+
+// sweep slides the window along dimension dim over the candidate set.
+func (e *slidingEnum) sweep(cand *sets.Bits, dim int) {
+	if dim == e.dims {
+		key := cand.Key()
+		if _, seen := e.keys[key]; !seen {
+			e.keys[key] = struct{}{}
+			e.results = append(e.results, cand.Clone())
+		}
+		return
+	}
+	// Collect candidate window anchors: each member's coordinate is a
+	// potential lower edge for the window [x, x+2r].
+	var anchors []float64
+	cand.ForEach(func(li int) bool {
+		anchors = append(anchors, e.coords[li][dim])
+		return true
+	})
+	subs := make([]*sets.Bits, 0, len(anchors))
+	for _, x := range anchors {
+		if e.anchor >= 0 {
+			// The window must cover the anchored device's coordinate.
+			cj := e.coords[e.anchor][dim]
+			if cj < x || cj > x+e.width {
+				continue
+			}
+		}
+		sub := sets.NewBits(cand.Universe())
+		cand.ForEach(func(li int) bool {
+			c := e.coords[li][dim]
+			if c >= x && c <= x+e.width {
+				sub.Add(li)
+			}
+			return true
+		})
+		if sub.Empty() {
+			continue
+		}
+		subs = append(subs, sub)
+	}
+	// Within one level, dominated (subset) windows can never produce a
+	// maximal set that the dominating window cannot; prune them.
+	for _, sub := range antichain(subs) {
+		e.sweep(sub, dim+1)
+	}
+}
+
+// antichain removes duplicates and strict subsets, keeping only the
+// inclusion-maximal bitsets.
+func antichain(family []*sets.Bits) []*sets.Bits {
+	var out []*sets.Bits
+	for _, b := range family {
+		dominated := false
+		for _, o := range out {
+			if b.SubsetOf(o) {
+				dominated = true
+				break
+			}
+		}
+		if dominated {
+			continue
+		}
+		// Remove members strictly contained in b.
+		kept := out[:0]
+		for _, o := range out {
+			if !o.SubsetOf(b) {
+				kept = append(kept, o)
+			}
+		}
+		out = append(kept, b)
+	}
+	return out
+}

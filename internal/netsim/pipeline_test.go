@@ -1,0 +1,190 @@
+package netsim
+
+import (
+	"testing"
+
+	"anomalia/internal/core"
+	"anomalia/internal/detect"
+	"anomalia/internal/motion"
+	"anomalia/internal/sets"
+	"anomalia/internal/space"
+)
+
+// TestEndToEndPipeline runs the paper's motivating scenario end to end:
+// an ISP fleet of home gateways samples per-service QoS, feeds local
+// error-detection functions, and on detection characterizes the anomaly
+// locally. A DSLAM outage (network-level) must be classified massive by
+// every gateway it hits, and a single broken gateway must classify itself
+// isolated — so only the latter calls the ISP's call center.
+func TestEndToEndPipeline(t *testing.T) {
+	t.Parallel()
+
+	const (
+		r   = 0.03
+		tau = 3
+	)
+	net, err := New(Config{
+		Aggregations:     2,
+		DSLAMsPerAgg:     3,
+		GatewaysPerDSLAM: 8,
+		Services:         2,
+		BaseQoS:          0.95,
+		Noise:            0.004,
+		Seed:             11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Per-gateway composite detectors (threshold on jumps beyond the
+	// noise floor).
+	devices := make([]*detect.Device, net.Gateways())
+	for g := range devices {
+		devices[g], err = detect.NewDevice(net.Dim(), func(int) (detect.Detector, error) {
+			return detect.NewThreshold(0.05)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	feed := func(st *space.State) []int {
+		var abnormal []int
+		for g := range devices {
+			ab, err := devices[g].Update(st.At(g))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ab {
+				abnormal = append(abnormal, g)
+			}
+		}
+		return abnormal
+	}
+	sample := func() *space.State {
+		st, err := net.Sample()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	// Warm up on healthy samples; nothing must be flagged.
+	prev := sample()
+	if ab := feed(prev); len(ab) != 0 {
+		t.Fatalf("false alarms during warmup: %v", ab)
+	}
+	for i := 0; i < 5; i++ {
+		prev = sample()
+		if ab := feed(prev); len(ab) != 0 {
+			t.Fatalf("false alarms during warmup: %v", ab)
+		}
+	}
+
+	// Fault injection: DSLAM 1 (gateways 8..15) degrades hard, and
+	// gateway 40 breaks on its own.
+	dslamFault := Fault{Component: Component{LevelDSLAM, 1}, Severity: 0.3}
+	gwFault := Fault{Component: Component{LevelGateway, 40}, Severity: 0.5}
+	if _, err := net.Inject(dslamFault); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Inject(gwFault); err != nil {
+		t.Fatal(err)
+	}
+	cur := sample()
+	abnormal := feed(cur)
+
+	wantAbnormal := append(sets.CloneInts(net.Impacted(dslamFault)), net.Impacted(gwFault)...)
+	wantAbnormal = sets.Canon(wantAbnormal)
+	if !sets.EqualInts(abnormal, wantAbnormal) {
+		t.Fatalf("abnormal = %v, want %v", abnormal, wantAbnormal)
+	}
+
+	// Local characterization over the faulty window.
+	pair, err := motion.NewPair(prev, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	char, err := core.New(pair, abnormal, core.Config{R: r, Tau: tau, Exact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var callCenterReports []int
+	for _, g := range abnormal {
+		res, err := char.Characterize(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case g == 40:
+			if res.Class != core.ClassIsolated {
+				t.Errorf("broken gateway 40 classified %v, want isolated", res.Class)
+			}
+		default:
+			if res.Class != core.ClassMassive {
+				t.Errorf("DSLAM-outage gateway %d classified %v, want massive", g, res.Class)
+			}
+		}
+		if res.Class == core.ClassIsolated {
+			callCenterReports = append(callCenterReports, g)
+		}
+	}
+
+	// The point of the paper: 9 impacted devices, one call-center report.
+	if !sets.EqualInts(callCenterReports, []int{40}) {
+		t.Errorf("call-center reports = %v, want [40]", callCenterReports)
+	}
+}
+
+// TestOTTScenario flips the reporting policy: an over-the-top operator
+// wants to hear about network-level (massive) events only. A backend
+// (CDN-side) fault must be reported by the affected clients; a local
+// client fault must stay silent.
+func TestOTTScenario(t *testing.T) {
+	t.Parallel()
+
+	net, err := New(Config{
+		Aggregations:     1,
+		DSLAMsPerAgg:     2,
+		GatewaysPerDSLAM: 10,
+		Services:         2,
+		BaseQoS:          0.9,
+		Noise:            0.004,
+		Seed:             23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev, err := net.Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Backend of service 1 degrades: all 20 clients lose service 1.
+	if _, err := net.Inject(Fault{Component: Component{LevelBackend, 1}, Severity: 0.4}); err != nil {
+		t.Fatal(err)
+	}
+	cur, err := net.Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := motion.NewPair(prev, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abnormal := make([]int, net.Gateways())
+	for i := range abnormal {
+		abnormal[i] = i
+	}
+	char, err := core.New(pair, abnormal, core.Config{R: 0.03, Tau: 3, Exact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets_, err := char.Decompose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets_.Massive) != net.Gateways() {
+		t.Errorf("backend fault: %d of %d clients classified massive (%+v)",
+			len(sets_.Massive), net.Gateways(), sets_)
+	}
+}

@@ -1,0 +1,118 @@
+package netsim
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestNewRunnerValidation(t *testing.T) {
+	t.Parallel()
+
+	net := baseNet(t)
+	if _, err := NewRunner(nil, nil); !errors.Is(err, ErrNetConfig) {
+		t.Errorf("nil network = %v", err)
+	}
+	bad := []ScheduledFault{
+		{Fault: Fault{Component: Component{LevelDSLAM, 0}, Severity: 0.5}, Start: -1},
+		{Fault: Fault{Component: Component{LevelDSLAM, 0}, Severity: 0.5}, Duration: -2},
+		{Fault: Fault{Component: Component{LevelDSLAM, 99}, Severity: 0.5}},
+		{Fault: Fault{Component: Component{LevelDSLAM, 0}, Severity: 0}},
+	}
+	for i, sf := range bad {
+		if _, err := NewRunner(net, []ScheduledFault{sf}); !errors.Is(err, ErrNetConfig) {
+			t.Errorf("schedule %d: error = %v", i, err)
+		}
+	}
+}
+
+func TestRunnerLifecycle(t *testing.T) {
+	t.Parallel()
+
+	net := baseNet(t)
+	runner, err := NewRunner(net, []ScheduledFault{
+		{
+			Fault:    Fault{Component: Component{LevelDSLAM, 0}, Severity: 0.5},
+			Start:    2,
+			Duration: 3, // live at ticks 2, 3, 4
+		},
+		{
+			Fault: Fault{Component: Component{LevelGateway, 20}, Severity: 0.4},
+			Start: 4, // permanent
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type wantTick struct {
+		impacted int
+		qosGw0   float64 // gateway 0 sits under DSLAM 0
+		qosGw20  float64
+	}
+	wants := []wantTick{
+		{0, 0.95, 0.95},        // tick 0: nothing
+		{0, 0.95, 0.95},        // tick 1: nothing
+		{4, 0.475, 0.95},       // tick 2: dslam fault live
+		{4, 0.475, 0.95},       // tick 3
+		{5, 0.475, 0.95 * 0.6}, // tick 4: both live
+		{1, 0.95, 0.95 * 0.6},  // tick 5: dslam cleared, gateway permanent
+		{1, 0.95, 0.95 * 0.6},  // tick 6
+	}
+	for tick, want := range wants {
+		st, impacted, err := runner.Step()
+		if err != nil {
+			t.Fatalf("tick %d: %v", tick, err)
+		}
+		if len(impacted) != want.impacted {
+			t.Errorf("tick %d: impacted = %v, want %d devices", tick, impacted, want.impacted)
+		}
+		if got := st.At(0)[0]; math.Abs(got-want.qosGw0) > 1e-12 {
+			t.Errorf("tick %d: gw0 QoS = %v, want %v", tick, got, want.qosGw0)
+		}
+		if got := st.At(20)[0]; math.Abs(got-want.qosGw20) > 1e-12 {
+			t.Errorf("tick %d: gw20 QoS = %v, want %v", tick, got, want.qosGw20)
+		}
+	}
+	if runner.Tick() != len(wants) {
+		t.Errorf("Tick = %d", runner.Tick())
+	}
+	if runner.ActiveFaults() != 1 {
+		t.Errorf("ActiveFaults = %d, want the permanent gateway fault", runner.ActiveFaults())
+	}
+}
+
+func TestRunnerOverlappingSameTick(t *testing.T) {
+	t.Parallel()
+
+	net := baseNet(t)
+	runner, err := NewRunner(net, []ScheduledFault{
+		{Fault: Fault{Component: Component{LevelDSLAM, 0}, Severity: 0.5}, Start: 0, Duration: 1},
+		{Fault: Fault{Component: Component{LevelGateway, 0}, Severity: 0.5}, Start: 0, Duration: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, impacted, err := runner.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gateway 0 stacks both: 0.95 * 0.5 * 0.5.
+	if got := st.At(0)[0]; math.Abs(got-0.2375) > 1e-12 {
+		t.Errorf("stacked QoS = %v", got)
+	}
+	if len(impacted) != 4 {
+		t.Errorf("impacted = %v", impacted)
+	}
+	// Next tick: both cleared.
+	st, impacted, err = runner.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(impacted) != 0 {
+		t.Errorf("impacted after expiry = %v", impacted)
+	}
+	if got := st.At(0)[0]; math.Abs(got-0.95) > 1e-12 {
+		t.Errorf("QoS after expiry = %v", got)
+	}
+}

@@ -1,0 +1,316 @@
+// Package paperfig reconstructs the worked examples of the paper's
+// Figures 1–5 as concrete QoS configurations. They serve as golden test
+// fixtures across the module: each constructor returns the state pair, the
+// radius and density threshold used by the figure, and the structures the
+// paper derives from it (maximal motions, valid anomaly partitions,
+// expected classifications).
+//
+// The paper plots one-dimensional QoS at time k against time k-1; the
+// exact coordinates are not given, so the fixtures place points so that
+// the adjacency structure described in the text holds (verified by unit
+// tests). Devices are 0-based here: the paper's device i is index i-1.
+package paperfig
+
+import (
+	"fmt"
+
+	"anomalia/internal/motion"
+	"anomalia/internal/space"
+)
+
+// Config is one reconstructed figure scenario.
+type Config struct {
+	// Pair holds the positions at times k-1 and k.
+	Pair *motion.Pair
+	// R is the consistency impact radius of the scenario.
+	R float64
+	// Tau is the density threshold of the scenario.
+	Tau int
+	// Abnormal is A_k; in every figure all devices are abnormal.
+	Abnormal []int
+	// Maximal lists the maximal r-consistent motions, sorted.
+	Maximal [][]int
+	// Massive, Isolated, Unresolved give the omniscient-observer
+	// classification (exact M_k / I_k / U_k) of the scenario.
+	Massive, Isolated, Unresolved []int
+}
+
+func pairFrom(prevCoords, curCoords [][]float64) (*motion.Pair, error) {
+	prev, err := space.StateFromPoints(prevCoords)
+	if err != nil {
+		return nil, fmt.Errorf("building prev state: %w", err)
+	}
+	cur, err := space.StateFromPoints(curCoords)
+	if err != nil {
+		return nil, fmt.Errorf("building cur state: %w", err)
+	}
+	return motion.NewPair(prev, cur)
+}
+
+func shifted(coords [][]float64, delta float64) [][]float64 {
+	out := make([][]float64, len(coords))
+	for i, row := range coords {
+		cp := make([]float64, len(row))
+		for j, x := range row {
+			cp[j] = x + delta
+		}
+		out[i] = cp
+	}
+	return out
+}
+
+func seq(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Figure1 rebuilds Figure 1: six devices on a line with two maximal
+// r-consistent sets B1 = {1,2,3,4} and B2 = {1,2,3,5,6} (paper numbering).
+// Positions are static across the window. The paper uses the figure only
+// to illustrate maximal consistency; we additionally fix τ = 3, under
+// which every anomaly partition keeps exactly one of B1/B2 as its dense
+// block, so devices 1,2,3 are massive with certainty while 4, 5 and 6 are
+// unresolved.
+func Figure1() (*Config, error) {
+	coords := [][]float64{
+		{0.20}, {0.25}, {0.28}, // 1,2,3
+		{0.10},         // 4
+		{0.32}, {0.35}, // 5,6
+	}
+	pair, err := pairFrom(coords, coords)
+	if err != nil {
+		return nil, err
+	}
+	return &Config{
+		Pair:     pair,
+		R:        0.1,
+		Tau:      3,
+		Abnormal: seq(6),
+		Maximal: [][]int{
+			{0, 1, 2, 3},
+			{0, 1, 2, 4, 5},
+		},
+		Massive:    []int{0, 1, 2},
+		Unresolved: []int{3, 4, 5},
+	}, nil
+}
+
+// Figure2 rebuilds Figure 2: ten devices, maximal motions C1={1,2,3},
+// C2={2,3,4}, C3={5,...,9}, C4={10}, τ = 3. Only C3 is dense; the paper
+// uses it to show anomaly partitions are not unique ({1,2,3}+{4} versus
+// {1}+{2,3,4}). The omniscient classification is still unambiguous:
+// devices 5..9 are massive, everyone else isolated.
+func Figure2() (*Config, error) {
+	prev := [][]float64{
+		{0.10}, {0.20}, {0.25}, {0.40}, // 1-4
+		{0.65}, {0.67}, {0.70}, {0.72}, {0.75}, // 5-9
+		{0.99}, // 10
+	}
+	pair, err := pairFrom(prev, shifted(prev, -0.05))
+	if err != nil {
+		return nil, err
+	}
+	return &Config{
+		Pair:     pair,
+		R:        0.1,
+		Tau:      3,
+		Abnormal: seq(10),
+		Maximal: [][]int{
+			{0, 1, 2},
+			{1, 2, 3},
+			{4, 5, 6, 7, 8},
+			{9},
+		},
+		Massive:  []int{4, 5, 6, 7, 8},
+		Isolated: []int{0, 1, 2, 3, 9},
+	}, nil
+}
+
+// Figure2Partitions returns the two anomaly partitions called out in the
+// proof of Lemma 2 (there exist more; these two must be among them).
+func Figure2Partitions() []([][]int) {
+	return [][][]int{
+		{{0, 1, 2}, {3}, {4, 5, 6, 7, 8}, {9}},
+		{{0}, {1, 2, 3}, {4, 5, 6, 7, 8}, {9}},
+	}
+}
+
+// Figure3 rebuilds Figure 3, the ACP-impossibility scenario: five devices
+// with maximal motions C1={1,2,3,4} and C2={2,3,4,5}, τ = 3. The only two
+// anomaly partitions are {C1,{5}} and {{1},C2}, so devices 2,3,4 are
+// massive with certainty while 1 and 5 are unresolved.
+func Figure3() (*Config, error) {
+	prev := [][]float64{
+		{0.10}, {0.20}, {0.25}, {0.30}, {0.40},
+	}
+	pair, err := pairFrom(prev, shifted(prev, 0.05))
+	if err != nil {
+		return nil, err
+	}
+	return &Config{
+		Pair:     pair,
+		R:        0.1,
+		Tau:      3,
+		Abnormal: seq(5),
+		Maximal: [][]int{
+			{0, 1, 2, 3},
+			{1, 2, 3, 4},
+		},
+		Massive:    []int{1, 2, 3},
+		Unresolved: []int{0, 4},
+	}, nil
+}
+
+// Figure3Partitions returns the two anomaly partitions of Figure 3.
+func Figure3Partitions() []([][]int) {
+	return [][][]int{
+		{{0, 1, 2, 3}, {4}},
+		{{0}, {1, 2, 3, 4}},
+	}
+}
+
+// Figure4a rebuilds Figure 4(a): five devices, τ = 2, with maximal dense
+// motions C1={1,2,3,4} and C2={2,4,5}. For device 4 the paper derives
+// J_k(4) = {1,2,3,4,5} and L_k(4) = ∅, so Theorem 6 already proves 4
+// massive. Devices 2 and 4 are massive with certainty; 1, 3 and 5 are
+// unresolved (e.g. the partition {{2,4,5},{1},{3}} isolates 1 and 3).
+func Figure4a() (*Config, error) {
+	prevCur := [][][]float64{
+		{{0.10}, {0.10}}, // 1
+		{{0.20}, {0.20}}, // 2
+		{{0.10}, {0.25}}, // 3
+		{{0.25}, {0.22}}, // 4
+		{{0.40}, {0.30}}, // 5
+	}
+	prev := make([][]float64, len(prevCur))
+	cur := make([][]float64, len(prevCur))
+	for i, pc := range prevCur {
+		prev[i], cur[i] = pc[0], pc[1]
+	}
+	pair, err := pairFrom(prev, cur)
+	if err != nil {
+		return nil, err
+	}
+	return &Config{
+		Pair:     pair,
+		R:        0.1,
+		Tau:      2,
+		Abnormal: seq(5),
+		Maximal: [][]int{
+			{0, 1, 2, 3},
+			{1, 3, 4},
+		},
+		Massive:    []int{1, 3},
+		Unresolved: []int{0, 2, 4},
+	}, nil
+}
+
+// Figure4b rebuilds Figure 4(b): Figure 4(a) plus devices 6 and 7 forming
+// C3={5,6,7}. Device 5 now has a maximal dense motion avoiding device 4,
+// so J_k(4) = {1,2,3,4} and L_k(4) = {5}; Theorem 6 still proves device 4
+// massive. Devices 2, 4 and 5 are massive with certainty; 1, 3, 6 and 7
+// are unresolved.
+func Figure4b() (*Config, error) {
+	prevCur := [][][]float64{
+		{{0.10}, {0.10}}, // 1
+		{{0.20}, {0.20}}, // 2
+		{{0.10}, {0.25}}, // 3
+		{{0.25}, {0.22}}, // 4
+		{{0.40}, {0.30}}, // 5
+		{{0.55}, {0.35}}, // 6
+		{{0.55}, {0.40}}, // 7
+	}
+	prev := make([][]float64, len(prevCur))
+	cur := make([][]float64, len(prevCur))
+	for i, pc := range prevCur {
+		prev[i], cur[i] = pc[0], pc[1]
+	}
+	pair, err := pairFrom(prev, cur)
+	if err != nil {
+		return nil, err
+	}
+	return &Config{
+		Pair:     pair,
+		R:        0.1,
+		Tau:      2,
+		Abnormal: seq(7),
+		Maximal: [][]int{
+			{0, 1, 2, 3},
+			{1, 3, 4},
+			{4, 5, 6},
+		},
+		Massive:    []int{1, 3, 4},
+		Unresolved: []int{0, 2, 5, 6},
+	}, nil
+}
+
+// Figure5 rebuilds Figure 5: eight devices in four co-moving pairs
+// arranged in a ring of overlapping dense motions {1,2,3,4}, {3,4,5,6},
+// {5,6,7,8}, {7,8,1,2}, τ = 3. The only anomaly partitions are the two
+// perfect matchings {{1,2,3,4},{5,6,7,8}} and {{1,2,7,8},{3,4,5,6}}, so
+// every device is massive — but J_k(j) = {j, pair(j)} is too small for
+// Theorem 6, making this the scenario where only Theorem 7 decides.
+func Figure5() (*Config, error) {
+	anchors := [][2]float64{
+		{0.30, 0.30}, // pair A: devices 0,1
+		{0.49, 0.40}, // pair B: devices 2,3
+		{0.68, 0.30}, // pair C: devices 4,5
+		{0.49, 0.16}, // pair D: devices 6,7
+	}
+	var prev, cur [][]float64
+	for _, a := range anchors {
+		for _, off := range []float64{-0.002, 0.002} {
+			prev = append(prev, []float64{a[0] + off})
+			cur = append(cur, []float64{a[1] + off})
+		}
+	}
+	pair, err := pairFrom(prev, cur)
+	if err != nil {
+		return nil, err
+	}
+	return &Config{
+		Pair:     pair,
+		R:        0.1,
+		Tau:      3,
+		Abnormal: seq(8),
+		Maximal: [][]int{
+			{0, 1, 2, 3},
+			{0, 1, 6, 7},
+			{2, 3, 4, 5},
+			{4, 5, 6, 7},
+		},
+		Massive: []int{0, 1, 2, 3, 4, 5, 6, 7},
+	}, nil
+}
+
+// Figure5Partitions returns the two anomaly partitions of Figure 5.
+func Figure5Partitions() []([][]int) {
+	return [][][]int{
+		{{0, 1, 2, 3}, {4, 5, 6, 7}},
+		{{0, 1, 6, 7}, {2, 3, 4, 5}},
+	}
+}
+
+// All returns every reconstructed figure keyed by name, for table-driven
+// tests.
+func All() (map[string]*Config, error) {
+	out := make(map[string]*Config, 6)
+	for name, build := range map[string]func() (*Config, error){
+		"figure1":  Figure1,
+		"figure2":  Figure2,
+		"figure3":  Figure3,
+		"figure4a": Figure4a,
+		"figure4b": Figure4b,
+		"figure5":  Figure5,
+	} {
+		cfg, err := build()
+		if err != nil {
+			return nil, fmt.Errorf("building %s: %w", name, err)
+		}
+		out[name] = cfg
+	}
+	return out, nil
+}

@@ -1,0 +1,92 @@
+package paperfig
+
+import (
+	"testing"
+
+	"anomalia/internal/motion"
+	"anomalia/internal/sets"
+)
+
+// TestFixturesInternallyConsistent validates every reconstructed figure:
+// the radius is admissible, the declared maximal motions are exactly what
+// enumeration finds, and the expected classification partitions A_k.
+func TestFixturesInternallyConsistent(t *testing.T) {
+	t.Parallel()
+
+	figs, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 6 {
+		t.Fatalf("expected 6 figures, got %d", len(figs))
+	}
+	for name, cfg := range figs {
+		name, cfg := name, cfg
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			if err := motion.ValidateRadius(cfg.R); err != nil {
+				t.Fatalf("radius: %v", err)
+			}
+			if cfg.Tau < 1 {
+				t.Fatalf("tau = %d", cfg.Tau)
+			}
+			// Declared maximal motions match enumeration.
+			g := motion.NewGraph(cfg.Pair, cfg.Abnormal, cfg.R)
+			got := g.MaximalMotions()
+			if len(got) != len(cfg.Maximal) {
+				t.Fatalf("maximal motions = %v, want %v", got, cfg.Maximal)
+			}
+			for i := range got {
+				if !sets.EqualInts(got[i], cfg.Maximal[i]) {
+					t.Fatalf("maximal motions = %v, want %v", got, cfg.Maximal)
+				}
+			}
+			// Classification partitions the abnormal set.
+			all := sets.UnionInts(sets.UnionInts(cfg.Massive, cfg.Isolated), cfg.Unresolved)
+			if !sets.EqualInts(all, cfg.Abnormal) {
+				t.Fatalf("classes %v do not partition abnormal %v", all, cfg.Abnormal)
+			}
+			if len(cfg.Massive)+len(cfg.Isolated)+len(cfg.Unresolved) != len(cfg.Abnormal) {
+				t.Fatal("classes overlap")
+			}
+		})
+	}
+}
+
+// TestFigurePartitionsAreMotions: the partitions quoted from the paper
+// consist of r-consistent motions covering the abnormal set.
+func TestFigurePartitionsAreMotions(t *testing.T) {
+	t.Parallel()
+
+	cases := []struct {
+		name       string
+		build      func() (*Config, error)
+		partitions [][][]int
+	}{
+		{"figure2", Figure2, Figure2Partitions()},
+		{"figure3", Figure3, Figure3Partitions()},
+		{"figure5", Figure5, Figure5Partitions()},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			cfg, err := tc.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range tc.partitions {
+				var covered []int
+				for _, block := range p {
+					if !cfg.Pair.ConsistentMotion(block, cfg.R) {
+						t.Errorf("block %v is not a motion", block)
+					}
+					covered = sets.UnionInts(covered, block)
+				}
+				if !sets.EqualInts(covered, cfg.Abnormal) {
+					t.Errorf("partition %v does not cover %v", p, cfg.Abnormal)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,77 @@
+package partition
+
+import (
+	"anomalia/internal/motion"
+	"anomalia/internal/sets"
+)
+
+// OracleResult is the omniscient-observer classification of the abnormal
+// set: the exact M_k, I_k and U_k of Section IV, computed from every
+// anomaly partition (relations (2), (3) and Definition 8).
+type OracleResult struct {
+	// Massive holds M_k: devices in a dense block of every partition.
+	Massive []int
+	// Isolated holds I_k: devices in a sparse block of every partition.
+	Isolated []int
+	// Unresolved holds U_k: devices massive in one partition and isolated
+	// in another (Definition 8).
+	Unresolved []int
+	// Partitions counts the anomaly partitions of the configuration
+	// (Lemma 2 guarantees at least one).
+	Partitions int
+}
+
+// ClassOf returns "M", "I" or "U" for device j, or "" when j was not part
+// of the classified abnormal set.
+func (o OracleResult) ClassOf(j int) string {
+	switch {
+	case sets.ContainsInt(o.Massive, j):
+		return "M"
+	case sets.ContainsInt(o.Isolated, j):
+		return "I"
+	case sets.ContainsInt(o.Unresolved, j):
+		return "U"
+	default:
+		return ""
+	}
+}
+
+// Oracle computes the exact M_k/I_k/U_k decomposition of abnormal by
+// enumerating all anomaly partitions. It is exponential in |abnormal| and
+// exists to ground-truth the local conditions of Section V; budget bounds
+// the enumeration (DefaultBudget when <= 0).
+func Oracle(pair *motion.Pair, abnormal []int, r float64, tau int, budget int) (OracleResult, error) {
+	ids := sets.Canon(sets.CloneInts(abnormal))
+	everMassive := make(map[int]bool, len(ids))
+	everIsolated := make(map[int]bool, len(ids))
+	count := 0
+	err := ForEachPartition(pair, ids, r, tau, budget, func(p Partition) bool {
+		count++
+		for _, b := range p {
+			dense := motion.Dense(len(b), tau)
+			for _, j := range b {
+				if dense {
+					everMassive[j] = true
+				} else {
+					everIsolated[j] = true
+				}
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return OracleResult{}, err
+	}
+	res := OracleResult{Partitions: count}
+	for _, j := range ids {
+		switch {
+		case everMassive[j] && everIsolated[j]:
+			res.Unresolved = append(res.Unresolved, j)
+		case everMassive[j]:
+			res.Massive = append(res.Massive, j)
+		default:
+			res.Isolated = append(res.Isolated, j)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,155 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"anomalia/internal/motion"
+	"anomalia/internal/sets"
+	"anomalia/internal/space"
+	"anomalia/internal/stats"
+)
+
+// quickWindow derives a small window from raw bytes for testing/quick.
+func quickWindow(prevRaw, curRaw []uint8) (*motion.Pair, []int, bool) {
+	n := len(prevRaw)
+	if len(curRaw) < n {
+		n = len(curRaw)
+	}
+	if n < 3 {
+		return nil, nil, false
+	}
+	if n > 9 {
+		n = 9
+	}
+	build := func(raw []uint8) *space.State {
+		st, err := space.NewState(n, 1)
+		if err != nil {
+			return nil
+		}
+		for j := 0; j < n; j++ {
+			if err := st.Set(j, space.Point{float64(raw[j]) / 255 * 0.35}); err != nil {
+				return nil
+			}
+		}
+		return st
+	}
+	prev, cur := build(prevRaw), build(curRaw)
+	if prev == nil || cur == nil {
+		return nil, nil, false
+	}
+	pair, err := motion.NewPair(prev, cur)
+	if err != nil {
+		return nil, nil, false
+	}
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return pair, ids, true
+}
+
+// TestQuickGreedyIsStructuralPartition: whatever choices Algorithm 1
+// makes, its output is a partition of A_k into r-consistent motions.
+func TestQuickGreedyIsStructuralPartition(t *testing.T) {
+	t.Parallel()
+
+	f := func(prevRaw, curRaw []uint8, seed int64) bool {
+		pair, ids, ok := quickWindow(prevRaw, curRaw)
+		if !ok {
+			return true
+		}
+		const r, tau = 0.06, 2
+		p, err := Greedy(pair, ids, r, tau, stats.NewRNG(seed))
+		if err != nil {
+			return false
+		}
+		var covered []int
+		for _, b := range p {
+			if len(b) == 0 || !pair.ConsistentMotion(b, r) {
+				return false
+			}
+			if len(sets.IntersectInts(covered, b)) != 0 {
+				return false
+			}
+			covered = sets.UnionInts(covered, b)
+		}
+		return sets.EqualInts(covered, ids)
+	}
+	cfg := &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(41))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickOracleConsistentWithValidate: every enumerated partition
+// passes Validate, and the oracle classes partition the abnormal set.
+func TestQuickOracleConsistentWithValidate(t *testing.T) {
+	t.Parallel()
+
+	f := func(prevRaw, curRaw []uint8) bool {
+		pair, ids, ok := quickWindow(prevRaw, curRaw)
+		if !ok {
+			return true
+		}
+		const r, tau = 0.06, 2
+		all, err := EnumerateAll(pair, ids, r, tau, 0)
+		if err != nil {
+			return true // budget blowups are acceptable here
+		}
+		if len(all) == 0 {
+			return false // Lemma 2: at least one partition exists
+		}
+		for _, p := range all {
+			if Validate(pair, p, ids, r, tau) != nil {
+				return false
+			}
+		}
+		res, err := Oracle(pair, ids, r, tau, 0)
+		if err != nil {
+			return true
+		}
+		classes := sets.UnionInts(sets.UnionInts(res.Massive, res.Isolated), res.Unresolved)
+		if !sets.EqualInts(classes, ids) {
+			return false
+		}
+		return len(res.Massive)+len(res.Isolated)+len(res.Unresolved) == len(ids)
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(43))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickValidateRejectsMutations: deleting a device from a valid
+// partition must always be rejected (coverage violation).
+func TestQuickValidateRejectsMutations(t *testing.T) {
+	t.Parallel()
+
+	f := func(prevRaw, curRaw []uint8, pick uint8) bool {
+		pair, ids, ok := quickWindow(prevRaw, curRaw)
+		if !ok {
+			return true
+		}
+		const r, tau = 0.06, 2
+		p, err := GreedyValidated(pair, ids, r, tau, stats.NewRNG(1), 100)
+		if err != nil {
+			return true
+		}
+		// Remove one device from its block.
+		victim := ids[int(pick)%len(ids)]
+		mutated := make(Partition, 0, len(p))
+		for _, b := range p {
+			nb := sets.DiffInts(b, []int{victim})
+			if len(nb) > 0 {
+				mutated = append(mutated, nb)
+			}
+		}
+		return Validate(pair, mutated, ids, r, tau) != nil
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(47))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

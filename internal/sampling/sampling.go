@@ -1,0 +1,103 @@
+// Package sampling implements the locally tuned sampling frequency of
+// Section VII-C: each device adapts how often it samples its
+// neighbourhood's QoS based on the local occurrence of anomalies, with no
+// global synchronization. Sampling more often during anomalous periods
+// shortens the observation window, which reduces the number of
+// concomitant errors per window and — as Figure 7 shows — the number of
+// unresolved configurations; backing off during calm periods keeps the
+// monitoring overhead negligible.
+package sampling
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrSamplingConfig is returned for invalid controller parameters.
+var ErrSamplingConfig = errors.New("sampling: invalid configuration")
+
+// Config parameterizes a Controller.
+type Config struct {
+	// Min is the fastest sampling interval (during anomaly bursts).
+	Min time.Duration
+	// Max is the slowest sampling interval (calm steady state).
+	Max time.Duration
+	// Start is the initial interval; 0 means Max.
+	Start time.Duration
+	// Speedup multiplies the interval after an anomalous window; must be
+	// in (0, 1). 0 selects the default 0.5 (halving).
+	Speedup float64
+	// Decay multiplies the interval after a calm window; must be > 1.
+	// 0 selects the default 1.25.
+	Decay float64
+}
+
+func (c *Config) applyDefaults() error {
+	if c.Speedup == 0 {
+		c.Speedup = 0.5
+	}
+	if c.Decay == 0 {
+		c.Decay = 1.25
+	}
+	if c.Min <= 0 || c.Max < c.Min {
+		return fmt.Errorf("min %v max %v: %w", c.Min, c.Max, ErrSamplingConfig)
+	}
+	if c.Speedup <= 0 || c.Speedup >= 1 {
+		return fmt.Errorf("speedup %v: %w", c.Speedup, ErrSamplingConfig)
+	}
+	if c.Decay <= 1 {
+		return fmt.Errorf("decay %v: %w", c.Decay, ErrSamplingConfig)
+	}
+	if c.Start == 0 {
+		c.Start = c.Max
+	}
+	if c.Start < c.Min || c.Start > c.Max {
+		return fmt.Errorf("start %v outside [%v, %v]: %w", c.Start, c.Min, c.Max, ErrSamplingConfig)
+	}
+	return nil
+}
+
+// Controller is a per-device sampling-frequency governor. It is a purely
+// local state machine: no clock, no goroutines — the caller feeds it one
+// observation outcome per window and schedules the next sample at the
+// returned interval.
+//
+// Controller is not safe for concurrent use.
+type Controller struct {
+	cfg      Config
+	interval time.Duration
+}
+
+// New validates the configuration and returns a controller at its start
+// interval.
+func New(cfg Config) (*Controller, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	return &Controller{cfg: cfg, interval: cfg.Start}, nil
+}
+
+// Interval returns the current sampling interval.
+func (c *Controller) Interval() time.Duration { return c.interval }
+
+// Record folds in the outcome of the latest observation window and
+// returns the interval until the next sample: anomalies shrink it
+// multiplicatively towards Min, calm windows relax it towards Max.
+func (c *Controller) Record(anomalous bool) time.Duration {
+	if anomalous {
+		c.interval = time.Duration(float64(c.interval) * c.cfg.Speedup)
+		if c.interval < c.cfg.Min {
+			c.interval = c.cfg.Min
+		}
+	} else {
+		c.interval = time.Duration(float64(c.interval) * c.cfg.Decay)
+		if c.interval > c.cfg.Max {
+			c.interval = c.cfg.Max
+		}
+	}
+	return c.interval
+}
+
+// Reset returns the controller to its start interval.
+func (c *Controller) Reset() { c.interval = c.cfg.Start }

@@ -1,0 +1,119 @@
+package sampling
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func controller(t *testing.T) *Controller {
+	t.Helper()
+	c, err := New(Config{Min: time.Second, Max: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestDefaultsAndStart(t *testing.T) {
+	t.Parallel()
+
+	c := controller(t)
+	if c.Interval() != time.Minute {
+		t.Errorf("start interval = %v, want Max", c.Interval())
+	}
+}
+
+func TestSpeedupOnAnomalies(t *testing.T) {
+	t.Parallel()
+
+	c := controller(t)
+	prev := c.Interval()
+	for i := 0; i < 3; i++ {
+		next := c.Record(true)
+		if next >= prev {
+			t.Fatalf("interval did not shrink: %v -> %v", prev, next)
+		}
+		prev = next
+	}
+	// Enough anomalies floor the interval at Min.
+	for i := 0; i < 20; i++ {
+		c.Record(true)
+	}
+	if c.Interval() != time.Second {
+		t.Errorf("interval = %v, want floor %v", c.Interval(), time.Second)
+	}
+}
+
+func TestDecayOnCalm(t *testing.T) {
+	t.Parallel()
+
+	c := controller(t)
+	for i := 0; i < 20; i++ {
+		c.Record(true)
+	}
+	prev := c.Interval()
+	for i := 0; i < 3; i++ {
+		next := c.Record(false)
+		if next <= prev {
+			t.Fatalf("interval did not relax: %v -> %v", prev, next)
+		}
+		prev = next
+	}
+	for i := 0; i < 50; i++ {
+		c.Record(false)
+	}
+	if c.Interval() != time.Minute {
+		t.Errorf("interval = %v, want ceiling %v", c.Interval(), time.Minute)
+	}
+}
+
+func TestReset(t *testing.T) {
+	t.Parallel()
+
+	c := controller(t)
+	c.Record(true)
+	c.Reset()
+	if c.Interval() != time.Minute {
+		t.Errorf("interval after reset = %v", c.Interval())
+	}
+}
+
+func TestCustomStartAndRates(t *testing.T) {
+	t.Parallel()
+
+	c, err := New(Config{
+		Min: time.Second, Max: time.Hour,
+		Start: time.Minute, Speedup: 0.1, Decay: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Interval() != time.Minute {
+		t.Errorf("start = %v", c.Interval())
+	}
+	if got := c.Record(true); got != 6*time.Second {
+		t.Errorf("speedup 0.1: %v, want 6s", got)
+	}
+	if got := c.Record(false); got != time.Minute {
+		t.Errorf("decay 10: %v, want 1m", got)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	t.Parallel()
+
+	bad := []Config{
+		{Min: 0, Max: time.Minute},
+		{Min: time.Minute, Max: time.Second},
+		{Min: time.Second, Max: time.Minute, Speedup: 1.5},
+		{Min: time.Second, Max: time.Minute, Decay: 0.5},
+		{Min: time.Second, Max: time.Minute, Start: time.Hour},
+		{Min: time.Second, Max: time.Minute, Start: time.Millisecond},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); !errors.Is(err, ErrSamplingConfig) {
+			t.Errorf("config %d: error = %v, want ErrSamplingConfig", i, err)
+		}
+	}
+}

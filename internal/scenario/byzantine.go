@@ -1,0 +1,190 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"anomalia/internal/space"
+	"anomalia/internal/stats"
+)
+
+// Byzantine collusion (the paper's future work, Section VIII): malicious
+// devices forge their reported trajectories to defeat the characterizer.
+// Two attacks are modelled:
+//
+//   - Mimicry: colluders copy a victim's abnormal trajectory so the
+//     victim's isolated anomaly looks τ-dense and is classified massive —
+//     suppressing the victim's (legitimate) report to the operator.
+//   - Scattering: colluders inside a genuinely massive group forge
+//     positions far from their group so the group drops to τ or fewer
+//     *visible* co-movers and honest members classify their network event
+//     as isolated — flooding the operator with false tickets.
+//
+// Attacks rewrite the *reported* states of the window after the honest
+// dynamics ran; ground truth labels are unchanged, which is exactly what
+// makes the resulting misclassification measurable.
+
+// AttackKind selects the collusion strategy.
+type AttackKind int
+
+// Supported attacks.
+const (
+	// AttackMimic makes colluders shadow a victim's trajectory.
+	AttackMimic AttackKind = iota + 1
+	// AttackScatter makes colluders desert their massive group.
+	AttackScatter
+)
+
+// String names the attack.
+func (a AttackKind) String() string {
+	switch a {
+	case AttackMimic:
+		return "mimic"
+	case AttackScatter:
+		return "scatter"
+	default:
+		return "unknown"
+	}
+}
+
+// ErrAttack is returned when an attack cannot be mounted on a window.
+var ErrAttack = errors.New("scenario: attack not applicable to this window")
+
+// Attack is a collusion configuration.
+type Attack struct {
+	// Kind selects the strategy.
+	Kind AttackKind
+	// Colluders is the number of malicious devices (drafted from the
+	// normal population for AttackMimic, from the target group for
+	// AttackScatter).
+	Colluders int
+	// Seed drives colluder placement.
+	Seed int64
+}
+
+// AttackResult reports what the colluders did.
+type AttackResult struct {
+	// Victim is the attacked device (mimic: the isolated device whose
+	// report is suppressed) or a member of the attacked group (scatter).
+	Victim int
+	// Colluders lists the malicious devices, sorted.
+	Colluders []int
+}
+
+// Apply mounts the attack on a generated window, mutating the reported
+// states (step.Pair) and the abnormal set in place. It returns which
+// devices colluded. The step's ground truth (Events, ImpactOf) is left
+// untouched: colluders are liars, not victims of real errors.
+func (a Attack) Apply(step *Step, tau int) (AttackResult, error) {
+	if a.Colluders < 1 {
+		return AttackResult{}, fmt.Errorf("%d colluders: %w", a.Colluders, ErrAttack)
+	}
+	rng := stats.NewRNG(a.Seed)
+	switch a.Kind {
+	case AttackMimic:
+		return a.applyMimic(step, tau, rng)
+	case AttackScatter:
+		return a.applyScatter(step, tau, rng)
+	default:
+		return AttackResult{}, fmt.Errorf("kind %d: %w", a.Kind, ErrAttack)
+	}
+}
+
+// applyMimic picks an isolated-truth victim and turns enough normal
+// devices into shadows of its trajectory to exceed τ co-movers.
+func (a Attack) applyMimic(step *Step, tau int, rng *stats.RNG) (AttackResult, error) {
+	var victim = -1
+	for _, ev := range step.Events {
+		if ev.Isolated {
+			victim = ev.Impacted[0]
+			break
+		}
+	}
+	if victim < 0 {
+		return AttackResult{}, fmt.Errorf("no isolated event to attack: %w", ErrAttack)
+	}
+	abnormal := make(map[int]bool, len(step.Abnormal))
+	for _, j := range step.Abnormal {
+		abnormal[j] = true
+	}
+	var pool []int
+	for j := 0; j < step.Pair.N(); j++ {
+		if !abnormal[j] {
+			pool = append(pool, j)
+		}
+	}
+	if len(pool) < a.Colluders {
+		return AttackResult{}, fmt.Errorf("only %d normal devices available: %w", len(pool), ErrAttack)
+	}
+	res := AttackResult{Victim: victim}
+	vPrev := step.Pair.Prev.At(victim)
+	vCur := step.Pair.Cur.At(victim)
+	d := step.Pair.Dim()
+	for _, c := range rng.Sample(pool, a.Colluders) {
+		// Report positions glued to the victim at both times (small
+		// per-colluder offset keeps points distinct).
+		off := make(space.Point, d)
+		for i := range off {
+			off[i] = (rng.Float64() - 0.5) * 0.002
+		}
+		pPrev, err := space.Add(vPrev, off)
+		if err != nil {
+			return AttackResult{}, err
+		}
+		pCur, err := space.Add(vCur, off)
+		if err != nil {
+			return AttackResult{}, err
+		}
+		if err := step.Pair.Prev.Set(c, pPrev); err != nil {
+			return AttackResult{}, err
+		}
+		if err := step.Pair.Cur.Set(c, pCur); err != nil {
+			return AttackResult{}, err
+		}
+		step.Abnormal = append(step.Abnormal, c)
+		res.Colluders = append(res.Colluders, c)
+	}
+	sort.Ints(step.Abnormal)
+	sort.Ints(res.Colluders)
+	_ = tau
+	return res, nil
+}
+
+// applyScatter picks a massive-truth group and scatters colluding members
+// far away in the *reported* current state, shrinking the honest group to
+// at most τ visible co-movers.
+func (a Attack) applyScatter(step *Step, tau int, rng *stats.RNG) (AttackResult, error) {
+	var group []int
+	for _, ev := range step.Events {
+		if !ev.Isolated && len(ev.Impacted) > tau {
+			group = ev.Impacted
+			break
+		}
+	}
+	if group == nil {
+		return AttackResult{}, fmt.Errorf("no massive event to attack: %w", ErrAttack)
+	}
+	need := len(group) - tau
+	if a.Colluders < need {
+		return AttackResult{}, fmt.Errorf("%d colluders cannot shrink a group of %d below τ=%d: %w",
+			a.Colluders, len(group), tau, ErrAttack)
+	}
+	res := AttackResult{Victim: group[0]}
+	colluders := rng.Sample(group[1:], need) // keep the victim honest
+	d := step.Pair.Dim()
+	for i, c := range colluders {
+		// Forged current position: a corner region away from everyone,
+		// distinct per colluder.
+		forged := make(space.Point, d)
+		for x := range forged {
+			forged[x] = 0.99 - 0.004*float64(i) - 0.05*float64(x)
+		}
+		if err := step.Pair.Cur.Set(c, forged); err != nil {
+			return AttackResult{}, err
+		}
+		res.Colluders = append(res.Colluders, c)
+	}
+	sort.Ints(res.Colluders)
+	return res, nil
+}

@@ -1,0 +1,178 @@
+package scenario
+
+import (
+	"errors"
+	"testing"
+
+	"anomalia/internal/core"
+	"anomalia/internal/sets"
+)
+
+// attackableStep generates a window guaranteed to contain both isolated
+// and massive truth events.
+func attackableStep(t *testing.T, seed int64) (*Step, Config) {
+	t.Helper()
+	cfg := Config{
+		N: 1000, D: 2, R: 0.03, Tau: 3, A: 12, G: 0.5,
+		EnforceR3: true, Seed: seed,
+	}
+	gen, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tries := 0; tries < 20; tries++ {
+		step, err := gen.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		hasIso, hasMass := false, false
+		for _, ev := range step.Events {
+			if ev.Isolated {
+				hasIso = true
+			} else if len(ev.Impacted) > cfg.Tau {
+				hasMass = true
+			}
+		}
+		if hasIso && hasMass {
+			return step, cfg
+		}
+	}
+	t.Fatal("could not generate an attackable window")
+	return nil, cfg
+}
+
+func classOf(t *testing.T, step *Step, cfg Config, device int) core.Class {
+	t.Helper()
+	char, err := core.New(step.Pair, step.Abnormal, core.Config{
+		R: cfg.R, Tau: cfg.Tau, Exact: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := char.Characterize(device)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Class
+}
+
+// TestMimicAttackSuppressesIsolatedReport: enough colluders shadowing an
+// isolated victim flip its verdict from isolated to massive, silencing
+// its legitimate report — the collusion the paper's future work warns of.
+func TestMimicAttackSuppressesIsolatedReport(t *testing.T) {
+	t.Parallel()
+
+	step, cfg := attackableStep(t, 71)
+	// Identify the victim (first isolated event's first device).
+	var victim int
+	for _, ev := range step.Events {
+		if ev.Isolated {
+			victim = ev.Impacted[0]
+			break
+		}
+	}
+	if got := classOf(t, step, cfg, victim); got != core.ClassIsolated {
+		t.Skipf("victim not isolated pre-attack (%v); geometry too dense", got)
+	}
+
+	res, err := Attack{Kind: AttackMimic, Colluders: cfg.Tau + 2, Seed: 1}.Apply(step, cfg.Tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Victim != victim {
+		t.Fatalf("attack picked victim %d, expected %d", res.Victim, victim)
+	}
+	if len(res.Colluders) != cfg.Tau+2 {
+		t.Fatalf("colluders = %v", res.Colluders)
+	}
+	for _, c := range res.Colluders {
+		if !sets.ContainsInt(step.Abnormal, c) {
+			t.Fatalf("colluder %d not in reported abnormal set", c)
+		}
+	}
+	if got := classOf(t, step, cfg, victim); got != core.ClassMassive {
+		t.Errorf("post-attack victim class = %v, want massive (report suppressed)", got)
+	}
+}
+
+// TestScatterAttackForgesIsolation: colluders deserting a massive group
+// make an honest member believe its network event was local.
+func TestScatterAttackForgesIsolation(t *testing.T) {
+	t.Parallel()
+
+	step, cfg := attackableStep(t, 99)
+	var group []int
+	for _, ev := range step.Events {
+		if !ev.Isolated && len(ev.Impacted) > cfg.Tau {
+			group = ev.Impacted
+			break
+		}
+	}
+	honest := group[0]
+	if got := classOf(t, step, cfg, honest); got != core.ClassMassive {
+		t.Skipf("honest member not massive pre-attack (%v)", got)
+	}
+
+	res, err := Attack{Kind: AttackScatter, Colluders: len(group), Seed: 2}.Apply(step, cfg.Tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sets.ContainsInt(res.Colluders, honest) {
+		t.Fatal("the honest victim must not collude")
+	}
+	got := classOf(t, step, cfg, honest)
+	if got == core.ClassMassive {
+		t.Errorf("post-attack honest member still classified massive; scatter failed")
+	}
+}
+
+func TestAttackValidation(t *testing.T) {
+	t.Parallel()
+
+	step, cfg := attackableStep(t, 5)
+	if _, err := (Attack{Kind: AttackMimic, Colluders: 0}).Apply(step, cfg.Tau); !errors.Is(err, ErrAttack) {
+		t.Errorf("0 colluders error = %v", err)
+	}
+	if _, err := (Attack{Kind: AttackKind(9), Colluders: 2}).Apply(step, cfg.Tau); !errors.Is(err, ErrAttack) {
+		t.Errorf("bad kind error = %v", err)
+	}
+	// Scatter with too few colluders for the group size.
+	if _, err := (Attack{Kind: AttackScatter, Colluders: 1}).Apply(step, cfg.Tau); err != nil && !errors.Is(err, ErrAttack) {
+		t.Errorf("scatter error = %v, want ErrAttack or success", err)
+	}
+	if AttackMimic.String() != "mimic" || AttackScatter.String() != "scatter" || AttackKind(0).String() != "unknown" {
+		t.Error("AttackKind.String misbehaved")
+	}
+}
+
+// TestMimicAttackNoIsolatedEvents: a window with only massive events
+// cannot be mimic-attacked.
+func TestMimicAttackNoIsolatedEvents(t *testing.T) {
+	t.Parallel()
+
+	gen, err := New(Config{
+		N: 1000, D: 2, R: 0.03, Tau: 3, A: 5, G: 0, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var step *Step
+	for {
+		step, err = gen.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		allMassive := true
+		for _, ev := range step.Events {
+			if ev.Isolated {
+				allMassive = false
+			}
+		}
+		if allMassive {
+			break
+		}
+	}
+	if _, err := (Attack{Kind: AttackMimic, Colluders: 4}).Apply(step, 3); !errors.Is(err, ErrAttack) {
+		t.Errorf("mimic on massive-only window error = %v, want ErrAttack", err)
+	}
+}

@@ -1,0 +1,146 @@
+package scenario
+
+import (
+	"testing"
+
+	"anomalia/internal/sets"
+)
+
+func concomitantConfig() Config {
+	return Config{
+		N: 800, D: 2, R: 0.03, Tau: 3, A: 40, G: 0.3,
+		Concomitant: true, MaxShift: 0.06, Seed: 21,
+	}
+}
+
+// TestConcomitantAllowsReHits: with errors applied sequentially, a device
+// can be struck by several errors; the abnormal set is then smaller than
+// the sum of event sizes, and ImpactOf records the last striker.
+func TestConcomitantAllowsReHits(t *testing.T) {
+	t.Parallel()
+
+	gen, err := New(concomitantConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawReHit := false
+	for w := 0; w < 10 && !sawReHit; w++ {
+		step, err := gen.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for _, ev := range step.Events {
+			total += len(ev.Impacted)
+		}
+		if total > len(step.Abnormal) {
+			sawReHit = true
+			// ImpactOf must point at the latest event containing each
+			// device.
+			for dev, idx := range step.ImpactOf {
+				if !sets.ContainsInt(step.Events[idx].Impacted, dev) {
+					t.Fatalf("ImpactOf[%d] = %d but event does not contain it", dev, idx)
+				}
+				for later := idx + 1; later < len(step.Events); later++ {
+					if sets.ContainsInt(step.Events[later].Impacted, dev) {
+						t.Fatalf("device %d hit by later event %d than recorded %d", dev, later, idx)
+					}
+				}
+			}
+		}
+	}
+	if !sawReHit {
+		t.Error("40 concomitant errors on 800 devices never re-hit anyone; suspicious")
+	}
+}
+
+// TestConcomitantBoundedShift: with MaxShift set, every event's
+// displacement stays within the bound per coordinate.
+func TestConcomitantBoundedShift(t *testing.T) {
+	t.Parallel()
+
+	cfg := concomitantConfig()
+	gen, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < 5; w++ {
+		step, err := gen.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ev := range step.Events {
+			for _, d := range ev.Delta {
+				if d > cfg.MaxShift+1e-12 || d < -cfg.MaxShift-1e-12 {
+					t.Fatalf("event %d delta %v exceeds MaxShift %v", ev.ID, ev.Delta, cfg.MaxShift)
+				}
+			}
+		}
+	}
+}
+
+// TestConcomitantDeterminism: the concomitant mode is reproducible.
+func TestConcomitantDeterminism(t *testing.T) {
+	t.Parallel()
+
+	g1, err := New(concomitantConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := New(concomitantConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < 3; w++ {
+		s1, err := g1.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := g2.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sets.EqualInts(s1.Abnormal, s2.Abnormal) {
+			t.Fatalf("window %d: abnormal sets differ", w)
+		}
+	}
+}
+
+// TestConcomitantStaysInCube: sequential moves never escape the QoS
+// space.
+func TestConcomitantStaysInCube(t *testing.T) {
+	t.Parallel()
+
+	cfg := concomitantConfig()
+	cfg.A = 80
+	gen, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < 5; w++ {
+		step, err := gen.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < cfg.N; j++ {
+			if !step.Pair.Cur.At(j).InUnitCube() {
+				t.Fatalf("device %d escaped the cube: %v", j, step.Pair.Cur.At(j))
+			}
+		}
+	}
+}
+
+// TestMaxShiftValidation: out-of-range MaxShift is rejected.
+func TestMaxShiftValidation(t *testing.T) {
+	t.Parallel()
+
+	cfg := concomitantConfig()
+	cfg.MaxShift = -0.1
+	if _, err := New(cfg); err == nil {
+		t.Error("negative MaxShift must error")
+	}
+	cfg.MaxShift = 1.5
+	if _, err := New(cfg); err == nil {
+		t.Error("MaxShift > 1 must error")
+	}
+}

@@ -1,0 +1,369 @@
+// Package scenario implements the Monte-Carlo workload generator of
+// Section VII-A: devices start uniformly distributed in the QoS space;
+// each observation window injects A errors, each hitting a group of
+// devices drawn from a ball of radius r (isolated errors hit at most τ
+// devices, massive ones more) and displacing the whole group coherently to
+// a uniformly chosen target, in accordance with restriction R2.
+//
+// A configuration switch reproduces the paper's two regimes: with
+// EnforceR3 the generator resamples isolated-error targets until the
+// moved group cannot coalesce with other abnormal devices (restriction R3
+// holds, Figures 6/7 and Tables II/III); without it coincidental merges
+// are allowed (Figures 8/9).
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"anomalia/internal/motion"
+	"anomalia/internal/space"
+	"anomalia/internal/stats"
+)
+
+// ErrConfig is returned for invalid generator configurations.
+var ErrConfig = errors.New("scenario: invalid configuration")
+
+// Config parameterizes the generator. The paper's evaluation uses
+// N=1000, D=2, R=0.03, Tau=3, A in [1,80], G in {0,0.3,0.5,0.7,1}.
+type Config struct {
+	// N is the number of monitored devices.
+	N int
+	// D is the number of services (QoS space dimension).
+	D int
+	// R is the consistency impact radius; error groups are drawn from
+	// balls of radius R so that impacted groups are r-consistent.
+	R float64
+	// Tau is the density threshold.
+	Tau int
+	// A is the number of errors injected per observation window.
+	A int
+	// G is the probability that an injected error is isolated.
+	G float64
+	// EnforceR3 resamples isolated-error targets so that isolated groups
+	// cannot merge with other abnormal devices (restriction R3).
+	EnforceR3 bool
+	// MaxRetries bounds R3 resampling per error (default 64).
+	MaxRetries int
+	// Concomitant applies the A errors sequentially to the evolving state
+	// between the two snapshots: error balls are drawn from intermediate
+	// positions and a device can be hit several times (violating R1, the
+	// "temporally close errors" the paper blames for unresolved
+	// configurations). When false, every error draws from S_{k-1} and
+	// devices are hit at most once.
+	Concomitant bool
+	// MaxShift bounds the per-error displacement magnitude (uniform norm)
+	// when positive; 0 moves groups to targets drawn uniformly in E.
+	// Bounded shifts keep temporally close errors spatially close, which
+	// is what makes their motions interleave.
+	MaxShift float64
+	// Seed drives all randomness; equal seeds give equal runs.
+	Seed int64
+}
+
+func (c Config) validate() error {
+	if c.N < 2 {
+		return fmt.Errorf("n = %d: %w", c.N, ErrConfig)
+	}
+	if c.D < space.MinDim || c.D > space.MaxDim {
+		return fmt.Errorf("d = %d: %w", c.D, ErrConfig)
+	}
+	if err := motion.ValidateRadius(c.R); err != nil {
+		return err
+	}
+	if c.Tau < 1 || c.Tau >= c.N {
+		return fmt.Errorf("tau = %d: %w", c.Tau, ErrConfig)
+	}
+	if c.A < 1 {
+		return fmt.Errorf("A = %d errors: %w", c.A, ErrConfig)
+	}
+	if c.G < 0 || c.G > 1 {
+		return fmt.Errorf("G = %v: %w", c.G, ErrConfig)
+	}
+	if c.MaxShift < 0 || c.MaxShift > 1 {
+		return fmt.Errorf("MaxShift = %v: %w", c.MaxShift, ErrConfig)
+	}
+	return nil
+}
+
+// Event is one injected error and its ground truth.
+type Event struct {
+	// ID numbers events within a step.
+	ID int
+	// Impacted lists the devices hit, sorted.
+	Impacted []int
+	// Isolated is the ground-truth class: true iff |Impacted| <= τ.
+	Isolated bool
+	// WantedMassive records the generator's intent; a massive error can
+	// degenerate to isolated when the anchor's ball holds too few devices.
+	WantedMassive bool
+	// Delta is the displacement applied to every impacted device.
+	Delta []float64
+}
+
+// Step is one observation window [k-1, k] with its ground truth.
+type Step struct {
+	// Pair holds S_{k-1} and S_k.
+	Pair *motion.Pair
+	// Abnormal is A_k, sorted.
+	Abnormal []int
+	// Events are the injected errors.
+	Events []Event
+	// ImpactOf maps device id to the index (into Events) that hit it.
+	ImpactOf map[int]int
+	// R3Failures counts isolated errors for which R3 resampling exhausted
+	// its retries (only possible with EnforceR3).
+	R3Failures int
+}
+
+// TruthIsolated reports the ground-truth class of an abnormal device.
+func (s *Step) TruthIsolated(device int) (bool, bool) {
+	idx, ok := s.ImpactOf[device]
+	if !ok {
+		return false, false
+	}
+	return s.Events[idx].Isolated, true
+}
+
+// Generator produces successive observation windows.
+type Generator struct {
+	cfg Config
+	rng *stats.RNG
+	cur *space.State
+}
+
+// New seeds a generator with a uniform initial distribution S_0.
+func New(cfg Config) (*Generator, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 64
+	}
+	st, err := space.NewState(cfg.N, cfg.D)
+	if err != nil {
+		return nil, err
+	}
+	g := &Generator{cfg: cfg, rng: stats.NewRNG(cfg.Seed), cur: st}
+	g.cur.Uniform(g.rng.Float64)
+	return g, nil
+}
+
+// Step advances one observation window and returns it with ground truth.
+func (g *Generator) Step() (*Step, error) {
+	cfg := g.cfg
+	prev := g.cur.Clone()
+	// In the default (R1-respecting) mode every error draws its ball from
+	// the snapshot S_{k-1}; in concomitant mode each error sees the state
+	// left by the previous one.
+	grid, err := space.NewGrid(prev, cfg.R)
+	if err != nil {
+		return nil, err
+	}
+
+	step := &Step{ImpactOf: make(map[int]int)}
+	impacted := make(map[int]bool, cfg.A*(cfg.Tau+1))
+
+	for e := 0; e < cfg.A; e++ {
+		ref := prev
+		if cfg.Concomitant {
+			ref = g.cur
+			if grid, err = space.NewGrid(ref, cfg.R); err != nil {
+				return nil, err
+			}
+		}
+		isolated := g.rng.Bernoulli(cfg.G)
+		var anchor int
+		var free []int
+		// Candidates: devices within the R-ball of the anchor in the
+		// reference state. Pairwise uniform-norm distance is then <= 2R,
+		// so the group is r-consistent before the move (restriction R2).
+		// Massive errors re-draw the anchor a few times looking for a ball
+		// populous enough to actually hit more than τ devices.
+		ok := false
+		for attempt := 0; attempt < 32; attempt++ {
+			a, alive := g.pickAnchor(impacted)
+			if !alive {
+				break
+			}
+			cands := grid.Within(a, cfg.R, nil)
+			f := make([]int, 0, len(cands))
+			for _, c := range cands {
+				if cfg.Concomitant || !impacted[c] {
+					f = append(f, c)
+				}
+			}
+			if len(f) == 0 {
+				continue
+			}
+			if !ok || len(f) > len(free) {
+				anchor, free, ok = a, f, true
+			}
+			if isolated || len(free) > cfg.Tau {
+				break
+			}
+		}
+		if !ok {
+			break // the whole population is already impacted
+		}
+		group := g.pickGroup(anchor, free, isolated)
+		ev := Event{
+			ID:            e,
+			Impacted:      group,
+			WantedMassive: !isolated,
+			Isolated:      len(group) <= cfg.Tau,
+		}
+
+		delta, r3Failed := g.pickDelta(ref, group, ev.Isolated, impacted)
+		if r3Failed {
+			step.R3Failures++
+		}
+		ev.Delta = delta
+		for _, j := range group {
+			p, err := space.Add(ref.At(j), delta)
+			if err != nil {
+				return nil, err
+			}
+			if err := g.cur.Set(j, p); err != nil {
+				return nil, err
+			}
+			impacted[j] = true
+			step.ImpactOf[j] = e
+		}
+		sort.Ints(ev.Impacted)
+		step.Events = append(step.Events, ev)
+	}
+
+	for j := range impacted {
+		step.Abnormal = append(step.Abnormal, j)
+	}
+	sort.Ints(step.Abnormal)
+
+	pair, err := motion.NewPair(prev, g.cur.Clone())
+	if err != nil {
+		return nil, err
+	}
+	step.Pair = pair
+	return step, nil
+}
+
+// pickAnchor draws an error anchor. In concomitant mode any device
+// qualifies (re-hits model temporally close errors); otherwise it rejects
+// already-impacted devices, giving up once the population looks exhausted.
+func (g *Generator) pickAnchor(impacted map[int]bool) (int, bool) {
+	if g.cfg.Concomitant {
+		return g.rng.Intn(g.cfg.N), true
+	}
+	for try := 0; try < 16*g.cfg.N; try++ {
+		j := g.rng.Intn(g.cfg.N)
+		if !impacted[j] {
+			return j, true
+		}
+	}
+	return 0, false
+}
+
+// pickGroup selects the impacted set for one error: always the anchor,
+// plus t-1 ball mates. Isolated errors draw t in [1, τ]; massive errors
+// draw t in [τ+1, |ball|], degenerating to the whole ball when it is too
+// small.
+func (g *Generator) pickGroup(anchor int, free []int, isolated bool) []int {
+	others := make([]int, 0, len(free))
+	for _, c := range free {
+		if c != anchor {
+			others = append(others, c)
+		}
+	}
+	var t int
+	switch {
+	case isolated:
+		max := g.cfg.Tau
+		if max > len(others)+1 {
+			max = len(others) + 1
+		}
+		t = g.rng.IntRange(1, max)
+	case len(others)+1 > g.cfg.Tau+1:
+		t = g.rng.IntRange(g.cfg.Tau+1, len(others)+1)
+	default:
+		t = len(others) + 1 // degenerate massive: whole ball
+	}
+	group := append([]int{anchor}, g.rng.Sample(others, t-1)...)
+	return group
+}
+
+// pickDelta draws the coherent displacement for a group, keeping every
+// member inside the unit cube. For isolated errors under R3 enforcement it
+// resamples until the moved group ends up farther than 2R from every
+// already-impacted device at time k; the boolean reports enforcement
+// failure after MaxRetries.
+func (g *Generator) pickDelta(prev *space.State, group []int, isolated bool, impacted map[int]bool) (space.Point, bool) {
+	d := g.cfg.D
+	lo := make([]float64, d)
+	hi := make([]float64, d)
+	first := prev.At(group[0])
+	copy(lo, first)
+	copy(hi, first)
+	for _, j := range group[1:] {
+		p := prev.At(j)
+		for i := 0; i < d; i++ {
+			if p[i] < lo[i] {
+				lo[i] = p[i]
+			}
+			if p[i] > hi[i] {
+				hi[i] = p[i]
+			}
+		}
+	}
+	draw := func() space.Point {
+		delta := make(space.Point, d)
+		for i := 0; i < d; i++ {
+			lower, upper := -lo[i], 1-hi[i]
+			if g.cfg.MaxShift > 0 {
+				if lower < -g.cfg.MaxShift {
+					lower = -g.cfg.MaxShift
+				}
+				if upper > g.cfg.MaxShift {
+					upper = g.cfg.MaxShift
+				}
+			}
+			delta[i] = g.rng.UniformRange(lower, upper)
+		}
+		return delta
+	}
+	if !isolated || !g.cfg.EnforceR3 {
+		return draw(), false
+	}
+	for try := 0; try < g.cfg.MaxRetries; try++ {
+		delta := draw()
+		if g.separated(prev, group, delta, impacted) {
+			return delta, false
+		}
+	}
+	return draw(), true
+}
+
+// separated reports whether every member of the group, once displaced by
+// delta, sits farther than 2R (at time k) from every already-impacted
+// device — which prevents any joint r-consistent motion.
+func (g *Generator) separated(prev *space.State, group []int, delta space.Point, impacted map[int]bool) bool {
+	inGroup := make(map[int]bool, len(group))
+	for _, j := range group {
+		inGroup[j] = true
+	}
+	for _, j := range group {
+		pj, err := space.Add(prev.At(j), delta)
+		if err != nil {
+			return false
+		}
+		for other := range impacted {
+			if inGroup[other] {
+				continue
+			}
+			if space.Dist(pj, g.cur.At(other)) <= 2*g.cfg.R {
+				return false
+			}
+		}
+	}
+	return true
+}

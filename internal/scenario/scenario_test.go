@@ -1,0 +1,322 @@
+package scenario
+
+import (
+	"errors"
+	"testing"
+
+	"anomalia/internal/motion"
+	"anomalia/internal/sets"
+)
+
+func baseConfig() Config {
+	return Config{
+		N:    1000,
+		D:    2,
+		R:    0.03,
+		Tau:  3,
+		A:    20,
+		G:    0.5,
+		Seed: 1,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	t.Parallel()
+
+	mutations := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"n too small", func(c *Config) { c.N = 1 }},
+		{"bad dim", func(c *Config) { c.D = 0 }},
+		{"bad radius", func(c *Config) { c.R = 0.3 }},
+		{"tau zero", func(c *Config) { c.Tau = 0 }},
+		{"tau too big", func(c *Config) { c.Tau = 1000 }},
+		{"no errors", func(c *Config) { c.A = 0 }},
+		{"bad G", func(c *Config) { c.G = 1.5 }},
+	}
+	for _, tt := range mutations {
+		tt := tt
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := baseConfig()
+			tt.mut(&cfg)
+			if _, err := New(cfg); err == nil {
+				t.Error("expected configuration error")
+			}
+		})
+	}
+	cfg := baseConfig()
+	cfg.R = 0.3
+	if _, err := New(cfg); !errors.Is(err, motion.ErrRadius) {
+		t.Errorf("radius error = %v", err)
+	}
+}
+
+func TestStepGroundTruthConsistency(t *testing.T) {
+	t.Parallel()
+
+	gen, err := New(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 5; k++ {
+		step, err := gen.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(step.Events) == 0 || len(step.Abnormal) == 0 {
+			t.Fatal("empty step")
+		}
+		// Abnormal = disjoint union of event-impacted sets.
+		var union []int
+		for _, ev := range step.Events {
+			if len(ev.Impacted) == 0 {
+				t.Fatalf("event %d impacted nobody", ev.ID)
+			}
+			if len(sets.IntersectInts(union, ev.Impacted)) != 0 {
+				t.Fatalf("events overlap: %v vs %v", union, ev.Impacted)
+			}
+			union = sets.UnionInts(union, ev.Impacted)
+			// Ground-truth class matches cardinality.
+			if ev.Isolated != (len(ev.Impacted) <= baseConfig().Tau) {
+				t.Fatalf("event %d: Isolated=%v with %d impacted", ev.ID, ev.Isolated, len(ev.Impacted))
+			}
+			for _, j := range ev.Impacted {
+				if idx, ok := step.ImpactOf[j]; !ok || idx != ev.ID {
+					t.Fatalf("ImpactOf[%d] = %d, want %d", j, idx, ev.ID)
+				}
+			}
+		}
+		if !sets.EqualInts(union, step.Abnormal) {
+			t.Fatalf("abnormal %v != union of events %v", step.Abnormal, union)
+		}
+	}
+}
+
+// TestGroupsAreMotions: restriction R2 — every impacted group must have an
+// r-consistent motion (consistent at both times).
+func TestGroupsAreMotions(t *testing.T) {
+	t.Parallel()
+
+	gen, err := New(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 5; k++ {
+		step, err := gen.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ev := range step.Events {
+			if !step.Pair.ConsistentMotion(ev.Impacted, baseConfig().R) {
+				t.Fatalf("step %d event %d: impacted group %v is not an r-consistent motion",
+					k, ev.ID, ev.Impacted)
+			}
+		}
+	}
+}
+
+// TestUnimpactedDevicesDoNotMove: only impacted devices change position,
+// so A_k is exactly the set of devices with abnormal trajectories.
+func TestUnimpactedDevicesDoNotMove(t *testing.T) {
+	t.Parallel()
+
+	gen, err := New(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	step, err := gen.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	abnormal := make(map[int]bool)
+	for _, j := range step.Abnormal {
+		abnormal[j] = true
+	}
+	for j := 0; j < baseConfig().N; j++ {
+		moved := step.Pair.Prev.Dist(j, j) != 0 // always 0; compare states directly
+		_ = moved
+		d := 0.0
+		for i := 0; i < baseConfig().D; i++ {
+			diff := step.Pair.Prev.At(j)[i] - step.Pair.Cur.At(j)[i]
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > d {
+				d = diff
+			}
+		}
+		if abnormal[j] && d == 0 {
+			t.Errorf("abnormal device %d did not move", j)
+		}
+		if !abnormal[j] && d != 0 {
+			t.Errorf("normal device %d moved by %v", j, d)
+		}
+	}
+}
+
+// TestEventSizesRespectMix: G=1 must only produce isolated events, G=0
+// only massive intents.
+func TestEventSizesRespectMix(t *testing.T) {
+	t.Parallel()
+
+	cfg := baseConfig()
+	cfg.G = 1
+	gen, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step, err := gen.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range step.Events {
+		if !ev.Isolated || ev.WantedMassive {
+			t.Errorf("G=1 produced a massive event: %+v", ev)
+		}
+		if len(ev.Impacted) > cfg.Tau {
+			t.Errorf("isolated event with %d > τ devices", len(ev.Impacted))
+		}
+	}
+
+	cfg.G = 0
+	cfg.Seed = 7
+	gen, err = New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step, err = gen.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawMassive := false
+	for _, ev := range step.Events {
+		if !ev.WantedMassive {
+			t.Errorf("G=0 produced an isolated intent: %+v", ev)
+		}
+		if len(ev.Impacted) > cfg.Tau {
+			sawMassive = true
+		}
+	}
+	if !sawMassive {
+		t.Error("G=0 never realized a massive event (density too low?)")
+	}
+}
+
+// TestR3EnforcementSeparatesIsolatedGroups: with EnforceR3, no device of a
+// truly isolated group may be motion-adjacent to an abnormal device
+// outside its group (unless enforcement reported failure).
+func TestR3EnforcementSeparatesIsolatedGroups(t *testing.T) {
+	t.Parallel()
+
+	cfg := baseConfig()
+	cfg.EnforceR3 = true
+	cfg.G = 1 // all isolated: worst case for separation
+	cfg.A = 10
+	gen, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 5; k++ {
+		step, err := gen.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if step.R3Failures > 0 {
+			continue // enforcement can fail legitimately; skip the check
+		}
+		for _, ev := range step.Events {
+			for _, j := range ev.Impacted {
+				for _, other := range step.Abnormal {
+					if step.ImpactOf[other] == ev.ID {
+						continue
+					}
+					if step.Pair.Adjacent(j, other, cfg.R) {
+						t.Fatalf("step %d: isolated device %d adjacent to foreign abnormal %d", k, j, other)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	t.Parallel()
+
+	g1, err := New(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := New(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 3; k++ {
+		s1, err := g1.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := g2.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sets.EqualInts(s1.Abnormal, s2.Abnormal) {
+			t.Fatalf("step %d: abnormal sets differ", k)
+		}
+		for i := range s1.Events {
+			if !sets.EqualInts(s1.Events[i].Impacted, s2.Events[i].Impacted) {
+				t.Fatalf("step %d event %d differs", k, i)
+			}
+		}
+	}
+}
+
+func TestTruthIsolated(t *testing.T) {
+	t.Parallel()
+
+	gen, err := New(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	step, err := gen.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := step.Abnormal[0]
+	iso, ok := step.TruthIsolated(j)
+	if !ok {
+		t.Fatal("TruthIsolated must know abnormal devices")
+	}
+	ev := step.Events[step.ImpactOf[j]]
+	if iso != ev.Isolated {
+		t.Error("TruthIsolated disagrees with the event record")
+	}
+	if _, ok := step.TruthIsolated(-1); ok {
+		t.Error("TruthIsolated must report unknown devices")
+	}
+}
+
+// TestPositionsStayInCube: coherent displacement must never push devices
+// outside the QoS space.
+func TestPositionsStayInCube(t *testing.T) {
+	t.Parallel()
+
+	cfg := baseConfig()
+	cfg.A = 60
+	gen, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 10; k++ {
+		step, err := gen.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < cfg.N; j++ {
+			if !step.Pair.Cur.At(j).InUnitCube() {
+				t.Fatalf("device %d left the unit cube: %v", j, step.Pair.Cur.At(j))
+			}
+		}
+	}
+}

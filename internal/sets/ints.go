@@ -1,0 +1,147 @@
+package sets
+
+import "sort"
+
+// Ints provides set algebra over sorted, duplicate-free []int slices.
+// These are the exchange format between packages (bitsets stay internal to
+// hot loops); keeping them sorted makes outputs deterministic and
+// comparisons cheap.
+
+// Canon sorts s in place, removes duplicates and returns the shortened
+// slice. It is the canonical form used across the module.
+func Canon(s []int) []int {
+	if len(s) < 2 {
+		return s
+	}
+	sort.Ints(s)
+	out := s[:1]
+	for _, v := range s[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// ContainsInt reports whether sorted slice s contains v.
+func ContainsInt(s []int, v int) bool {
+	i := sort.SearchInts(s, v)
+	return i < len(s) && s[i] == v
+}
+
+// EqualInts reports whether two sorted slices hold the same elements.
+func EqualInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetInts reports whether every element of sorted slice a appears in
+// sorted slice b.
+func SubsetInts(a, b []int) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			i++
+			j++
+		case a[i] > b[j]:
+			j++
+		default:
+			return false
+		}
+	}
+	return i == len(a)
+}
+
+// UnionInts returns the sorted union of two sorted slices in a new slice.
+func UnionInts(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// IntersectInts returns the sorted intersection of two sorted slices.
+func IntersectInts(a, b []int) []int {
+	var out []int
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// DiffInts returns the sorted difference a \ b of two sorted slices.
+func DiffInts(a, b []int) []int {
+	var out []int
+	i, j := 0, 0
+	for i < len(a) {
+		switch {
+		case j >= len(b) || a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// CloneInts returns a copy of s (nil stays nil).
+func CloneInts(s []int) []int {
+	if s == nil {
+		return nil
+	}
+	out := make([]int, len(s))
+	copy(out, s)
+	return out
+}
+
+// SortSets orders a family of sorted sets lexicographically (shorter first
+// on ties of the common prefix), giving deterministic output for families
+// produced from map iteration.
+func SortSets(family [][]int) {
+	sort.Slice(family, func(i, j int) bool {
+		a, b := family[i], family[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+}

@@ -1,0 +1,141 @@
+package sets
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestCanon(t *testing.T) {
+	t.Parallel()
+
+	tests := []struct {
+		name string
+		in   []int
+		want []int
+	}{
+		{"nil", nil, nil},
+		{"single", []int{4}, []int{4}},
+		{"sorted", []int{1, 2, 3}, []int{1, 2, 3}},
+		{"reverse", []int{3, 2, 1}, []int{1, 2, 3}},
+		{"dups", []int{5, 1, 5, 1, 5}, []int{1, 5}},
+	}
+	for _, tt := range tests {
+		tt := tt
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			got := Canon(CloneInts(tt.in))
+			if !EqualInts(got, tt.want) {
+				t.Errorf("Canon(%v) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestIntSliceOps(t *testing.T) {
+	t.Parallel()
+
+	a := []int{1, 3, 5, 7}
+	b := []int{3, 4, 7, 9}
+
+	if got, want := UnionInts(a, b), []int{1, 3, 4, 5, 7, 9}; !EqualInts(got, want) {
+		t.Errorf("UnionInts = %v, want %v", got, want)
+	}
+	if got, want := IntersectInts(a, b), []int{3, 7}; !EqualInts(got, want) {
+		t.Errorf("IntersectInts = %v, want %v", got, want)
+	}
+	if got, want := DiffInts(a, b), []int{1, 5}; !EqualInts(got, want) {
+		t.Errorf("DiffInts = %v, want %v", got, want)
+	}
+	if got, want := DiffInts(b, a), []int{4, 9}; !EqualInts(got, want) {
+		t.Errorf("DiffInts = %v, want %v", got, want)
+	}
+}
+
+func TestSubsetContains(t *testing.T) {
+	t.Parallel()
+
+	if !SubsetInts([]int{2, 4}, []int{1, 2, 3, 4}) {
+		t.Error("expected subset")
+	}
+	if SubsetInts([]int{2, 8}, []int{1, 2, 3, 4}) {
+		t.Error("expected not subset")
+	}
+	if !SubsetInts(nil, []int{1}) {
+		t.Error("empty set is subset of everything")
+	}
+	if !ContainsInt([]int{1, 5, 9}, 5) || ContainsInt([]int{1, 5, 9}, 4) {
+		t.Error("ContainsInt misbehaved")
+	}
+}
+
+func TestSortSets(t *testing.T) {
+	t.Parallel()
+
+	family := [][]int{{2, 3}, {1, 9}, {1, 2, 3}, {1, 2}}
+	SortSets(family)
+	want := [][]int{{1, 2}, {1, 2, 3}, {1, 9}, {2, 3}}
+	for i := range want {
+		if !EqualInts(family[i], want[i]) {
+			t.Fatalf("SortSets order = %v, want %v", family, want)
+		}
+	}
+}
+
+func TestCloneInts(t *testing.T) {
+	t.Parallel()
+
+	if CloneInts(nil) != nil {
+		t.Error("CloneInts(nil) must be nil")
+	}
+	orig := []int{1, 2}
+	c := CloneInts(orig)
+	c[0] = 99
+	if orig[0] != 1 {
+		t.Error("CloneInts must copy")
+	}
+}
+
+// TestIntsQuickAgainstBits cross-checks the sorted-slice algebra against
+// the bitset algebra on random inputs.
+func TestIntsQuickAgainstBits(t *testing.T) {
+	t.Parallel()
+
+	const universe = 120
+	f := func(xs, ys []uint8) bool {
+		var a, b []int
+		for _, x := range xs {
+			a = append(a, int(x)%universe)
+		}
+		for _, y := range ys {
+			b = append(b, int(y)%universe)
+		}
+		a, b = Canon(a), Canon(b)
+		if !sort.IntsAreSorted(a) || !sort.IntsAreSorted(b) {
+			return false
+		}
+		ab, bb := BitsOf(universe, a...), BitsOf(universe, b...)
+
+		u := ab.Clone()
+		u.Or(bb)
+		if !EqualInts(UnionInts(a, b), u.Members(nil)) {
+			return false
+		}
+		in := ab.Clone()
+		in.And(bb)
+		if !EqualInts(IntersectInts(a, b), in.Members(nil)) {
+			return false
+		}
+		df := ab.Clone()
+		df.AndNot(bb)
+		if !EqualInts(DiffInts(a, b), df.Members(nil)) {
+			return false
+		}
+		return SubsetInts(a, b) == ab.SubsetOf(bb)
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,143 @@
+package space
+
+import (
+	"fmt"
+	"math"
+)
+
+// Grid is a uniform-cell spatial index over one state. With cell side
+// equal to the query radius, all points within uniform-norm distance
+// radius of a query point lie in the 3^d cells around the query cell,
+// which makes 2r-neighbourhood queries O(points in the vicinity) instead
+// of O(n).
+type Grid struct {
+	state *State
+	side  float64
+	cells map[uint64][]int
+	res   int // cells per axis
+}
+
+// NewGrid indexes state with the given cell side (usually 2r). side must
+// be positive.
+func NewGrid(state *State, side float64) (*Grid, error) {
+	if side <= 0 || math.IsNaN(side) {
+		return nil, fmt.Errorf("grid cell side %v must be positive", side)
+	}
+	res := int(math.Ceil(1 / side))
+	if res < 1 {
+		res = 1
+	}
+	g := &Grid{
+		state: state,
+		side:  side,
+		cells: make(map[uint64][]int, state.Len()),
+		res:   res,
+	}
+	for j := 0; j < state.Len(); j++ {
+		key := g.cellKey(state.At(j))
+		g.cells[key] = append(g.cells[key], j)
+	}
+	return g, nil
+}
+
+// cellKey packs the per-axis cell coordinates of p into a single uint64
+// (8 bits per axis are plenty: res <= ceil(1/side) and side >= 1/256 in
+// practice; larger resolutions wrap, which only costs extra candidates,
+// never correctness, because Within re-checks exact distances).
+func (g *Grid) cellKey(p Point) uint64 {
+	var key uint64
+	for _, x := range p {
+		c := int(x / g.side)
+		if c < 0 {
+			c = 0
+		}
+		if c >= g.res {
+			c = g.res - 1
+		}
+		key = key<<8 | uint64(c&0xff)
+	}
+	return key
+}
+
+// Within appends to dst the indices of all devices at uniform-norm
+// distance <= radius from the position of device j (including j itself)
+// and returns the extended slice. radius must be <= the grid cell side for
+// the index to be exhaustive; larger radii fall back to a full scan.
+func (g *Grid) Within(j int, radius float64, dst []int) []int {
+	if radius > g.side {
+		for i := 0; i < g.state.Len(); i++ {
+			if g.state.Dist(i, j) <= radius {
+				dst = append(dst, i)
+			}
+		}
+		return dst
+	}
+	p := g.state.At(j)
+	return g.within(p, j, radius, dst)
+}
+
+// WithinPoint is like Within but takes an arbitrary query position.
+// It never excludes any index.
+func (g *Grid) WithinPoint(p Point, radius float64, dst []int) []int {
+	if radius > g.side {
+		for i := 0; i < g.state.Len(); i++ {
+			if Dist(g.state.At(i), p) <= radius {
+				dst = append(dst, i)
+			}
+		}
+		return dst
+	}
+	return g.within(p, -1, radius, dst)
+}
+
+func (g *Grid) within(p Point, _ int, radius float64, dst []int) []int {
+	d := g.state.Dim()
+	base := make([]int, d)
+	for i, x := range p {
+		c := int(x / g.side)
+		if c < 0 {
+			c = 0
+		}
+		if c >= g.res {
+			c = g.res - 1
+		}
+		base[i] = c
+	}
+	// Walk the 3^d neighbouring cells.
+	offsets := make([]int, d)
+	for i := range offsets {
+		offsets[i] = -1
+	}
+	for {
+		ok := true
+		var key uint64
+		for i := 0; i < d; i++ {
+			c := base[i] + offsets[i]
+			if c < 0 || c >= g.res {
+				ok = false
+				break
+			}
+			key = key<<8 | uint64(c&0xff)
+		}
+		if ok {
+			for _, idx := range g.cells[key] {
+				if Dist(g.state.At(idx), p) <= radius {
+					dst = append(dst, idx)
+				}
+			}
+		}
+		// Next offset vector in {-1,0,1}^d.
+		i := 0
+		for ; i < d; i++ {
+			offsets[i]++
+			if offsets[i] <= 1 {
+				break
+			}
+			offsets[i] = -1
+		}
+		if i == d {
+			break
+		}
+	}
+	return dst
+}

@@ -1,0 +1,180 @@
+package space
+
+import (
+	"sort"
+	"testing"
+
+	"anomalia/internal/stats"
+)
+
+// bruteWithin is the reference O(n) neighbourhood query.
+func bruteWithin(s *State, p Point, radius float64) []int {
+	var out []int
+	for i := 0; i < s.Len(); i++ {
+		if Dist(s.At(i), p) <= radius {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func TestNewGridValidation(t *testing.T) {
+	t.Parallel()
+
+	s, err := NewState(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewGrid(s, 0); err == nil {
+		t.Error("zero cell side must error")
+	}
+	if _, err := NewGrid(s, -0.1); err == nil {
+		t.Error("negative cell side must error")
+	}
+}
+
+func TestGridMatchesBruteForce(t *testing.T) {
+	t.Parallel()
+
+	for _, d := range []int{1, 2, 3} {
+		d := d
+		t.Run(map[int]string{1: "1d", 2: "2d", 3: "3d"}[d], func(t *testing.T) {
+			t.Parallel()
+			r := stats.NewRNG(int64(100 + d))
+			s, err := NewState(400, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Uniform(r.Float64)
+			const radius = 0.06
+			g, err := NewGrid(s, radius)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := 0; j < 50; j++ {
+				got := g.Within(j, radius, nil)
+				sort.Ints(got)
+				want := bruteWithin(s, s.At(j), radius)
+				if len(got) != len(want) {
+					t.Fatalf("device %d: got %v, want %v", j, got, want)
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("device %d: got %v, want %v", j, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestGridWithinPoint(t *testing.T) {
+	t.Parallel()
+
+	r := stats.NewRNG(7)
+	s, err := NewState(300, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Uniform(r.Float64)
+	const radius = 0.05
+	g, err := NewGrid(s, radius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []Point{{0, 0}, {1, 1}, {0.5, 0.5}, {0.031, 0.97}}
+	for _, q := range queries {
+		got := g.WithinPoint(q, radius, nil)
+		sort.Ints(got)
+		want := bruteWithin(s, q, radius)
+		if len(got) != len(want) {
+			t.Fatalf("query %v: got %d hits, want %d", q, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("query %v: got %v, want %v", q, got, want)
+			}
+		}
+	}
+}
+
+func TestGridRadiusLargerThanCell(t *testing.T) {
+	t.Parallel()
+
+	r := stats.NewRNG(9)
+	s, err := NewState(200, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Uniform(r.Float64)
+	g, err := NewGrid(s, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Radius beyond the cell side falls back to the exhaustive scan.
+	got := g.Within(0, 0.2, nil)
+	sort.Ints(got)
+	want := bruteWithin(s, s.At(0), 0.2)
+	if len(got) != len(want) {
+		t.Fatalf("fallback scan: got %d, want %d", len(got), len(want))
+	}
+	got2 := g.WithinPoint(Point{0.5, 0.5}, 0.3, nil)
+	want2 := bruteWithin(s, Point{0.5, 0.5}, 0.3)
+	if len(got2) != len(want2) {
+		t.Fatalf("fallback point scan: got %d, want %d", len(got2), len(want2))
+	}
+}
+
+func TestGridIncludesSelf(t *testing.T) {
+	t.Parallel()
+
+	s, err := StateFromPoints([][]float64{{0.5, 0.5}, {0.52, 0.5}, {0.9, 0.9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGrid(s, 0.06)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := g.Within(0, 0.06, nil)
+	sort.Ints(got)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("Within(0) = %v, want [0 1]", got)
+	}
+}
+
+func TestGridAppendsToDst(t *testing.T) {
+	t.Parallel()
+
+	s, err := StateFromPoints([][]float64{{0.5, 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGrid(s, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := []int{42}
+	dst = g.Within(0, 0.1, dst)
+	if len(dst) != 2 || dst[0] != 42 || dst[1] != 0 {
+		t.Errorf("dst = %v, want [42 0]", dst)
+	}
+}
+
+func BenchmarkGridWithin(b *testing.B) {
+	r := stats.NewRNG(1)
+	s, err := NewState(1000, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Uniform(r.Float64)
+	g, err := NewGrid(s, 0.06)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]int, 0, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = g.Within(i%1000, 0.06, buf[:0])
+	}
+}

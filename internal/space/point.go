@@ -1,0 +1,98 @@
+// Package space models the QoS space E = [0,1]^d of Section III-A: device
+// positions (one coordinate per consumed service), the uniform norm used
+// for the consistency radius, system states S_k and a uniform-grid index
+// for 2r-neighbourhood queries.
+package space
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Dimension bounds accepted by the package. The paper evaluates d = 2; the
+// implementation supports any small dimension.
+const (
+	MinDim = 1
+	MaxDim = 16
+)
+
+// ErrDimension is returned when a dimension is outside [MinDim, MaxDim] or
+// two points disagree on dimension.
+var ErrDimension = errors.New("space: invalid or mismatched dimension")
+
+// Point is a position in the QoS space E = [0,1]^d; coordinate i is the
+// measured end-to-end quality of service s_i in [0,1].
+type Point []float64
+
+// Clone returns an independent copy of p.
+func (p Point) Clone() Point {
+	c := make(Point, len(p))
+	copy(c, p)
+	return c
+}
+
+// InUnitCube reports whether every coordinate lies in [0,1].
+func (p Point) InUnitCube() bool {
+	for _, x := range p {
+		if x < 0 || x > 1 || math.IsNaN(x) {
+			return false
+		}
+	}
+	return true
+}
+
+// Clamp forces every coordinate into [0,1] in place and returns p.
+func (p Point) Clamp() Point {
+	for i, x := range p {
+		switch {
+		case x < 0 || math.IsNaN(x):
+			p[i] = 0
+		case x > 1:
+			p[i] = 1
+		}
+	}
+	return p
+}
+
+// Dist returns the uniform-norm (L-infinity) distance between a and b, the
+// norm used throughout the paper (Section III-B). Both points must have
+// the same dimension; mismatched points yield +Inf so that they are never
+// considered close.
+func Dist(a, b Point) float64 {
+	if len(a) != len(b) {
+		return math.Inf(1)
+	}
+	max := 0.0
+	for i := range a {
+		d := math.Abs(a[i] - b[i])
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Add returns a + b as a new point (no clamping).
+func Add(a, b Point) (Point, error) {
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("adding %d-dim to %d-dim point: %w", len(b), len(a), ErrDimension)
+	}
+	out := make(Point, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out, nil
+}
+
+// Sub returns a - b as a new point.
+func Sub(a, b Point) (Point, error) {
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("subtracting %d-dim from %d-dim point: %w", len(b), len(a), ErrDimension)
+	}
+	out := make(Point, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out, nil
+}

@@ -1,0 +1,114 @@
+package space
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDist(t *testing.T) {
+	t.Parallel()
+
+	tests := []struct {
+		name string
+		a, b Point
+		want float64
+	}{
+		{"zero", Point{0.5, 0.5}, Point{0.5, 0.5}, 0},
+		{"1d", Point{0.1}, Point{0.4}, 0.3},
+		{"uniform norm picks max axis", Point{0, 0}, Point{0.2, 0.7}, 0.7},
+		{"symmetric", Point{0.9, 0.1}, Point{0.1, 0.2}, 0.8},
+		{"3d", Point{0, 0, 0}, Point{0.1, 0.5, 0.3}, 0.5},
+	}
+	for _, tt := range tests {
+		tt := tt
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			if got := Dist(tt.a, tt.b); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("Dist = %v, want %v", got, tt.want)
+			}
+			if got := Dist(tt.b, tt.a); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("Dist reversed = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDistMismatchedDims(t *testing.T) {
+	t.Parallel()
+
+	if !math.IsInf(Dist(Point{1}, Point{1, 2}), 1) {
+		t.Error("mismatched dims must yield +Inf")
+	}
+}
+
+func TestDistTriangleInequality(t *testing.T) {
+	t.Parallel()
+
+	// L-infinity satisfies the triangle inequality; spot-check on a grid.
+	pts := []Point{{0, 0}, {0.3, 0.9}, {0.7, 0.2}, {1, 1}, {0.5, 0.5}}
+	for _, a := range pts {
+		for _, b := range pts {
+			for _, c := range pts {
+				if Dist(a, c) > Dist(a, b)+Dist(b, c)+1e-12 {
+					t.Fatalf("triangle inequality violated for %v %v %v", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestClampAndInUnitCube(t *testing.T) {
+	t.Parallel()
+
+	p := Point{-0.5, 0.5, 1.5, math.NaN()}
+	if p.InUnitCube() {
+		t.Error("point with out-of-range coords must not be in unit cube")
+	}
+	p.Clamp()
+	want := Point{0, 0.5, 1, 0}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Errorf("Clamp()[%d] = %v, want %v", i, p[i], want[i])
+		}
+	}
+	if !p.InUnitCube() {
+		t.Error("clamped point must be in unit cube")
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	t.Parallel()
+
+	a, b := Point{0.5, 0.5}, Point{0.2, -0.1}
+	sum, err := Add(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum[0] != 0.7 || sum[1] != 0.4 {
+		t.Errorf("Add = %v", sum)
+	}
+	diff, err := Sub(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(diff[0]-0.3) > 1e-12 || diff[1] != 0.6 {
+		t.Errorf("Sub = %v", diff)
+	}
+	if _, err := Add(a, Point{1}); err == nil {
+		t.Error("Add with mismatched dims must error")
+	}
+	if _, err := Sub(a, Point{1, 2, 3}); err == nil {
+		t.Error("Sub with mismatched dims must error")
+	}
+}
+
+func TestClone(t *testing.T) {
+	t.Parallel()
+
+	p := Point{0.1, 0.2}
+	c := p.Clone()
+	c[0] = 0.9
+	if p[0] != 0.1 {
+		t.Error("Clone must copy")
+	}
+}

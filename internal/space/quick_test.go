@@ -1,0 +1,126 @@
+package space
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func pointFrom(raw []uint8, d int) Point {
+	p := make(Point, d)
+	for i := 0; i < d && i < len(raw); i++ {
+		p[i] = float64(raw[i]) / 255
+	}
+	return p
+}
+
+// TestQuickMetricLaws: the uniform norm distance is a metric on the QoS
+// space — identity, symmetry, triangle inequality.
+func TestQuickMetricLaws(t *testing.T) {
+	t.Parallel()
+
+	f := func(ar, br, cr [8]uint8) bool {
+		const d = 3
+		a := pointFrom(ar[:], d)
+		b := pointFrom(br[:], d)
+		c := pointFrom(cr[:], d)
+		if Dist(a, a) != 0 {
+			return false
+		}
+		if Dist(a, b) != Dist(b, a) {
+			return false
+		}
+		if Dist(a, b) < 0 {
+			return false
+		}
+		return Dist(a, c) <= Dist(a, b)+Dist(b, c)+1e-12
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(23))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDistDominatedByCoordinates: the uniform norm equals the largest
+// per-coordinate gap and is bounded by each coordinate's contribution.
+func TestQuickDistDominatedByCoordinates(t *testing.T) {
+	t.Parallel()
+
+	f := func(ar, br [4]uint8) bool {
+		const d = 4
+		a := pointFrom(ar[:], d)
+		b := pointFrom(br[:], d)
+		dist := Dist(a, b)
+		max := 0.0
+		for i := 0; i < d; i++ {
+			gap := math.Abs(a[i] - b[i])
+			if gap > dist+1e-15 {
+				return false
+			}
+			if gap > max {
+				max = gap
+			}
+		}
+		return math.Abs(dist-max) < 1e-15
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(29))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickClampIdempotent: clamping is idempotent and lands in the cube.
+func TestQuickClampIdempotent(t *testing.T) {
+	t.Parallel()
+
+	f := func(raw [6]int16) bool {
+		p := make(Point, len(raw))
+		for i, v := range raw {
+			p[i] = float64(v) / 1000
+		}
+		p.Clamp()
+		if !p.InUnitCube() {
+			return false
+		}
+		q := p.Clone()
+		q.Clamp()
+		for i := range p {
+			if p[i] != q[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(31))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTranslationInvariance: translating both points by the same
+// vector leaves the distance unchanged (the property that makes coherent
+// group moves preserve r-consistency).
+func TestQuickTranslationInvariance(t *testing.T) {
+	t.Parallel()
+
+	f := func(ar, br, dr [2]uint8) bool {
+		const d = 2
+		a := pointFrom(ar[:], d)
+		b := pointFrom(br[:], d)
+		delta := pointFrom(dr[:], d)
+		a2, err := Add(a, delta)
+		if err != nil {
+			return false
+		}
+		b2, err := Add(b, delta)
+		if err != nil {
+			return false
+		}
+		return math.Abs(Dist(a, b)-Dist(a2, b2)) < 1e-12
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(37))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,103 @@
+package space
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrIndex is returned for device indices outside [0, n).
+var ErrIndex = errors.New("space: device index out of range")
+
+// State is the system state S_k of Section III-A: the positions of n
+// devices in E at one discrete time. Device identifiers are 0-based
+// indices (the paper uses 1..n).
+type State struct {
+	dim int
+	pts []Point
+}
+
+// NewState returns a state for n devices in d dimensions with all devices
+// at the origin.
+func NewState(n, d int) (*State, error) {
+	if d < MinDim || d > MaxDim {
+		return nil, fmt.Errorf("d = %d: %w", d, ErrDimension)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("n = %d: %w", n, ErrIndex)
+	}
+	pts := make([]Point, n)
+	backing := make([]float64, n*d)
+	for i := range pts {
+		pts[i] = Point(backing[i*d : (i+1)*d : (i+1)*d])
+	}
+	return &State{dim: d, pts: pts}, nil
+}
+
+// StateFromPoints builds a state from raw coordinates, copying them. All
+// rows must share the same dimension.
+func StateFromPoints(coords [][]float64) (*State, error) {
+	if len(coords) == 0 {
+		return nil, fmt.Errorf("empty state: %w", ErrDimension)
+	}
+	d := len(coords[0])
+	s, err := NewState(len(coords), d)
+	if err != nil {
+		return nil, err
+	}
+	for i, row := range coords {
+		if len(row) != d {
+			return nil, fmt.Errorf("device %d has %d coords, want %d: %w", i, len(row), d, ErrDimension)
+		}
+		copy(s.pts[i], row)
+	}
+	return s, nil
+}
+
+// Len returns the number of devices n.
+func (s *State) Len() int { return len(s.pts) }
+
+// Dim returns the dimension d of the QoS space.
+func (s *State) Dim() int { return s.dim }
+
+// At returns the position of device j. The returned slice aliases the
+// state; treat it as read-only or use AtClone.
+func (s *State) At(j int) Point { return s.pts[j] }
+
+// AtClone returns an independent copy of the position of device j.
+func (s *State) AtClone(j int) Point { return s.pts[j].Clone() }
+
+// Set overwrites the position of device j, clamping into [0,1]^d.
+func (s *State) Set(j int, p Point) error {
+	if j < 0 || j >= len(s.pts) {
+		return fmt.Errorf("device %d of %d: %w", j, len(s.pts), ErrIndex)
+	}
+	if len(p) != s.dim {
+		return fmt.Errorf("point dim %d, state dim %d: %w", len(p), s.dim, ErrDimension)
+	}
+	copy(s.pts[j], p)
+	s.pts[j].Clamp()
+	return nil
+}
+
+// Clone returns a deep copy of the state.
+func (s *State) Clone() *State {
+	c, _ := NewState(len(s.pts), s.dim) // dimensions already validated
+	for i, p := range s.pts {
+		copy(c.pts[i], p)
+	}
+	return c
+}
+
+// Dist returns the uniform-norm distance between devices i and j.
+func (s *State) Dist(i, j int) float64 { return Dist(s.pts[i], s.pts[j]) }
+
+// Uniform fills the state with positions drawn uniformly from [0,1]^d
+// using the given source of uniform [0,1) samples (the initial
+// distribution S_0 of Section VII-A).
+func (s *State) Uniform(next func() float64) {
+	for _, p := range s.pts {
+		for i := range p {
+			p[i] = next()
+		}
+	}
+}

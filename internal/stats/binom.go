@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrInvalidProbability is returned when a probability argument lies
+// outside [0, 1].
+var ErrInvalidProbability = errors.New("stats: probability outside [0, 1]")
+
+// LogChoose returns log C(n, k) computed via the log-gamma function, which
+// stays finite for the n ≈ 15000 used by the Figure 6b sweep.
+func LogChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	if k == 0 || k == n {
+		return 0
+	}
+	ln1, _ := math.Lgamma(float64(n + 1))
+	lk1, _ := math.Lgamma(float64(k + 1))
+	lnk1, _ := math.Lgamma(float64(n - k + 1))
+	return ln1 - lk1 - lnk1
+}
+
+// BinomialPMF returns P{X = k} for X ~ Binomial(n, p), evaluated in log
+// space for numerical stability.
+func BinomialPMF(n, k int, p float64) (float64, error) {
+	if p < 0 || p > 1 {
+		return 0, ErrInvalidProbability
+	}
+	if k < 0 || k > n {
+		return 0, nil
+	}
+	if p == 0 {
+		if k == 0 {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	if p == 1 {
+		if k == n {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	logPMF := LogChoose(n, k) + float64(k)*math.Log(p) + float64(n-k)*math.Log1p(-p)
+	return math.Exp(logPMF), nil
+}
+
+// BinomialCDF returns P{X <= k} for X ~ Binomial(n, p) by direct summation
+// from the lighter tail.
+func BinomialCDF(n, k int, p float64) (float64, error) {
+	if p < 0 || p > 1 {
+		return 0, ErrInvalidProbability
+	}
+	if k < 0 {
+		return 0, nil
+	}
+	if k >= n {
+		return 1, nil
+	}
+	// Sum whichever tail has fewer terms.
+	if k+1 <= n-k {
+		sum := 0.0
+		for i := 0; i <= k; i++ {
+			pmf, _ := BinomialPMF(n, i, p)
+			sum += pmf
+		}
+		return math.Min(sum, 1), nil
+	}
+	sum := 0.0
+	for i := k + 1; i <= n; i++ {
+		pmf, _ := BinomialPMF(n, i, p)
+		sum += pmf
+	}
+	return math.Max(0, 1-sum), nil
+}
+
+// BinomialSurvival returns P{X > k} = 1 - CDF(k).
+func BinomialSurvival(n, k int, p float64) (float64, error) {
+	cdf, err := BinomialCDF(n, k, p)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - cdf, nil
+}
+
+// LogSumExp returns log(sum exp(xs)) with the usual max-shift trick.
+// It returns -Inf for an empty input.
+func LogSumExp(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.Inf(-1)
+	}
+	max := xs[0]
+	for _, x := range xs[1:] {
+		if x > max {
+			max = x
+		}
+	}
+	if math.IsInf(max, -1) {
+		return max
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += math.Exp(x - max)
+	}
+	return max + math.Log(sum)
+}

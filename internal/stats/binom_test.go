@@ -1,0 +1,207 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestLogChoose(t *testing.T) {
+	t.Parallel()
+
+	tests := []struct {
+		n, k int
+		want float64 // C(n,k)
+	}{
+		{0, 0, 1},
+		{5, 0, 1},
+		{5, 5, 1},
+		{5, 2, 10},
+		{10, 3, 120},
+		{52, 5, 2598960},
+	}
+	for _, tt := range tests {
+		got := math.Exp(LogChoose(tt.n, tt.k))
+		if !almostEqual(got, tt.want, tt.want*1e-9) {
+			t.Errorf("exp(LogChoose(%d,%d)) = %v, want %v", tt.n, tt.k, got, tt.want)
+		}
+	}
+	if !math.IsInf(LogChoose(5, 6), -1) || !math.IsInf(LogChoose(5, -1), -1) {
+		t.Error("out-of-range LogChoose must be -Inf")
+	}
+}
+
+func TestBinomialPMF(t *testing.T) {
+	t.Parallel()
+
+	// Binomial(4, 0.5): 1/16, 4/16, 6/16, 4/16, 1/16.
+	want := []float64{1.0 / 16, 4.0 / 16, 6.0 / 16, 4.0 / 16, 1.0 / 16}
+	for k, w := range want {
+		got, err := BinomialPMF(4, k, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(got, w, 1e-12) {
+			t.Errorf("PMF(4,%d,0.5) = %v, want %v", k, got, w)
+		}
+	}
+}
+
+func TestBinomialPMFEdges(t *testing.T) {
+	t.Parallel()
+
+	if p, _ := BinomialPMF(10, 0, 0); p != 1 {
+		t.Errorf("PMF(10,0,0) = %v, want 1", p)
+	}
+	if p, _ := BinomialPMF(10, 3, 0); p != 0 {
+		t.Errorf("PMF(10,3,0) = %v, want 0", p)
+	}
+	if p, _ := BinomialPMF(10, 10, 1); p != 1 {
+		t.Errorf("PMF(10,10,1) = %v, want 1", p)
+	}
+	if p, _ := BinomialPMF(10, -1, 0.5); p != 0 {
+		t.Errorf("PMF with k<0 = %v, want 0", p)
+	}
+	if _, err := BinomialPMF(10, 3, 1.5); err == nil {
+		t.Error("PMF with p>1 must error")
+	}
+	if _, err := BinomialPMF(10, 3, -0.1); err == nil {
+		t.Error("PMF with p<0 must error")
+	}
+}
+
+func TestBinomialPMFSumsToOne(t *testing.T) {
+	t.Parallel()
+
+	for _, n := range []int{1, 7, 100, 1000} {
+		for _, p := range []float64{0.005, 0.3, 0.97} {
+			sum := 0.0
+			for k := 0; k <= n; k++ {
+				pmf, err := BinomialPMF(n, k, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sum += pmf
+			}
+			if !almostEqual(sum, 1, 1e-9) {
+				t.Errorf("sum of PMF(n=%d,p=%v) = %v, want 1", n, p, sum)
+			}
+		}
+	}
+}
+
+func TestBinomialCDF(t *testing.T) {
+	t.Parallel()
+
+	// CDF(4, 1, 0.5) = 5/16.
+	got, err := BinomialCDF(4, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 5.0/16, 1e-12) {
+		t.Errorf("CDF(4,1,0.5) = %v, want %v", got, 5.0/16)
+	}
+	if c, _ := BinomialCDF(10, -1, 0.5); c != 0 {
+		t.Error("CDF(k<0) must be 0")
+	}
+	if c, _ := BinomialCDF(10, 10, 0.5); c != 1 {
+		t.Error("CDF(k=n) must be 1")
+	}
+	if c, _ := BinomialCDF(10, 99, 0.5); c != 1 {
+		t.Error("CDF(k>n) must be 1")
+	}
+	if _, err := BinomialCDF(10, 3, 2); err == nil {
+		t.Error("CDF with invalid p must error")
+	}
+}
+
+func TestBinomialCDFMonotone(t *testing.T) {
+	t.Parallel()
+
+	prev := 0.0
+	for k := 0; k <= 1000; k += 10 {
+		c, err := BinomialCDF(1000, k, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c < prev-1e-12 {
+			t.Fatalf("CDF not monotone at k=%d: %v < %v", k, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestBinomialSurvival(t *testing.T) {
+	t.Parallel()
+
+	s, err := BinomialSurvival(4, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(s, 11.0/16, 1e-12) {
+		t.Errorf("Survival(4,1,0.5) = %v, want %v", s, 11.0/16)
+	}
+}
+
+// TestBinomialLargeN exercises the n=15000 regime of Figure 6b.
+func TestBinomialLargeN(t *testing.T) {
+	t.Parallel()
+
+	c, err := BinomialCDF(15000, 5, 0.0036*0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c < 0.999 || c > 1 {
+		t.Errorf("CDF(15000,5,q*b) = %v, want in (0.999, 1]", c)
+	}
+}
+
+func TestLogSumExp(t *testing.T) {
+	t.Parallel()
+
+	if !math.IsInf(LogSumExp(nil), -1) {
+		t.Error("LogSumExp(nil) must be -Inf")
+	}
+	got := LogSumExp([]float64{math.Log(1), math.Log(2), math.Log(3)})
+	if !almostEqual(got, math.Log(6), 1e-12) {
+		t.Errorf("LogSumExp = %v, want log 6", got)
+	}
+	// Huge offsets must not overflow.
+	got = LogSumExp([]float64{1000, 1000})
+	if !almostEqual(got, 1000+math.Log(2), 1e-9) {
+		t.Errorf("LogSumExp with large inputs = %v", got)
+	}
+	if !math.IsInf(LogSumExp([]float64{math.Inf(-1), math.Inf(-1)}), -1) {
+		t.Error("LogSumExp of -Inf inputs must be -Inf")
+	}
+}
+
+// TestBinomialAgainstMonteCarlo verifies the closed forms against sampling.
+func TestBinomialAgainstMonteCarlo(t *testing.T) {
+	t.Parallel()
+
+	const n, p, trials = 50, 0.2, 200000
+	r := NewRNG(1234)
+	leK := 0
+	const k = 10
+	for i := 0; i < trials; i++ {
+		hits := 0
+		for j := 0; j < n; j++ {
+			if r.Bernoulli(p) {
+				hits++
+			}
+		}
+		if hits <= k {
+			leK++
+		}
+	}
+	mc := float64(leK) / trials
+	exact, err := BinomialCDF(n, k, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mc-exact) > 0.005 {
+		t.Errorf("MC CDF = %v, exact = %v", mc, exact)
+	}
+}

@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMeanVariance(t *testing.T) {
+	t.Parallel()
+
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); !almostEqual(m, 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", m)
+	}
+	if v := Variance(xs); !almostEqual(v, 32.0/7, 1e-12) {
+		t.Errorf("Variance = %v, want %v", v, 32.0/7)
+	}
+	if s := StdDev(xs); !almostEqual(s, math.Sqrt(32.0/7), 1e-12) {
+		t.Errorf("StdDev = %v", s)
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("degenerate inputs must return 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	t.Parallel()
+
+	min, max, ok := MinMax([]float64{3, -1, 7, 2})
+	if !ok || min != -1 || max != 7 {
+		t.Errorf("MinMax = %v,%v,%v", min, max, ok)
+	}
+	if _, _, ok := MinMax(nil); ok {
+		t.Error("MinMax(nil) must report !ok")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	t.Parallel()
+
+	xs := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.75, 4}, {-0.5, 1}, {2, 5},
+	}
+	for _, tt := range tests {
+		if got := Quantile(xs, tt.q); !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("Quantile(nil) must be 0")
+	}
+	// Input must not be mutated.
+	ys := []float64{3, 1, 2}
+	Quantile(ys, 0.5)
+	if ys[0] != 3 {
+		t.Error("Quantile must not sort its input in place")
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	t.Parallel()
+
+	r := NewRNG(99)
+	xs := make([]float64, 1000)
+	var w Welford
+	for i := range xs {
+		xs[i] = r.NormFloat64()*3 + 10
+		w.Add(xs[i])
+	}
+	if w.N() != len(xs) {
+		t.Errorf("N = %d", w.N())
+	}
+	if !almostEqual(w.Mean(), Mean(xs), 1e-9) {
+		t.Errorf("Welford mean %v vs batch %v", w.Mean(), Mean(xs))
+	}
+	if !almostEqual(w.Variance(), Variance(xs), 1e-7) {
+		t.Errorf("Welford variance %v vs batch %v", w.Variance(), Variance(xs))
+	}
+	var empty Welford
+	if empty.Mean() != 0 || empty.Variance() != 0 || empty.StdDev() != 0 {
+		t.Error("zero-value Welford must report zeros")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	t.Parallel()
+
+	h := NewHistogram(0, 10, 5)
+	if h == nil {
+		t.Fatal("NewHistogram returned nil for valid args")
+	}
+	for _, x := range []float64{0, 1.9, 2, 5, 9.99, -5, 42} {
+		h.Observe(x)
+	}
+	counts := h.Counts()
+	// -5 clamps to bin 0, 42 clamps to bin 4.
+	want := []int{3, 1, 1, 0, 2}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Errorf("bin %d = %d, want %d (all: %v)", i, counts[i], want[i], counts)
+		}
+	}
+	if h.Total() != 7 {
+		t.Errorf("Total = %d, want 7", h.Total())
+	}
+	if c := h.BinCenter(0); !almostEqual(c, 1, 1e-12) {
+		t.Errorf("BinCenter(0) = %v, want 1", c)
+	}
+	if NewHistogram(0, 0, 5) != nil || NewHistogram(0, 1, 0) != nil {
+		t.Error("invalid histogram construction must return nil")
+	}
+}

@@ -1,0 +1,127 @@
+// Package stats provides the numerical substrate of the reproduction:
+// a deterministic random-number generator whose stream is stable across Go
+// releases, log-space binomial probabilities used by the parameter
+// dimensioning of Section VII-A, and descriptive statistics for the
+// experiment harness.
+package stats
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (SplitMix64). It is used instead of math/rand so experiment outputs are
+// reproducible bit-for-bit regardless of the Go release.
+//
+// The zero value is a valid generator seeded with 0; prefer NewRNG.
+// RNG is not safe for concurrent use; give each goroutine its own stream
+// via Split.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{state: uint64(seed)}
+}
+
+// Split derives an independent generator from the current stream, advancing
+// this one. Useful to hand deterministic sub-streams to parallel workers.
+func (r *RNG) Split() *RNG {
+	return &RNG{state: r.Uint64()}
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform sample in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform sample in [0, n). It panics if n <= 0, mirroring
+// math/rand semantics for programmer errors.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	// Rejection sampling to avoid modulo bias.
+	max := uint64(n)
+	limit := (^uint64(0) / max) * max
+	for {
+		v := r.Uint64()
+		if v < limit {
+			return int(v % max)
+		}
+	}
+}
+
+// IntRange returns a uniform sample in [lo, hi] inclusive. It panics if
+// hi < lo.
+func (r *RNG) IntRange(lo, hi int) int {
+	if hi < lo {
+		panic("stats: IntRange with hi < lo")
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// UniformRange returns a uniform sample in [lo, hi).
+func (r *RNG) UniformRange(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Bernoulli returns true with probability p.
+func (r *RNG) Bernoulli(p float64) bool {
+	return r.Float64() < p
+}
+
+// NormFloat64 returns a standard normal sample (Marsaglia polar method).
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Perm returns a random permutation of [0, n), Fisher–Yates.
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.ShuffleInts(p)
+	return p
+}
+
+// ShuffleInts shuffles s in place.
+func (r *RNG) ShuffleInts(s []int) {
+	for i := len(s) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+// Sample returns k distinct elements drawn uniformly from s without
+// replacement (partial Fisher–Yates on a copy). If k >= len(s) a shuffled
+// copy of all of s is returned.
+func (r *RNG) Sample(s []int, k int) []int {
+	cp := make([]int, len(s))
+	copy(cp, s)
+	if k >= len(cp) {
+		r.ShuffleInts(cp)
+		return cp
+	}
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(len(cp)-i)
+		cp[i], cp[j] = cp[j], cp[i]
+	}
+	return cp[:k]
+}

@@ -1,0 +1,181 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	t.Parallel()
+
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must produce the same stream")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds produced %d identical draws", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	t.Parallel()
+
+	r := NewRNG(7)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		x := r.Float64()
+		if x < 0 || x >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", x)
+		}
+		sum += x
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean of uniforms = %v, want ~0.5", mean)
+	}
+}
+
+func TestRNGIntnUniform(t *testing.T) {
+	t.Parallel()
+
+	r := NewRNG(11)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("value %d drawn %d times, want ~%.0f", v, c, want)
+		}
+	}
+}
+
+func TestRNGIntnPanics(t *testing.T) {
+	t.Parallel()
+
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) must panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGIntRange(t *testing.T) {
+	t.Parallel()
+
+	r := NewRNG(3)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.IntRange(5, 8)
+		if v < 5 || v > 8 {
+			t.Fatalf("IntRange(5,8) = %d", v)
+		}
+		seen[v] = true
+	}
+	for v := 5; v <= 8; v++ {
+		if !seen[v] {
+			t.Errorf("IntRange never produced %d", v)
+		}
+	}
+	if got := r.IntRange(4, 4); got != 4 {
+		t.Errorf("IntRange(4,4) = %d, want 4", got)
+	}
+}
+
+func TestRNGPermAndSample(t *testing.T) {
+	t.Parallel()
+
+	r := NewRNG(5)
+	p := r.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+
+	src := []int{10, 20, 30, 40, 50}
+	s := r.Sample(src, 3)
+	if len(s) != 3 {
+		t.Fatalf("Sample returned %d elements, want 3", len(s))
+	}
+	uniq := map[int]bool{}
+	for _, v := range s {
+		uniq[v] = true
+		found := false
+		for _, o := range src {
+			if o == v {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("Sample produced %d not in source", v)
+		}
+	}
+	if len(uniq) != 3 {
+		t.Fatal("Sample must draw without replacement")
+	}
+	if all := r.Sample(src, 10); len(all) != len(src) {
+		t.Fatalf("Sample with k>len = %d elements, want %d", len(all), len(src))
+	}
+	// Source must be untouched.
+	if src[0] != 10 || src[4] != 50 {
+		t.Error("Sample must not mutate its input")
+	}
+}
+
+func TestRNGNormFloat64(t *testing.T) {
+	t.Parallel()
+
+	r := NewRNG(9)
+	var w Welford
+	for i := 0; i < 50000; i++ {
+		w.Add(r.NormFloat64())
+	}
+	if math.Abs(w.Mean()) > 0.02 {
+		t.Errorf("normal mean = %v, want ~0", w.Mean())
+	}
+	if math.Abs(w.StdDev()-1) > 0.02 {
+		t.Errorf("normal stddev = %v, want ~1", w.StdDev())
+	}
+}
+
+func TestRNGBernoulli(t *testing.T) {
+	t.Parallel()
+
+	r := NewRNG(13)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	if p := float64(hits) / n; math.Abs(p-0.3) > 0.01 {
+		t.Errorf("Bernoulli(0.3) rate = %v", p)
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	t.Parallel()
+
+	r := NewRNG(21)
+	s1 := r.Split()
+	s2 := r.Split()
+	if s1.Uint64() == s2.Uint64() {
+		t.Error("split streams should differ")
+	}
+}

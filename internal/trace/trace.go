@@ -1,0 +1,176 @@
+// Package trace synthesizes realistic per-service QoS series for
+// evaluating the error-detection functions of Section III-A: a base level
+// with an optional diurnal cycle, AR(1)-correlated measurement noise, and
+// injectable events — transient dips, permanent level shifts, slow
+// drifts, and hard outages. Event timestamps are the ground truth against
+// which detector latency and miss rates are measured
+// (internal/experiments.DetectorStudy).
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"anomalia/internal/stats"
+)
+
+// ErrTraceConfig is returned for invalid generator parameters or events.
+var ErrTraceConfig = errors.New("trace: invalid configuration")
+
+// EventKind classifies an injected QoS incident.
+type EventKind int
+
+// Supported incidents.
+const (
+	// Dip: the QoS drops by Magnitude for Duration samples, then recovers.
+	Dip EventKind = iota + 1
+	// Shift: the QoS level drops by Magnitude permanently.
+	Shift
+	// Drift: the QoS decays linearly by Magnitude over Duration samples
+	// and stays at the lower level.
+	Drift
+	// Outage: the QoS collapses to (almost) zero for Duration samples.
+	Outage
+)
+
+// String names the incident kind.
+func (k EventKind) String() string {
+	switch k {
+	case Dip:
+		return "dip"
+	case Shift:
+		return "shift"
+	case Drift:
+		return "drift"
+	case Outage:
+		return "outage"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one injected incident.
+type Event struct {
+	// Kind classifies the incident.
+	Kind EventKind
+	// At is the sample index at which the incident starts.
+	At int
+	// Duration in samples (ignored for Shift).
+	Duration int
+	// Magnitude is the QoS amount lost (ignored for Outage).
+	Magnitude float64
+}
+
+// Config parameterizes a series generator.
+type Config struct {
+	// Base is the nominal QoS level (e.g. 0.95).
+	Base float64
+	// DiurnalAmp is the amplitude of the daily sinusoid (0 disables).
+	DiurnalAmp float64
+	// Period is the number of samples per day (required when DiurnalAmp
+	// is set).
+	Period int
+	// Rho is the AR(1) coefficient of the measurement noise in [0, 1).
+	Rho float64
+	// NoiseStd is the stationary standard deviation of the noise.
+	NoiseStd float64
+	// Seed drives the noise stream.
+	Seed int64
+}
+
+func (c Config) validate() error {
+	if c.Base <= 0 || c.Base > 1 {
+		return fmt.Errorf("base %v: %w", c.Base, ErrTraceConfig)
+	}
+	if c.DiurnalAmp < 0 || c.DiurnalAmp >= c.Base {
+		return fmt.Errorf("diurnal amplitude %v: %w", c.DiurnalAmp, ErrTraceConfig)
+	}
+	if c.DiurnalAmp > 0 && c.Period <= 0 {
+		return fmt.Errorf("diurnal amplitude without period: %w", ErrTraceConfig)
+	}
+	if c.Rho < 0 || c.Rho >= 1 {
+		return fmt.Errorf("rho %v: %w", c.Rho, ErrTraceConfig)
+	}
+	if c.NoiseStd < 0 {
+		return fmt.Errorf("noise std %v: %w", c.NoiseStd, ErrTraceConfig)
+	}
+	return nil
+}
+
+// Generate produces a QoS series of the given length with the events
+// applied, clamped into [0, 1].
+func Generate(cfg Config, length int, events []Event) ([]float64, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if length <= 0 {
+		return nil, fmt.Errorf("length %d: %w", length, ErrTraceConfig)
+	}
+	for i, ev := range events {
+		if ev.At < 0 || ev.At >= length {
+			return nil, fmt.Errorf("event %d at %d outside [0,%d): %w", i, ev.At, length, ErrTraceConfig)
+		}
+		switch ev.Kind {
+		case Dip, Drift, Outage:
+			if ev.Duration <= 0 {
+				return nil, fmt.Errorf("event %d needs a positive duration: %w", i, ErrTraceConfig)
+			}
+		case Shift:
+			// Duration ignored.
+		default:
+			return nil, fmt.Errorf("event %d kind %d: %w", i, ev.Kind, ErrTraceConfig)
+		}
+	}
+
+	rng := stats.NewRNG(cfg.Seed)
+	out := make([]float64, length)
+	noise := 0.0
+	innovation := cfg.NoiseStd * math.Sqrt(1-cfg.Rho*cfg.Rho)
+	for t := 0; t < length; t++ {
+		noise = cfg.Rho*noise + innovation*rng.NormFloat64()
+		level := cfg.Base + noise
+		if cfg.DiurnalAmp > 0 {
+			level += cfg.DiurnalAmp * math.Sin(2*math.Pi*float64(t%cfg.Period)/float64(cfg.Period))
+		}
+		for _, ev := range events {
+			level -= ev.effect(t)
+		}
+		switch {
+		case level < 0:
+			level = 0
+		case level > 1:
+			level = 1
+		}
+		out[t] = level
+	}
+	return out, nil
+}
+
+// effect returns the QoS loss an event contributes at sample t.
+func (ev Event) effect(t int) float64 {
+	switch ev.Kind {
+	case Dip:
+		if t >= ev.At && t < ev.At+ev.Duration {
+			return ev.Magnitude
+		}
+	case Shift:
+		if t >= ev.At {
+			return ev.Magnitude
+		}
+	case Drift:
+		switch {
+		case t < ev.At:
+			return 0
+		case t >= ev.At+ev.Duration:
+			return ev.Magnitude
+		default:
+			return ev.Magnitude * float64(t-ev.At+1) / float64(ev.Duration)
+		}
+	case Outage:
+		if t >= ev.At && t < ev.At+ev.Duration {
+			return 1 // clamps to zero QoS
+		}
+	}
+	return 0
+}

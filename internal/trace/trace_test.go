@@ -1,0 +1,185 @@
+package trace
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"anomalia/internal/stats"
+)
+
+func baseCfg() Config {
+	return Config{Base: 0.9, Rho: 0.5, NoiseStd: 0.01, Seed: 1}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	t.Parallel()
+
+	bad := []struct {
+		name string
+		cfg  Config
+		len  int
+		evs  []Event
+	}{
+		{"base zero", Config{Base: 0}, 10, nil},
+		{"base over one", Config{Base: 1.5}, 10, nil},
+		{"diurnal no period", Config{Base: 0.9, DiurnalAmp: 0.1}, 10, nil},
+		{"diurnal too big", Config{Base: 0.5, DiurnalAmp: 0.6, Period: 10}, 10, nil},
+		{"rho one", Config{Base: 0.9, Rho: 1}, 10, nil},
+		{"negative noise", Config{Base: 0.9, NoiseStd: -1}, 10, nil},
+		{"zero length", baseCfg(), 0, nil},
+		{"event out of range", baseCfg(), 10, []Event{{Kind: Dip, At: 20, Duration: 2, Magnitude: 0.1}}},
+		{"dip without duration", baseCfg(), 10, []Event{{Kind: Dip, At: 2, Magnitude: 0.1}}},
+		{"unknown kind", baseCfg(), 10, []Event{{Kind: EventKind(9), At: 2, Duration: 1}}},
+	}
+	for _, tt := range bad {
+		tt := tt
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			if _, err := Generate(tt.cfg, tt.len, tt.evs); !errors.Is(err, ErrTraceConfig) {
+				t.Errorf("error = %v, want ErrTraceConfig", err)
+			}
+		})
+	}
+}
+
+func TestGenerateStationary(t *testing.T) {
+	t.Parallel()
+
+	xs, err := Generate(baseCfg(), 5000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := stats.Mean(xs)
+	if math.Abs(mean-0.9) > 0.005 {
+		t.Errorf("mean = %v, want ~0.9", mean)
+	}
+	sd := stats.StdDev(xs)
+	if sd < 0.005 || sd > 0.02 {
+		t.Errorf("std = %v, want ~0.01", sd)
+	}
+	for _, x := range xs {
+		if x < 0 || x > 1 {
+			t.Fatalf("sample %v out of [0,1]", x)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	t.Parallel()
+
+	a, err := Generate(baseCfg(), 100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(baseCfg(), 100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give the same trace")
+		}
+	}
+}
+
+func TestDiurnalCycle(t *testing.T) {
+	t.Parallel()
+
+	cfg := baseCfg()
+	cfg.DiurnalAmp = 0.05
+	cfg.Period = 96
+	cfg.NoiseStd = 0
+	xs, err := Generate(cfg, 96*2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Peak near quarter period, trough near three quarters.
+	if xs[24] <= xs[72] {
+		t.Errorf("diurnal peak %v not above trough %v", xs[24], xs[72])
+	}
+	if math.Abs(xs[24]-(0.9+0.05)) > 1e-9 {
+		t.Errorf("peak = %v", xs[24])
+	}
+	// Periodicity.
+	if math.Abs(xs[10]-xs[10+96]) > 1e-9 {
+		t.Error("cycle does not repeat")
+	}
+}
+
+func TestEventEffects(t *testing.T) {
+	t.Parallel()
+
+	cfg := baseCfg()
+	cfg.NoiseStd = 0
+	events := []Event{
+		{Kind: Dip, At: 10, Duration: 5, Magnitude: 0.3},
+		{Kind: Shift, At: 30, Magnitude: 0.2},
+		{Kind: Drift, At: 50, Duration: 10, Magnitude: 0.1},
+		{Kind: Outage, At: 80, Duration: 3},
+	}
+	xs, err := Generate(cfg, 100, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx := func(i int, want float64) {
+		t.Helper()
+		if math.Abs(xs[i]-want) > 1e-9 {
+			t.Errorf("xs[%d] = %v, want %v", i, xs[i], want)
+		}
+	}
+	approx(9, 0.9)      // before dip
+	approx(10, 0.6)     // dip active
+	approx(14, 0.6)     // dip still active
+	approx(15, 0.9)     // dip recovered
+	approx(29, 0.9)     // before shift
+	approx(35, 0.7)     // shift applied (permanent)
+	approx(49, 0.7)     // before drift
+	approx(59, 0.7-0.1) // drift complete
+	approx(75, 0.6)     // drift persists
+	approx(80, 0)       // outage clamps to zero
+	approx(83, 0.6)     // outage over (shift+drift still active)
+}
+
+func TestEventKindString(t *testing.T) {
+	t.Parallel()
+
+	want := map[EventKind]string{
+		Dip: "dip", Shift: "shift", Drift: "drift", Outage: "outage",
+		EventKind(0): "unknown",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("EventKind(%d) = %q, want %q", k, k.String(), s)
+		}
+	}
+}
+
+// TestAR1Correlation: with high rho the series autocorrelates; with rho=0
+// it does not (sanity of the noise model).
+func TestAR1Correlation(t *testing.T) {
+	t.Parallel()
+
+	corr := func(rho float64) float64 {
+		cfg := baseCfg()
+		cfg.Rho = rho
+		cfg.Seed = 9
+		xs, err := Generate(cfg, 20000, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mean := stats.Mean(xs)
+		num, den := 0.0, 0.0
+		for i := 1; i < len(xs); i++ {
+			num += (xs[i] - mean) * (xs[i-1] - mean)
+			den += (xs[i] - mean) * (xs[i] - mean)
+		}
+		return num / den
+	}
+	if high := corr(0.9); high < 0.8 {
+		t.Errorf("rho=0.9 autocorrelation = %v", high)
+	}
+	if low := math.Abs(corr(0)); low > 0.05 {
+		t.Errorf("rho=0 autocorrelation = %v", low)
+	}
+}

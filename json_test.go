@@ -1,0 +1,65 @@
+package anomalia
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestOutcomeJSONRoundTrip: outcomes serialize for operator pipelines and
+// come back intact.
+func TestOutcomeJSONRoundTrip(t *testing.T) {
+	t.Parallel()
+
+	prev, cur, abnormal := fleetWindow()
+	out, err := Characterize(prev, cur, abnormal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{`"class":"massive"`, `"class":"isolated"`, `"rule":"theorem5"`, `"massive":[0,1,2,3]`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("JSON missing %s:\n%s", want, s)
+		}
+	}
+	var back Outcome
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Reports) != len(out.Reports) {
+		t.Fatalf("round trip lost reports: %d vs %d", len(back.Reports), len(out.Reports))
+	}
+	for i := range out.Reports {
+		if back.Reports[i].Class != out.Reports[i].Class ||
+			back.Reports[i].Device != out.Reports[i].Device ||
+			back.Reports[i].Rule != out.Reports[i].Rule {
+			t.Errorf("report %d changed: %+v vs %+v", i, back.Reports[i], out.Reports[i])
+		}
+	}
+}
+
+func TestClassTextMarshalling(t *testing.T) {
+	t.Parallel()
+
+	for _, c := range []Class{Isolated, Massive, Unresolved} {
+		data, err := c.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Class
+		if err := back.UnmarshalText(data); err != nil {
+			t.Fatal(err)
+		}
+		if back != c {
+			t.Errorf("round trip %v -> %v", c, back)
+		}
+	}
+	var c Class
+	if err := c.UnmarshalText([]byte("nonsense")); err == nil {
+		t.Error("unknown class text must error")
+	}
+}

@@ -1,0 +1,133 @@
+package anomalia
+
+import (
+	"fmt"
+
+	"anomalia/internal/detect"
+	"anomalia/internal/motion"
+	"anomalia/internal/space"
+)
+
+// Monitor couples per-device error detection with window-by-window
+// characterization: feed it one QoS snapshot per discrete time and it
+// returns, whenever some devices behave abnormally, the massive /
+// isolated / unresolved verdicts for exactly those devices.
+//
+// Monitor is not safe for concurrent use.
+type Monitor struct {
+	devices  int
+	services int
+	cfg      config
+	dets     []*detect.Device
+	prev     *space.State
+	time     int
+}
+
+// NewMonitor builds a monitor for a fleet of devices, each consuming the
+// given number of services. Options configure the characterization
+// parameters and the per-service detector factory (default: threshold
+// detector with delta 0.05).
+func NewMonitor(devices, services int, opts ...Option) (*Monitor, error) {
+	if devices < 2 {
+		return nil, fmt.Errorf("%d devices: %w", devices, ErrInvalidInput)
+	}
+	if services < space.MinDim || services > space.MaxDim {
+		return nil, fmt.Errorf("%d services: %w", services, ErrInvalidInput)
+	}
+	cfg := defaultConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if err := motion.ValidateRadius(cfg.radius); err != nil {
+		return nil, err
+	}
+	if cfg.tau < 1 {
+		return nil, fmt.Errorf("tau = %d: %w", cfg.tau, ErrInvalidInput)
+	}
+	factory := cfg.factory
+	if factory == nil {
+		factory = func(int, int) (Detector, error) {
+			return NewThresholdDetector(0.05)
+		}
+	}
+	m := &Monitor{
+		devices:  devices,
+		services: services,
+		cfg:      cfg,
+		dets:     make([]*detect.Device, devices),
+	}
+	for dev := 0; dev < devices; dev++ {
+		dev := dev
+		composite, err := detect.NewDevice(services, func(svc int) (detect.Detector, error) {
+			d, err := factory(dev, svc)
+			if err != nil {
+				return nil, err
+			}
+			if d == nil {
+				return nil, fmt.Errorf("device %d service %d: nil detector: %w", dev, svc, ErrInvalidInput)
+			}
+			return d, nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("building detectors for device %d: %w", dev, err)
+		}
+		m.dets[dev] = composite
+	}
+	return m, nil
+}
+
+// Time returns the number of snapshots observed so far.
+func (m *Monitor) Time() int { return m.time }
+
+// Observe consumes the snapshot of one discrete time: one row per device,
+// one QoS value in [0,1] per service. It returns nil when no device
+// behaved abnormally over the window (including the first snapshot, which
+// only trains the detectors); otherwise it returns the characterization
+// of the abnormal set.
+func (m *Monitor) Observe(samples [][]float64) (*Outcome, error) {
+	if len(samples) != m.devices {
+		return nil, fmt.Errorf("snapshot has %d rows, want %d: %w", len(samples), m.devices, ErrInvalidInput)
+	}
+	cur, err := space.NewState(m.devices, m.services)
+	if err != nil {
+		return nil, err
+	}
+	var abnormal []int
+	for dev, row := range samples {
+		if len(row) != m.services {
+			return nil, fmt.Errorf("device %d has %d services, want %d: %w", dev, len(row), m.services, ErrInvalidInput)
+		}
+		if err := cur.Set(dev, space.Point(row)); err != nil {
+			return nil, err
+		}
+		flagged, err := m.dets[dev].Update(row)
+		if err != nil {
+			return nil, err
+		}
+		if flagged {
+			abnormal = append(abnormal, dev)
+		}
+	}
+	prev := m.prev
+	m.prev = cur
+	m.time++
+	if prev == nil || len(abnormal) == 0 {
+		return nil, nil
+	}
+
+	pair, err := motion.NewPair(prev, cur)
+	if err != nil {
+		return nil, err
+	}
+	return characterizePair(pair, abnormal, m.cfg)
+}
+
+// Reset clears the detectors and the snapshot history, keeping the
+// configuration.
+func (m *Monitor) Reset() {
+	for _, d := range m.dets {
+		d.Reset()
+	}
+	m.prev = nil
+	m.time = 0
+}

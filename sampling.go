@@ -1,0 +1,72 @@
+package anomalia
+
+import (
+	"time"
+
+	"anomalia/internal/sampling"
+)
+
+// SamplerConfig parameterizes NewSamplingController. Zero values select
+// defaults where documented.
+type SamplerConfig struct {
+	// Min is the fastest sampling interval (anomaly bursts).
+	Min time.Duration
+	// Max is the slowest sampling interval (calm periods).
+	Max time.Duration
+	// Start is the initial interval (default: Max).
+	Start time.Duration
+	// Speedup in (0,1) multiplies the interval after an anomalous window
+	// (default 0.5).
+	Speedup float64
+	// Decay > 1 multiplies it after a calm window (default 1.25).
+	Decay float64
+}
+
+// SamplingController locally tunes how often a device samples its QoS
+// neighbourhood (Section VII-C of the paper): sampling more often during
+// anomaly bursts shortens observation windows, which reduces concomitant
+// errors and therefore unresolved configurations; backing off during calm
+// periods keeps overhead negligible. No global synchronization is needed
+// — each device runs its own controller.
+//
+// Typical loop:
+//
+//	ctl, _ := anomalia.NewSamplingController(anomalia.SamplerConfig{
+//	    Min: time.Second, Max: time.Minute,
+//	})
+//	for {
+//	    time.Sleep(ctl.Interval())
+//	    out, _ := mon.Observe(snapshot())
+//	    ctl.Record(out != nil)
+//	}
+type SamplingController struct {
+	inner *sampling.Controller
+}
+
+// NewSamplingController validates the configuration and returns a
+// controller at its start interval.
+func NewSamplingController(cfg SamplerConfig) (*SamplingController, error) {
+	inner, err := sampling.New(sampling.Config{
+		Min:     cfg.Min,
+		Max:     cfg.Max,
+		Start:   cfg.Start,
+		Speedup: cfg.Speedup,
+		Decay:   cfg.Decay,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &SamplingController{inner: inner}, nil
+}
+
+// Interval returns the current sampling interval.
+func (s *SamplingController) Interval() time.Duration { return s.inner.Interval() }
+
+// Record folds in the latest window's outcome (anomalous or calm) and
+// returns the interval until the next sample.
+func (s *SamplingController) Record(anomalous bool) time.Duration {
+	return s.inner.Record(anomalous)
+}
+
+// Reset returns the controller to its start interval.
+func (s *SamplingController) Reset() { s.inner.Reset() }

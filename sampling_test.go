@@ -1,0 +1,64 @@
+package anomalia
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSamplingControllerBasics(t *testing.T) {
+	t.Parallel()
+
+	ctl, err := NewSamplingController(SamplerConfig{
+		Min: time.Second, Max: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctl.Interval() != time.Minute {
+		t.Errorf("start = %v, want Max", ctl.Interval())
+	}
+	fast := ctl.Record(true)
+	if fast >= time.Minute {
+		t.Errorf("anomaly did not speed up sampling: %v", fast)
+	}
+	ctl.Reset()
+	if ctl.Interval() != time.Minute {
+		t.Errorf("Reset: %v", ctl.Interval())
+	}
+}
+
+func TestSamplingControllerValidation(t *testing.T) {
+	t.Parallel()
+
+	if _, err := NewSamplingController(SamplerConfig{Min: time.Minute, Max: time.Second}); err == nil {
+		t.Error("min > max must error")
+	}
+	if _, err := NewSamplingController(SamplerConfig{Min: time.Second, Max: time.Minute, Speedup: 2}); err == nil {
+		t.Error("speedup > 1 must error")
+	}
+}
+
+// TestSamplingControllerConverges: a long anomaly burst floors at Min, a
+// long calm stretch ceils at Max.
+func TestSamplingControllerConverges(t *testing.T) {
+	t.Parallel()
+
+	ctl, err := NewSamplingController(SamplerConfig{
+		Min: 100 * time.Millisecond, Max: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		ctl.Record(true)
+	}
+	if ctl.Interval() != 100*time.Millisecond {
+		t.Errorf("burst floor = %v", ctl.Interval())
+	}
+	for i := 0; i < 100; i++ {
+		ctl.Record(false)
+	}
+	if ctl.Interval() != 10*time.Second {
+		t.Errorf("calm ceiling = %v", ctl.Interval())
+	}
+}

@@ -1,0 +1,143 @@
+package anomalia_test
+
+// Long-run integration ("soak") test: the full production stack — network
+// substrate with scheduled transient faults, per-gateway detectors, the
+// streaming monitor, and the adaptive sampling controller — run for a few
+// hundred observation windows. It asserts the end-to-end behaviour the
+// paper promises: silence during calm periods, correct massive/isolated
+// attribution during incidents, and sampling that speeds up under
+// anomalies and relaxes afterwards.
+
+import (
+	"testing"
+	"time"
+
+	"anomalia"
+
+	"anomalia/internal/netsim"
+	"anomalia/internal/sets"
+)
+
+func TestSoakFullStack(t *testing.T) {
+	t.Parallel()
+
+	const (
+		aggs      = 2
+		dslams    = 3
+		gws       = 8
+		services  = 2
+		nGateways = aggs * dslams * gws
+		ticks     = 240
+	)
+	net, err := netsim.New(netsim.Config{
+		Aggregations:     aggs,
+		DSLAMsPerAgg:     dslams,
+		GatewaysPerDSLAM: gws,
+		Services:         services,
+		BaseQoS:          0.95,
+		Noise:            0.004,
+		Seed:             99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Timeline: a transient DSLAM outage, later a gateway hardware fault,
+	// later an aggregation-level incident.
+	dslamFault := netsim.Fault{Component: netsim.Component{Level: netsim.LevelDSLAM, Index: 2}, Severity: 0.3}
+	gwFault := netsim.Fault{Component: netsim.Component{Level: netsim.LevelGateway, Index: 44}, Severity: 0.5}
+	aggFault := netsim.Fault{Component: netsim.Component{Level: netsim.LevelAggregation, Index: 0}, Severity: 0.25}
+	runner, err := netsim.NewRunner(net, []netsim.ScheduledFault{
+		{Fault: dslamFault, Start: 60, Duration: 1},
+		{Fault: gwFault, Start: 120, Duration: 1},
+		{Fault: aggFault, Start: 180, Duration: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mon, err := anomalia.NewMonitor(nGateways, services,
+		anomalia.WithRadius(0.03), anomalia.WithTau(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := anomalia.NewSamplingController(anomalia.SamplerConfig{
+		Min: time.Second, Max: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		falseWindows int
+		verdicts     = map[int]*anomalia.Outcome{}
+	)
+	for tick := 0; tick < ticks; tick++ {
+		st, truthImpacted, err := runner.Step()
+		if err != nil {
+			t.Fatalf("tick %d: %v", tick, err)
+		}
+		snapshot := make([][]float64, nGateways)
+		for g := 0; g < nGateways; g++ {
+			snapshot[g] = st.At(g)
+		}
+		out, err := mon.Observe(snapshot)
+		if err != nil {
+			t.Fatalf("tick %d: %v", tick, err)
+		}
+		ctl.Record(out != nil)
+		if out == nil {
+			continue
+		}
+		if len(truthImpacted) == 0 {
+			// The recovery edge (fault clearing) is itself a trajectory
+			// jump and legitimately triggers detection; anything else is
+			// a false alarm.
+			if tick != 61 && tick != 121 && tick != 181 {
+				falseWindows++
+			}
+			continue
+		}
+		verdicts[tick] = out
+	}
+
+	if falseWindows > 0 {
+		t.Errorf("%d windows produced verdicts with no active fault", falseWindows)
+	}
+
+	// Tick 60: DSLAM 2 outage hits gateways 16..23 — massive for all.
+	out := verdicts[60]
+	if out == nil {
+		t.Fatal("DSLAM outage not detected at tick 60")
+	}
+	if len(out.Massive) != gws {
+		t.Errorf("tick 60: massive = %v, want the 8 DSLAM gateways", out.Massive)
+	}
+	if !sets.ContainsInt(out.Massive, 16) || !sets.ContainsInt(out.Massive, 23) {
+		t.Errorf("tick 60: wrong massive set %v", out.Massive)
+	}
+
+	// Tick 120: lone gateway 44 fault — isolated.
+	out = verdicts[120]
+	if out == nil {
+		t.Fatal("gateway fault not detected at tick 120")
+	}
+	if !sets.EqualInts(out.Isolated, []int{44}) {
+		t.Errorf("tick 120: isolated = %v, want [44]", out.Isolated)
+	}
+
+	// Tick 180: aggregation 0 incident hits gateways 0..23 — massive.
+	out = verdicts[180]
+	if out == nil {
+		t.Fatal("aggregation fault not detected at tick 180")
+	}
+	if len(out.Massive) != aggs*dslams*gws/2 {
+		t.Errorf("tick 180: massive = %d gateways, want 24", len(out.Massive))
+	}
+
+	// The sampling controller must have relaxed back to the ceiling after
+	// the long calm tail.
+	if ctl.Interval() != time.Minute {
+		t.Errorf("sampling interval = %v after calm tail, want ceiling", ctl.Interval())
+	}
+}

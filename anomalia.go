@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"anomalia/internal/core"
+	"anomalia/internal/dist"
 	"anomalia/internal/motion"
 	"anomalia/internal/space"
 )
@@ -71,6 +72,19 @@ type Report struct {
 	Cost Cost `json:"cost"`
 }
 
+// DistStats aggregates the directory traffic of one distributed window:
+// the summed communication bills of every abnormal device's 4r-view
+// fetch (see WithDistributed and the internal dist package).
+type DistStats struct {
+	// Messages is the total protocol messages exchanged with the
+	// directory service.
+	Messages int `json:"messages"`
+	// Trajectories is the total trajectories shipped to deciding devices.
+	Trajectories int `json:"trajectories"`
+	// ViewSize is the summed 4r-view sizes.
+	ViewSize int `json:"view_size"`
+}
+
 // Outcome is the fleet-wide result of one observation window.
 type Outcome struct {
 	// Reports holds one entry per abnormal device, in device order.
@@ -79,6 +93,9 @@ type Outcome struct {
 	Massive    []int `json:"massive,omitempty"`
 	Isolated   []int `json:"isolated,omitempty"`
 	Unresolved []int `json:"unresolved,omitempty"`
+	// Dist reports the directory traffic when the window was decided in
+	// distributed mode (WithDistributed); nil otherwise.
+	Dist *DistStats `json:"dist,omitempty"`
 }
 
 // MarshalText renders the class for JSON and log output.
@@ -112,11 +129,12 @@ const (
 )
 
 type config struct {
-	radius  float64
-	tau     int
-	exact   bool
-	budget  int
-	factory func(device, service int) (Detector, error)
+	radius      float64
+	tau         int
+	exact       bool
+	budget      int
+	distributed bool
+	factory     func(device, service int) (Detector, error)
 }
 
 func defaultConfig() config {
@@ -156,6 +174,18 @@ func WithExact(exact bool) Option {
 // as an error from Characterize.
 func WithBudget(budget int) Option {
 	return func(c *config) { c.budget = budget }
+}
+
+// WithDistributed routes characterization through the distributed
+// deployment path: abnormal trajectories are indexed in a sharded
+// directory service and every abnormal device decides on the 4r view it
+// fetches from it — the same code path the DistCost study bills. The
+// verdicts are identical to the in-process path (the paper's locality
+// result); Outcome.Dist additionally reports the directory traffic.
+// Ignored by CharacterizeDevice, which already is the strictly local
+// per-device operation.
+func WithDistributed(distributed bool) Option {
+	return func(c *config) { c.distributed = distributed }
 }
 
 // WithDetectorFactory sets the per-(device, service) error-detection
@@ -229,6 +259,9 @@ func Characterize(prev, cur [][]float64, abnormal []int, opts ...Option) (*Outco
 
 // characterizePair runs the core procedure over a validated state pair.
 func characterizePair(pair *motion.Pair, abnormal []int, cfg config) (*Outcome, error) {
+	if cfg.distributed {
+		return characterizeDistributed(pair, abnormal, cfg)
+	}
 	char, err := core.New(pair, abnormal, core.Config{
 		R: cfg.radius, Tau: cfg.tau, Exact: cfg.exact, Budget: cfg.budget,
 	})
@@ -241,16 +274,56 @@ func characterizePair(pair *motion.Pair, abnormal []int, cfg config) (*Outcome, 
 	}
 	out := &Outcome{Reports: make([]Report, 0, len(results))}
 	for _, res := range results {
-		rep := toReport(res)
-		out.Reports = append(out.Reports, rep)
-		switch rep.Class {
-		case Massive:
-			out.Massive = append(out.Massive, rep.Device)
-		case Isolated:
-			out.Isolated = append(out.Isolated, rep.Device)
-		default:
-			out.Unresolved = append(out.Unresolved, rep.Device)
-		}
+		out.addReport(res)
+	}
+	return out, nil
+}
+
+// addReport appends one device's result, folding its verdict into the
+// M_k / I_k / U_k sets.
+func (o *Outcome) addReport(res core.Result) {
+	rep := toReport(res)
+	o.Reports = append(o.Reports, rep)
+	switch rep.Class {
+	case Massive:
+		o.Massive = append(o.Massive, rep.Device)
+	case Isolated:
+		o.Isolated = append(o.Isolated, rep.Device)
+	default:
+		o.Unresolved = append(o.Unresolved, rep.Device)
+	}
+}
+
+// characterizeDistributed decides the window the way a real deployment
+// would: abnormal trajectories go into a sharded directory and every
+// abnormal device characterizes itself on its fetched 4r view. The cell
+// side is 2r so a view spans at most two cells per axis.
+func characterizeDistributed(pair *motion.Pair, abnormal []int, cfg config) (*Outcome, error) {
+	coreCfg := core.Config{R: cfg.radius, Tau: cfg.tau, Exact: cfg.exact, Budget: cfg.budget}
+	// Validate the characterization config first so a bad radius or tau
+	// surfaces as the same error the centralized path reports, not as an
+	// internal grid-parameter complaint from the directory build.
+	if _, err := core.New(pair, nil, coreCfg); err != nil {
+		return nil, err
+	}
+	dir, err := dist.NewDirectory(pair, abnormal, cfg.radius)
+	if err != nil {
+		return nil, err
+	}
+	decisions, total, err := dist.DecideAll(dir, coreCfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &Outcome{
+		Reports: make([]Report, 0, len(decisions)),
+		Dist: &DistStats{
+			Messages:     total.Messages,
+			Trajectories: total.Trajectories,
+			ViewSize:     total.ViewSize,
+		},
+	}
+	for _, dec := range decisions {
+		out.addReport(dec.Result)
 	}
 	return out, nil
 }

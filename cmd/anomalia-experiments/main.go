@@ -9,6 +9,14 @@
 //
 // Results print as aligned text tables; with -csv DIR each table is also
 // written as a CSV file in DIR.
+//
+// The distcost study bills the paper's distributed deployment model: the
+// window's abnormal trajectories are indexed in a sharded directory
+// service (internal/dist) and every abnormal device fetches its 4r view
+// and decides locally — the table reports the per-device messages,
+// trajectories transferred, and view sizes at the paper's operating
+// point (n=1000, G=0.3). The same code path serves live streams via
+// anomalia-gateway -distributed.
 package main
 
 import (

@@ -65,6 +65,20 @@ func TestRunExtensionExperiments(t *testing.T) {
 	}
 }
 
+func TestRunDistCost(t *testing.T) {
+	t.Parallel()
+
+	out := capture(t, []string{"-run", "distcost", "-steps", "1"})
+	if !strings.Contains(out, "Distributed deployment cost") {
+		t.Errorf("missing distributed cost table:\n%s", out)
+	}
+	for _, col := range []string{"messages", "trajectories", "view size"} {
+		if !strings.Contains(out, col) {
+			t.Errorf("cost table missing %q column:\n%s", col, out)
+		}
+	}
+}
+
 func TestRunAblationsSmall(t *testing.T) {
 	t.Parallel()
 

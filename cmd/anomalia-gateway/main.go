@@ -8,9 +8,17 @@
 //
 //	anomalia-gateway -devices 48 -services 2 [-r 0.03] [-tau 3]
 //	                 [-detector threshold|ewma|cusum|holtwinters|kalman]
-//	                 [-in snapshots.csv]
+//	                 [-in snapshots.csv] [-distributed]
 //
 // With -in omitted, snapshots are read from standard input.
+//
+// With -distributed, verdicts are routed through the distributed
+// deployment path instead of the in-process characterizer: the window's
+// abnormal trajectories are indexed in a sharded directory service and
+// each abnormal device decides on the 4r view it fetches from it — the
+// same code path the DistCost study of anomalia-experiments bills. The
+// verdicts are identical (the paper's locality result); each anomalous
+// window additionally reports the directory traffic it generated.
 package main
 
 import (
@@ -76,6 +84,7 @@ func run(args []string, stdin io.Reader, out io.Writer) error {
 		detector = fs.String("detector", "threshold", "error-detection function: threshold, ewma, cusum, holtwinters, kalman")
 		inPath   = fs.String("in", "", "CSV file of snapshots (default: stdin)")
 		asJSON   = fs.Bool("json", false, "emit one JSON object per anomalous window")
+		distMode = fs.Bool("distributed", false, "decide via the sharded directory service (4r views) instead of the in-process characterizer")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -102,6 +111,7 @@ func run(args []string, stdin io.Reader, out io.Writer) error {
 		anomalia.WithRadius(*radius),
 		anomalia.WithTau(*tau),
 		anomalia.WithDetectorFactory(factory),
+		anomalia.WithDistributed(*distMode),
 	)
 	if err != nil {
 		return err
@@ -132,8 +142,13 @@ func run(args []string, stdin io.Reader, out io.Writer) error {
 					return err
 				}
 			} else {
-				fmt.Fprintf(out, "t=%d abnormal=%d massive=%v isolated=%v unresolved=%v\n",
+				fmt.Fprintf(out, "t=%d abnormal=%d massive=%v isolated=%v unresolved=%v",
 					row, len(outcome.Reports), outcome.Massive, outcome.Isolated, outcome.Unresolved)
+				if outcome.Dist != nil {
+					fmt.Fprintf(out, " dist_msgs=%d dist_trajs=%d",
+						outcome.Dist.Messages, outcome.Dist.Trajectories)
+				}
+				fmt.Fprintln(out)
 			}
 		}
 		row++

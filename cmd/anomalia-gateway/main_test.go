@@ -48,6 +48,32 @@ func TestGatewayEndToEnd(t *testing.T) {
 	}
 }
 
+func TestGatewayDistributedMode(t *testing.T) {
+	t.Parallel()
+
+	// Same fleet as TestGatewayEndToEnd: the directory-routed path must
+	// reach identical verdicts and additionally report its traffic.
+	healthy := []float64{0.95, 0.95, 0.95, 0.95, 0.95, 0.95}
+	faulty := []float64{0.50, 0.50, 0.51, 0.49, 0.95, 0.20}
+	csvData := buildCSV([][]float64{healthy, healthy, healthy, faulty})
+
+	var out bytes.Buffer
+	err := run([]string{"-devices", "6", "-distributed"}, strings.NewReader(csvData), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "massive=[0 1 2 3]") {
+		t.Errorf("output missing massive verdict:\n%s", got)
+	}
+	if !strings.Contains(got, "isolated=[5]") {
+		t.Errorf("output missing isolated verdict:\n%s", got)
+	}
+	if !strings.Contains(got, "dist_msgs=") || !strings.Contains(got, "dist_trajs=") {
+		t.Errorf("distributed mode must report directory traffic:\n%s", got)
+	}
+}
+
 func TestGatewayJSONOutput(t *testing.T) {
 	t.Parallel()
 

@@ -30,4 +30,20 @@
 //
 // Parameter selection (the consistency radius r and density threshold τ)
 // follows Section VII-A of the paper via TuneTau and TuneRadius.
+//
+// # Distributed deployment
+//
+// The paper's scaling claim is that no omniscient monitor is needed:
+// every abnormal device can reach the omniscient verdict from the
+// trajectories within uniform-norm distance 4r of its own, fetched from
+// a directory service. WithDistributed enables that deployment model:
+// the window's abnormal trajectories are indexed in a sharded,
+// concurrency-safe directory (grid cells of side 2r, block-cached so
+// co-located devices share neighbourhood fetches) and each abnormal
+// device characterizes itself on its fetched 4r view. Verdicts are
+// provably identical to the in-process path; Outcome.Dist reports the
+// directory traffic — messages, trajectories shipped, and view sizes —
+// the quantities the DistCost study of cmd/anomalia-experiments bills
+// and cmd/anomalia-gateway's -distributed flag exercises on live
+// streams.
 package anomalia

@@ -1,0 +1,3 @@
+module anomalia
+
+go 1.24

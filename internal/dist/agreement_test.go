@@ -1,0 +1,181 @@
+package dist
+
+import (
+	"fmt"
+	"testing"
+
+	"anomalia/internal/core"
+	"anomalia/internal/scenario"
+)
+
+// TestAgreementWithCentralized is the subsystem's central correctness
+// test, mirroring core's oracle cross-check one layer up: on seeded
+// scenario sweeps (error load A, isolated probability G, concomitant
+// errors on and off), every abnormal device deciding on its fetched 4r
+// view must reach the verdict the centralized characterizer — itself
+// proven equal to the omniscient oracle — reaches with the full abnormal
+// set. This is the paper's distributed-deployment claim end to end.
+func TestAgreementWithCentralized(t *testing.T) {
+	t.Parallel()
+
+	const (
+		n     = 300
+		r     = 0.03
+		tau   = 3
+		steps = 2
+	)
+	coreCfg := core.Config{R: r, Tau: tau, Exact: true}
+	for _, a := range []int{1, 8, 25} {
+		for _, g := range []float64{0, 0.5, 1} {
+			for _, concomitant := range []bool{false, true} {
+				name := fmt.Sprintf("A=%d/G=%g/concomitant=%v", a, g, concomitant)
+				t.Run(name, func(t *testing.T) {
+					t.Parallel()
+					gen, err := scenario.New(scenario.Config{
+						N: n, D: 2, R: r, Tau: tau, A: a, G: g,
+						Concomitant: concomitant, MaxShift: 2 * r,
+						Seed: int64(1000*a + int(10*g) + 7),
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					for s := 0; s < steps; s++ {
+						step, err := gen.Step()
+						if err != nil {
+							t.Fatal(err)
+						}
+						if len(step.Abnormal) == 0 {
+							continue
+						}
+						central, err := core.New(step.Pair, step.Abnormal, coreCfg)
+						if err != nil {
+							t.Fatal(err)
+						}
+						want := make(map[int]core.Class, len(step.Abnormal))
+						results, err := central.CharacterizeAll()
+						if err != nil {
+							t.Fatal(err)
+						}
+						for _, res := range results {
+							want[res.Device] = res.Class
+						}
+
+						dir, err := NewDirectory(step.Pair, step.Abnormal, r)
+						if err != nil {
+							t.Fatal(err)
+						}
+						for _, j := range step.Abnormal {
+							res, st, err := Decide(dir, j, coreCfg)
+							if err != nil {
+								t.Fatalf("window %d device %d: %v", s, j, err)
+							}
+							if res.Class != want[j] {
+								t.Errorf("window %d device %d: distributed %v != centralized %v",
+									s, j, res.Class, want[j])
+							}
+							if st.ViewSize < 1 || st.Trajectories != st.ViewSize-1 {
+								t.Errorf("window %d device %d: implausible stats %+v", s, j, st)
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestDecideAllMatchesDecide: the batched window entry point must return
+// exactly the per-device results and bills, in device order, with the
+// correct total.
+func TestDecideAllMatchesDecide(t *testing.T) {
+	t.Parallel()
+
+	const r = 0.03
+	coreCfg := core.Config{R: r, Tau: 3, Exact: true}
+	step := window(t, scenario.Config{
+		N: 400, D: 2, R: r, Tau: 3, A: 25, G: 0.3,
+		Concomitant: true, MaxShift: 2 * r, Seed: 21,
+	})
+	dir, err := NewDirectory(step.Pair, step.Abnormal, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decisions, total, err := DecideAll(dir, coreCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decisions) != len(step.Abnormal) {
+		t.Fatalf("%d decisions for %d abnormal devices", len(decisions), len(step.Abnormal))
+	}
+	var sum Stats
+	for i, dec := range decisions {
+		j := step.Abnormal[i]
+		if dec.Result.Device != j {
+			t.Fatalf("decision %d is for device %d, want %d (device order)", i, dec.Result.Device, j)
+		}
+		res, st, err := Decide(dir, j, coreCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Result.Class != res.Class || dec.Result.Rule != res.Rule {
+			t.Errorf("device %d: batched (%v, %v) != standalone (%v, %v)",
+				j, dec.Result.Class, dec.Result.Rule, res.Class, res.Rule)
+		}
+		if dec.Stats != st {
+			t.Errorf("device %d: batched stats %+v != standalone %+v", j, dec.Stats, st)
+		}
+		sum.Add(dec.Stats)
+	}
+	if total != sum {
+		t.Errorf("total %+v != summed per-device stats %+v", total, sum)
+	}
+}
+
+// TestDecideAllEmpty: a window with no abnormal devices yields no
+// decisions and a zero bill — but still rejects invalid configurations,
+// exactly like the centralized path.
+func TestDecideAllEmpty(t *testing.T) {
+	t.Parallel()
+
+	pair := pairOf(t, [][]float64{{0.5, 0.5}, {0.6, 0.6}}, [][]float64{{0.5, 0.5}, {0.6, 0.6}})
+	dir, err := NewDirectory(pair, nil, 0.06)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decisions, total, err := DecideAll(dir, core.Config{R: 0.03, Tau: 1, Exact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decisions) != 0 || total != (Stats{}) {
+		t.Errorf("empty window: decisions=%v total=%+v", decisions, total)
+	}
+	if _, _, err := DecideAll(dir, core.Config{R: 0.03, Tau: 0}); err == nil {
+		t.Error("empty window must still reject tau = 0")
+	}
+	if _, _, err := DecideAll(dir, core.Config{R: 0.5, Tau: 1}); err == nil {
+		t.Error("empty window must still reject r = 0.5")
+	}
+}
+
+// TestDecideRejectsUndersizedDirectory: deciding at a radius larger than
+// the directory was built for would silently shrink views below the 4r
+// locality requirement, so it must error instead.
+func TestDecideRejectsUndersizedDirectory(t *testing.T) {
+	t.Parallel()
+
+	pair := pairOf(t, [][]float64{{0.5, 0.5}, {0.52, 0.52}}, [][]float64{{0.3, 0.3}, {0.32, 0.32}})
+	dir, err := NewDirectory(pair, []int{0, 1}, 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Decide(dir, 0, core.Config{R: 0.1, Tau: 1, Exact: true}); err == nil {
+		t.Error("Decide must reject R = 0.1 against a directory built for r = 0.03")
+	}
+	if _, _, err := DecideAll(dir, core.Config{R: 0.1, Tau: 1, Exact: true}); err == nil {
+		t.Error("DecideAll must reject R = 0.1 against a directory built for r = 0.03")
+	}
+	// Deciding at a smaller radius is safe: views are supersets.
+	if _, _, err := Decide(dir, 0, core.Config{R: 0.01, Tau: 1, Exact: true}); err != nil {
+		t.Errorf("Decide at a smaller radius must work: %v", err)
+	}
+}

@@ -1,0 +1,64 @@
+package dist
+
+import (
+	"testing"
+
+	"anomalia/internal/core"
+	"anomalia/internal/scenario"
+)
+
+// benchConfigs are the two fleet scales the perf trajectory tracks: the
+// paper's operating point and 10x, with the radius shrunk per the
+// Section VII-A dimensioning rule so local density stays at the paper's
+// level.
+var benchConfigs = []struct {
+	name string
+	cfg  scenario.Config
+}{
+	{"n=1k", scenario.Config{
+		N: 1000, D: 2, R: 0.03, Tau: 3, A: 20, G: 0.3,
+		Concomitant: true, MaxShift: 0.06, Seed: 42,
+	}},
+	{"n=10k", scenario.Config{
+		N: 10000, D: 2, R: 0.01, Tau: 3, A: 100, G: 0.3,
+		Concomitant: true, MaxShift: 0.02, Seed: 4242,
+	}},
+}
+
+// BenchmarkDirectoryBuild measures indexing one window's abnormal set
+// into the sharded directory.
+func BenchmarkDirectoryBuild(b *testing.B) {
+	for _, bc := range benchConfigs {
+		b.Run(bc.name, func(b *testing.B) {
+			step := window(b, bc.cfg)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := NewDirectory(step.Pair, step.Abnormal, bc.cfg.R); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDistDecide measures the distributed hot path: every abnormal
+// device of a window deciding on its fetched 4r view (batched, warm
+// block cache after the first iteration — the steady serving state).
+func BenchmarkDistDecide(b *testing.B) {
+	for _, bc := range benchConfigs {
+		b.Run(bc.name, func(b *testing.B) {
+			step := window(b, bc.cfg)
+			dir, err := NewDirectory(step.Pair, step.Abnormal, bc.cfg.R)
+			if err != nil {
+				b.Fatal(err)
+			}
+			coreCfg := core.Config{R: bc.cfg.R, Tau: bc.cfg.Tau, Exact: true}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := DecideAll(dir, coreCfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,156 @@
+package dist
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"anomalia/internal/core"
+)
+
+// Decide runs the local characterization for abnormal device j against
+// the directory: fetch the 4r view, run core's decision procedures
+// (Theorems 5-7 / Corollary 8) over that view alone, and report the
+// communication bill. The verdict is identical to the omniscient one by
+// the paper's locality result.
+func Decide(d *Directory, j int, cfg core.Config) (core.Result, Stats, error) {
+	if err := d.checkRadius(cfg); err != nil {
+		return core.Result{}, Stats{}, err
+	}
+	view, st, err := d.View(j)
+	if err != nil {
+		return core.Result{}, Stats{}, err
+	}
+	c, err := core.New(d.pair, view, cfg)
+	if err != nil {
+		return core.Result{}, Stats{}, err
+	}
+	res, err := c.Characterize(j)
+	if err != nil {
+		return core.Result{}, Stats{}, err
+	}
+	return res, st, nil
+}
+
+// checkRadius rejects decision configs whose locality requirement the
+// directory cannot serve: a verdict at radius R needs the full 4R
+// neighbourhood, so the directory must have been built for a radius at
+// least that large. Silently undersized views would break the
+// "identical to the omniscient verdict" invariant.
+func (d *Directory) checkRadius(cfg core.Config) error {
+	if cfg.R > d.r {
+		return fmt.Errorf("decision radius %v exceeds directory radius %v: %w", cfg.R, d.r, ErrConfig)
+	}
+	return nil
+}
+
+// Decision pairs one device's verdict with its communication bill.
+type Decision struct {
+	Result core.Result
+	Stats  Stats
+}
+
+// DecideAll characterizes every indexed abnormal device, batching the
+// work a window at a time: views are fetched through the shared block
+// cache, devices with identical views (the common case for a compact
+// massive event) share one characterizer so each neighbourhood is
+// enumerated once, and the view groups run on parallel workers.
+// Decisions come back in device order with the summed Stats; every
+// per-device Result and Stats is identical to a standalone Decide call.
+func DecideAll(d *Directory, cfg core.Config) ([]Decision, Stats, error) {
+	// Validate the configuration up front: the per-group characterizers
+	// only exist when there are devices to decide, and an empty window
+	// must reject a bad config exactly like the centralized path does.
+	if _, err := core.New(d.pair, nil, cfg); err != nil {
+		return nil, Stats{}, err
+	}
+	if err := d.checkRadius(cfg); err != nil {
+		return nil, Stats{}, err
+	}
+	type group struct {
+		view    []int
+		devices []int
+		stats   []Stats
+	}
+	groups := make(map[string]*group)
+	order := make([]string, 0)
+	for _, j := range d.abnormal {
+		view, st, err := d.View(j)
+		if err != nil {
+			return nil, Stats{}, err
+		}
+		key := packKey(view) // views are sorted id sets: collision-free key
+		g, ok := groups[key]
+		if !ok {
+			g = &group{view: view}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.devices = append(g.devices, j)
+		g.stats = append(g.stats, st)
+	}
+
+	decisions := make(map[int]Decision, len(d.abnormal))
+	var mu sync.Mutex
+	var firstErr error
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(order) {
+		workers = len(order)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	work := make(chan *group)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for g := range work {
+				c, err := core.New(d.pair, g.view, cfg)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				for i, j := range g.devices {
+					res, err := c.Characterize(j)
+					if err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = fmt.Errorf("device %d: %w", j, err)
+						}
+						mu.Unlock()
+						break
+					}
+					mu.Lock()
+					decisions[j] = Decision{Result: res, Stats: g.stats[i]}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for _, key := range order {
+		work <- groups[key]
+	}
+	close(work)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, Stats{}, firstErr
+	}
+
+	out := make([]Decision, 0, len(decisions))
+	var total Stats
+	for _, dec := range decisions {
+		out = append(out, dec)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Result.Device < out[b].Result.Device })
+	for _, dec := range out {
+		total.Add(dec.Stats)
+	}
+	return out, total, nil
+}

@@ -68,7 +68,7 @@ func DistCost(cfg DistCostConfig) (*Table, error) {
 			if len(step.Abnormal) == 0 {
 				continue
 			}
-			dir, err := dist.NewDirectory(step.Pair, step.Abnormal, 2*cfg.R)
+			dir, err := dist.NewDirectory(step.Pair, step.Abnormal, cfg.R)
 			if err != nil {
 				return nil, err
 			}

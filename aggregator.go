@@ -3,6 +3,8 @@ package anomalia
 import (
 	"fmt"
 	"sort"
+
+	"anomalia/internal/sets"
 )
 
 // Policy selects which verdicts the operator wants surfaced — the two
@@ -73,6 +75,7 @@ type Aggregator struct {
 	window    int
 	incidents []*Incident
 	ticketed  map[int]bool
+	touched   map[int]bool // per-window scratch, cleared and reused across Ingest calls
 	tickets   int
 	suppress  int
 }
@@ -85,6 +88,7 @@ func NewAggregator(policy Policy) (*Aggregator, error) {
 	return &Aggregator{
 		policy:   policy,
 		ticketed: make(map[int]bool),
+		touched:  make(map[int]bool),
 	}, nil
 }
 
@@ -94,8 +98,18 @@ func (a *Aggregator) Ingest(out *Outcome) WindowSummary {
 	summary := WindowSummary{Window: a.window}
 	a.window++
 
+	if out == nil {
+		// Healthy window: nothing is touched, so every live incident ages
+		// out — no grouping, no scratch, no deferred bookkeeping.
+		for _, inc := range a.incidents {
+			inc.Open = false
+		}
+		return summary
+	}
+
 	// Age out incidents not refreshed this window.
-	touched := make(map[int]bool)
+	touched := a.touched
+	clear(touched)
 	defer func() {
 		for _, inc := range a.incidents {
 			if inc.Open && !touched[inc.ID] {
@@ -103,9 +117,6 @@ func (a *Aggregator) Ingest(out *Outcome) WindowSummary {
 			}
 		}
 	}()
-	if out == nil {
-		return summary
-	}
 
 	// Group massive devices into connected components over shared dense
 	// motions.
@@ -119,7 +130,7 @@ func (a *Aggregator) Ingest(out *Outcome) WindowSummary {
 			}
 			a.incidents = append(a.incidents, inc)
 		}
-		inc.Devices = unionSorted(inc.Devices, group)
+		inc.Devices = sets.UnionInts(inc.Devices, group)
 		inc.LastWindow = summary.Window
 		inc.Open = true
 		touched[inc.ID] = true
@@ -235,32 +246,18 @@ func massiveGroups(out *Outcome) [][]int {
 	return groups
 }
 
-func unionSorted(a, b []int) []int {
-	seen := make(map[int]bool, len(a)+len(b))
-	var out []int
-	for _, v := range a {
-		if !seen[v] {
-			seen[v] = true
-			out = append(out, v)
-		}
-	}
-	for _, v := range b {
-		if !seen[v] {
-			seen[v] = true
-			out = append(out, v)
-		}
-	}
-	sort.Ints(out)
-	return out
-}
-
+// intersects reports whether two sorted id slices share an element, by
+// merge walk — no allocation. Incident device lists and massive groups
+// are always sorted and duplicate-free.
 func intersects(a, b []int) bool {
-	set := make(map[int]bool, len(a))
-	for _, v := range a {
-		set[v] = true
-	}
-	for _, v := range b {
-		if set[v] {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
 			return true
 		}
 	}

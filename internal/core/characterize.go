@@ -15,47 +15,63 @@ func (c *Characterizer) Characterize(j int) (Result, error) {
 	res := Result{Device: j}
 
 	// Line 2-3 of Algorithm 3: maximal motions of j, then W̄_k(j).
-	dense, totalMotions := c.denseMotionsOf(j)
-	res.Cost.MaximalMotions = totalMotions
-	res.Cost.DenseMotions = len(dense)
-	res.Dense = dense
+	ent := c.denseMotionsOf(j)
+	res.Cost.MaximalMotions = ent.total
+	res.Cost.DenseMotions = len(ent.ids)
+	res.Dense = ent.ids
 
 	// Theorem 5: no dense motion -> isolated.
-	if len(dense) == 0 {
+	if len(ent.ids) == 0 {
 		res.Class = ClassIsolated
 		res.Rule = RuleTheorem5
 		return res, nil
 	}
 
-	// Build D_k(j) and split it into J_k(j) / L_k(j).
-	var dk []int
-	for _, m := range dense {
-		dk = sets.UnionInts(dk, m)
+	// Build D_k(j) and split it into J_k(j) / L_k(j), all as bitsets over
+	// graph-local indices: the motions are cached in that representation,
+	// so the D_k union, the membership probes of the split and the
+	// Theorem-6 intersection are pure word operations with no id
+	// translation; device-id slices are materialized only at the Result
+	// boundary. Local indices follow sorted device ids, so iteration and
+	// the appended slices come out in id order, exactly as the original
+	// sorted-slice implementation produced them. The working bitsets come
+	// from the characterizer's pool: a fleet pass reuses one set per
+	// worker instead of allocating three per device.
+	sc := c.getScratch()
+	defer c.putScratch(sc)
+	dkB, jB, lB := sc.dk, sc.j, sc.l
+	for _, mo := range ent.bits {
+		dkB.Or(mo)
 	}
-	for _, l := range dk {
-		lDense, _ := c.denseMotionsOf(l)
+	lj, _ := c.graph.Local(j)
+	dkB.ForEach(func(li int) bool {
+		l := c.graph.IDOf(li)
+		lEnt := c.denseMotionsOf(l)
 		if l != j {
 			res.Cost.NeighborsScanned++
 		}
 		inL := false
-		for _, m := range lDense {
-			if !sets.ContainsInt(m, j) {
+		for _, mo := range lEnt.bits {
+			if !mo.Has(lj) {
 				inL = true
 				break
 			}
 		}
 		if inL {
-			res.L = append(res.L, l)
+			lB.Add(li)
 		} else {
-			res.J = append(res.J, l)
+			jB.Add(li)
 		}
-	}
+		return true
+	})
+	res.J = c.graph.AppendIds(jB, make([]int, 0, jB.Len()))
+	res.L = c.graph.AppendIds(lB, make([]int, 0, lB.Len()))
 
 	// Theorem 6 (lines 17-18 of Algorithm 3): a dense motion of j inside
 	// J_k(j) proves massive. |M ∩ J| > τ suffices because M ∩ J is itself
 	// a motion (subset of the clique M) containing j.
-	for _, m := range dense {
-		if len(sets.IntersectInts(m, res.J)) > c.cfg.Tau {
+	for _, mo := range ent.bits {
+		if mo.IntersectionLen(jB) > c.cfg.Tau {
 			res.Class = ClassMassive
 			res.Rule = RuleTheorem6
 			return res, nil
@@ -69,8 +85,11 @@ func (c *Characterizer) Characterize(j int) (Result, error) {
 	}
 
 	// Algorithms 4/5: exhaustive collection search deciding between
-	// Theorem 7 (massive) and Corollary 8 (unresolved).
-	violating, tested, err := c.searchViolating(j, dk, res.L)
+	// Theorem 7 (massive) and Corollary 8 (unresolved). The search works
+	// on sorted id slices; D_k is materialized into pooled scratch (the
+	// search reads it only for the duration of the call).
+	sc.dkIds = c.graph.AppendIds(dkB, sc.dkIds[:0])
+	violating, tested, err := c.searchViolating(j, sc.dkIds, res.L)
 	res.Cost.CollectionsTested = tested
 	if err != nil {
 		return res, err

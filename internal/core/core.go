@@ -21,6 +21,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"anomalia/internal/motion"
 	"anomalia/internal/sets"
@@ -158,10 +159,32 @@ type Characterizer struct {
 	abnormal []int
 	cfg      Config
 	graph    *motion.Graph
-	// denseCache memoizes W̄_k(ℓ) per device.
-	denseCache map[int][][]int
-	// motionsCache memoizes |M(ℓ)| for cost reporting.
-	motionsCache map[int]int
+	// denseCache memoizes W̄_k(ℓ) per device, in both representations.
+	denseCache map[int]denseEntry
+	// scratch pools the per-decision working sets of Characterize so a
+	// fleet-wide pass reuses a handful of bitsets instead of allocating
+	// three per device; pooling keeps the parallel pass safe.
+	scratch sync.Pool
+}
+
+// denseEntry is the memoized enumeration for one device ℓ: the maximal
+// τ-dense motions W̄_k(ℓ) as sorted device-id sets (shared with
+// Result.Dense) and as bitsets over graph-local indices (element i of
+// both slices is the same motion — the hot path does its set algebra on
+// the bitsets with no id translation), plus |M(ℓ)| before density
+// filtering for cost reporting.
+type denseEntry struct {
+	ids   [][]int
+	bits  []*sets.Bits
+	total int
+}
+
+// charScratch is the reusable working set of one Characterize call:
+// bitsets over graph-local indices for D_k(j), J_k(j) and L_k(j), plus
+// a buffer for materializing D_k ids.
+type charScratch struct {
+	dk, j, l *sets.Bits
+	dkIds    []int
 }
 
 // New builds a characterizer for the window described by pair, the
@@ -182,28 +205,64 @@ func New(pair *motion.Pair, abnormal []int, cfg Config) (*Characterizer, error) 
 			return nil, fmt.Errorf("abnormal device %d outside population of %d: %w", id, pair.N(), ErrConfig)
 		}
 	}
-	return &Characterizer{
-		pair:         pair,
-		abnormal:     ids,
-		cfg:          cfg,
-		graph:        motion.NewGraph(pair, ids, cfg.R),
-		denseCache:   make(map[int][][]int, len(ids)),
-		motionsCache: make(map[int]int, len(ids)),
-	}, nil
+	c := &Characterizer{
+		pair:       pair,
+		abnormal:   ids,
+		cfg:        cfg,
+		graph:      motion.NewGraph(pair, ids, cfg.R),
+		denseCache: make(map[int]denseEntry, len(ids)),
+	}
+	m := c.graph.Len()
+	c.scratch.New = func() any {
+		return &charScratch{
+			dk: sets.NewBits(m),
+			j:  sets.NewBits(m),
+			l:  sets.NewBits(m),
+		}
+	}
+	return c, nil
 }
 
-// Abnormal returns the (sorted) abnormal set the characterizer covers.
-func (c *Characterizer) Abnormal() []int { return sets.CloneInts(c.abnormal) }
+// getScratch leases a cleared working set; return it with putScratch.
+func (c *Characterizer) getScratch() *charScratch {
+	sc := c.scratch.Get().(*charScratch)
+	sc.dk.Clear()
+	sc.j.Clear()
+	sc.l.Clear()
+	sc.dkIds = sc.dkIds[:0]
+	return sc
+}
 
-// denseMotionsOf returns W̄_k(ℓ): the maximal τ-dense motions containing
-// ℓ, memoized. The second return value is |M(ℓ)| before density filtering.
-func (c *Characterizer) denseMotionsOf(l int) ([][]int, int) {
-	if cached, ok := c.denseCache[l]; ok {
-		return cached, c.motionsCache[l]
+func (c *Characterizer) putScratch(sc *charScratch) { c.scratch.Put(sc) }
+
+// Abnormal returns the sorted abnormal set the characterizer covers.
+// Ownership rule (shared with motion.Graph.Ids and dist.Directory.
+// Abnormal): the slice aliases the characterizer's internal state —
+// callers must treat it as read-only and copy before modifying.
+func (c *Characterizer) Abnormal() []int { return c.abnormal }
+
+// enumerateDense computes W̄_k(ℓ) — the maximal τ-dense motions
+// containing ℓ, in both representations — and |M(ℓ)|, without touching
+// the memo. The parallel fleet pass enumerates into worker-local shards
+// through this helper before merging them into the shared cache.
+func (c *Characterizer) enumerateDense(l int) denseEntry {
+	allIds, allBits := c.graph.MaximalMotionsContainingSets(l)
+	e := denseEntry{total: len(allIds)}
+	for i, mo := range allIds {
+		if motion.Dense(len(mo), c.cfg.Tau) {
+			e.ids = append(e.ids, mo)
+			e.bits = append(e.bits, allBits[i])
+		}
 	}
-	all := c.graph.MaximalMotionsContaining(l)
-	dense := motion.DenseOf(all, c.cfg.Tau)
-	c.denseCache[l] = dense
-	c.motionsCache[l] = len(all)
-	return dense, len(all)
+	return e
+}
+
+// denseMotionsOf returns the memoized W̄_k(ℓ).
+func (c *Characterizer) denseMotionsOf(l int) denseEntry {
+	if cached, ok := c.denseCache[l]; ok {
+		return cached
+	}
+	e := c.enumerateDense(l)
+	c.denseCache[l] = e
+	return e
 }

@@ -40,7 +40,7 @@ func (c *Characterizer) searchViolating(j int, dk, L []int) (bool, int, error) {
 	seen := make(map[string]struct{})
 	var ms [][]int
 	for _, l := range L {
-		lDense, _ := c.denseMotionsOf(l)
+		lDense := c.denseMotionsOf(l).ids
 		for _, m := range lDense {
 			if sets.ContainsInt(m, j) {
 				continue
@@ -75,6 +75,12 @@ type violSearch struct {
 	ms     [][]int
 	budget int
 	tested int
+	// allowedBuf and availBuf are scratch buffers for the per-node set
+	// differences. Sharing them across the recursion is safe because each
+	// dfs node fully consumes its difference (the relation-(4) test, the
+	// subsets enumeration) before any child node recomputes it.
+	allowedBuf []int
+	availBuf   []int
 }
 
 // dfs extends the current collection (whose union is `used`, sorted) with
@@ -90,13 +96,14 @@ func (s *violSearch) dfs(idx int, used []int) (bool, error) {
 	// containing j survive within D_k(j) \ used? Relation (5) fails by
 	// construction of every added subset, so failure of (4) certifies a
 	// violating collection.
-	allowed := sets.DiffInts(s.dk, used)
-	if !s.c.graph.HasDenseMotionContaining(s.j, allowed, s.c.cfg.Tau) {
+	s.allowedBuf = sets.DiffIntsInto(s.allowedBuf[:0], s.dk, used)
+	if !s.c.graph.HasDenseMotionContaining(s.j, s.allowedBuf, s.c.cfg.Tau) {
 		return true, nil
 	}
 
 	for mi := idx; mi < len(s.ms); mi++ {
-		avail := sets.DiffInts(s.ms[mi], used)
+		s.availBuf = sets.DiffIntsInto(s.availBuf[:0], s.ms[mi], used)
+		avail := s.availBuf
 		if len(avail) <= s.c.cfg.Tau {
 			continue
 		}

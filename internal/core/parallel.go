@@ -36,9 +36,8 @@ func (c *Characterizer) CharacterizeAllParallel(workers int) ([]Result, error) {
 	// parallel. Each worker computes into its own shard; shards merge
 	// into the shared cache before any decision reads it.
 	type entry struct {
-		id     int
-		dense  [][]int
-		motion int
+		id int
+		e  denseEntry
 	}
 	var (
 		wg    sync.WaitGroup
@@ -52,19 +51,11 @@ func (c *Characterizer) CharacterizeAllParallel(workers int) ([]Result, error) {
 			local := make([]entry, 0, len(c.abnormal)/workers+1)
 			for idx := range tasks {
 				id := c.abnormal[idx]
-				all := c.graph.MaximalMotionsContaining(id)
-				dense := make([][]int, 0, len(all))
-				for _, m := range all {
-					if len(m) > c.cfg.Tau {
-						dense = append(dense, m)
-					}
-				}
-				local = append(local, entry{id: id, dense: dense, motion: len(all)})
+				local = append(local, entry{id: id, e: c.enumerateDense(id)})
 			}
 			mu.Lock()
 			for _, e := range local {
-				c.denseCache[e.id] = e.dense
-				c.motionsCache[e.id] = e.motion
+				c.denseCache[e.id] = e.e
 			}
 			mu.Unlock()
 		}()

@@ -1,18 +1,16 @@
 package dist
 
 import (
-	"encoding/binary"
 	"fmt"
 	"hash/fnv"
 	"math"
-	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 
+	"anomalia/internal/grid"
 	"anomalia/internal/motion"
 	"anomalia/internal/sets"
-	"anomalia/internal/space"
 )
 
 // numShards fixes the shard fan-out. It is a constant, not a function of
@@ -20,17 +18,11 @@ import (
 // on every machine for a given window — the cost tables must reproduce.
 const numShards = 16
 
-// cell is one occupied grid cell: its integer coordinates and the sorted
-// abnormal devices whose k-1 position falls inside it.
-type cell struct {
-	coords []int
-	ids    []int
-}
-
 // dirShard owns the cells whose key hashes to it. Shards are immutable
 // after NewDirectory returns, so concurrent readers need no locking.
+// Cells are shared with (and owned by) the directory's grid.Index.
 type dirShard struct {
-	cells map[string]*cell
+	cells map[string]*grid.Cell
 }
 
 // block is the cached answer to "which abnormal devices could be within
@@ -49,12 +41,11 @@ type Directory struct {
 	pair     *motion.Pair
 	abnormal []int
 	inDir    map[int]bool
-	r        float64 // consistency impact radius the index serves
-	side     float64 // grid cell side: 2r (one spanning cell when r = 0)
-	viewR    float64 // view radius 4r
-	reach    int     // cells per axis a view can span: ceil(viewR/side)
-	res      int     // cells per axis of the grid
-	occupied int     // occupied cells across all shards
+	r        float64     // consistency impact radius the index serves
+	geom     grid.Params // shared cell geometry: side 2r (one spanning cell when r = 0)
+	viewR    float64     // view radius 4r
+	reach    int         // cells per axis a view can span: ceil(viewR/side)
+	index    *grid.Index // shared spatial index of the abnormal k-1 positions
 	shards   [numShards]dirShard
 	blocks   sync.Map // center cell key -> *block
 	built    atomic.Int64
@@ -63,10 +54,12 @@ type Directory struct {
 
 // NewDirectory builds the sharded index for one window: pair holds the
 // two snapshots, abnormal is A_k, and r is the consistency impact
-// radius the index serves (the paper's r in [0, 1/4)). Cells have side
-// 2r so a 4r view spans two cells per axis; the degenerate r = 0 keeps
-// one cell spanning E and views shrink to exactly-coincident devices.
-// The build fans the abnormal set out across goroutines, one per shard.
+// radius the index serves (the paper's r in [0, 1/4)). The cell
+// geometry comes from the shared grid package — side 2r, so a 4r view
+// spans two cells per axis; the degenerate r = 0 keeps one cell
+// spanning E and views shrink to exactly-coincident devices. Shards
+// receive the occupied cells of that one shared index by key hash, so
+// the shard fan-out (and hence Stats) is a pure function of the window.
 func NewDirectory(pair *motion.Pair, abnormal []int, r float64) (*Directory, error) {
 	if pair == nil {
 		return nil, fmt.Errorf("nil pair: %w", ErrConfig)
@@ -80,97 +73,43 @@ func NewDirectory(pair *motion.Pair, abnormal []int, r float64) (*Directory, err
 			return nil, fmt.Errorf("abnormal device %d outside population of %d: %w", id, pair.N(), ErrConfig)
 		}
 	}
-	side := 2 * r
-	if side == 0 {
-		side = 1
-	}
-	res := int(math.Ceil(1 / side))
-	if res < 1 {
-		res = 1
-	}
+	geom := grid.ForRadius(r)
 	viewR := 4 * r
 	d := &Directory{
 		pair:     pair,
 		abnormal: ids,
 		inDir:    make(map[int]bool, len(ids)),
 		r:        r,
-		side:     side,
+		geom:     geom,
 		viewR:    viewR,
-		reach:    int(math.Ceil(viewR / side)),
-		res:      res,
+		// ceil(viewR/side) cells in exact arithmetic, plus one cell of
+		// floating-point margin: a quotient within an ulp of a cell
+		// boundary can shift a computed cell by one, and a view member
+		// silently dropped here would break the verdict-identity
+		// guarantee the agreement tests check.
+		reach: int(math.Ceil(viewR/geom.Side)) + 1,
+		index: grid.New(pair.Prev, ids, geom),
 	}
 	for _, id := range ids {
 		d.inDir[id] = true
 	}
 
-	// Stage 1: compute every device's cell key and owning shard in
-	// parallel chunks.
-	keys := make([]string, len(ids))
-	owner := make([]int, len(ids))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(ids) {
-		workers = len(ids)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	chunk := (len(ids) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(ids) {
-			hi = len(ids)
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				key := d.cellKey(d.cellCoords(pair.Prev.At(ids[i])))
-				keys[i] = key
-				owner[i] = shardOf(key)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-
-	// Stage 2: bucket device indices per owning shard, then each shard
-	// ingests only its own devices. ids are sorted and bucketed in index
-	// order, so every cell list comes out sorted.
-	var perShard [numShards][]int
-	for i := range ids {
-		perShard[owner[i]] = append(perShard[owner[i]], i)
-	}
+	// Scatter the occupied cells across shards by key hash. ids were
+	// indexed in ascending order, so every cell list is already sorted.
 	for s := range d.shards {
-		d.shards[s].cells = make(map[string]*cell, len(perShard[s]))
+		d.shards[s].cells = make(map[string]*grid.Cell)
 	}
-	for s := 0; s < numShards; s++ {
-		wg.Add(1)
-		go func(s int) {
-			defer wg.Done()
-			sh := &d.shards[s]
-			for _, i := range perShard[s] {
-				c, ok := sh.cells[keys[i]]
-				if !ok {
-					c = &cell{coords: d.cellCoords(pair.Prev.At(ids[i]))}
-					sh.cells[keys[i]] = c
-				}
-				c.ids = append(c.ids, ids[i])
-			}
-		}(s)
-	}
-	wg.Wait()
-	for s := range d.shards {
-		d.occupied += len(d.shards[s].cells)
-	}
+	d.index.ForEachCell(func(key string, c *grid.Cell) {
+		d.shards[shardOf(key)].cells[key] = c
+	})
 	return d, nil
 }
 
 // Abnormal returns the sorted abnormal set the directory indexes.
-func (d *Directory) Abnormal() []int { return sets.CloneInts(d.abnormal) }
+// Ownership rule (shared with motion.Graph.Ids and core.Characterizer.
+// Abnormal): the slice aliases the directory's internal state — callers
+// must treat it as read-only and copy before modifying.
+func (d *Directory) Abnormal() []int { return d.abnormal }
 
 // Radius returns the consistency impact radius the directory serves.
 func (d *Directory) Radius() float64 { return d.r }
@@ -186,39 +125,10 @@ func (d *Directory) CacheStats() (built, hits int64) {
 	return d.built.Load(), d.hits.Load()
 }
 
-// cellCoords maps a position to integer cell coordinates, clamped into
-// [0, res-1] per axis. Clamping is monotone, so it only ever merges
-// boundary cells — candidates are never lost, and the exact distance
-// filter in View discards any extras.
-func (d *Directory) cellCoords(p space.Point) []int {
-	coords := make([]int, len(p))
-	for i, x := range p {
-		c := int(x / d.side)
-		if c < 0 {
-			c = 0
-		}
-		if c >= d.res {
-			c = d.res - 1
-		}
-		coords[i] = c
-	}
-	return coords
-}
-
-// packKey encodes a slice of non-negative ints collision-free (8 bytes
-// per entry, covering the full int range so even degenerate radii with
-// res > 2^32 cannot alias cells): cell coordinates here, sorted view id
-// sets in DecideAll.
-func packKey(xs []int) string {
-	buf := make([]byte, 8*len(xs))
-	for i, x := range xs {
-		binary.BigEndian.PutUint64(buf[8*i:], uint64(x))
-	}
-	return string(buf)
-}
-
-// cellKey encodes cell coordinates as a map key.
-func (d *Directory) cellKey(coords []int) string { return packKey(coords) }
+// packKey encodes a slice of non-negative ints collision-free via the
+// shared grid encoding: cell coordinates here, sorted view id sets in
+// DecideAll.
+func packKey(xs []int) string { return grid.Key(xs) }
 
 // shardOf assigns a cell key to its owning shard.
 func shardOf(key string) int {
@@ -227,44 +137,21 @@ func shardOf(key string) int {
 	return int(h.Sum32() % numShards)
 }
 
-// chebyshev returns the Chebyshev (max-axis) distance between two cell
-// coordinate vectors.
-func chebyshev(a, b []int) int {
-	max := 0
-	for i := range a {
-		delta := a[i] - b[i]
-		if delta < 0 {
-			delta = -delta
-		}
-		if delta > max {
-			max = delta
-		}
-	}
-	return max
-}
-
 // blockFor returns the candidate block centered on the given cell,
 // computing and caching it on first use. A device within viewR = 2*side
-// of the center cell's occupants sits at most reach = 2 cells away per
-// axis, so the block is the occupied cells at Chebyshev distance <=
-// reach. Both computation strategies visit exactly those cells, so the
-// candidates and the shard fan-out — hence Stats — are identical.
+// of the center cell's occupants sits at most 2 cells away per axis in
+// exact arithmetic (reach adds one cell of floating-point margin), so
+// the block is the occupied cells at Chebyshev distance <= reach. Both
+// computation strategies visit exactly those cells, so the candidates
+// and the shard fan-out — hence Stats — are identical.
 func (d *Directory) blockFor(key string, center []int) *block {
 	if cached, ok := d.blocks.Load(key); ok {
 		d.hits.Add(1)
 		return cached.(*block)
 	}
 	b := &block{}
-	// (2*reach+1)^d neighbour cells, saturating to avoid overflow in
-	// high dimension.
-	blockCells := 1
-	for range center {
-		if blockCells > d.occupied {
-			break
-		}
-		blockCells *= 2*d.reach + 1
-	}
-	if blockCells <= d.occupied {
+	occupied := d.index.Cells()
+	if grid.NeighborCells(len(center), d.reach, occupied) <= occupied {
 		d.lookupBlock(center, b)
 	} else {
 		d.scanBlock(center, b)
@@ -295,7 +182,7 @@ func (d *Directory) lookupBlock(center []int, b *block) {
 		ok := true
 		for i := 0; i < dim; i++ {
 			c := center[i] + offsets[i]
-			if c < 0 || c >= d.res {
+			if c < 0 || c >= d.geom.Res {
 				ok = false
 				break
 			}
@@ -305,7 +192,7 @@ func (d *Directory) lookupBlock(center []int, b *block) {
 			key := packKey(coords)
 			s := shardOf(key)
 			if c, found := d.shards[s].cells[key]; found {
-				b.cands = append(b.cands, c.ids...)
+				b.cands = append(b.cands, c.Ids...)
 				hit[s] = true
 			}
 		}
@@ -336,8 +223,8 @@ func (d *Directory) scanBlock(center []int, b *block) {
 	for s := range d.shards {
 		contributed := false
 		for _, c := range d.shards[s].cells {
-			if chebyshev(c.coords, center) <= d.reach {
-				b.cands = append(b.cands, c.ids...)
+			if grid.Chebyshev(c.Coords, center) <= d.reach {
+				b.cands = append(b.cands, c.Ids...)
 				contributed = true
 			}
 		}
@@ -355,8 +242,8 @@ func (d *Directory) View(j int) ([]int, Stats, error) {
 	if !d.inDir[j] {
 		return nil, Stats{}, fmt.Errorf("device %d: %w", j, ErrUnknownDevice)
 	}
-	center := d.cellCoords(d.pair.Prev.At(j))
-	b := d.blockFor(d.cellKey(center), center)
+	center := d.geom.Coords(d.pair.Prev.At(j), nil)
+	b := d.blockFor(grid.Key(center), center)
 	view := make([]int, 0, len(b.cands))
 	for _, i := range b.cands {
 		if d.pair.Prev.Dist(i, j) <= d.viewR && d.pair.Cur.Dist(i, j) <= d.viewR {

@@ -169,7 +169,7 @@ func TestBlockStrategiesAgree(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, j := range step.Abnormal {
-		center := dir.cellCoords(step.Pair.Prev.At(j))
+		center := dir.geom.Coords(step.Pair.Prev.At(j), nil)
 		var lookup, scan block
 		dir.lookupBlock(center, &lookup)
 		dir.scanBlock(center, &scan)

@@ -1,0 +1,270 @@
+// Package grid provides the shared spatial cell index every
+// neighbourhood computation in the module derives from the consistency
+// impact radius r: uniform cells of side 2r over the QoS hypercube
+// E = [0,1]^d.
+//
+// With the uniform norm, two positions at distance <= 2r land in the
+// same or in axis-adjacent cells, so any 2r query only has to inspect
+// the 3^d cells around the query cell and any 4r view the 5^d cells —
+// candidates are gathered per cell and re-checked with exact distances,
+// which makes the index a pure pruning device: it can only add
+// candidates, never lose one. Both motion-graph construction
+// (motion.NewGraph) and the distributed directory (internal/dist) build
+// on the same geometry, so their cell keys — and therefore the shard
+// assignment the DistCost tables bill — agree by construction.
+package grid
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+
+	"anomalia/internal/space"
+)
+
+// Params fixes the cell geometry every consumer derives from the
+// consistency impact radius: the cell side and the number of cells per
+// axis over [0,1].
+type Params struct {
+	// Side is the cell side, normally 2r (1 when r = 0, a single cell
+	// spanning E).
+	Side float64
+	// Res is the number of cells per axis: ceil(1/Side), at least 1.
+	Res int
+}
+
+// ForRadius returns the canonical geometry for radius r: cells of side
+// 2r, or one cell spanning E when r = 0 (where only exactly-coincident
+// devices are within distance 2r anyway).
+func ForRadius(r float64) Params { return ForSide(2 * r) }
+
+// ForSide returns the geometry for an explicit cell side. Degenerate
+// sides (<= 0 or NaN) collapse to one cell spanning E, which is always
+// correct — queries re-check exact distances — just unpruned.
+func ForSide(side float64) Params {
+	if !(side > 0) {
+		side = 1
+	}
+	res := int(math.Ceil(1 / side))
+	if res < 1 {
+		res = 1
+	}
+	return Params{Side: side, Res: res}
+}
+
+// Coords appends the integer cell coordinates of position p to dst and
+// returns the extended slice. Coordinates are clamped into [0, Res-1]
+// per axis; clamping is monotone, so it only ever merges boundary
+// cells — neighbourhood queries gain candidates, never lose one, and
+// the caller's exact distance filter discards the extras.
+func (g Params) Coords(p space.Point, dst []int) []int {
+	for _, x := range p {
+		c := int(x / g.Side)
+		if c < 0 {
+			c = 0
+		}
+		if c >= g.Res {
+			c = g.Res - 1
+		}
+		dst = append(dst, c)
+	}
+	return dst
+}
+
+// AppendKey appends the collision-free encoding of a coordinate vector
+// (8 bytes big-endian per axis, covering the full int range so even
+// degenerate radii with Res > 2^32 cannot alias cells) to dst and
+// returns the extended slice. Keys of equal-dimension vectors compare
+// lexicographically exactly like the vectors themselves. The same
+// encoding serves sorted device-id sets (dist.DecideAll's view keys).
+func AppendKey(dst []byte, coords []int) []byte {
+	for _, x := range coords {
+		dst = binary.BigEndian.AppendUint64(dst, uint64(x))
+	}
+	return dst
+}
+
+// Key returns the collision-free string encoding of a coordinate
+// vector. Use AppendKey with map[string(buf)] lookups on hot paths to
+// avoid the allocation.
+func Key(coords []int) string { return string(AppendKey(nil, coords)) }
+
+// NeighborCells returns (2*reach+1)^dim — the cells a reach-wide
+// neighbourhood walk visits — saturating at cap+1 so high dimensions
+// cannot overflow. Callers compare the result against their own
+// population threshold to decide between the cell walk and a scan.
+func NeighborCells(dim, reach, cap int) int {
+	cells := 1
+	for i := 0; i < dim; i++ {
+		if cells > cap {
+			return cap + 1
+		}
+		cells *= 2*reach + 1
+	}
+	return cells
+}
+
+// Chebyshev returns the Chebyshev (max-axis) distance between two cell
+// coordinate vectors.
+func Chebyshev(a, b []int) int {
+	max := 0
+	for i := range a {
+		delta := a[i] - b[i]
+		if delta < 0 {
+			delta = -delta
+		}
+		if delta > max {
+			max = delta
+		}
+	}
+	return max
+}
+
+// Cell is one occupied cell of an Index: its integer coordinates and
+// the indexed device ids whose position falls inside it, in the order
+// they were indexed (ascending when the ids were).
+type Cell struct {
+	Coords []int
+	Ids    []int
+}
+
+// Index buckets a subset of a state's devices by cell. It is read-only
+// after New returns and therefore safe for concurrent readers.
+type Index struct {
+	Params
+	state *space.State
+	cells map[string]*Cell
+}
+
+// New indexes the given device ids (typically the abnormal set, sorted)
+// by the cell of their position in state.
+func New(state *space.State, ids []int, p Params) *Index {
+	ix := &Index{
+		Params: p,
+		state:  state,
+		cells:  make(map[string]*Cell, len(ids)),
+	}
+	var coords []int
+	var buf []byte
+	for _, id := range ids {
+		coords = p.Coords(state.At(id), coords[:0])
+		buf = AppendKey(buf[:0], coords)
+		c, ok := ix.cells[string(buf)]
+		if !ok {
+			c = &Cell{Coords: append([]int(nil), coords...)}
+			ix.cells[string(buf)] = c
+		}
+		c.Ids = append(c.Ids, id)
+	}
+	return ix
+}
+
+// State returns the indexed state.
+func (ix *Index) State() *space.State { return ix.state }
+
+// Cells returns the number of occupied cells.
+func (ix *Index) Cells() int { return len(ix.cells) }
+
+// Cell returns the occupied cell with the given key, or nil. The cell
+// aliases the index; treat it as read-only.
+func (ix *Index) Cell(key string) *Cell { return ix.cells[key] }
+
+// CellBytes is Cell for a key held in a byte buffer (as produced by
+// AppendKey). The map lookup converts in place, so hot loops probing
+// many neighbour keys do not allocate a string per probe.
+func (ix *Index) CellBytes(key []byte) *Cell { return ix.cells[string(key)] }
+
+// ForEachCell calls fn for every occupied cell in unspecified order.
+// Cells alias the index; treat them as read-only.
+func (ix *Index) ForEachCell(fn func(key string, c *Cell)) {
+	for key, c := range ix.cells {
+		fn(key, c)
+	}
+}
+
+// ForEachNeighbor calls fn for every occupied cell at Chebyshev cell
+// distance <= reach of the given center coordinates (including the
+// center cell itself when occupied). It walks the (2*reach+1)^d
+// neighbour keys directly, skipping coordinates outside [0, Res).
+func (ix *Index) ForEachNeighbor(center []int, reach int, fn func(c *Cell)) {
+	dim := len(center)
+	offsets := make([]int, dim)
+	coords := make([]int, dim)
+	buf := make([]byte, 0, 8*dim)
+	for i := range offsets {
+		offsets[i] = -reach
+	}
+	for {
+		ok := true
+		for i := 0; i < dim; i++ {
+			c := center[i] + offsets[i]
+			if c < 0 || c >= ix.Res {
+				ok = false
+				break
+			}
+			coords[i] = c
+		}
+		if ok {
+			buf = AppendKey(buf[:0], coords)
+			if c, found := ix.cells[string(buf)]; found {
+				fn(c)
+			}
+		}
+		// Next offset vector in [-reach, reach]^dim.
+		i := 0
+		for ; i < dim; i++ {
+			offsets[i]++
+			if offsets[i] <= reach {
+				break
+			}
+			offsets[i] = -reach
+		}
+		if i == dim {
+			break
+		}
+	}
+}
+
+// Within appends to dst the indexed ids at uniform-norm distance
+// <= radius of position p and returns the extended slice. Ids come out
+// grouped by cell in walk order, not globally sorted (the occupied-cell
+// fallback below sorts its segment so both paths are deterministic).
+// The candidate walk spans ceil(radius/Side)+1 cells per axis: the
+// extra cell keeps the walk exhaustive under floating point, where a
+// quotient within an ulp of a cell boundary can shift a computed cell
+// by one. When the (2*reach+1)^d neighbour fan-out exceeds the occupied
+// cells — high dimension, where the offset odometer would dwarf any
+// realistic index — the query scans the occupied cells instead.
+func (ix *Index) Within(p space.Point, radius float64, dst []int) []int {
+	reach := int(math.Ceil(radius/ix.Side)) + 1
+	dim := ix.state.Dim()
+	// walkFloor keeps low-dimension queries on the walk path (stable
+	// candidate order) even over sparsely occupied indexes; only the
+	// exponential high-dimension fan-outs fall through to the scan.
+	walkFloor := 1024
+	if len(ix.cells) > walkFloor {
+		walkFloor = len(ix.cells)
+	}
+	if NeighborCells(dim, reach, walkFloor) > walkFloor {
+		start := len(dst)
+		for _, c := range ix.cells {
+			for _, id := range c.Ids {
+				if space.Dist(ix.state.At(id), p) <= radius {
+					dst = append(dst, id)
+				}
+			}
+		}
+		sort.Ints(dst[start:]) // map order is random; sort for determinism
+		return dst
+	}
+	var coords [space.MaxDim]int
+	center := ix.Coords(p, coords[:0])
+	ix.ForEachNeighbor(center, reach, func(c *Cell) {
+		for _, id := range c.Ids {
+			if space.Dist(ix.state.At(id), p) <= radius {
+				dst = append(dst, id)
+			}
+		}
+	})
+	return dst
+}

@@ -1,0 +1,229 @@
+package grid
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"anomalia/internal/space"
+	"anomalia/internal/stats"
+)
+
+func TestForRadius(t *testing.T) {
+	t.Parallel()
+
+	cases := []struct {
+		r    float64
+		side float64
+		res  int
+	}{
+		{0, 1, 1},
+		{0.03, 0.06, 17},
+		{0.01, 0.02, 50},
+		{0.25, 0.5, 2},
+		{0.2499, 0.4998, 3},
+	}
+	for _, c := range cases {
+		p := ForRadius(c.r)
+		if p.Side != c.side {
+			t.Errorf("ForRadius(%v).Side = %v, want %v", c.r, p.Side, c.side)
+		}
+		if p.Res != c.res {
+			t.Errorf("ForRadius(%v).Res = %d, want %d", c.r, p.Res, c.res)
+		}
+	}
+}
+
+func TestCoordsClamped(t *testing.T) {
+	t.Parallel()
+
+	p := ForRadius(0.05) // side 0.1, res 10
+	cases := []struct {
+		x    float64
+		want int
+	}{
+		{-0.5, 0},
+		{0, 0},
+		{0.05, 0},
+		{0.1, 1},
+		{0.95, 9},
+		{1.0, 9},  // clamped into the last cell
+		{17.0, 9}, // clamped
+	}
+	for _, c := range cases {
+		got := p.Coords(space.Point{c.x}, nil)
+		if got[0] != c.want {
+			t.Errorf("Coords(%v) = %d, want %d", c.x, got[0], c.want)
+		}
+	}
+	// Coords appends to dst.
+	dst := p.Coords(space.Point{0.25, 0.55}, []int{7})
+	if len(dst) != 3 || dst[0] != 7 || dst[1] != 2 || dst[2] != 5 {
+		t.Errorf("Coords append = %v, want [7 2 5]", dst)
+	}
+}
+
+// TestKeyCollisionFreeAndOrdered: distinct coordinate vectors of the
+// same dimension get distinct keys, and key order matches lexicographic
+// coordinate order (the property the fixed-width big-endian packing is
+// chosen for).
+func TestKeyCollisionFreeAndOrdered(t *testing.T) {
+	t.Parallel()
+
+	vecs := [][]int{
+		{0, 0}, {0, 1}, {0, 255}, {0, 256}, {1, 0}, {1, 2}, {2, 1},
+		{255, 255}, {256, 0}, {1 << 40, 3},
+	}
+	for i := range vecs {
+		for j := range vecs {
+			ki, kj := Key(vecs[i]), Key(vecs[j])
+			if (i == j) != (ki == kj) {
+				t.Errorf("Key(%v) vs Key(%v): collision mismatch", vecs[i], vecs[j])
+			}
+			if i < j && !(ki < kj) {
+				t.Errorf("Key(%v) !< Key(%v): ordering broken", vecs[i], vecs[j])
+			}
+		}
+	}
+}
+
+func TestChebyshev(t *testing.T) {
+	t.Parallel()
+
+	if d := Chebyshev([]int{1, 5, 3}, []int{4, 5, 2}); d != 3 {
+		t.Errorf("Chebyshev = %d, want 3", d)
+	}
+	if d := Chebyshev([]int{2, 2}, []int{2, 2}); d != 0 {
+		t.Errorf("Chebyshev same = %d, want 0", d)
+	}
+}
+
+// TestIndexCellsSorted: indexing sorted ids keeps every cell's id list
+// sorted, and every indexed id lands in exactly one cell.
+func TestIndexCellsSorted(t *testing.T) {
+	t.Parallel()
+
+	rng := stats.NewRNG(11)
+	st, err := space.NewState(500, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Uniform(rng.Float64)
+	ids := make([]int, 0, 250)
+	for j := 0; j < 500; j += 2 {
+		ids = append(ids, j)
+	}
+	ix := New(st, ids, ForRadius(0.03))
+
+	seen := make(map[int]bool)
+	ix.ForEachCell(func(key string, c *Cell) {
+		if Key(c.Coords) != key {
+			t.Errorf("cell key %q does not match coords %v", key, c.Coords)
+		}
+		for i, id := range c.Ids {
+			if seen[id] {
+				t.Errorf("device %d indexed twice", id)
+			}
+			seen[id] = true
+			if i > 0 && c.Ids[i-1] >= id {
+				t.Errorf("cell %v ids not sorted: %v", c.Coords, c.Ids)
+			}
+		}
+	})
+	if len(seen) != len(ids) {
+		t.Errorf("indexed %d devices, want %d", len(seen), len(ids))
+	}
+}
+
+// TestWithinHighDimension: at dimensions where the neighbour fan-out
+// (2*reach+1)^d dwarfs any realistic index, Within must fall back to
+// scanning the occupied cells — returning in bounded time with the ids
+// sorted — instead of walking an exponential offset odometer.
+func TestWithinHighDimension(t *testing.T) {
+	t.Parallel()
+
+	const n, d = 50, space.MaxDim
+	rng := stats.NewRNG(31)
+	st, err := space.NewState(n, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Uniform(rng.Float64)
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	prm := ForRadius(0.03)
+	ix := New(st, ids, prm)
+	for j := 0; j < n; j++ {
+		got := ix.Within(st.At(j), 2*prm.Side, nil)
+		var want []int
+		for i := 0; i < n; i++ {
+			if space.Dist(st.At(i), st.At(j)) <= 2*prm.Side {
+				want = append(want, i)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("device %d: Within %v != scan %v", j, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("device %d: Within %v != scan %v", j, got, want)
+			}
+		}
+	}
+}
+
+// TestWithinMatchesScan: the neighbour-cell walk must return exactly the
+// ids a full scan finds, for radii up to reach*Side, including query
+// points on cell boundaries and at the domain edges.
+func TestWithinMatchesScan(t *testing.T) {
+	t.Parallel()
+
+	rng := stats.NewRNG(23)
+	for _, r := range []float64{0.01, 0.03, 0.12, 0.2499} {
+		prm := ForRadius(r)
+		st, err := space.NewState(400, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.Uniform(rng.Float64)
+		// Snap a slice of devices onto exact cell-boundary multiples.
+		for j := 0; j < 80; j++ {
+			k := float64(rng.Intn(prm.Res + 1))
+			l := float64(rng.Intn(prm.Res + 1))
+			pt := space.Point{math.Min(1, k*prm.Side), math.Min(1, l*prm.Side)}
+			if err := st.Set(j, pt); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ids := make([]int, 400)
+		for i := range ids {
+			ids[i] = i
+		}
+		ix := New(st, ids, prm)
+
+		for trial := 0; trial < 200; trial++ {
+			j := rng.Intn(400)
+			q := st.At(j)
+			for _, radius := range []float64{prm.Side, 2 * prm.Side} {
+				got := ix.Within(q, radius, nil)
+				sort.Ints(got) // Within groups by cell, not by id
+				var want []int
+				for i := 0; i < st.Len(); i++ {
+					if space.Dist(st.At(i), q) <= radius {
+						want = append(want, i)
+					}
+				}
+				if len(got) != len(want) {
+					t.Fatalf("r=%v radius=%v device %d: Within %v != scan %v", r, radius, j, got, want)
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("r=%v radius=%v device %d: Within %v != scan %v", r, radius, j, got, want)
+					}
+				}
+			}
+		}
+	}
+}

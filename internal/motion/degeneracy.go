@@ -22,6 +22,8 @@ func (g *Graph) MaximalMotionsDegeneracy() [][]int {
 		pos[v] = i
 	}
 	var out [][]int
+	sc := g.getScratch()
+	defer g.putScratch(sc)
 	for _, v := range order {
 		r := sets.NewBits(m)
 		r.Add(v)
@@ -35,7 +37,7 @@ func (g *Graph) MaximalMotionsDegeneracy() [][]int {
 			}
 			return true
 		})
-		g.bk(r, p, x, func(clique *sets.Bits) {
+		g.bk(r, p, x, sc, func(clique *sets.Bits) {
 			out = append(out, g.toIds(clique))
 		})
 	}

@@ -1,6 +1,10 @@
 package motion
 
 import (
+	"sort"
+	"sync"
+
+	"anomalia/internal/grid"
 	"anomalia/internal/sets"
 )
 
@@ -17,12 +21,65 @@ type Graph struct {
 	adj   []*sets.Bits
 	r     float64
 	pair  *Pair
+	// bkPool recycles enumeration scratch across the many per-device
+	// clique enumerations of a fleet pass; sync.Pool keeps concurrent
+	// enumerations (parallel characterization) safe.
+	bkPool sync.Pool
 }
+
+// gridBuildMinVertices is the vertex count at which NewGraph switches
+// from the all-pairs build to the grid-indexed build. Below it the
+// quadratic scan — a tight loop of uniform-norm comparisons — is
+// cheaper than building the cell index (measured crossover is a few
+// hundred vertices; see BenchmarkNewGraph). Both builds produce
+// identical adjacency (TestNewGraphGridMatchesAllPairs).
+const gridBuildMinVertices = 256
+
+// gridBuildReach is the Chebyshev cell distance the grid build pairs
+// cells across. With cell side exactly 2r an edge's endpoints share a
+// cell or sit in axis-adjacent cells in exact arithmetic; reach 2 keeps
+// that guarantee under floating point, where a quotient within an ulp
+// of a cell boundary can shift either endpoint's computed cell by one.
+const gridBuildReach = 2
+
+// gridBuildMaxRes caps the grid resolution the floating-point safety
+// argument for gridBuildReach covers (quotient errors stay far below
+// one cell while res*2^-52 is negligible). Radii tiny enough to exceed
+// it fall back to the all-pairs build.
+const gridBuildMaxRes = 1 << 25
 
 // NewGraph builds the motion graph over the given device ids (deduplicated
 // and sorted). The caller is responsible for r being valid; ids outside
 // the pair's device range are ignored.
+//
+// Construction is O(m * neighbours): vertices are bucketed into a grid of
+// cells with side 2r over the k-1 positions and only pairs from nearby
+// cells are distance-tested, instead of all m^2 pairs. Small or
+// degenerate inputs use the plain all-pairs scan; the resulting
+// adjacency is identical either way.
 func NewGraph(p *Pair, ids []int, r float64) *Graph {
+	g := newGraphVertices(p, ids, r)
+	prm := grid.ForRadius(r)
+	if len(g.ids) < gridBuildMinVertices || prm.Res > gridBuildMaxRes ||
+		!gridBuildWorthwhile(p.Dim(), len(g.ids)) {
+		g.buildAllPairs()
+	} else {
+		g.buildGrid(prm)
+	}
+	return g
+}
+
+// gridBuildWorthwhile reports whether the cell-pair walk can beat the
+// all-pairs scan: the (2*reach+1)^d neighbour-offset fan-out grows
+// exponentially with the dimension, so once it exceeds the vertex count
+// the walk itself dominates (and at space.MaxDim it would be the whole
+// build's undoing).
+func gridBuildWorthwhile(dim, m int) bool {
+	return grid.NeighborCells(dim, gridBuildReach, m) <= m
+}
+
+// newGraphVertices sets up the vertex bookkeeping shared by both builds.
+func newGraphVertices(p *Pair, ids []int, r float64) *Graph {
 	clean := make([]int, 0, len(ids))
 	for _, id := range ids {
 		if id >= 0 && id < p.N() {
@@ -42,19 +99,133 @@ func NewGraph(p *Pair, ids []int, r float64) *Graph {
 		g.local[id] = li
 		g.adj[li] = sets.NewBits(m)
 	}
-	for a := 0; a < m; a++ {
-		for b := a + 1; b < m; b++ {
-			if p.Adjacent(clean[a], clean[b], r) {
-				g.adj[a].Add(b)
-				g.adj[b].Add(a)
-			}
-		}
-	}
+	g.bkPool.New = func() any { return &bkScratch{} }
 	return g
 }
 
-// Ids returns the sorted device ids the graph covers. The slice is shared;
-// do not modify.
+// getScratch leases enumeration scratch; return it with putScratch.
+func (g *Graph) getScratch() *bkScratch   { return g.bkPool.Get().(*bkScratch) }
+func (g *Graph) putScratch(sc *bkScratch) { g.bkPool.Put(sc) }
+
+// buildAllPairs fills the adjacency by testing every vertex pair — the
+// reference O(m^2) build, kept for small graphs and as the oracle the
+// grid build is property-tested against.
+func (g *Graph) buildAllPairs() {
+	m := len(g.ids)
+	for a := 0; a < m; a++ {
+		for b := a + 1; b < m; b++ {
+			g.testEdge(a, b)
+		}
+	}
+}
+
+// buildGrid fills the adjacency via the shared spatial index: vertices
+// are bucketed by their k-1 cell and only pairs within gridBuildReach
+// cells are distance-tested. Each unordered cell pair is visited once
+// (via its lexicographically positive coordinate offset), so every
+// candidate pair is tested exactly once; the exact Adjacent test makes
+// the result identical to the all-pairs build.
+func (g *Graph) buildGrid(prm grid.Params) {
+	idx := grid.New(g.pair.Prev, g.ids, prm)
+	dim := g.pair.Dim()
+
+	// Local-index lists per occupied cell, resolved once.
+	locals := make(map[*grid.Cell][]int, idx.Cells())
+	idx.ForEachCell(func(_ string, c *grid.Cell) {
+		ls := make([]int, len(c.Ids))
+		for i, id := range c.Ids {
+			ls[i] = g.local[id]
+		}
+		locals[c] = ls
+	})
+
+	offsets := positiveOffsets(dim, gridBuildReach)
+	coords := make([]int, dim)
+	var buf []byte
+	idx.ForEachCell(func(_ string, c *grid.Cell) {
+		la := locals[c]
+		// Pairs within the cell.
+		for i := 0; i < len(la); i++ {
+			for j := i + 1; j < len(la); j++ {
+				g.testEdge(la[i], la[j])
+			}
+		}
+		// Pairs with lexicographically greater neighbour cells.
+		for _, off := range offsets {
+			ok := true
+			for i := 0; i < dim; i++ {
+				x := c.Coords[i] + off[i]
+				if x < 0 || x >= prm.Res {
+					ok = false
+					break
+				}
+				coords[i] = x
+			}
+			if !ok {
+				continue
+			}
+			buf = grid.AppendKey(buf[:0], coords)
+			nb := idx.CellBytes(buf)
+			if nb == nil {
+				continue
+			}
+			lb := locals[nb]
+			for _, a := range la {
+				for _, b := range lb {
+					g.testEdge(a, b)
+				}
+			}
+		}
+	})
+}
+
+// positiveOffsets enumerates the coordinate offsets in [-reach, reach]^dim
+// whose first non-zero component is positive — exactly one of {o, -o} for
+// every non-zero offset, so walking them visits each unordered cell pair
+// once.
+func positiveOffsets(dim, reach int) [][]int {
+	var out [][]int
+	cur := make([]int, dim)
+	for i := range cur {
+		cur[i] = -reach
+	}
+	for {
+		for i := 0; i < dim; i++ {
+			if cur[i] != 0 {
+				if cur[i] > 0 {
+					out = append(out, append([]int(nil), cur...))
+				}
+				break
+			}
+		}
+		i := 0
+		for ; i < dim; i++ {
+			cur[i]++
+			if cur[i] <= reach {
+				break
+			}
+			cur[i] = -reach
+		}
+		if i == dim {
+			break
+		}
+	}
+	return out
+}
+
+// testEdge adds the edge between local vertices a and b when their
+// devices move consistently.
+func (g *Graph) testEdge(a, b int) {
+	if g.pair.Adjacent(g.ids[a], g.ids[b], g.r) {
+		g.adj[a].Add(b)
+		g.adj[b].Add(a)
+	}
+}
+
+// Ids returns the sorted device ids the graph covers. Ownership rule
+// (shared with Characterizer.Abnormal and Directory.Abnormal in their
+// packages): the slice aliases the graph's internal state — callers must
+// treat it as read-only and copy before modifying.
 func (g *Graph) Ids() []int { return g.ids }
 
 // Len returns the number of vertices.
@@ -64,6 +235,37 @@ func (g *Graph) Len() int { return len(g.ids) }
 func (g *Graph) Has(id int) bool {
 	_, ok := g.local[id]
 	return ok
+}
+
+// Local returns the local index of device id and whether it is a vertex.
+// Local indices follow sorted device-id order, so increasing local index
+// means increasing id.
+func (g *Graph) Local(id int) (int, bool) {
+	li, ok := g.local[id]
+	return li, ok
+}
+
+// IDOf returns the device id at local index li.
+func (g *Graph) IDOf(li int) int { return g.ids[li] }
+
+// AddLocals adds the local indices of the given device ids to b. Ids
+// that are not vertices are ignored.
+func (g *Graph) AddLocals(b *sets.Bits, ids []int) {
+	for _, id := range ids {
+		if li, ok := g.local[id]; ok {
+			b.Add(li)
+		}
+	}
+}
+
+// AppendIds appends the device ids of the local-index set b to dst, in
+// increasing id order, and returns the extended slice.
+func (g *Graph) AppendIds(b *sets.Bits, dst []int) []int {
+	b.ForEach(func(li int) bool {
+		dst = append(dst, g.ids[li])
+		return true
+	})
+	return dst // ids are sorted because local indices follow sorted ids
 }
 
 // Adjacent reports whether devices a and b (device ids) are joined by an
@@ -95,22 +297,13 @@ func (g *Graph) Degree(id int) int {
 
 // toIds converts a local-index bitset into sorted device ids.
 func (g *Graph) toIds(b *sets.Bits) []int {
-	out := make([]int, 0, b.Len())
-	b.ForEach(func(li int) bool {
-		out = append(out, g.ids[li])
-		return true
-	})
-	return out // ids are sorted because local indices follow sorted ids
+	return g.AppendIds(b, make([]int, 0, b.Len()))
 }
 
 // toLocal converts device ids (present in the graph) to a local bitset.
 func (g *Graph) toLocal(ids []int) *sets.Bits {
 	b := sets.NewBits(len(g.ids))
-	for _, id := range ids {
-		if li, ok := g.local[id]; ok {
-			b.Add(li)
-		}
-	}
+	g.AddLocals(b, ids)
 	return b
 }
 
@@ -154,21 +347,71 @@ func (g *Graph) MaximalMotions() [][]int {
 // neighbourhood coincides with maximality in the full graph. Returns nil
 // when j is not a vertex.
 func (g *Graph) MaximalMotionsContaining(j int) [][]int {
+	ids, _ := g.MaximalMotionsContainingSets(j)
+	return ids
+}
+
+// MaximalMotionsContainingSets is MaximalMotionsContaining returning
+// each motion in both representations: sorted device ids and the
+// local-index bitset the enumeration produced. Element i of both slices
+// describes the same motion; callers on the characterization hot path
+// keep the bitsets so set algebra over motions needs no id translation.
+func (g *Graph) MaximalMotionsContainingSets(j int) ([][]int, []*sets.Bits) {
 	lj, ok := g.local[j]
 	if !ok {
-		return nil
+		return nil, nil
 	}
 	m := len(g.ids)
 	r := sets.NewBits(m)
 	r.Add(lj)
 	p := g.adj[lj].Clone()
 	x := sets.NewBits(m)
-	var out [][]int
-	g.bk(r, p, x, func(clique *sets.Bits) {
-		out = append(out, g.toIds(clique))
+	var out motionFamily
+	sc := g.getScratch()
+	g.bk(r, p, x, sc, func(clique *sets.Bits) {
+		out.ids = append(out.ids, g.toIds(clique))
+		out.cliques = append(out.cliques, clique)
 	})
-	sets.SortSets(out)
-	return out
+	g.putScratch(sc)
+	// Sort both representations together, in the id sets' lexicographic
+	// order (the deterministic order SortSets establishes). Families are
+	// typically a handful of motions; insertion sort keeps the common
+	// case allocation-free (sort.Sort would heap-allocate the interface).
+	if len(out.ids) > 32 {
+		sort.Sort(&out)
+	} else {
+		for i := 1; i < len(out.ids); i++ {
+			for j := i; j > 0 && out.Less(j, j-1); j-- {
+				out.Swap(j, j-1)
+			}
+		}
+	}
+	return out.ids, out.cliques
+}
+
+// motionFamily sorts the two motion representations in lockstep, by the
+// id sets' lexicographic order (shorter first on ties of the common
+// prefix — the comparator of sets.SortSets).
+type motionFamily struct {
+	ids     [][]int
+	cliques []*sets.Bits
+}
+
+func (f *motionFamily) Len() int { return len(f.ids) }
+
+func (f *motionFamily) Less(i, j int) bool {
+	a, b := f.ids[i], f.ids[j]
+	for k := 0; k < len(a) && k < len(b); k++ {
+		if a[k] != b[k] {
+			return a[k] < b[k]
+		}
+	}
+	return len(a) < len(b)
+}
+
+func (f *motionFamily) Swap(i, j int) {
+	f.ids[i], f.ids[j] = f.ids[j], f.ids[i]
+	f.cliques[i], f.cliques[j] = f.cliques[j], f.cliques[i]
 }
 
 // HasDenseMotionContaining reports whether some τ-dense motion containing
@@ -184,13 +427,15 @@ func (g *Graph) HasDenseMotionContaining(j int, allowed []int, tau int) bool {
 	p.And(g.adj[lj])
 	p.Remove(lj)
 	// Need a clique of size tau+1 total, i.e. tau more vertices from p.
-	return g.extendClique(lj, p, 1, tau+1)
+	sc := g.getScratch()
+	defer g.putScratch(sc)
+	return g.extendClique(lj, p, 1, tau+1, sc)
 }
 
 // extendClique performs a branch-and-bound search for a clique of size at
 // least want that contains the current clique (implicitly represented by
 // the candidate set p already restricted to common neighbours).
-func (g *Graph) extendClique(_ int, p *sets.Bits, have, want int) bool {
+func (g *Graph) extendClique(_ int, p *sets.Bits, have, want int, sc *bkScratch) bool {
 	if have >= want {
 		return true
 	}
@@ -198,18 +443,22 @@ func (g *Graph) extendClique(_ int, p *sets.Bits, have, want int) bool {
 		return false
 	}
 	// Iterate candidates; standard inclusion/exclusion search.
-	members := p.Members(nil)
+	members := p.Members(sc.getInts())
 	for _, v := range members {
-		p2 := p.Clone()
+		p2 := sc.get(p)
 		p2.And(g.adj[v])
-		if g.extendClique(v, p2, have+1, want) {
+		ok := g.extendClique(v, p2, have+1, want, sc)
+		sc.put(p2)
+		if ok {
+			sc.putInts(members)
 			return true
 		}
 		p.Remove(v) // exclude v from further consideration on this branch
 		if have+p.Len() < want {
-			return false
+			break
 		}
 	}
+	sc.putInts(members)
 	return false
 }
 
@@ -222,13 +471,49 @@ func (g *Graph) bronKerbosch(report func(*sets.Bits)) {
 		p.Add(i)
 	}
 	x := sets.NewBits(m)
-	g.bk(r, p, x, report)
+	sc := g.getScratch()
+	g.bk(r, p, x, sc, report)
+	g.putScratch(sc)
 }
+
+// bkScratch recycles the candidate/excluded bitsets and the member
+// buffers of one enumeration's recursion — the dominant garbage of the
+// characterization hot path before pooling. Each top-level enumeration
+// owns its scratch, so concurrent enumerations over a shared graph
+// (CharacterizeAllParallel phase 1) never share state. Only the
+// reported cliques (r.Clone) escape the enumeration.
+type bkScratch struct {
+	free []*sets.Bits
+	ints [][]int
+}
+
+func (s *bkScratch) get(src *sets.Bits) *sets.Bits {
+	if len(s.free) == 0 {
+		return src.Clone()
+	}
+	b := s.free[len(s.free)-1]
+	s.free = s.free[:len(s.free)-1]
+	b.CopyFrom(src)
+	return b
+}
+
+func (s *bkScratch) put(b *sets.Bits) { s.free = append(s.free, b) }
+
+func (s *bkScratch) getInts() []int {
+	if len(s.ints) == 0 {
+		return nil
+	}
+	buf := s.ints[len(s.ints)-1]
+	s.ints = s.ints[:len(s.ints)-1]
+	return buf[:0]
+}
+
+func (s *bkScratch) putInts(buf []int) { s.ints = append(s.ints, buf) }
 
 // bk is Bron–Kerbosch with pivoting. r, p, x are the usual current
 // clique / candidates / excluded sets over local indices. p and x are
 // consumed by the call.
-func (g *Graph) bk(r, p, x *sets.Bits, report func(*sets.Bits)) {
+func (g *Graph) bk(r, p, x *sets.Bits, sc *bkScratch, report func(*sets.Bits)) {
 	if p.Empty() && x.Empty() {
 		report(r.Clone())
 		return
@@ -244,19 +529,41 @@ func (g *Graph) bk(r, p, x *sets.Bits, report func(*sets.Bits)) {
 	p.ForEach(consider)
 	x.ForEach(consider)
 
-	cand := p.Clone()
+	cand := sc.get(p)
 	if pivot >= 0 {
 		cand.AndNot(g.adj[pivot])
 	}
-	for _, v := range cand.Members(nil) {
+	members := cand.Members(sc.getInts())
+	sc.put(cand)
+	for _, v := range members {
 		r.Add(v)
-		p2 := p.Clone()
+		p2 := sc.get(p)
 		p2.And(g.adj[v])
-		x2 := x.Clone()
+		x2 := sc.get(x)
 		x2.And(g.adj[v])
-		g.bk(r, p2, x2, report)
+		g.bk(r, p2, x2, sc, report)
+		sc.put(p2)
+		sc.put(x2)
 		r.Remove(v)
 		p.Remove(v)
 		x.Add(v)
 	}
+	sc.putInts(members)
+}
+
+// newGraphAllPairs builds the graph with the reference all-pairs scan
+// regardless of size — the oracle used by property tests and the
+// recorded baseline BenchmarkNewGraph compares the grid build against.
+func newGraphAllPairs(p *Pair, ids []int, r float64) *Graph {
+	g := newGraphVertices(p, ids, r)
+	g.buildAllPairs()
+	return g
+}
+
+// newGraphGrid builds the graph with the grid-indexed scan regardless of
+// size (testing/benchmark hook).
+func newGraphGrid(p *Pair, ids []int, r float64) *Graph {
+	g := newGraphVertices(p, ids, r)
+	g.buildGrid(grid.ForRadius(r))
+	return g
 }

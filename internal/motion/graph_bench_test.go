@@ -1,0 +1,117 @@
+package motion
+
+import (
+	"fmt"
+	"testing"
+
+	"anomalia/internal/space"
+	"anomalia/internal/stats"
+)
+
+// benchRadius follows the paper's §VII-A dimensioning: the radius
+// shrinks with the fleet so the expected 2r-ball population stays at
+// the paper's operating point.
+const benchRadius = 0.01
+
+// benchGraphPair builds one observation window for the construction
+// benchmarks. Placement "sparse" spreads devices uniformly over the
+// hypercube (the paper's S_0); "clustered" packs them into 20 tight
+// clusters of side 6r, the shape of a window dominated by massive
+// events, where cells are crowded and the grid prunes least.
+func benchGraphPair(tb testing.TB, n int, placement string) *Pair {
+	tb.Helper()
+	rng := stats.NewRNG(int64(n) + int64(len(placement)))
+	prev, err := space.NewState(n, 2)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	switch placement {
+	case "sparse":
+		prev.Uniform(rng.Float64)
+	case "clustered":
+		const clusters = 20
+		centers := make([]space.Point, clusters)
+		for i := range centers {
+			centers[i] = space.Point{rng.Float64(), rng.Float64()}
+		}
+		for j := 0; j < n; j++ {
+			c := centers[j%clusters]
+			pt := space.Point{
+				c[0] + (2*rng.Float64()-1)*3*benchRadius,
+				c[1] + (2*rng.Float64()-1)*3*benchRadius,
+			}
+			if err := prev.Set(j, pt.Clamp()); err != nil {
+				tb.Fatal(err)
+			}
+		}
+	default:
+		tb.Fatalf("unknown placement %q", placement)
+	}
+	cur := prev.Clone()
+	for j := 0; j < n; j++ {
+		pt := cur.AtClone(j)
+		for i := range pt {
+			pt[i] += (2*rng.Float64() - 1) * benchRadius
+		}
+		if err := cur.Set(j, pt); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	pair, err := NewPair(prev, cur)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return pair
+}
+
+// BenchmarkNewGraph measures motion-graph construction: the grid build
+// against the recorded all-pairs baseline, at growing vertex counts and
+// both placements. The all-pairs baseline stops at n=10k — beyond that
+// its quadratic scan is the point of the exercise. Run with -benchmem;
+// scripts/bench.sh records the results in the BENCH_*.json trajectory.
+func BenchmarkNewGraph(b *testing.B) {
+	for _, placement := range []string{"sparse", "clustered"} {
+		for _, n := range []int{1_000, 10_000, 100_000} {
+			pair := benchGraphPair(b, n, placement)
+			ids := allIds(n)
+			b.Run(fmt.Sprintf("grid/%s/n=%d", placement, n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					newGraphGrid(pair, ids, benchRadius)
+				}
+			})
+			if n > 10_000 {
+				continue
+			}
+			b.Run(fmt.Sprintf("allpairs/%s/n=%d", placement, n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					newGraphAllPairs(pair, ids, benchRadius)
+				}
+			})
+		}
+	}
+}
+
+// TestNewGraphGridAllocs pins the allocation profile of the grid build:
+// bounded by a small constant per vertex (vertex bitsets, cell lists,
+// local-index lists), independent of edge count — the property the
+// -benchmem columns of BenchmarkNewGraph track over time.
+func TestNewGraphGridAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation counting is slow under -short")
+	}
+	const n = 2000
+	pair := benchGraphPair(t, n, "sparse")
+	ids := allIds(n)
+	got := testing.AllocsPerRun(5, func() {
+		newGraphGrid(pair, ids, benchRadius)
+	})
+	// 2 allocations per vertex for the fixed bookkeeping (adjacency
+	// bitset + its words array) plus cell/map overhead; 8n is generous
+	// headroom so only a structural regression (e.g. per-candidate-pair
+	// allocation) trips it.
+	if limit := float64(8 * n); got > limit {
+		t.Errorf("grid build allocates %.0f times for %d vertices, want <= %.0f", got, n, limit)
+	}
+}

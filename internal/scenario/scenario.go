@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 
+	"anomalia/internal/grid"
 	"anomalia/internal/motion"
 	"anomalia/internal/space"
 	"anomalia/internal/stats"
@@ -131,6 +132,7 @@ type Generator struct {
 	cfg Config
 	rng *stats.RNG
 	cur *space.State
+	ids []int // 0..N-1, the index domain of the per-window spatial grid
 }
 
 // New seeds a generator with a uniform initial distribution S_0.
@@ -145,7 +147,10 @@ func New(cfg Config) (*Generator, error) {
 	if err != nil {
 		return nil, err
 	}
-	g := &Generator{cfg: cfg, rng: stats.NewRNG(cfg.Seed), cur: st}
+	g := &Generator{cfg: cfg, rng: stats.NewRNG(cfg.Seed), cur: st, ids: make([]int, cfg.N)}
+	for i := range g.ids {
+		g.ids[i] = i
+	}
 	g.cur.Uniform(g.rng.Float64)
 	return g, nil
 }
@@ -157,10 +162,7 @@ func (g *Generator) Step() (*Step, error) {
 	// In the default (R1-respecting) mode every error draws its ball from
 	// the snapshot S_{k-1}; in concomitant mode each error sees the state
 	// left by the previous one.
-	grid, err := space.NewGrid(prev, cfg.R)
-	if err != nil {
-		return nil, err
-	}
+	idx := grid.New(prev, g.ids, grid.ForSide(cfg.R))
 
 	step := &Step{ImpactOf: make(map[int]int)}
 	impacted := make(map[int]bool, cfg.A*(cfg.Tau+1))
@@ -169,9 +171,7 @@ func (g *Generator) Step() (*Step, error) {
 		ref := prev
 		if cfg.Concomitant {
 			ref = g.cur
-			if grid, err = space.NewGrid(ref, cfg.R); err != nil {
-				return nil, err
-			}
+			idx = grid.New(ref, g.ids, grid.ForSide(cfg.R))
 		}
 		isolated := g.rng.Bernoulli(cfg.G)
 		var anchor int
@@ -187,7 +187,7 @@ func (g *Generator) Step() (*Step, error) {
 			if !alive {
 				break
 			}
-			cands := grid.Within(a, cfg.R, nil)
+			cands := idx.Within(ref.At(a), cfg.R, nil)
 			f := make([]int, 0, len(cands))
 			for _, c := range cands {
 				if cfg.Concomitant || !impacted[c] {

@@ -100,6 +100,12 @@ func (b *Bits) Clone() *Bits {
 	return c
 }
 
+// CopyFrom overwrites b with the contents of o. Both sets must share
+// the same universe size.
+func (b *Bits) CopyFrom(o *Bits) {
+	copy(b.words, o.words)
+}
+
 // Clear removes all members, keeping the universe.
 func (b *Bits) Clear() {
 	for i := range b.words {

@@ -62,30 +62,43 @@ func SubsetInts(a, b []int) bool {
 
 // UnionInts returns the sorted union of two sorted slices in a new slice.
 func UnionInts(a, b []int) []int {
-	out := make([]int, 0, len(a)+len(b))
+	return UnionIntsInto(make([]int, 0, len(a)+len(b)), a, b)
+}
+
+// UnionIntsInto appends the sorted union of two sorted slices to dst and
+// returns the extended slice. Pass a truncated scratch buffer (buf[:0])
+// to reuse its capacity across calls; dst must not alias a or b.
+func UnionIntsInto(dst, a, b []int) []int {
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
 		case a[i] < b[j]:
-			out = append(out, a[i])
+			dst = append(dst, a[i])
 			i++
 		case a[i] > b[j]:
-			out = append(out, b[j])
+			dst = append(dst, b[j])
 			j++
 		default:
-			out = append(out, a[i])
+			dst = append(dst, a[i])
 			i++
 			j++
 		}
 	}
-	out = append(out, a[i:]...)
-	out = append(out, b[j:]...)
-	return out
+	dst = append(dst, a[i:]...)
+	dst = append(dst, b[j:]...)
+	return dst
 }
 
-// IntersectInts returns the sorted intersection of two sorted slices.
+// IntersectInts returns the sorted intersection of two sorted slices
+// (nil when empty).
 func IntersectInts(a, b []int) []int {
-	var out []int
+	return IntersectIntsInto(nil, a, b)
+}
+
+// IntersectIntsInto appends the sorted intersection of two sorted slices
+// to dst and returns the extended slice. Pass a truncated scratch buffer
+// (buf[:0]) to reuse its capacity across calls; dst must not alias a or b.
+func IntersectIntsInto(dst, a, b []int) []int {
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
@@ -94,22 +107,29 @@ func IntersectInts(a, b []int) []int {
 		case a[i] > b[j]:
 			j++
 		default:
-			out = append(out, a[i])
+			dst = append(dst, a[i])
 			i++
 			j++
 		}
 	}
-	return out
+	return dst
 }
 
-// DiffInts returns the sorted difference a \ b of two sorted slices.
+// DiffInts returns the sorted difference a \ b of two sorted slices
+// (nil when empty).
 func DiffInts(a, b []int) []int {
-	var out []int
+	return DiffIntsInto(nil, a, b)
+}
+
+// DiffIntsInto appends the sorted difference a \ b of two sorted slices
+// to dst and returns the extended slice. Pass a truncated scratch buffer
+// (buf[:0]) to reuse its capacity across calls; dst must not alias a or b.
+func DiffIntsInto(dst, a, b []int) []int {
 	i, j := 0, 0
 	for i < len(a) {
 		switch {
 		case j >= len(b) || a[i] < b[j]:
-			out = append(out, a[i])
+			dst = append(dst, a[i])
 			i++
 		case a[i] > b[j]:
 			j++
@@ -118,7 +138,7 @@ func DiffInts(a, b []int) []int {
 			j++
 		}
 	}
-	return out
+	return dst
 }
 
 // CloneInts returns a copy of s (nil stays nil).

@@ -53,6 +53,61 @@ func TestIntSliceOps(t *testing.T) {
 	}
 }
 
+// TestIntoVariantsMatch: the append-into-buffer variants must agree with
+// their allocating counterparts on random sorted inputs, append after any
+// existing prefix, and reuse the buffer's capacity when truncated.
+func TestIntoVariantsMatch(t *testing.T) {
+	t.Parallel()
+
+	rng := rand.New(rand.NewSource(99))
+	randSet := func() []int {
+		s := make([]int, rng.Intn(12))
+		for i := range s {
+			s[i] = rng.Intn(20)
+		}
+		return Canon(s)
+	}
+	buf := []int(nil)
+	for trial := 0; trial < 200; trial++ {
+		a, b := randSet(), randSet()
+
+		buf = UnionIntsInto(buf[:0], a, b)
+		if want := UnionInts(a, b); !EqualInts(buf, want) {
+			t.Fatalf("UnionIntsInto(%v, %v) = %v, want %v", a, b, buf, want)
+		}
+		buf = IntersectIntsInto(buf[:0], a, b)
+		if want := IntersectInts(a, b); !EqualInts(buf, want) {
+			t.Fatalf("IntersectIntsInto(%v, %v) = %v, want %v", a, b, buf, want)
+		}
+		buf = DiffIntsInto(buf[:0], a, b)
+		if want := DiffInts(a, b); !EqualInts(buf, want) {
+			t.Fatalf("DiffIntsInto(%v, %v) = %v, want %v", a, b, buf, want)
+		}
+	}
+
+	// The variants append after whatever the buffer already holds.
+	got := UnionIntsInto([]int{-1}, []int{2}, []int{3})
+	if want := []int{-1, 2, 3}; !EqualInts(got, want) {
+		t.Errorf("UnionIntsInto with prefix = %v, want %v", got, want)
+	}
+}
+
+// TestIntoVariantsNoAlloc: with a warm buffer of sufficient capacity the
+// Into variants must not allocate — the property the characterization
+// hot path relies on.
+func TestIntoVariantsNoAlloc(t *testing.T) {
+	a := []int{1, 3, 5, 7, 9, 11}
+	b := []int{2, 3, 6, 7, 10, 11}
+	buf := make([]int, 0, len(a)+len(b))
+	if n := testing.AllocsPerRun(100, func() {
+		buf = UnionIntsInto(buf[:0], a, b)
+		buf = IntersectIntsInto(buf[:0], a, b)
+		buf = DiffIntsInto(buf[:0], a, b)
+	}); n != 0 {
+		t.Errorf("Into variants allocated %.1f times per run with warm buffer", n)
+	}
+}
+
 func TestSubsetContains(t *testing.T) {
 	t.Parallel()
 

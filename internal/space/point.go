@@ -1,7 +1,7 @@
 // Package space models the QoS space E = [0,1]^d of Section III-A: device
 // positions (one coordinate per consumed service), the uniform norm used
-// for the consistency radius, system states S_k and a uniform-grid index
-// for 2r-neighbourhood queries.
+// for the consistency radius, and system states S_k. The uniform-cell
+// spatial index over states lives in the sibling package internal/grid.
 package space
 
 import (

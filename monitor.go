@@ -21,6 +21,13 @@ type Monitor struct {
 	dets     []*detect.Device
 	prev     *space.State
 	time     int
+	// spare recycles the state displaced by the previous Observe as the
+	// next snapshot buffer (a double buffer: Observe fully overwrites
+	// every row before reading it), and abnBuf recycles the abnormal-id
+	// slice — characterization clones the ids it keeps, so both are free
+	// for reuse once Observe returns.
+	spare  *space.State
+	abnBuf []int
 }
 
 // NewMonitor builds a monitor for a fleet of devices, each consuming the
@@ -88,11 +95,16 @@ func (m *Monitor) Observe(samples [][]float64) (*Outcome, error) {
 	if len(samples) != m.devices {
 		return nil, fmt.Errorf("snapshot has %d rows, want %d: %w", len(samples), m.devices, ErrInvalidInput)
 	}
-	cur, err := space.NewState(m.devices, m.services)
-	if err != nil {
-		return nil, err
+	cur := m.spare
+	m.spare = nil
+	if cur == nil {
+		var err error
+		cur, err = space.NewState(m.devices, m.services)
+		if err != nil {
+			return nil, err
+		}
 	}
-	var abnormal []int
+	abnormal := m.abnBuf[:0]
 	for dev, row := range samples {
 		if len(row) != m.services {
 			return nil, fmt.Errorf("device %d has %d services, want %d: %w", dev, len(row), m.services, ErrInvalidInput)
@@ -111,7 +123,9 @@ func (m *Monitor) Observe(samples [][]float64) (*Outcome, error) {
 	prev := m.prev
 	m.prev = cur
 	m.time++
+	m.abnBuf = abnormal
 	if prev == nil || len(abnormal) == 0 {
+		m.spare = prev
 		return nil, nil
 	}
 
@@ -119,7 +133,14 @@ func (m *Monitor) Observe(samples [][]float64) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	return characterizePair(pair, abnormal, m.cfg)
+	out, err := characterizePair(pair, abnormal, m.cfg)
+	if err != nil {
+		return nil, err
+	}
+	// The displaced snapshot is dead once the window is characterized
+	// (outcomes carry device ids, never state references) — recycle it.
+	m.spare = prev
+	return out, nil
 }
 
 // Reset clears the detectors and the snapshot history, keeping the
@@ -129,5 +150,6 @@ func (m *Monitor) Reset() {
 		d.Reset()
 	}
 	m.prev = nil
+	m.spare = nil
 	m.time = 0
 }

@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# bench.sh — runs the tier-1 benchmark set and records the repo's perf
+# trajectory.
+#
+# Usage:
+#   scripts/bench.sh          full run; writes BENCH_${PR}.json (fresh
+#                             "after" numbers next to the recorded seed
+#                             baseline) and prints the raw benchmarks
+#   scripts/bench.sh -short   CI smoke: quick subset plus a -benchmem
+#                             allocation-regression gate on
+#                             BenchmarkCharacterizeWindow
+#
+# The gate fails when allocs/op exceeds MAX_WINDOW_ALLOCS, chosen with
+# ~15% headroom over the PR 2 hot path (1735 allocs/op; the seed was
+# 4046) so any regression back toward per-decision allocation trips CI.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PR=2
+OUT="BENCH_${PR}.json"
+MAX_WINDOW_ALLOCS=2000
+
+# bench_json BENCH_OUTPUT -> JSON entries "name": {ns_op, b_op, allocs_op}.
+# Repeated lines for one benchmark (-count > 1) keep the per-metric
+# minimum — the least-interference estimate on shared hardware.
+bench_json() {
+  awk '
+    /^Benchmark/ && /ns\/op/ {
+      name=$1; sub(/-[0-9]+$/, "", name)
+      ns=""; bytes=""; allocs=""
+      for (i = 2; i <= NF; i++) {
+        if ($(i) == "ns/op")     ns=$(i-1)
+        if ($(i) == "B/op")      bytes=$(i-1)
+        if ($(i) == "allocs/op") allocs=$(i-1)
+      }
+      if (!(name in mns) || ns+0 < mns[name]+0)         mns[name]=ns
+      if (!(name in mb)  || bytes+0 < mb[name]+0)       mb[name]=bytes
+      if (!(name in mal) || allocs+0 < mal[name]+0)     mal[name]=allocs
+      if (!(name in seen)) { order[++n]=name; seen[name]=1 }
+    }
+    END {
+      for (k = 1; k <= n; k++) {
+        name=order[k]
+        printf "    \"%s\": {\"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}%s\n",
+          name, mns[name], mb[name], mal[name], (k < n ? "," : "")
+      }
+    }
+  ' "$1"
+}
+
+if [ "${1:-}" = "-short" ]; then
+  out=$(go test -run='^$' -bench='BenchmarkCharacterizeWindow$' -benchmem -benchtime=20x .)
+  echo "$out"
+  go test -run='^$' -bench='BenchmarkNewGraph/(grid|allpairs)/sparse/n=1000$' \
+    -benchmem -benchtime=1x ./internal/motion/
+  allocs=$(echo "$out" | awk '/^BenchmarkCharacterizeWindow/ {for (i=2;i<=NF;i++) if ($(i)=="allocs/op") print $(i-1)}')
+  if [ -z "$allocs" ]; then
+    echo "bench.sh: could not parse allocs/op from BenchmarkCharacterizeWindow" >&2
+    exit 1
+  fi
+  if [ "$allocs" -gt "$MAX_WINDOW_ALLOCS" ]; then
+    echo "bench.sh: allocation regression — BenchmarkCharacterizeWindow at $allocs allocs/op, gate is $MAX_WINDOW_ALLOCS" >&2
+    exit 1
+  fi
+  echo "bench.sh: allocation gate OK ($allocs <= $MAX_WINDOW_ALLOCS allocs/op)"
+  exit 0
+fi
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+# Graph construction: grid build vs the recorded all-pairs baseline.
+go test -run='^$' -bench='BenchmarkNewGraph/' -benchmem -benchtime=1x \
+  ./internal/motion/ | tee -a "$tmp"
+# Characterization + streaming hot paths.
+go test -run='^$' \
+  -bench='BenchmarkCharacterizeWindow$|BenchmarkCharacterizeWindowCheap$|BenchmarkCharacterizeLargeFleet$|BenchmarkMonitorObserve$' \
+  -benchmem -benchtime=0.5s -count=5 . | tee -a "$tmp"
+# Distributed directory hot paths.
+go test -run='^$' -bench='BenchmarkDirectoryBuild|BenchmarkDistDecide' \
+  -benchmem -benchtime=0.5s ./internal/dist/ | tee -a "$tmp"
+
+{
+  echo "{"
+  echo "  \"pr\": ${PR},"
+  echo "  \"date\": \"$(date -u +%Y-%m-%d)\","
+  echo "  \"go\": \"$(go env GOVERSION)\","
+  echo "  \"note\": \"PR ${PR}: grid-indexed NewGraph + allocation-lean characterization. 'before' is the recorded seed (PR 1) hot path: all-pairs NewGraph, slice-algebra Characterize, per-window state allocation. The BenchmarkNewGraph allpairs/* entries in 'after' are the live all-pairs baseline the grid build is compared against.\","
+  echo "  \"before\": {"
+  cat <<'SEED'
+    "BenchmarkCharacterizeWindow": {"ns_op": 288221, "b_op": 210674, "allocs_op": 4046},
+    "BenchmarkCharacterizeWindowCheap": {"ns_op": 234337, "b_op": 193464, "allocs_op": 3481},
+    "BenchmarkCharacterizeLargeFleet": {"ns_op": 2979582, "b_op": 1725551, "allocs_op": 18474},
+    "BenchmarkMonitorObserve": {"ns_op": 88862, "b_op": 67728, "allocs_op": 1591}
+SEED
+  echo "  },"
+  echo "  \"after\": {"
+  bench_json "$tmp"
+  echo "  }"
+  echo "}"
+} >"$OUT"
+
+echo "bench.sh: wrote $OUT"

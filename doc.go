@@ -63,11 +63,32 @@
 //     ~20-25x faster at m = 10k uniform devices (~6-7x when the window
 //     is dominated by tight clusters, where cells are crowded); exact
 //     numbers per run are recorded in BENCH_*.json.
+//   - Adjacency storage is hybrid. Below ~4k vertices every vertex owns
+//     a dense bitset row — O(m^2/64) bytes, but clique enumeration is
+//     pure word operations, which is what the per-window
+//     characterization hot path wants. From ~4k vertices the rows
+//     become sorted neighbour lists in one shared CSR arena (2
+//     allocations however many edges), built by sharding the grid's
+//     cell-pair walk across GOMAXPROCS workers into per-worker edge
+//     buffers and merging with a count/prefix-sum/fill/sort pass.
+//     Memory falls from O(m^2/64) to O(m + edges): at m = 100k the
+//     build went from ~1.37 GB and 2.7-9.3 s (PR 2) to ~0.10-0.18 GB
+//     and 0.9-1.5 s, and an m = 1M window — which the dense
+//     representation could not hold at all (~2 TB) — builds in ~3 s in
+//     ~260 MB (BENCH_3.json).
+//   - Sparse-mode clique enumeration never widens back to m: each
+//     vertex's neighbourhood is densified into a Δ-sized subgraph
+//     (degeneracy-ordered Bron-Kerbosch over N(v), with Δ the maximum
+//     degree), so enumeration scratch is O(Δ^2/64) bits from the same
+//     recycled pool and results are property-tested identical to the
+//     dense representation.
 //   - The characterization hot path works on bitsets over graph-local
 //     indices: D_k(j) union, the J_k/L_k split and the Theorem-6
 //     intersection test are word-parallel and draw their working sets
 //     from a pool, materializing device-id slices only at the Result
-//     boundary.
+//     boundary. Paper-scale windows (tens to hundreds of abnormal
+//     devices) sit far below the sparse crossover, so this path is
+//     untouched by the hybrid.
 //   - Monitor recycles the displaced snapshot as the next window's
 //     buffer and reuses the abnormal-id slice, so steady-state
 //     observation does not grow the heap per snapshot.
@@ -77,5 +98,6 @@
 // holds the recorded numbers of the previous state, "after" the fresh
 // run (ns/op, B/op, allocs/op per benchmark; ns_op is the minimum
 // across repeated runs). CI runs scripts/bench.sh -short, which fails
-// on allocation regressions in the window hot path.
+// on allocation regressions in the window hot path and on allocated-byte
+// regressions in the m = 100k graph build.
 package anomalia

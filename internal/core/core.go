@@ -172,7 +172,11 @@ type Characterizer struct {
 // Result.Dense) and as bitsets over graph-local indices (element i of
 // both slices is the same motion — the hot path does its set algebra on
 // the bitsets with no id translation), plus |M(ℓ)| before density
-// filtering for cost reporting.
+// filtering for cost reporting. The graph guarantees the bitset
+// representation in both of its adjacency modes: sparse-mode (CSR)
+// windows enumerate inside densified neighbourhood subgraphs and widen
+// only the reported cliques, so the D_k/J_k/L_k word algebra below is
+// representation-blind.
 type denseEntry struct {
 	ids   [][]int
 	bits  []*sets.Bits

@@ -101,3 +101,55 @@ func BenchmarkCharacterizeAllParallel(b *testing.B) {
 		}
 	})
 }
+
+// TestParallelSparseModeGraph runs the parallel fleet pass over a window
+// whose abnormal set is large enough that the motion graph is in sparse
+// (CSR) adjacency mode: the phase-1 concurrent enumerations then
+// exercise the densified-neighbourhood scratch under the race detector,
+// and the verdicts must match the sequential pass exactly. The tiny
+// radius keeps neighbourhoods small, so the pass stays fast even at
+// several thousand abnormal devices.
+func TestParallelSparseModeGraph(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("sparse-mode windows are thousands of devices")
+	}
+
+	rng := stats.NewRNG(31337)
+	n := 4500 // >= motion's sparse crossover (4096)
+	pair := randomPair(t, rng, n, 2, 1.0)
+	cfg := Config{R: 0.004, Tau: 2, Exact: true}
+
+	seq, err := New(pair, allIds(n), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := seq.CharacterizeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	par, err := New(pair, allIds(n), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := par.CharacterizeAllParallel(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d vs %d results", len(got), len(want))
+	}
+	classes := map[Class]int{}
+	for i := range want {
+		w, g := want[i], got[i]
+		if w.Device != g.Device || w.Class != g.Class || w.Rule != g.Rule {
+			t.Fatalf("device %d: parallel (%v,%v) != sequential (%v,%v)",
+				w.Device, g.Class, g.Rule, w.Class, w.Rule)
+		}
+		classes[w.Class]++
+	}
+	if classes[ClassIsolated] == 0 {
+		t.Error("window produced no isolated verdicts; radius too large for the sparse-mode fixture")
+	}
+}

@@ -104,6 +104,41 @@ func NeighborCells(dim, reach, cap int) int {
 	return cells
 }
 
+// PositiveOffsets enumerates the coordinate offsets in [-reach, reach]^dim
+// whose first non-zero component is positive — exactly one of {o, -o} for
+// every non-zero offset, so walking them from every cell visits each
+// unordered cell pair once. It is the offset set of PairWalk, exported for
+// callers that roll their own walk.
+func PositiveOffsets(dim, reach int) [][]int {
+	var out [][]int
+	cur := make([]int, dim)
+	for i := range cur {
+		cur[i] = -reach
+	}
+	for {
+		for i := 0; i < dim; i++ {
+			if cur[i] != 0 {
+				if cur[i] > 0 {
+					out = append(out, append([]int(nil), cur...))
+				}
+				break
+			}
+		}
+		i := 0
+		for ; i < dim; i++ {
+			cur[i]++
+			if cur[i] <= reach {
+				break
+			}
+			cur[i] = -reach
+		}
+		if i == dim {
+			break
+		}
+	}
+	return out
+}
+
 // Chebyshev returns the Chebyshev (max-axis) distance between two cell
 // coordinate vectors.
 func Chebyshev(a, b []int) int {
@@ -179,6 +214,105 @@ func (ix *Index) CellBytes(key []byte) *Cell { return ix.cells[string(key)] }
 func (ix *Index) ForEachCell(fn func(key string, c *Cell)) {
 	for key, c := range ix.cells {
 		fn(key, c)
+	}
+}
+
+// SortedCells returns the occupied cells sorted by key (equivalently, by
+// coordinate vector — the encoding is order-preserving). The slice is
+// freshly allocated but the cells alias the index; treat them as
+// read-only. Note that PairWalk does NOT use this order: its walk order
+// is an unsorted map pass (cheaper per construction) and consumers
+// normalize downstream. SortedCells is for callers that need a
+// reproducible cell enumeration outright (deterministic reports,
+// cross-run diffing).
+func (ix *Index) SortedCells() []*Cell {
+	keys := make([]string, 0, len(ix.cells))
+	for k := range ix.cells {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*Cell, len(keys))
+	for i, k := range keys {
+		out[i] = ix.cells[k]
+	}
+	return out
+}
+
+// PairWalk enumerates the unordered pairs of occupied cells within a
+// Chebyshev reach of each other, in a form that shards across workers:
+// every pair {a, b} — and every single occupied cell, as the pair
+// (c, c) — is reported exactly once, to exactly one shard. Construction
+// materializes one walk order and the positive offset fan once; the
+// per-shard walks are read-only and safe to run concurrently. The walk
+// order is fixed for the walk's lifetime but otherwise unspecified —
+// consumers needing order-independent results must normalize
+// downstream (the motion CSR build sorts every neighbour row), which
+// keeps walk construction a single map pass with no sort.
+type PairWalk struct {
+	ix    *Index
+	reach int
+	cells []*Cell
+	// index maps a cell key to the cell's position in cells, so a
+	// neighbour probe is a single map lookup. It shares the index's key
+	// strings (no re-encoding).
+	index   map[string]int
+	offsets [][]int
+}
+
+// NewPairWalk prepares a cell-pair walk at the given reach.
+func (ix *Index) NewPairWalk(reach int) *PairWalk {
+	w := &PairWalk{
+		ix:      ix,
+		reach:   reach,
+		cells:   make([]*Cell, 0, len(ix.cells)),
+		index:   make(map[string]int, len(ix.cells)),
+		offsets: PositiveOffsets(ix.state.Dim(), reach),
+	}
+	for k, c := range ix.cells {
+		w.index[k] = len(w.cells)
+		w.cells = append(w.cells, c)
+	}
+	return w
+}
+
+// Cells returns the occupied cells in the walk's fixed order. Pair
+// callbacks identify cells by index into this slice.
+func (w *PairWalk) Cells() []*Cell { return w.cells }
+
+// Shard calls fn(a, b) — indices into Cells() — for every cell pair owned
+// by shard: (c, c) for each owned cell, then (c, nb) for each occupied
+// cell nb within reach of c whose coordinate offset from c is
+// lexicographically positive. A cell is owned by shard i of n when its
+// walk-order index ≡ i (mod n), so the shards partition the pairs: the
+// union over shards 0..nshards-1 covers every unordered pair exactly
+// once, regardless of nshards. Concurrent Shard calls are safe.
+func (w *PairWalk) Shard(shard, nshards int, fn func(a, b int)) {
+	dim := w.ix.state.Dim()
+	coords := make([]int, dim)
+	var buf []byte
+	for ci := shard; ci < len(w.cells); ci += nshards {
+		c := w.cells[ci]
+		fn(ci, ci)
+		for _, off := range w.offsets {
+			ok := true
+			for i := 0; i < dim; i++ {
+				x := c.Coords[i] + off[i]
+				if x < 0 || x >= w.ix.Res {
+					ok = false
+					break
+				}
+				coords[i] = x
+			}
+			if !ok {
+				continue
+			}
+			buf = AppendKey(buf[:0], coords)
+			nb, ok := w.index[string(buf)]
+			if !ok {
+				continue
+			}
+			fn(ci, nb)
+		}
 	}
 }
 

@@ -227,3 +227,128 @@ func TestWithinMatchesScan(t *testing.T) {
 		}
 	}
 }
+
+// TestPositiveOffsets: exactly one of {o, -o} for every non-zero offset
+// in [-reach, reach]^dim, so a walk over them visits each unordered cell
+// pair once.
+func TestPositiveOffsets(t *testing.T) {
+	for dim := 1; dim <= 3; dim++ {
+		for reach := 1; reach <= 2; reach++ {
+			offs := PositiveOffsets(dim, reach)
+			total := 1
+			for i := 0; i < dim; i++ {
+				total *= 2*reach + 1
+			}
+			if want := (total - 1) / 2; len(offs) != want {
+				t.Fatalf("dim=%d reach=%d: %d offsets, want %d", dim, reach, len(offs), want)
+			}
+			seen := map[string]bool{}
+			for _, o := range offs {
+				if o[firstNonZero(o)] <= 0 {
+					t.Fatalf("offset %v is not lexicographically positive", o)
+				}
+				neg := make([]int, dim)
+				for i, x := range o {
+					neg[i] = -x
+				}
+				if seen[Key(o)] || seen[Key(neg)] {
+					t.Fatalf("offset %v or its negation enumerated twice", o)
+				}
+				seen[Key(o)] = true
+			}
+		}
+	}
+}
+
+func firstNonZero(o []int) int {
+	for i, x := range o {
+		if x != 0 {
+			return i
+		}
+	}
+	return len(o) - 1
+}
+
+// TestPairWalkCoversAllPairs: the union over any shard count of the
+// walk's pair callbacks must be exactly the unordered pairs of occupied
+// cells within reach (plus each cell with itself), each exactly once.
+func TestPairWalkCoversAllPairs(t *testing.T) {
+	rng := stats.NewRNG(31)
+	for trial := 0; trial < 10; trial++ {
+		n := 50 + rng.Intn(200)
+		d := 1 + rng.Intn(3)
+		st, err := space.NewState(n, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.Uniform(rng.Float64)
+		ids := make([]int, n)
+		for i := range ids {
+			ids[i] = i
+		}
+		prm := ForSide(0.1 + 0.2*rng.Float64())
+		ix := New(st, ids, prm)
+		reach := 1 + rng.Intn(2)
+
+		for _, nshards := range []int{1, 2, 3, 7} {
+			walk := ix.NewPairWalk(reach)
+			// Oracle: all unordered pairs of occupied cells within
+			// reach, in this walk's fixed (but unspecified) cell order.
+			cells := walk.Cells()
+			want := map[[2]int]int{}
+			for i := range cells {
+				want[[2]int{i, i}]++
+				for j := i + 1; j < len(cells); j++ {
+					if Chebyshev(cells[i].Coords, cells[j].Coords) <= reach {
+						want[[2]int{i, j}]++
+					}
+				}
+			}
+			got := map[[2]int]int{}
+			for s := 0; s < nshards; s++ {
+				walk.Shard(s, nshards, func(a, b int) {
+					if a > b {
+						a, b = b, a
+					}
+					got[[2]int{a, b}]++
+				})
+			}
+			if len(got) != len(want) {
+				t.Fatalf("trial %d nshards=%d: %d pairs, want %d", trial, nshards, len(got), len(want))
+			}
+			for pair, count := range got {
+				if count != 1 {
+					t.Fatalf("trial %d nshards=%d: pair %v reported %d times", trial, nshards, pair, count)
+				}
+				if want[pair] != 1 {
+					t.Fatalf("trial %d nshards=%d: spurious pair %v", trial, nshards, pair)
+				}
+			}
+		}
+	}
+}
+
+// TestSortedCellsDeterministic: SortedCells must return the occupied
+// cells in key order — the shared deterministic order shards rely on.
+func TestSortedCellsDeterministic(t *testing.T) {
+	rng := stats.NewRNG(7)
+	st, err := space.NewState(300, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Uniform(rng.Float64)
+	ids := make([]int, 300)
+	for i := range ids {
+		ids[i] = i
+	}
+	ix := New(st, ids, ForSide(0.13))
+	cells := ix.SortedCells()
+	if len(cells) != ix.Cells() {
+		t.Fatalf("SortedCells returned %d cells, index has %d", len(cells), ix.Cells())
+	}
+	for i := 1; i < len(cells); i++ {
+		if Key(cells[i-1].Coords) >= Key(cells[i].Coords) {
+			t.Fatalf("cells %d and %d out of key order", i-1, i)
+		}
+	}
+}

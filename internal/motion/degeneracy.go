@@ -10,11 +10,18 @@ import (
 // to later neighbours. On the sparse motion graphs of large fleets
 // (n >> 1/(2r)^d) the outer candidate sets stay bounded by the graph's
 // degeneracy, making this the preferred variant at scale; results are
-// identical to MaximalMotions.
+// identical to MaximalMotions. In sparse adjacency mode the enumeration
+// runs over densified neighbourhood subgraphs (it is the same routine
+// MaximalMotions dispatches to); in dense mode the start sets are leased
+// from the graph's enumeration scratch, so a fleet pass recycles three
+// bitsets instead of allocating three per start vertex.
 func (g *Graph) MaximalMotionsDegeneracy() [][]int {
 	m := len(g.ids)
 	if m == 0 {
 		return nil
+	}
+	if g.Sparse() {
+		return g.maximalMotionsSparse()
 	}
 	order := g.degeneracyOrder()
 	pos := make([]int, m)
@@ -25,10 +32,10 @@ func (g *Graph) MaximalMotionsDegeneracy() [][]int {
 	sc := g.getScratch()
 	defer g.putScratch(sc)
 	for _, v := range order {
-		r := sets.NewBits(m)
+		r := sc.lease(m)
+		p := sc.lease(m)
+		x := sc.lease(m)
 		r.Add(v)
-		p := sets.NewBits(m)
-		x := sets.NewBits(m)
 		g.adj[v].ForEach(func(u int) bool {
 			if pos[u] > pos[v] {
 				p.Add(u)
@@ -37,39 +44,69 @@ func (g *Graph) MaximalMotionsDegeneracy() [][]int {
 			}
 			return true
 		})
-		g.bk(r, p, x, sc, func(clique *sets.Bits) {
+		bkOver(g.adj, r, p, x, sc, func(clique *sets.Bits) {
 			out = append(out, g.toIds(clique))
 		})
+		sc.put(x)
+		sc.put(p)
+		sc.put(r)
 	}
 	sets.SortSets(out)
 	return out
 }
 
-// degeneracyOrder repeatedly removes a minimum-degree vertex, yielding an
-// ordering whose back-degree is the graph degeneracy.
+// degeneracyOrder produces an ordering whose back-degree is the graph
+// degeneracy, by repeatedly removing a minimum-degree vertex — the
+// Batagelj–Zaveršnik bucket formulation of Matula–Beck, O(m + edges)
+// over either adjacency representation. Vertices sit in an array
+// bucketed by current degree; removing a vertex swaps each neighbour
+// still ahead of the removal frontier down one bucket. (Neighbours
+// whose degree already equals the current minimum stay put — the
+// standard clamping, which preserves the min-degree removal order.)
 func (g *Graph) degeneracyOrder() []int {
 	m := len(g.ids)
-	degree := make([]int, m)
-	removed := make([]bool, m)
+	deg := make([]int, m)
+	maxDeg := 0
 	for v := 0; v < m; v++ {
-		degree[v] = g.adj[v].Len()
-	}
-	order := make([]int, 0, m)
-	for len(order) < m {
-		best, bestDeg := -1, m+1
-		for v := 0; v < m; v++ {
-			if !removed[v] && degree[v] < bestDeg {
-				best, bestDeg = v, degree[v]
-			}
+		deg[v] = g.degreeLocal(v)
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
 		}
-		removed[best] = true
-		order = append(order, best)
-		g.adj[best].ForEach(func(u int) bool {
-			if !removed[u] {
-				degree[u]--
+	}
+	// bin[d] is the index in vert of the first vertex of degree d; vert
+	// holds the vertices sorted by current degree and pos the inverse.
+	bin := make([]int, maxDeg+2)
+	for v := 0; v < m; v++ {
+		bin[deg[v]+1]++
+	}
+	for d := 0; d <= maxDeg; d++ {
+		bin[d+1] += bin[d]
+	}
+	vert := make([]int, m)
+	pos := make([]int, m)
+	fill := make([]int, maxDeg+1)
+	copy(fill, bin[:maxDeg+1])
+	for v := 0; v < m; v++ {
+		pos[v] = fill[deg[v]]
+		vert[pos[v]] = v
+		fill[deg[v]]++
+	}
+	for i := 0; i < m; i++ {
+		v := vert[i] // minimum-degree vertex among those not yet removed
+		g.forNeighbors(v, func(u int) bool {
+			if deg[u] > deg[v] {
+				du, pu := deg[u], pos[u]
+				pw := bin[du]
+				w := vert[pw]
+				if u != w {
+					vert[pu], vert[pw] = w, u
+					pos[w], pos[u] = pu, pw
+				}
+				bin[du]++
+				deg[u]--
 			}
 			return true
 		})
 	}
-	return order
+	return vert
 }

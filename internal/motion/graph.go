@@ -15,12 +15,40 @@ import (
 //
 // Vertices are stored under local indices 0..m-1; the public API speaks
 // device ids.
+//
+// Adjacency is hybrid. Below sparseMinVertices every vertex owns a dense
+// bitset row, so clique enumeration — the characterization hot path — is
+// pure word operations. At or above it the rows become sorted neighbour
+// lists in one shared CSR arena (off/nbr), built by a parallel cell-pair
+// walk: memory drops from O(m²/64) to O(m + edges), which is what makes
+// million-device windows constructible at all. Both representations are
+// read-only after construction, and every enumeration result is
+// identical across them (TestSparseMatchesDense*).
 type Graph struct {
-	ids   []int       // local index -> device id, sorted
-	local map[int]int // device id -> local index
-	adj   []*sets.Bits
-	r     float64
-	pair  *Pair
+	ids []int // local index -> device id, sorted
+	// contiguous marks the common full-population case ids[i] == i, where
+	// Local is the identity. Non-contiguous dense-mode graphs keep a
+	// per-id map (local): the characterization hot path resolves ids in
+	// every Theorem-7 probe and the map is tiny at dense scales. Sparse-
+	// mode graphs resolve by binary search over ids instead — at
+	// million-device scale the map alone would cost tens of MB and a
+	// rebuild per window for a lookup the sorted slice answers in
+	// O(log m).
+	contiguous bool
+	local      map[int]int
+	r          float64
+	pair       *Pair
+
+	// adj is the dense representation: one bitset row per vertex. nil in
+	// sparse mode.
+	adj []*sets.Bits
+
+	// off/nbr are the sparse representation: row v is the sorted
+	// neighbour list nbr[off[v]:off[v+1]]. The two slices are the whole
+	// adjacency — 2 allocations regardless of m. nil in dense mode.
+	off []int64
+	nbr []int32
+
 	// bkPool recycles enumeration scratch across the many per-device
 	// clique enumerations of a fleet pass; sync.Pool keeps concurrent
 	// enumerations (parallel characterization) safe.
@@ -34,6 +62,15 @@ type Graph struct {
 // hundred vertices; see BenchmarkNewGraph). Both builds produce
 // identical adjacency (TestNewGraphGridMatchesAllPairs).
 const gridBuildMinVertices = 256
+
+// sparseMinVertices is the vertex count at which NewGraph switches from
+// dense bitset rows to the CSR neighbour-list representation. The
+// crossover trades the dense rows' word-parallel set algebra against
+// their O(m²/64) footprint: at 4096 vertices the dense adjacency is
+// 2 MB — around the point where allocating and zeroing it starts to
+// rival the whole sparse build — while every paper-scale characterization
+// window (tens to hundreds of abnormal devices) stays comfortably dense.
+const sparseMinVertices = 4096
 
 // gridBuildReach is the Chebyshev cell distance the grid build pairs
 // cells across. With cell side exactly 2r an edge's endpoints share a
@@ -55,16 +92,24 @@ const gridBuildMaxRes = 1 << 25
 // Construction is O(m * neighbours): vertices are bucketed into a grid of
 // cells with side 2r over the k-1 positions and only pairs from nearby
 // cells are distance-tested, instead of all m^2 pairs. Small or
-// degenerate inputs use the plain all-pairs scan; the resulting
-// adjacency is identical either way.
+// degenerate inputs use the plain all-pairs scan. From sparseMinVertices
+// vertices the cell-pair walk is sharded across GOMAXPROCS workers and
+// the result is stored as CSR neighbour lists instead of bitset rows.
+// The adjacency relation is identical on every path.
 func NewGraph(p *Pair, ids []int, r float64) *Graph {
 	g := newGraphVertices(p, ids, r)
+	m := len(g.ids)
 	prm := grid.ForRadius(r)
-	if len(g.ids) < gridBuildMinVertices || prm.Res > gridBuildMaxRes ||
-		!gridBuildWorthwhile(p.Dim(), len(g.ids)) {
-		g.buildAllPairs()
-	} else {
+	gridOK := prm.Res <= gridBuildMaxRes && gridBuildWorthwhile(p.Dim(), m)
+	switch {
+	case m >= sparseMinVertices:
+		g.buildSparse(prm, gridOK, 0)
+	case m >= gridBuildMinVertices && gridOK:
+		g.allocDense()
 		g.buildGrid(prm)
+	default:
+		g.allocDense()
+		g.buildAllPairs()
 	}
 	return g
 }
@@ -78,7 +123,7 @@ func gridBuildWorthwhile(dim, m int) bool {
 	return grid.NeighborCells(dim, gridBuildReach, m) <= m
 }
 
-// newGraphVertices sets up the vertex bookkeeping shared by both builds.
+// newGraphVertices sets up the vertex bookkeeping shared by all builds.
 func newGraphVertices(p *Pair, ids []int, r float64) *Graph {
 	clean := make([]int, 0, len(ids))
 	for _, id := range ids {
@@ -87,29 +132,81 @@ func newGraphVertices(p *Pair, ids []int, r float64) *Graph {
 		}
 	}
 	clean = sets.Canon(clean)
-	m := len(clean)
 	g := &Graph{
-		ids:   clean,
-		local: make(map[int]int, m),
-		adj:   make([]*sets.Bits, m),
-		r:     r,
-		pair:  p,
+		ids:  clean,
+		r:    r,
+		pair: p,
 	}
-	for li, id := range clean {
-		g.local[id] = li
-		g.adj[li] = sets.NewBits(m)
+	// clean is sorted, duplicate-free and non-negative, so its last
+	// element equals m-1 exactly when it is 0..m-1.
+	m := len(clean)
+	g.contiguous = m == 0 || clean[m-1] == m-1
+	if !g.contiguous && m < sparseMinVertices {
+		g.local = make(map[int]int, m)
+		for li, id := range clean {
+			g.local[id] = li
+		}
 	}
 	g.bkPool.New = func() any { return &bkScratch{} }
 	return g
+}
+
+// allocDense sizes the dense bitset rows (dense mode only).
+func (g *Graph) allocDense() {
+	m := len(g.ids)
+	g.adj = make([]*sets.Bits, m)
+	for i := range g.adj {
+		g.adj[i] = sets.NewBits(m)
+	}
+}
+
+// Sparse reports whether the graph stores its adjacency as CSR neighbour
+// lists rather than dense bitset rows.
+func (g *Graph) Sparse() bool { return g.adj == nil }
+
+// row returns sparse vertex v's sorted neighbour list (aliases the
+// arena; read-only).
+func (g *Graph) row(v int) sets.Sorted {
+	return sets.Sorted(g.nbr[g.off[v]:g.off[v+1]])
+}
+
+// degreeLocal returns the neighbour count of local vertex v.
+func (g *Graph) degreeLocal(v int) int {
+	if g.adj != nil {
+		return g.adj[v].Len()
+	}
+	return int(g.off[v+1] - g.off[v])
+}
+
+// adjacentLocal reports the edge between distinct local vertices a and b.
+func (g *Graph) adjacentLocal(a, b int) bool {
+	if g.adj != nil {
+		return g.adj[a].Has(b)
+	}
+	return g.row(a).Has(int32(b))
+}
+
+// forNeighbors calls fn for every neighbour of local vertex v in
+// increasing local order, stopping early if fn returns false.
+func (g *Graph) forNeighbors(v int, fn func(u int) bool) {
+	if g.adj != nil {
+		g.adj[v].ForEach(fn)
+		return
+	}
+	for _, u := range g.row(v) {
+		if !fn(int(u)) {
+			return
+		}
+	}
 }
 
 // getScratch leases enumeration scratch; return it with putScratch.
 func (g *Graph) getScratch() *bkScratch   { return g.bkPool.Get().(*bkScratch) }
 func (g *Graph) putScratch(sc *bkScratch) { g.bkPool.Put(sc) }
 
-// buildAllPairs fills the adjacency by testing every vertex pair — the
-// reference O(m^2) build, kept for small graphs and as the oracle the
-// grid build is property-tested against.
+// buildAllPairs fills the dense adjacency by testing every vertex pair —
+// the reference O(m^2) build, kept for small graphs and as the oracle
+// the grid and sparse builds are property-tested against.
 func (g *Graph) buildAllPairs() {
 	m := len(g.ids)
 	for a := 0; a < m; a++ {
@@ -119,102 +216,66 @@ func (g *Graph) buildAllPairs() {
 	}
 }
 
-// buildGrid fills the adjacency via the shared spatial index: vertices
-// are bucketed by their k-1 cell and only pairs within gridBuildReach
-// cells are distance-tested. Each unordered cell pair is visited once
-// (via its lexicographically positive coordinate offset), so every
-// candidate pair is tested exactly once; the exact Adjacent test makes
-// the result identical to the all-pairs build.
+// buildGrid fills the dense adjacency via the shared spatial index:
+// vertices are bucketed by their k-1 cell and only pairs within
+// gridBuildReach cells are distance-tested. The shared PairWalk visits
+// each unordered cell pair once, so every candidate pair is tested
+// exactly once; the exact Adjacent test makes the result identical to
+// the all-pairs build.
 func (g *Graph) buildGrid(prm grid.Params) {
 	idx := grid.New(g.pair.Prev, g.ids, prm)
-	dim := g.pair.Dim()
-
-	// Local-index lists per occupied cell, resolved once.
-	locals := make(map[*grid.Cell][]int, idx.Cells())
-	idx.ForEachCell(func(_ string, c *grid.Cell) {
-		ls := make([]int, len(c.Ids))
-		for i, id := range c.Ids {
-			ls[i] = g.local[id]
-		}
-		locals[c] = ls
-	})
-
-	offsets := positiveOffsets(dim, gridBuildReach)
-	coords := make([]int, dim)
-	var buf []byte
-	idx.ForEachCell(func(_ string, c *grid.Cell) {
-		la := locals[c]
-		// Pairs within the cell.
-		for i := 0; i < len(la); i++ {
-			for j := i + 1; j < len(la); j++ {
-				g.testEdge(la[i], la[j])
-			}
-		}
-		// Pairs with lexicographically greater neighbour cells.
-		for _, off := range offsets {
-			ok := true
-			for i := 0; i < dim; i++ {
-				x := c.Coords[i] + off[i]
-				if x < 0 || x >= prm.Res {
-					ok = false
-					break
+	walk := idx.NewPairWalk(gridBuildReach)
+	locals := g.resolveCellLocals(walk.Cells())
+	walk.Shard(0, 1, func(a, b int) {
+		la := locals.row(a)
+		if a == b {
+			for i := 0; i < len(la); i++ {
+				for j := i + 1; j < len(la); j++ {
+					g.testEdge(int(la[i]), int(la[j]))
 				}
-				coords[i] = x
 			}
-			if !ok {
-				continue
-			}
-			buf = grid.AppendKey(buf[:0], coords)
-			nb := idx.CellBytes(buf)
-			if nb == nil {
-				continue
-			}
-			lb := locals[nb]
-			for _, a := range la {
-				for _, b := range lb {
-					g.testEdge(a, b)
-				}
+			return
+		}
+		for _, va := range la {
+			for _, vb := range locals.row(b) {
+				g.testEdge(int(va), int(vb))
 			}
 		}
 	})
 }
 
-// positiveOffsets enumerates the coordinate offsets in [-reach, reach]^dim
-// whose first non-zero component is positive — exactly one of {o, -o} for
-// every non-zero offset, so walking them visits each unordered cell pair
-// once.
-func positiveOffsets(dim, reach int) [][]int {
-	var out [][]int
-	cur := make([]int, dim)
-	for i := range cur {
-		cur[i] = -reach
+// cellLocals holds the local-index lists of a walk's cells in one arena,
+// aligned with PairWalk.Cells.
+type cellLocals struct {
+	off []int32
+	loc []int32
+}
+
+func (c *cellLocals) row(i int) []int32 { return c.loc[c.off[i] : c.off[i+1] : c.off[i+1]] }
+
+// resolveCellLocals converts each cell's device ids to local indices
+// once, so the pair walks never re-derive them.
+func (g *Graph) resolveCellLocals(cells []*grid.Cell) *cellLocals {
+	total := 0
+	for _, c := range cells {
+		total += len(c.Ids)
 	}
-	for {
-		for i := 0; i < dim; i++ {
-			if cur[i] != 0 {
-				if cur[i] > 0 {
-					out = append(out, append([]int(nil), cur...))
-				}
-				break
-			}
+	out := &cellLocals{
+		off: make([]int32, len(cells)+1),
+		loc: make([]int32, 0, total),
+	}
+	for i, c := range cells {
+		for _, id := range c.Ids {
+			li, _ := g.Local(id) // indexed ids are always vertices
+			out.loc = append(out.loc, int32(li))
 		}
-		i := 0
-		for ; i < dim; i++ {
-			cur[i]++
-			if cur[i] <= reach {
-				break
-			}
-			cur[i] = -reach
-		}
-		if i == dim {
-			break
-		}
+		out.off[i+1] = int32(len(out.loc))
 	}
 	return out
 }
 
 // testEdge adds the edge between local vertices a and b when their
-// devices move consistently.
+// devices move consistently (dense mode).
 func (g *Graph) testEdge(a, b int) {
 	if g.pair.Adjacent(g.ids[a], g.ids[b], g.r) {
 		g.adj[a].Add(b)
@@ -233,16 +294,32 @@ func (g *Graph) Len() int { return len(g.ids) }
 
 // Has reports whether device id is a vertex of the graph.
 func (g *Graph) Has(id int) bool {
-	_, ok := g.local[id]
+	_, ok := g.Local(id)
 	return ok
 }
 
 // Local returns the local index of device id and whether it is a vertex.
 // Local indices follow sorted device-id order, so increasing local index
-// means increasing id.
+// means increasing id. When the graph covers a full population the
+// mapping is the identity; dense-mode subsets answer from a small map
+// and sparse-mode subsets by binary search over the sorted ids (no
+// per-vertex map at million-device scale).
 func (g *Graph) Local(id int) (int, bool) {
-	li, ok := g.local[id]
-	return li, ok
+	if g.contiguous {
+		if id >= 0 && id < len(g.ids) {
+			return id, true
+		}
+		return 0, false
+	}
+	if g.local != nil {
+		li, ok := g.local[id]
+		return li, ok
+	}
+	li := sort.SearchInts(g.ids, id)
+	if li < len(g.ids) && g.ids[li] == id {
+		return li, true
+	}
+	return 0, false
 }
 
 // IDOf returns the device id at local index li.
@@ -252,7 +329,7 @@ func (g *Graph) IDOf(li int) int { return g.ids[li] }
 // that are not vertices are ignored.
 func (g *Graph) AddLocals(b *sets.Bits, ids []int) {
 	for _, id := range ids {
-		if li, ok := g.local[id]; ok {
+		if li, ok := g.Local(id); ok {
 			b.Add(li)
 		}
 	}
@@ -271,28 +348,28 @@ func (g *Graph) AppendIds(b *sets.Bits, dst []int) []int {
 // Adjacent reports whether devices a and b (device ids) are joined by an
 // edge. A device is considered adjacent to itself when present.
 func (g *Graph) Adjacent(a, b int) bool {
-	la, ok := g.local[a]
+	la, ok := g.Local(a)
 	if !ok {
 		return false
 	}
-	lb, ok := g.local[b]
+	lb, ok := g.Local(b)
 	if !ok {
 		return false
 	}
 	if la == lb {
 		return true
 	}
-	return g.adj[la].Has(lb)
+	return g.adjacentLocal(la, lb)
 }
 
 // Degree returns the number of neighbours of device id (excluding
 // itself), or -1 when the device is not a vertex.
 func (g *Graph) Degree(id int) int {
-	li, ok := g.local[id]
+	li, ok := g.Local(id)
 	if !ok {
 		return -1
 	}
-	return g.adj[li].Len()
+	return g.degreeLocal(li)
 }
 
 // toIds converts a local-index bitset into sorted device ids.
@@ -310,17 +387,17 @@ func (g *Graph) toLocal(ids []int) *sets.Bits {
 // IsClique reports whether the given device ids are pairwise adjacent,
 // i.e. form an r-consistent motion within the graph.
 func (g *Graph) IsClique(ids []int) bool {
-	for i := 0; i < len(ids); i++ {
-		li, ok := g.local[ids[i]]
+	locals := make([]int, len(ids))
+	for i, id := range ids {
+		li, ok := g.Local(id)
 		if !ok {
 			return false
 		}
-		for j := i + 1; j < len(ids); j++ {
-			lj, ok := g.local[ids[j]]
-			if !ok {
-				return false
-			}
-			if !g.adj[li].Has(lj) {
+		locals[i] = li
+	}
+	for i := 0; i < len(locals); i++ {
+		for j := i + 1; j < len(locals); j++ {
+			if locals[i] != locals[j] && !g.adjacentLocal(locals[i], locals[j]) {
 				return false
 			}
 		}
@@ -332,6 +409,9 @@ func (g *Graph) IsClique(ids []int) bool {
 // graph's devices (the maximal cliques), as sorted device-id sets in
 // deterministic order.
 func (g *Graph) MaximalMotions() [][]int {
+	if g.Sparse() {
+		return g.maximalMotionsSparse()
+	}
 	var out [][]int
 	g.bronKerbosch(func(clique *sets.Bits) {
 		out = append(out, g.toIds(clique))
@@ -356,22 +436,46 @@ func (g *Graph) MaximalMotionsContaining(j int) [][]int {
 // local-index bitset the enumeration produced. Element i of both slices
 // describes the same motion; callers on the characterization hot path
 // keep the bitsets so set algebra over motions needs no id translation.
+// The bitsets are over graph-local indices 0..Len()-1 in both adjacency
+// modes — in sparse mode the enumeration itself runs over j's densified
+// neighbourhood subgraph and only the reported cliques are widened.
 func (g *Graph) MaximalMotionsContainingSets(j int) ([][]int, []*sets.Bits) {
-	lj, ok := g.local[j]
+	lj, ok := g.Local(j)
 	if !ok {
 		return nil, nil
 	}
-	m := len(g.ids)
-	r := sets.NewBits(m)
-	r.Add(lj)
-	p := g.adj[lj].Clone()
-	x := sets.NewBits(m)
 	var out motionFamily
 	sc := g.getScratch()
-	g.bk(r, p, x, sc, func(clique *sets.Bits) {
-		out.ids = append(out.ids, g.toIds(clique))
-		out.cliques = append(out.cliques, clique)
-	})
+	if g.Sparse() {
+		verts := g.row(lj).InsertInto(int32(lj), sc.verts[:0])
+		sub := g.densify(sc, verts)
+		pos := searchSorted(verts, int32(lj))
+		s := len(verts)
+		r := sc.lease(s)
+		r.Add(pos)
+		p := sc.lease(s)
+		p.CopyFrom(sub[pos])
+		x := sc.lease(s)
+		bkOver(sub, r, p, x, sc, func(clique *sets.Bits) {
+			wide := g.widenClique(verts, clique)
+			out.ids = append(out.ids, g.toIds(wide))
+			out.cliques = append(out.cliques, wide)
+		})
+		sc.put(x)
+		sc.put(p)
+		sc.put(r)
+		sc.verts = verts[:0]
+	} else {
+		m := len(g.ids)
+		r := sets.NewBits(m)
+		r.Add(lj)
+		p := g.adj[lj].Clone()
+		x := sets.NewBits(m)
+		bkOver(g.adj, r, p, x, sc, func(clique *sets.Bits) {
+			out.ids = append(out.ids, g.toIds(clique))
+			out.cliques = append(out.cliques, clique)
+		})
+	}
 	g.putScratch(sc)
 	// Sort both representations together, in the id sets' lexicographic
 	// order (the deterministic order SortSets establishes). Families are
@@ -387,6 +491,32 @@ func (g *Graph) MaximalMotionsContainingSets(j int) ([][]int, []*sets.Bits) {
 		}
 	}
 	return out.ids, out.cliques
+}
+
+// searchSorted returns the index of v in the sorted slice s (which must
+// contain it).
+func searchSorted(s sets.Sorted, v int32) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// widenClique translates a clique over a subgraph's sub-indices into a
+// bitset over graph-local indices.
+func (g *Graph) widenClique(verts sets.Sorted, clique *sets.Bits) *sets.Bits {
+	wide := sets.NewBits(len(g.ids))
+	clique.ForEach(func(i int) bool {
+		wide.Add(int(verts[i]))
+		return true
+	})
+	return wide
 }
 
 // motionFamily sorts the two motion representations in lockstep, by the
@@ -419,23 +549,49 @@ func (f *motionFamily) Swap(i, j int) {
 // Theorem 7 asks this with allowed = D_k(j) minus the union of a candidate
 // collection). allowed need not contain j; j is added implicitly.
 func (g *Graph) HasDenseMotionContaining(j int, allowed []int, tau int) bool {
-	lj, ok := g.local[j]
+	lj, ok := g.Local(j)
 	if !ok {
 		return false
+	}
+	sc := g.getScratch()
+	defer g.putScratch(sc)
+	if g.Sparse() {
+		// Densify N(j) ∩ allowed; a clique of size tau+1 through j is a
+		// clique of size tau inside that subgraph.
+		locs := sc.locs[:0]
+		for _, id := range allowed {
+			if li, ok := g.Local(id); ok && li != lj {
+				locs = append(locs, int32(li))
+			}
+		}
+		sortInt32s(locs)
+		verts := g.row(lj).IntersectInto(locs, sc.verts[:0])
+		sc.locs = locs[:0]
+		defer func() { sc.verts = verts[:0] }()
+		if len(verts) < tau {
+			return tau <= 0
+		}
+		sub := g.densify(sc, verts)
+		p := sc.lease(len(verts))
+		for i := range verts {
+			p.Add(i)
+		}
+		ok := extendCliqueOver(sub, p, 1, tau+1, sc)
+		sc.put(p)
+		return ok
 	}
 	p := g.toLocal(allowed)
 	p.And(g.adj[lj])
 	p.Remove(lj)
 	// Need a clique of size tau+1 total, i.e. tau more vertices from p.
-	sc := g.getScratch()
-	defer g.putScratch(sc)
-	return g.extendClique(lj, p, 1, tau+1, sc)
+	return extendCliqueOver(g.adj, p, 1, tau+1, sc)
 }
 
-// extendClique performs a branch-and-bound search for a clique of size at
-// least want that contains the current clique (implicitly represented by
-// the candidate set p already restricted to common neighbours).
-func (g *Graph) extendClique(_ int, p *sets.Bits, have, want int, sc *bkScratch) bool {
+// extendCliqueOver performs a branch-and-bound search for a clique of
+// size at least want that contains the current clique (implicitly
+// represented by the candidate set p already restricted to common
+// neighbours) in the graph described by adj.
+func extendCliqueOver(adj []*sets.Bits, p *sets.Bits, have, want int, sc *bkScratch) bool {
 	if have >= want {
 		return true
 	}
@@ -446,8 +602,8 @@ func (g *Graph) extendClique(_ int, p *sets.Bits, have, want int, sc *bkScratch)
 	members := p.Members(sc.getInts())
 	for _, v := range members {
 		p2 := sc.get(p)
-		p2.And(g.adj[v])
-		ok := g.extendClique(v, p2, have+1, want, sc)
+		p2.And(adj[v])
+		ok := extendCliqueOver(adj, p2, have+1, want, sc)
 		sc.put(p2)
 		if ok {
 			sc.putInts(members)
@@ -462,7 +618,8 @@ func (g *Graph) extendClique(_ int, p *sets.Bits, have, want int, sc *bkScratch)
 	return false
 }
 
-// bronKerbosch runs maximal-clique enumeration over the whole graph.
+// bronKerbosch runs maximal-clique enumeration over the whole dense
+// graph.
 func (g *Graph) bronKerbosch(report func(*sets.Bits)) {
 	m := len(g.ids)
 	r := sets.NewBits(m)
@@ -472,7 +629,7 @@ func (g *Graph) bronKerbosch(report func(*sets.Bits)) {
 	}
 	x := sets.NewBits(m)
 	sc := g.getScratch()
-	g.bk(r, p, x, sc, report)
+	bkOver(g.adj, r, p, x, sc, report)
 	g.putScratch(sc)
 }
 
@@ -481,10 +638,17 @@ func (g *Graph) bronKerbosch(report func(*sets.Bits)) {
 // characterization hot path before pooling. Each top-level enumeration
 // owns its scratch, so concurrent enumerations over a shared graph
 // (CharacterizeAllParallel phase 1) never share state. Only the
-// reported cliques (r.Clone) escape the enumeration.
+// reported cliques escape the enumeration. The free-listed bitsets are
+// resized on lease, so one scratch serves the full graph universe and
+// the per-vertex sub-universes of the sparse enumeration alike.
 type bkScratch struct {
 	free []*sets.Bits
 	ints [][]int
+	// verts/locs buffer the sub-universe vertex lists of the sparse
+	// enumeration; sub holds its densified bitset rows.
+	verts sets.Sorted
+	locs  sets.Sorted
+	sub   []*sets.Bits
 }
 
 func (s *bkScratch) get(src *sets.Bits) *sets.Bits {
@@ -493,7 +657,21 @@ func (s *bkScratch) get(src *sets.Bits) *sets.Bits {
 	}
 	b := s.free[len(s.free)-1]
 	s.free = s.free[:len(s.free)-1]
+	if b.Universe() != src.Universe() {
+		b.Resize(src.Universe())
+	}
 	b.CopyFrom(src)
+	return b
+}
+
+// lease returns a cleared bitset over [0, n) from the free list.
+func (s *bkScratch) lease(n int) *sets.Bits {
+	if len(s.free) == 0 {
+		return sets.NewBits(n)
+	}
+	b := s.free[len(s.free)-1]
+	s.free = s.free[:len(s.free)-1]
+	b.Resize(n)
 	return b
 }
 
@@ -510,10 +688,13 @@ func (s *bkScratch) getInts() []int {
 
 func (s *bkScratch) putInts(buf []int) { s.ints = append(s.ints, buf) }
 
-// bk is Bron–Kerbosch with pivoting. r, p, x are the usual current
-// clique / candidates / excluded sets over local indices. p and x are
-// consumed by the call.
-func (g *Graph) bk(r, p, x *sets.Bits, sc *bkScratch, report func(*sets.Bits)) {
+// bkOver is Bron–Kerbosch with pivoting over the adjacency rows adj.
+// r, p, x are the usual current clique / candidates / excluded sets over
+// row indices. p and x are consumed by the call. Dense graphs pass their
+// full adjacency; the sparse enumeration passes a densified
+// neighbourhood subgraph, so the recursion is word operations in both
+// modes.
+func bkOver(adj []*sets.Bits, r, p, x *sets.Bits, sc *bkScratch, report func(*sets.Bits)) {
 	if p.Empty() && x.Empty() {
 		report(r.Clone())
 		return
@@ -521,7 +702,7 @@ func (g *Graph) bk(r, p, x *sets.Bits, sc *bkScratch, report func(*sets.Bits)) {
 	// Choose the pivot u in p ∪ x maximizing |p ∩ N(u)|.
 	pivot, best := -1, -1
 	consider := func(u int) bool {
-		if c := p.IntersectionLen(g.adj[u]); c > best {
+		if c := p.IntersectionLen(adj[u]); c > best {
 			best, pivot = c, u
 		}
 		return true
@@ -531,17 +712,17 @@ func (g *Graph) bk(r, p, x *sets.Bits, sc *bkScratch, report func(*sets.Bits)) {
 
 	cand := sc.get(p)
 	if pivot >= 0 {
-		cand.AndNot(g.adj[pivot])
+		cand.AndNot(adj[pivot])
 	}
 	members := cand.Members(sc.getInts())
 	sc.put(cand)
 	for _, v := range members {
 		r.Add(v)
 		p2 := sc.get(p)
-		p2.And(g.adj[v])
+		p2.And(adj[v])
 		x2 := sc.get(x)
-		x2.And(g.adj[v])
-		g.bk(r, p2, x2, sc, report)
+		x2.And(adj[v])
+		bkOver(adj, r, p2, x2, sc, report)
 		sc.put(p2)
 		sc.put(x2)
 		r.Remove(v)
@@ -556,14 +737,26 @@ func (g *Graph) bk(r, p, x *sets.Bits, sc *bkScratch, report func(*sets.Bits)) {
 // recorded baseline BenchmarkNewGraph compares the grid build against.
 func newGraphAllPairs(p *Pair, ids []int, r float64) *Graph {
 	g := newGraphVertices(p, ids, r)
+	g.allocDense()
 	g.buildAllPairs()
 	return g
 }
 
-// newGraphGrid builds the graph with the grid-indexed scan regardless of
-// size (testing/benchmark hook).
+// newGraphGrid builds the graph with the dense grid-indexed scan
+// regardless of size (testing/benchmark hook).
 func newGraphGrid(p *Pair, ids []int, r float64) *Graph {
 	g := newGraphVertices(p, ids, r)
+	g.allocDense()
 	g.buildGrid(grid.ForRadius(r))
+	return g
+}
+
+// newGraphSparse builds the CSR-backed graph regardless of size
+// (testing/benchmark hook); workers <= 0 selects GOMAXPROCS.
+func newGraphSparse(p *Pair, ids []int, r float64, workers int) *Graph {
+	g := newGraphVertices(p, ids, r)
+	prm := grid.ForRadius(r)
+	gridOK := prm.Res <= gridBuildMaxRes && gridBuildWorthwhile(p.Dim(), len(g.ids))
+	g.buildSparse(prm, gridOK, workers)
 	return g
 }

@@ -106,6 +106,27 @@ func (b *Bits) CopyFrom(o *Bits) {
 	copy(b.words, o.words)
 }
 
+// Resize clears b and sets its universe to [0, n), reusing the existing
+// words allocation when it is large enough. It is the recycling hook of
+// scratch pools whose leased sets serve universes of varying size (the
+// sparse clique enumeration densifies a different neighbourhood subgraph
+// per vertex).
+func (b *Bits) Resize(n int) {
+	if n < 0 {
+		n = 0
+	}
+	w := (n + wordBits - 1) / wordBits
+	if cap(b.words) < w {
+		b.words = make([]uint64, w)
+	} else {
+		b.words = b.words[:w]
+		for i := range b.words {
+			b.words[i] = 0
+		}
+	}
+	b.n = n
+}
+
 // Clear removes all members, keeping the universe.
 func (b *Bits) Clear() {
 	for i := range b.words {

@@ -63,19 +63,32 @@
 //     ~20-25x faster at m = 10k uniform devices (~6-7x when the window
 //     is dominated by tight clusters, where cells are crowded); exact
 //     numbers per run are recorded in BENCH_*.json.
-//   - Adjacency storage is hybrid. Below ~4k vertices every vertex owns
-//     a dense bitset row — O(m^2/64) bytes, but clique enumeration is
+//   - The grid index itself is map-free and slab-allocated: cell
+//     coordinates pack into fixed-width keys, the devices are sorted by
+//     key (key computation sharded across GOMAXPROCS workers), and the
+//     whole index materializes as one key-sorted cell slab plus shared
+//     id/coordinate/key arenas — a handful of allocations however many
+//     cells a window occupies, with lookups served by binary search.
+//     At m = 1M the index rebuild every window pays dropped from ~1.5M
+//     allocations (one map entry, cell struct, coords slice and id-list
+//     growth per occupied cell) to a few hundred for the whole graph
+//     build, and build time from ~4.4 s to ~1.6 s (BENCH_4.json).
+//   - Adjacency storage is hybrid and density-adaptive. Below ~4k
+//     vertices every vertex owns a dense bitset row (slab-backed: one
+//     shared words arena) — O(m^2/64) bytes, but clique enumeration is
 //     pure word operations, which is what the per-window
-//     characterization hot path wants. From ~4k vertices the rows
-//     become sorted neighbour lists in one shared CSR arena (2
-//     allocations however many edges), built by sharding the grid's
-//     cell-pair walk across GOMAXPROCS workers into per-worker edge
-//     buffers and merging with a count/prefix-sum/fill/sort pass.
-//     Memory falls from O(m^2/64) to O(m + edges): at m = 100k the
-//     build went from ~1.37 GB and 2.7-9.3 s (PR 2) to ~0.10-0.18 GB
-//     and 0.9-1.5 s, and an m = 1M window — which the dense
-//     representation could not hold at all (~2 TB) — builds in ~3 s in
-//     ~260 MB (BENCH_3.json).
+//     characterization hot path wants. From ~4k vertices the grid's
+//     cell-pair walk is sharded across GOMAXPROCS workers into
+//     per-worker edge buffers, and the representation is picked from
+//     the measured edge count after collection: windows so edge-dense
+//     that a CSR arena would be no smaller (edge-crowded massive-event
+//     clusters) fill dense rows straight from the buffers, everything
+//     else merges into one shared CSR arena (2 allocations however many
+//     edges) with a count/prefix-sum/fill/sort pass. Memory falls from
+//     O(m^2/64) to O(m + edges): at m = 100k the build went from
+//     ~1.37 GB (PR 2) to ~0.10-0.18 GB, and an m = 1M window — which
+//     the dense representation could not hold at all (~2 TB) — builds
+//     in ~1.6 s in ~184 MB (BENCH_4.json).
 //   - Sparse-mode clique enumeration never widens back to m: each
 //     vertex's neighbourhood is densified into a Δ-sized subgraph
 //     (degeneracy-ordered Bron-Kerbosch over N(v), with Δ the maximum
@@ -92,6 +105,12 @@
 //   - Monitor recycles the displaced snapshot as the next window's
 //     buffer and reuses the abnormal-id slice, so steady-state
 //     observation does not grow the heap per snapshot.
+//   - The distributed directory rides the same flat index: occupied
+//     cells live in the index's key-sorted slab annotated with their
+//     owning shard, the 4r block cache is one atomic pointer per cell
+//     (no side maps, no string keys), and the batched DecideAll
+//     assembles views through a recycled scratch buffer, materializing
+//     a view only when it opens a new characterizer group.
 //
 // The perf trajectory is recorded in BENCH_*.json files at the repo
 // root, one per optimization PR, written by scripts/bench.sh: "before"

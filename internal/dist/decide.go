@@ -3,10 +3,11 @@ package dist
 import (
 	"fmt"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 
 	"anomalia/internal/core"
+	"anomalia/internal/grid"
 )
 
 // Decide runs the local characterization for abnormal device j against
@@ -53,11 +54,13 @@ type Decision struct {
 
 // DecideAll characterizes every indexed abnormal device, batching the
 // work a window at a time: views are fetched through the shared block
-// cache, devices with identical views (the common case for a compact
-// massive event) share one characterizer so each neighbourhood is
-// enumerated once, and the view groups run on parallel workers.
-// Decisions come back in device order with the summed Stats; every
-// per-device Result and Stats is identical to a standalone Decide call.
+// cache into one recycled scratch buffer (a view only materializes when
+// it opens a new group), devices with identical views (the common case
+// for a compact massive event) share one characterizer so each
+// neighbourhood is enumerated once, and the view groups run on parallel
+// workers writing disjoint slots of the result slice. Decisions come
+// back in device order with the summed Stats; every per-device Result
+// and Stats is identical to a standalone Decide call.
 func DecideAll(d *Directory, cfg core.Config) ([]Decision, Stats, error) {
 	// Validate the configuration up front: the per-group characterizers
 	// only exist when there are devices to decide, and an empty window
@@ -69,29 +72,32 @@ func DecideAll(d *Directory, cfg core.Config) ([]Decision, Stats, error) {
 		return nil, Stats{}, err
 	}
 	type group struct {
-		view    []int
-		devices []int
-		stats   []Stats
+		view      []int
+		positions []int32 // into the sorted abnormal set (= result slots)
+		stats     []Stats
 	}
 	groups := make(map[string]*group)
-	order := make([]string, 0)
-	for _, j := range d.abnormal {
-		view, st, err := d.View(j)
-		if err != nil {
-			return nil, Stats{}, err
-		}
-		key := packKey(view) // views are sorted id sets: collision-free key
-		g, ok := groups[key]
+	order := make([]*group, 0)
+	var scratch []int
+	var keyBuf []byte
+	for pos, j := range d.abnormal {
+		var st Stats
+		scratch, st = d.viewInto(j, pos, scratch[:0])
+		// Views are sorted id sets, so the shared grid encoding is a
+		// collision-free group key; the map probe converts in place and
+		// the string only materializes for a new group.
+		keyBuf = grid.AppendKey(keyBuf[:0], scratch)
+		g, ok := groups[string(keyBuf)]
 		if !ok {
-			g = &group{view: view}
-			groups[key] = g
-			order = append(order, key)
+			g = &group{view: slices.Clone(scratch)}
+			groups[string(keyBuf)] = g
+			order = append(order, g)
 		}
-		g.devices = append(g.devices, j)
+		g.positions = append(g.positions, int32(pos))
 		g.stats = append(g.stats, st)
 	}
 
-	decisions := make(map[int]Decision, len(d.abnormal))
+	out := make([]Decision, len(d.abnormal))
 	var mu sync.Mutex
 	var firstErr error
 	workers := runtime.GOMAXPROCS(0)
@@ -117,7 +123,8 @@ func DecideAll(d *Directory, cfg core.Config) ([]Decision, Stats, error) {
 					mu.Unlock()
 					continue
 				}
-				for i, j := range g.devices {
+				for i, pos := range g.positions {
+					j := d.abnormal[pos]
 					res, err := c.Characterize(j)
 					if err != nil {
 						mu.Lock()
@@ -127,15 +134,13 @@ func DecideAll(d *Directory, cfg core.Config) ([]Decision, Stats, error) {
 						mu.Unlock()
 						break
 					}
-					mu.Lock()
-					decisions[j] = Decision{Result: res, Stats: g.stats[i]}
-					mu.Unlock()
+					out[pos] = Decision{Result: res, Stats: g.stats[i]}
 				}
 			}
 		}()
 	}
-	for _, key := range order {
-		work <- groups[key]
+	for _, g := range order {
+		work <- g
 	}
 	close(work)
 	wg.Wait()
@@ -143,12 +148,9 @@ func DecideAll(d *Directory, cfg core.Config) ([]Decision, Stats, error) {
 		return nil, Stats{}, firstErr
 	}
 
-	out := make([]Decision, 0, len(decisions))
+	// Positions follow sorted device ids, so out is already in device
+	// order.
 	var total Stats
-	for _, dec := range decisions {
-		out = append(out, dec)
-	}
-	sort.Slice(out, func(a, b int) bool { return out[a].Result.Device < out[b].Result.Device })
 	for _, dec := range out {
 		total.Add(dec.Stats)
 	}

@@ -2,10 +2,8 @@ package dist
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
-	"sort"
-	"sync"
+	"slices"
 	"sync/atomic"
 
 	"anomalia/internal/grid"
@@ -18,13 +16,6 @@ import (
 // on every machine for a given window — the cost tables must reproduce.
 const numShards = 16
 
-// dirShard owns the cells whose key hashes to it. Shards are immutable
-// after NewDirectory returns, so concurrent readers need no locking.
-// Cells are shared with (and owned by) the directory's grid.Index.
-type dirShard struct {
-	cells map[string]*grid.Cell
-}
-
 // block is the cached answer to "which abnormal devices could be within
 // 4r of a device sitting in this cell": the union of the cell lists at
 // Chebyshev cell distance <= reach, plus the shard fan-out of the lookup.
@@ -34,21 +25,28 @@ type block struct {
 }
 
 // Directory indexes the abnormal trajectories of one observation window
-// by grid cell and serves 4r-view queries. It is safe for concurrent use
-// once built: the shard maps are read-only and the block cache is a
-// sync.Map.
+// by grid cell and serves 4r-view queries. It rides the shared flat
+// index directly: the occupied cells live in the index's key-sorted
+// slab, each annotated with its owning shard, and the block cache is
+// one atomic pointer per occupied cell — no side maps. It is safe for
+// concurrent use once built: everything but the cache pointers is
+// read-only, and the pointers are written once (first writer wins).
 type Directory struct {
 	pair     *motion.Pair
-	abnormal []int       // sorted; membership is a binary search (inDir)
+	abnormal []int       // sorted; membership and positions by binary search
 	r        float64     // consistency impact radius the index serves
 	geom     grid.Params // shared cell geometry: side 2r (one spanning cell when r = 0)
 	viewR    float64     // view radius 4r
 	reach    int         // cells per axis a view can span: ceil(viewR/side)
 	index    *grid.Index // shared spatial index of the abnormal k-1 positions
-	shards   [numShards]dirShard
-	blocks   sync.Map // center cell key -> *block
-	built    atomic.Int64
-	hits     atomic.Int64
+	// cellShard and blocks are aligned with the index's key-sorted cell
+	// order; cellOf with the sorted abnormal set (the cell indexing each
+	// device), so a view query never recomputes coordinates or keys.
+	cellShard []uint8
+	cellOf    []int32
+	blocks    []atomic.Pointer[block]
+	built     atomic.Int64
+	hits      atomic.Int64
 }
 
 // NewDirectory builds the sharded index for one window: pair holds the
@@ -56,9 +54,9 @@ type Directory struct {
 // radius the index serves (the paper's r in [0, 1/4)). The cell
 // geometry comes from the shared grid package — side 2r, so a 4r view
 // spans two cells per axis; the degenerate r = 0 keeps one cell
-// spanning E and views shrink to exactly-coincident devices. Shards
-// receive the occupied cells of that one shared index by key hash, so
-// the shard fan-out (and hence Stats) is a pure function of the window.
+// spanning E and views shrink to exactly-coincident devices. Shards own
+// occupied cells by key hash, so the shard fan-out (and hence Stats) is
+// a pure function of the window.
 func NewDirectory(pair *motion.Pair, abnormal []int, r float64) (*Directory, error) {
 	if pair == nil {
 		return nil, fmt.Errorf("nil pair: %w", ErrConfig)
@@ -89,23 +87,22 @@ func NewDirectory(pair *motion.Pair, abnormal []int, r float64) (*Directory, err
 		index: grid.New(pair.Prev, ids, geom),
 	}
 
-	// Scatter the occupied cells across shards by key hash. ids were
-	// indexed in ascending order, so every cell list is already sorted.
-	for s := range d.shards {
-		d.shards[s].cells = make(map[string]*grid.Cell)
+	// Annotate the key-sorted cells with their owning shard and invert
+	// the cell membership: ids were indexed in ascending order, so every
+	// cell list is already sorted.
+	cells := d.index.SortedCells()
+	d.cellShard = make([]uint8, len(cells))
+	d.blocks = make([]atomic.Pointer[block], len(cells))
+	d.cellOf = make([]int32, len(ids))
+	for ci := range cells {
+		d.cellShard[ci] = uint8(shardOfCoords(cells[ci].Coords))
+		for _, id := range cells[ci].Ids {
+			pos, _ := slices.BinarySearch(ids, id) // indexed ids are abnormal
+			d.cellOf[pos] = int32(ci)
+		}
 	}
-	d.index.ForEachCell(func(key string, c *grid.Cell) {
-		d.shards[shardOf(key)].cells[key] = c
-	})
 	return d, nil
 }
-
-// inDir reports whether the directory indexes device j — a binary
-// search over the sorted abnormal set. A directory is rebuilt per
-// window; at million-device windows the id map this replaces was tens
-// of MB of churn per rebuild for a lookup the sorted slice answers in
-// O(log |A_k|).
-func (d *Directory) inDir(j int) bool { return sets.ContainsInt(d.abnormal, j) }
 
 // Abnormal returns the sorted abnormal set the directory indexes.
 // Ownership rule (shared with motion.Graph.Ids and core.Characterizer.
@@ -127,90 +124,68 @@ func (d *Directory) CacheStats() (built, hits int64) {
 	return d.built.Load(), d.hits.Load()
 }
 
-// packKey encodes a slice of non-negative ints collision-free via the
-// shared grid encoding: cell coordinates here, sorted view id sets in
-// DecideAll.
-func packKey(xs []int) string { return grid.Key(xs) }
-
-// shardOf assigns a cell key to its owning shard.
-func shardOf(key string) int {
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return int(h.Sum32() % numShards)
+// shardOfCoords assigns a cell to its owning shard: FNV-1a over the
+// collision-free byte encoding of its coordinates (grid.AppendKey),
+// inlined so per-cell shard assignment allocates nothing. The hash is
+// pinned byte-identical to hash/fnv over the encoded key
+// (TestShardOfCoordsMatchesFNV), so Stats reproduce across builds of
+// the module.
+func shardOfCoords(coords []int) int {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for _, x := range coords {
+		v := uint64(x)
+		for shift := 56; shift >= 0; shift -= 8 {
+			h = (h ^ uint32(byte(v>>shift))) * prime32
+		}
+	}
+	return int(h % numShards)
 }
 
-// blockFor returns the candidate block centered on the given cell,
-// computing and caching it on first use. A device within viewR = 2*side
-// of the center cell's occupants sits at most 2 cells away per axis in
-// exact arithmetic (reach adds one cell of floating-point margin), so
-// the block is the occupied cells at Chebyshev distance <= reach. Both
-// computation strategies visit exactly those cells, so the candidates
-// and the shard fan-out — hence Stats — are identical.
-func (d *Directory) blockFor(key string, center []int) *block {
-	if cached, ok := d.blocks.Load(key); ok {
+// blockFor returns the candidate block centered on the ci-th occupied
+// cell, computing and caching it on first use (first writer wins; every
+// other caller counts a hit, like the sync.Map LoadOrStore it replaces).
+// A device within viewR = 2*side of the center cell's occupants sits at
+// most 2 cells away per axis in exact arithmetic (reach adds one cell
+// of floating-point margin), so the block is the occupied cells at
+// Chebyshev distance <= reach. Both computation strategies visit
+// exactly those cells, so the candidates and the shard fan-out — hence
+// Stats — are identical.
+func (d *Directory) blockFor(ci int) *block {
+	if cached := d.blocks[ci].Load(); cached != nil {
 		d.hits.Add(1)
-		return cached.(*block)
+		return cached
 	}
 	b := &block{}
+	center := d.index.CellAt(ci).Coords
 	occupied := d.index.Cells()
 	if grid.NeighborCells(len(center), d.reach, occupied) <= occupied {
 		d.lookupBlock(center, b)
 	} else {
 		d.scanBlock(center, b)
 	}
-	sort.Ints(b.cands)
-	actual, loaded := d.blocks.LoadOrStore(key, b)
-	if loaded {
-		d.hits.Add(1)
-	} else {
+	slices.Sort(b.cands)
+	if d.blocks[ci].CompareAndSwap(nil, b) {
 		d.built.Add(1)
+		return b
 	}
-	return actual.(*block)
+	d.hits.Add(1)
+	return d.blocks[ci].Load()
 }
 
-// lookupBlock builds a block by direct map lookups of the neighbour
-// cell keys — O((2*reach+1)^d), independent of how many cells the
-// window occupies. Preferred whenever the block is smaller than the
-// occupied-cell population.
+// lookupBlock builds a block by probing the neighbour cells of the
+// center coordinates directly — O((2*reach+1)^d) binary searches,
+// independent of how many cells the window occupies. Preferred whenever
+// the block is smaller than the occupied-cell population.
 func (d *Directory) lookupBlock(center []int, b *block) {
-	dim := len(center)
-	offsets := make([]int, dim)
-	coords := make([]int, dim)
-	for i := range offsets {
-		offsets[i] = -d.reach
-	}
 	var hit [numShards]bool
-	for {
-		ok := true
-		for i := 0; i < dim; i++ {
-			c := center[i] + offsets[i]
-			if c < 0 || c >= d.geom.Res {
-				ok = false
-				break
-			}
-			coords[i] = c
-		}
-		if ok {
-			key := packKey(coords)
-			s := shardOf(key)
-			if c, found := d.shards[s].cells[key]; found {
-				b.cands = append(b.cands, c.Ids...)
-				hit[s] = true
-			}
-		}
-		// Next offset vector in [-reach, reach]^dim.
-		i := 0
-		for ; i < dim; i++ {
-			offsets[i]++
-			if offsets[i] <= d.reach {
-				break
-			}
-			offsets[i] = -d.reach
-		}
-		if i == dim {
-			break
-		}
-	}
+	d.index.ForEachNeighbor(center, d.reach, func(ci int, c *grid.Cell) {
+		b.cands = append(b.cands, c.Ids...)
+		hit[d.cellShard[ci]] = true
+	})
 	for _, h := range hit {
 		if h {
 			b.shards++
@@ -222,18 +197,44 @@ func (d *Directory) lookupBlock(center []int, b *block) {
 // fallback when the neighbour-cell count explodes combinatorially with
 // the dimension.
 func (d *Directory) scanBlock(center []int, b *block) {
-	for s := range d.shards {
-		contributed := false
-		for _, c := range d.shards[s].cells {
-			if grid.Chebyshev(c.Coords, center) <= d.reach {
-				b.cands = append(b.cands, c.Ids...)
-				contributed = true
-			}
+	var hit [numShards]bool
+	cells := d.index.SortedCells()
+	for ci := range cells {
+		if grid.Chebyshev(cells[ci].Coords, center) <= d.reach {
+			b.cands = append(b.cands, cells[ci].Ids...)
+			hit[d.cellShard[ci]] = true
 		}
-		if contributed {
+	}
+	for _, h := range hit {
+		if h {
 			b.shards++
 		}
 	}
+}
+
+// viewInto appends the 4r view of abnormal device j — known to sit at
+// position pos of the sorted abnormal set — to dst and returns the
+// extended slice with the communication bill. The batched DecideAll
+// passes a recycled scratch buffer; View passes nil and gets a fresh
+// slice sized to the candidate block.
+func (d *Directory) viewInto(j, pos int, dst []int) ([]int, Stats) {
+	b := d.blockFor(int(d.cellOf[pos]))
+	if dst == nil {
+		dst = make([]int, 0, len(b.cands))
+	}
+	start := len(dst)
+	for _, i := range b.cands {
+		if d.pair.Prev.Dist(i, j) <= d.viewR && d.pair.Cur.Dist(i, j) <= d.viewR {
+			dst = append(dst, i)
+		}
+	}
+	size := len(dst) - start
+	st := Stats{
+		Messages:     1 + b.shards,
+		Trajectories: size - 1,
+		ViewSize:     size,
+	}
+	return dst, st
 }
 
 // View returns the 4r view of abnormal device j: every indexed device
@@ -241,21 +242,10 @@ func (d *Directory) scanBlock(center []int, b *block) {
 // included), plus the communication bill of fetching it. The paper's
 // locality result guarantees this view suffices to characterize j.
 func (d *Directory) View(j int) ([]int, Stats, error) {
-	if !d.inDir(j) {
+	pos, ok := slices.BinarySearch(d.abnormal, j)
+	if !ok {
 		return nil, Stats{}, fmt.Errorf("device %d: %w", j, ErrUnknownDevice)
 	}
-	center := d.geom.Coords(d.pair.Prev.At(j), nil)
-	b := d.blockFor(grid.Key(center), center)
-	view := make([]int, 0, len(b.cands))
-	for _, i := range b.cands {
-		if d.pair.Prev.Dist(i, j) <= d.viewR && d.pair.Cur.Dist(i, j) <= d.viewR {
-			view = append(view, i)
-		}
-	}
-	st := Stats{
-		Messages:     1 + b.shards,
-		Trajectories: len(view) - 1,
-		ViewSize:     len(view),
-	}
+	view, st := d.viewInto(j, pos, nil)
 	return view, st, nil
 }

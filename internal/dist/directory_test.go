@@ -2,13 +2,16 @@ package dist
 
 import (
 	"errors"
+	"hash/fnv"
 	"sort"
 	"testing"
 
+	"anomalia/internal/grid"
 	"anomalia/internal/motion"
 	"anomalia/internal/scenario"
 	"anomalia/internal/sets"
 	"anomalia/internal/space"
+	"anomalia/internal/stats"
 )
 
 // window generates one seeded observation window with ground truth.
@@ -231,5 +234,52 @@ func TestEmptyDirectory(t *testing.T) {
 	}
 	if got := dir.Abnormal(); len(got) != 0 {
 		t.Errorf("empty directory indexes %v", got)
+	}
+}
+
+// TestShardOfCoordsMatchesFNV pins the inlined shard hash byte-identical
+// to hash/fnv over the collision-free key encoding — the assignment the
+// reproducible Stats.Messages tables stand on.
+func TestShardOfCoordsMatchesFNV(t *testing.T) {
+	t.Parallel()
+
+	rng := stats.NewRNG(99)
+	for trial := 0; trial < 2000; trial++ {
+		dim := 1 + rng.Intn(space.MaxDim)
+		coords := make([]int, dim)
+		for i := range coords {
+			coords[i] = rng.Intn(1 << 30)
+		}
+		h := fnv.New32a()
+		h.Write([]byte(grid.Key(coords)))
+		want := int(h.Sum32() % numShards)
+		if got := shardOfCoords(coords); got != want {
+			t.Fatalf("shardOfCoords(%v) = %d, fnv says %d", coords, got, want)
+		}
+	}
+}
+
+// TestNewDirectoryAllocs pins the slab-allocated build: indexing a
+// window's abnormal set is a handful of allocations bounded by a small
+// constant, not by the occupied-cell count (the map-based index it
+// replaced paid one map entry, cell struct, coords slice and id-list
+// growth per cell).
+func TestNewDirectoryAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation counting is slow under -short")
+	}
+	const r = 0.01
+	step := window(t, scenario.Config{
+		N: 10000, D: 2, R: r, Tau: 3, A: 100, G: 0.3,
+		Concomitant: true, MaxShift: 2 * r, Seed: 4242,
+	})
+	got := testing.AllocsPerRun(10, func() {
+		if _, err := NewDirectory(step.Pair, step.Abnormal, r); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if limit := 32.0; got > limit {
+		t.Errorf("NewDirectory allocates %.0f times for %d abnormal devices, want <= %.0f",
+			got, len(step.Abnormal), limit)
 	}
 }

@@ -12,12 +12,23 @@
 // (motion.NewGraph) and the distributed directory (internal/dist) build
 // on the same geometry, so their cell keys — and therefore the shard
 // assignment the DistCost tables bill — agree by construction.
+//
+// The index is map-free and slab-allocated: cell coordinates are packed
+// into fixed-width keys, the devices are sorted by key, and the whole
+// index materializes as one key-sorted []Cell slab plus one shared id
+// arena, one coordinate slab and one packed-key slab — a handful of
+// allocations however many cells a million-device window occupies.
+// Lookups are binary searches over the packed keys; the key-sorted cell
+// order makes every walk deterministic by construction.
 package grid
 
 import (
 	"encoding/binary"
 	"math"
-	"sort"
+	"math/bits"
+	"runtime"
+	"slices"
+	"sync"
 
 	"anomalia/internal/space"
 )
@@ -76,7 +87,9 @@ func (g Params) Coords(p space.Point, dst []int) []int {
 // degenerate radii with Res > 2^32 cannot alias cells) to dst and
 // returns the extended slice. Keys of equal-dimension vectors compare
 // lexicographically exactly like the vectors themselves. The same
-// encoding serves sorted device-id sets (dist.DecideAll's view keys).
+// encoding serves sorted device-id sets (dist.DecideAll's view keys);
+// the Index itself stores tighter packed keys (see keyCodec) with the
+// same ordering property.
 func AppendKey(dst []byte, coords []int) []byte {
 	for _, x := range coords {
 		dst = binary.BigEndian.AppendUint64(dst, uint64(x))
@@ -104,26 +117,28 @@ func NeighborCells(dim, reach, cap int) int {
 	return cells
 }
 
-// PositiveOffsets enumerates the coordinate offsets in [-reach, reach]^dim
-// whose first non-zero component is positive — exactly one of {o, -o} for
-// every non-zero offset, so walking them from every cell visits each
-// unordered cell pair once. It is the offset set of PairWalk, exported for
-// callers that roll their own walk.
-func PositiveOffsets(dim, reach int) [][]int {
-	var out [][]int
+// offsetFan enumerates every coordinate offset in [-reach, reach]^dim in
+// odometer order (axis 0 fastest), with all vectors backed by a single
+// flat array — 2 allocations for the whole fan. The fan is the shared
+// construction behind PositiveOffsets and ForEachNeighbor; callers must
+// bound (2*reach+1)^dim (NeighborCells) before materializing it.
+func offsetFan(dim, reach int) [][]int {
+	span := 2*reach + 1
+	total := 1
+	for i := 0; i < dim; i++ {
+		total *= span
+	}
+	// flat is sized exactly, so the appends below never reallocate and
+	// the returned views stay valid.
+	flat := make([]int, 0, total*dim)
+	out := make([][]int, 0, total)
 	cur := make([]int, dim)
 	for i := range cur {
 		cur[i] = -reach
 	}
 	for {
-		for i := 0; i < dim; i++ {
-			if cur[i] != 0 {
-				if cur[i] > 0 {
-					out = append(out, append([]int(nil), cur...))
-				}
-				break
-			}
-		}
+		flat = append(flat, cur...)
+		out = append(out, flat[len(flat)-dim:len(flat):len(flat)])
 		i := 0
 		for ; i < dim; i++ {
 			cur[i]++
@@ -134,6 +149,28 @@ func PositiveOffsets(dim, reach int) [][]int {
 		}
 		if i == dim {
 			break
+		}
+	}
+	return out
+}
+
+// PositiveOffsets enumerates the coordinate offsets in [-reach, reach]^dim
+// whose first non-zero component is positive — exactly one of {o, -o} for
+// every non-zero offset, so walking them from every cell visits each
+// unordered cell pair once. It is the offset set of PairWalk, exported for
+// callers that roll their own walk. The vectors are views into one flat
+// backing array (the shared fan of offsetFan), not per-offset allocations.
+func PositiveOffsets(dim, reach int) [][]int {
+	fan := offsetFan(dim, reach)
+	out := make([][]int, 0, (len(fan)-1)/2)
+	for _, off := range fan {
+		for _, x := range off {
+			if x != 0 {
+				if x > 0 {
+					out = append(out, off)
+				}
+				break
+			}
 		}
 	}
 	return out
@@ -155,43 +192,229 @@ func Chebyshev(a, b []int) int {
 	return max
 }
 
+// keyCodec packs integer cell coordinate vectors into fixed-width words.
+// When every axis fits, the whole vector packs into a single uint64
+// (axis 0 in the most significant bits); otherwise each axis takes one
+// full word. In both layouts, lexicographic comparison of the packed
+// words equals lexicographic comparison of the coordinate vectors —
+// the property the key-sorted cell slab and its binary searches rely on
+// (fuzz-tested by FuzzPackedKeyOrder).
+type keyCodec struct {
+	dim    int
+	stride int  // packed words per key
+	shift  uint // bits per axis when stride == 1; 0 in the word-per-axis layout
+}
+
+func newKeyCodec(dim, res int) keyCodec {
+	b := uint(bits.Len64(uint64(res - 1)))
+	if b == 0 {
+		b = 1
+	}
+	if res >= 1 && dim >= 1 && int(b)*dim <= 64 {
+		return keyCodec{dim: dim, stride: 1, shift: b}
+	}
+	return keyCodec{dim: dim, stride: dim}
+}
+
+// appendKey appends the packed key of coords (which must hold dim
+// in-range, non-negative coordinates) to dst and returns the extension.
+func (kc keyCodec) appendKey(dst []uint64, coords []int) []uint64 {
+	if kc.stride == 1 {
+		k := uint64(0)
+		for _, c := range coords {
+			k = k<<kc.shift | uint64(c)
+		}
+		return append(dst, k)
+	}
+	for _, c := range coords {
+		dst = append(dst, uint64(c))
+	}
+	return dst
+}
+
 // Cell is one occupied cell of an Index: its integer coordinates and
 // the indexed device ids whose position falls inside it, in the order
-// they were indexed (ascending when the ids were).
+// they were indexed (ascending when the ids were). Both slices are
+// views into the index's shared slabs; treat them as read-only.
 type Cell struct {
 	Coords []int
 	Ids    []int
 }
 
-// Index buckets a subset of a state's devices by cell. It is read-only
-// after New returns and therefore safe for concurrent readers.
+// Index buckets a subset of a state's devices by cell, as a key-sorted
+// slab of cells over shared arenas. It is read-only after New returns
+// and therefore safe for concurrent readers.
 type Index struct {
 	Params
 	state *space.State
-	cells map[string]*Cell
+	dim   int
+	kc    keyCodec
+	// keys holds kc.stride packed words per cell, ascending — the whole
+	// lookup structure. cells, coords and idArena are the three slabs
+	// every Cell views into.
+	keys    []uint64
+	cells   []Cell
+	coords  []int
+	idArena []int
 }
 
 // New indexes the given device ids (typically the abnormal set, sorted)
-// by the cell of their position in state.
+// by the cell of their position in state. Construction is a handful of
+// allocations regardless of the occupied-cell count: keys are computed
+// in parallel shards, sorted, and the slabs filled in one pass.
 func New(state *space.State, ids []int, p Params) *Index {
-	ix := &Index{
-		Params: p,
-		state:  state,
-		cells:  make(map[string]*Cell, len(ids)),
+	dim := state.Dim()
+	ix := &Index{Params: p, state: state, dim: dim, kc: newKeyCodec(dim, p.Res)}
+	m := len(ids)
+	if m == 0 {
+		return ix
 	}
-	var coords []int
-	var buf []byte
-	for _, id := range ids {
-		coords = p.Coords(state.At(id), coords[:0])
-		buf = AppendKey(buf[:0], coords)
-		c, ok := ix.cells[string(buf)]
-		if !ok {
-			c = &Cell{Coords: append([]int(nil), coords...)}
-			ix.cells[string(buf)] = c
-		}
-		c.Ids = append(c.Ids, id)
+	if ix.kc.stride == 1 && ix.kc.shift*uint(dim) <= 32 && m < 1<<31 {
+		ix.buildPacked32(ids)
+	} else {
+		ix.buildGeneral(ids)
 	}
 	return ix
+}
+
+// alloc sizes the four slabs for n occupied cells over m indexed ids.
+func (ix *Index) alloc(n, m int) {
+	ix.keys = make([]uint64, 0, n*ix.kc.stride)
+	ix.cells = make([]Cell, n)
+	ix.coords = make([]int, 0, n*ix.dim)
+	ix.idArena = make([]int, m)
+}
+
+// openCell appends cell ci's key and coordinates to the slabs, deriving
+// the coordinates from the position of device id (any member works: all
+// members of a cell compute the same coordinate vector by definition).
+func (ix *Index) openCell(ci, id int, key []uint64) {
+	ix.keys = append(ix.keys, key...)
+	start := len(ix.coords)
+	ix.coords = ix.Coords(ix.state.At(id), ix.coords)
+	ix.cells[ci].Coords = ix.coords[start:len(ix.coords):len(ix.coords)]
+}
+
+// buildPacked32 is the build for the common geometry where a whole key
+// packs into 32 bits (e.g. any 2-d index up to 65k cells per axis): key
+// and device position share one composite word, so grouping devices
+// into cells is a single word sort — no comparator, no permutation
+// array.
+func (ix *Index) buildPacked32(ids []int) {
+	m := len(ids)
+	com := make([]uint64, m)
+	parallelRanges(m, func(lo, hi int) {
+		var cbuf [space.MaxDim]int
+		var kbuf [1]uint64
+		for i := lo; i < hi; i++ {
+			coords := ix.Coords(ix.state.At(ids[i]), cbuf[:0])
+			key := ix.kc.appendKey(kbuf[:0], coords)
+			com[i] = key[0]<<32 | uint64(uint32(i))
+		}
+	})
+	slices.Sort(com)
+	n := 0
+	for s, c := range com {
+		if s == 0 || c>>32 != com[s-1]>>32 {
+			n++
+		}
+	}
+	ix.alloc(n, m)
+	ci, start := -1, 0
+	var kbuf [1]uint64
+	for s, c := range com {
+		id := ids[uint32(c)]
+		if s == 0 || c>>32 != com[s-1]>>32 {
+			if ci >= 0 {
+				ix.cells[ci].Ids = ix.idArena[start:s:s]
+			}
+			ci++
+			start = s
+			kbuf[0] = c >> 32
+			ix.openCell(ci, id, kbuf[:])
+		}
+		ix.idArena[s] = id
+	}
+	ix.cells[ci].Ids = ix.idArena[start:m:m]
+}
+
+// buildGeneral covers every other geometry (wide keys, huge resolutions,
+// populations beyond 2^31): devices are permuted into key order — ties
+// broken by input position, preserving per-cell id order — and the
+// slabs filled from the permutation.
+func (ix *Index) buildGeneral(ids []int) {
+	m := len(ids)
+	stride := ix.kc.stride
+	devKeys := make([]uint64, m*stride)
+	parallelRanges(m, func(lo, hi int) {
+		var cbuf [space.MaxDim]int
+		for i := lo; i < hi; i++ {
+			coords := ix.Coords(ix.state.At(ids[i]), cbuf[:0])
+			ix.kc.appendKey(devKeys[i*stride:i*stride:(i+1)*stride], coords)
+		}
+	})
+	keyAt := func(i int32) []uint64 {
+		return devKeys[int(i)*stride : (int(i)+1)*stride]
+	}
+	order := make([]int32, m)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	slices.SortFunc(order, func(a, b int32) int {
+		if c := slices.Compare(keyAt(a), keyAt(b)); c != 0 {
+			return c
+		}
+		return int(a - b)
+	})
+	n := 0
+	for s := range order {
+		if s == 0 || !slices.Equal(keyAt(order[s]), keyAt(order[s-1])) {
+			n++
+		}
+	}
+	ix.alloc(n, m)
+	ci, start := -1, 0
+	for s, oi := range order {
+		id := ids[oi]
+		if s == 0 || !slices.Equal(keyAt(oi), keyAt(order[s-1])) {
+			if ci >= 0 {
+				ix.cells[ci].Ids = ix.idArena[start:s:s]
+			}
+			ci++
+			start = s
+			ix.openCell(ci, id, keyAt(oi))
+		}
+		ix.idArena[s] = id
+	}
+	ix.cells[ci].Ids = ix.idArena[start:m:m]
+}
+
+// parallelRanges shards [0, m) across GOMAXPROCS workers; small inputs
+// run inline so per-window index builds at paper scale spawn nothing.
+func parallelRanges(m int, fn func(lo, hi int)) {
+	const minPerWorker = 1 << 14
+	workers := runtime.GOMAXPROCS(0)
+	if w := m / minPerWorker; w < workers {
+		workers = w
+	}
+	if workers <= 1 {
+		fn(0, m)
+		return
+	}
+	chunk := (m + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < m; lo += chunk {
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
 }
 
 // State returns the indexed state.
@@ -200,104 +423,145 @@ func (ix *Index) State() *space.State { return ix.state }
 // Cells returns the number of occupied cells.
 func (ix *Index) Cells() int { return len(ix.cells) }
 
-// Cell returns the occupied cell with the given key, or nil. The cell
+// CellAt returns the i-th occupied cell in key-sorted order. The cell
 // aliases the index; treat it as read-only.
-func (ix *Index) Cell(key string) *Cell { return ix.cells[key] }
+func (ix *Index) CellAt(i int) *Cell { return &ix.cells[i] }
+
+// findKey returns the position of the cell with the given packed key,
+// or -1 — a binary search over the key slab.
+func (ix *Index) findKey(key []uint64) int {
+	if ix.kc.stride == 1 {
+		if i, ok := slices.BinarySearch(ix.keys, key[0]); ok {
+			return i
+		}
+		return -1
+	}
+	stride := ix.kc.stride
+	lo, hi := 0, len(ix.cells)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if slices.Compare(ix.keys[mid*stride:(mid+1)*stride], key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(ix.cells) && slices.Compare(ix.keys[lo*stride:(lo+1)*stride], key) == 0 {
+		return lo
+	}
+	return -1
+}
+
+// Find returns the position (into CellAt / SortedCells order) of the
+// occupied cell with the given coordinates, or -1. Coordinates outside
+// [0, Res) per axis are never occupied.
+func (ix *Index) Find(coords []int) int {
+	if len(coords) != ix.dim || len(ix.cells) == 0 {
+		return -1
+	}
+	for _, c := range coords {
+		if c < 0 || c >= ix.Res {
+			return -1
+		}
+	}
+	var kbuf [space.MaxDim]uint64
+	return ix.findKey(ix.kc.appendKey(kbuf[:0], coords))
+}
+
+// cellByEncoded resolves the legacy 8-bytes-per-axis encoding (AppendKey)
+// to a cell via Find.
+func (ix *Index) cellByEncoded(key []byte) *Cell {
+	if ix.dim == 0 || len(key) != 8*ix.dim {
+		return nil
+	}
+	var cbuf [space.MaxDim]int
+	coords := cbuf[:ix.dim]
+	for i := range coords {
+		v := binary.BigEndian.Uint64(key[i*8:])
+		if v >= 1<<63 {
+			return nil
+		}
+		coords[i] = int(v)
+	}
+	if i := ix.Find(coords); i >= 0 {
+		return &ix.cells[i]
+	}
+	return nil
+}
+
+// Cell returns the occupied cell with the given key (the Key encoding of
+// its coordinate vector), or nil — a binary search over the packed-key
+// slab. The cell aliases the index; treat it as read-only.
+func (ix *Index) Cell(key string) *Cell { return ix.cellByEncoded([]byte(key)) }
 
 // CellBytes is Cell for a key held in a byte buffer (as produced by
-// AppendKey). The map lookup converts in place, so hot loops probing
-// many neighbour keys do not allocate a string per probe.
-func (ix *Index) CellBytes(key []byte) *Cell { return ix.cells[string(key)] }
+// AppendKey); the probe does not allocate.
+func (ix *Index) CellBytes(key []byte) *Cell { return ix.cellByEncoded(key) }
 
-// ForEachCell calls fn for every occupied cell in unspecified order.
+// ForEachCell calls fn for every occupied cell in key-sorted order.
 // Cells alias the index; treat them as read-only.
-func (ix *Index) ForEachCell(fn func(key string, c *Cell)) {
-	for key, c := range ix.cells {
-		fn(key, c)
+func (ix *Index) ForEachCell(fn func(c *Cell)) {
+	for i := range ix.cells {
+		fn(&ix.cells[i])
 	}
 }
 
 // SortedCells returns the occupied cells sorted by key (equivalently, by
-// coordinate vector — the encoding is order-preserving). The slice is
-// freshly allocated but the cells alias the index; treat them as
-// read-only. Note that PairWalk does NOT use this order: its walk order
-// is an unsorted map pass (cheaper per construction) and consumers
-// normalize downstream. SortedCells is for callers that need a
-// reproducible cell enumeration outright (deterministic reports,
-// cross-run diffing).
-func (ix *Index) SortedCells() []*Cell {
-	keys := make([]string, 0, len(ix.cells))
-	for k := range ix.cells {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	out := make([]*Cell, len(keys))
-	for i, k := range keys {
-		out[i] = ix.cells[k]
-	}
-	return out
-}
+// coordinate vector — the packed encoding is order-preserving). The
+// slab is the index's own storage — free to obtain, read-only to use.
+// PairWalk shares this order, so walks and reports enumerate cells
+// identically.
+func (ix *Index) SortedCells() []Cell { return ix.cells }
 
 // PairWalk enumerates the unordered pairs of occupied cells within a
 // Chebyshev reach of each other, in a form that shards across workers:
 // every pair {a, b} — and every single occupied cell, as the pair
-// (c, c) — is reported exactly once, to exactly one shard. Construction
-// materializes one walk order and the positive offset fan once; the
-// per-shard walks are read-only and safe to run concurrently. The walk
-// order is fixed for the walk's lifetime but otherwise unspecified —
-// consumers needing order-independent results must normalize
-// downstream (the motion CSR build sorts every neighbour row), which
-// keeps walk construction a single map pass with no sort.
+// (c, c) — is reported exactly once, to exactly one shard. The walk
+// order is the index's key-sorted cell order — deterministic by
+// construction, with no side lookup state: neighbour probes are binary
+// searches over the shared packed-key slab. The per-shard walks are
+// read-only and safe to run concurrently.
 type PairWalk struct {
-	ix    *Index
-	reach int
-	cells []*Cell
-	// index maps a cell key to the cell's position in cells, so a
-	// neighbour probe is a single map lookup. It shares the index's key
-	// strings (no re-encoding).
-	index   map[string]int
+	ix      *Index
+	reach   int
 	offsets [][]int
 }
 
 // NewPairWalk prepares a cell-pair walk at the given reach.
 func (ix *Index) NewPairWalk(reach int) *PairWalk {
-	w := &PairWalk{
+	return &PairWalk{
 		ix:      ix,
 		reach:   reach,
-		cells:   make([]*Cell, 0, len(ix.cells)),
-		index:   make(map[string]int, len(ix.cells)),
-		offsets: PositiveOffsets(ix.state.Dim(), reach),
+		offsets: PositiveOffsets(ix.dim, reach),
 	}
-	for k, c := range ix.cells {
-		w.index[k] = len(w.cells)
-		w.cells = append(w.cells, c)
-	}
-	return w
 }
 
-// Cells returns the occupied cells in the walk's fixed order. Pair
-// callbacks identify cells by index into this slice.
-func (w *PairWalk) Cells() []*Cell { return w.cells }
+// Cells returns the occupied cells in the walk's order — the index's
+// key-sorted slab. Pair callbacks identify cells by index into this
+// slice.
+func (w *PairWalk) Cells() []Cell { return w.ix.cells }
 
 // Shard calls fn(a, b) — indices into Cells() — for every cell pair owned
 // by shard: (c, c) for each owned cell, then (c, nb) for each occupied
 // cell nb within reach of c whose coordinate offset from c is
 // lexicographically positive. A cell is owned by shard i of n when its
-// walk-order index ≡ i (mod n), so the shards partition the pairs: the
+// key-sorted index ≡ i (mod n), so the shards partition the pairs: the
 // union over shards 0..nshards-1 covers every unordered pair exactly
 // once, regardless of nshards. Concurrent Shard calls are safe.
 func (w *PairWalk) Shard(shard, nshards int, fn func(a, b int)) {
-	dim := w.ix.state.Dim()
-	coords := make([]int, dim)
-	var buf []byte
-	for ci := shard; ci < len(w.cells); ci += nshards {
-		c := w.cells[ci]
+	ix := w.ix
+	dim := ix.dim
+	var cbuf [space.MaxDim]int
+	var kbuf [space.MaxDim]uint64
+	coords := cbuf[:dim]
+	for ci := shard; ci < len(ix.cells); ci += nshards {
+		c := &ix.cells[ci]
 		fn(ci, ci)
 		for _, off := range w.offsets {
 			ok := true
 			for i := 0; i < dim; i++ {
 				x := c.Coords[i] + off[i]
-				if x < 0 || x >= w.ix.Res {
+				if x < 0 || x >= ix.Res {
 					ok = false
 					break
 				}
@@ -306,55 +570,40 @@ func (w *PairWalk) Shard(shard, nshards int, fn func(a, b int)) {
 			if !ok {
 				continue
 			}
-			buf = AppendKey(buf[:0], coords)
-			nb, ok := w.index[string(buf)]
-			if !ok {
-				continue
+			if nb := ix.findKey(ix.kc.appendKey(kbuf[:0], coords)); nb >= 0 {
+				fn(ci, nb)
 			}
-			fn(ci, nb)
 		}
 	}
 }
 
-// ForEachNeighbor calls fn for every occupied cell at Chebyshev cell
-// distance <= reach of the given center coordinates (including the
-// center cell itself when occupied). It walks the (2*reach+1)^d
-// neighbour keys directly, skipping coordinates outside [0, Res).
-func (ix *Index) ForEachNeighbor(center []int, reach int, fn func(c *Cell)) {
-	dim := len(center)
-	offsets := make([]int, dim)
-	coords := make([]int, dim)
-	buf := make([]byte, 0, 8*dim)
-	for i := range offsets {
-		offsets[i] = -reach
-	}
-	for {
+// ForEachNeighbor calls fn — with the cell's key-sorted index and the
+// cell — for every occupied cell at Chebyshev cell distance <= reach of
+// the given center coordinates (including the center cell itself when
+// occupied), in the fan's odometer order. It probes the (2*reach+1)^d
+// neighbour keys directly, skipping coordinates outside [0, Res);
+// callers must bound the fan (NeighborCells) first.
+func (ix *Index) ForEachNeighbor(center []int, reach int, fn func(i int, c *Cell)) {
+	dim := ix.dim
+	fan := offsetFan(dim, reach)
+	var cbuf [space.MaxDim]int
+	var kbuf [space.MaxDim]uint64
+	coords := cbuf[:dim]
+	for _, off := range fan {
 		ok := true
 		for i := 0; i < dim; i++ {
-			c := center[i] + offsets[i]
+			c := center[i] + off[i]
 			if c < 0 || c >= ix.Res {
 				ok = false
 				break
 			}
 			coords[i] = c
 		}
-		if ok {
-			buf = AppendKey(buf[:0], coords)
-			if c, found := ix.cells[string(buf)]; found {
-				fn(c)
-			}
+		if !ok {
+			continue
 		}
-		// Next offset vector in [-reach, reach]^dim.
-		i := 0
-		for ; i < dim; i++ {
-			offsets[i]++
-			if offsets[i] <= reach {
-				break
-			}
-			offsets[i] = -reach
-		}
-		if i == dim {
-			break
+		if i := ix.findKey(ix.kc.appendKey(kbuf[:0], coords)); i >= 0 {
+			fn(i, &ix.cells[i])
 		}
 	}
 }
@@ -371,7 +620,7 @@ func (ix *Index) ForEachNeighbor(center []int, reach int, fn func(c *Cell)) {
 // realistic index — the query scans the occupied cells instead.
 func (ix *Index) Within(p space.Point, radius float64, dst []int) []int {
 	reach := int(math.Ceil(radius/ix.Side)) + 1
-	dim := ix.state.Dim()
+	dim := ix.dim
 	// walkFloor keeps low-dimension queries on the walk path (stable
 	// candidate order) even over sparsely occupied indexes; only the
 	// exponential high-dimension fan-outs fall through to the scan.
@@ -381,19 +630,19 @@ func (ix *Index) Within(p space.Point, radius float64, dst []int) []int {
 	}
 	if NeighborCells(dim, reach, walkFloor) > walkFloor {
 		start := len(dst)
-		for _, c := range ix.cells {
-			for _, id := range c.Ids {
+		for ci := range ix.cells {
+			for _, id := range ix.cells[ci].Ids {
 				if space.Dist(ix.state.At(id), p) <= radius {
 					dst = append(dst, id)
 				}
 			}
 		}
-		sort.Ints(dst[start:]) // map order is random; sort for determinism
+		slices.Sort(dst[start:]) // cell order groups ids; sort the segment by id
 		return dst
 	}
-	var coords [space.MaxDim]int
-	center := ix.Coords(p, coords[:0])
-	ix.ForEachNeighbor(center, reach, func(c *Cell) {
+	var cbuf [space.MaxDim]int
+	center := ix.Coords(p, cbuf[:0])
+	ix.ForEachNeighbor(center, reach, func(_ int, c *Cell) {
 		for _, id := range c.Ids {
 			if space.Dist(ix.state.At(id), p) <= radius {
 				dst = append(dst, id)

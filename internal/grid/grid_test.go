@@ -116,9 +116,9 @@ func TestIndexCellsSorted(t *testing.T) {
 	ix := New(st, ids, ForRadius(0.03))
 
 	seen := make(map[int]bool)
-	ix.ForEachCell(func(key string, c *Cell) {
-		if Key(c.Coords) != key {
-			t.Errorf("cell key %q does not match coords %v", key, c.Coords)
+	ix.ForEachCell(func(c *Cell) {
+		if got := ix.Cell(Key(c.Coords)); got != c {
+			t.Errorf("Cell(Key(%v)) = %v, want the cell itself", c.Coords, got)
 		}
 		for i, id := range c.Ids {
 			if seen[id] {
@@ -329,7 +329,7 @@ func TestPairWalkCoversAllPairs(t *testing.T) {
 }
 
 // TestSortedCellsDeterministic: SortedCells must return the occupied
-// cells in key order — the shared deterministic order shards rely on.
+// cells in key order — the shared deterministic order walks rely on.
 func TestSortedCellsDeterministic(t *testing.T) {
 	rng := stats.NewRNG(7)
 	st, err := space.NewState(300, 2)

@@ -1,6 +1,7 @@
 package motion
 
 import (
+	"slices"
 	"sort"
 	"sync"
 
@@ -63,13 +64,15 @@ type Graph struct {
 // identical adjacency (TestNewGraphGridMatchesAllPairs).
 const gridBuildMinVertices = 256
 
-// sparseMinVertices is the vertex count at which NewGraph switches from
-// dense bitset rows to the CSR neighbour-list representation. The
-// crossover trades the dense rows' word-parallel set algebra against
-// their O(m²/64) footprint: at 4096 vertices the dense adjacency is
-// 2 MB — around the point where allocating and zeroing it starts to
-// rival the whole sparse build — while every paper-scale characterization
-// window (tens to hundreds of abnormal devices) stays comfortably dense.
+// sparseMinVertices is the vertex count at which NewGraph stops building
+// dense bitset rows unconditionally and instead collects the edge set
+// first, picking the representation from the measured edge count
+// (density-adaptive; see buildCollected). The threshold trades the dense
+// rows' word-parallel set algebra against their O(m²/64) footprint: at
+// 4096 vertices the dense adjacency is 2 MB — around the point where
+// allocating and zeroing it starts to rival the whole sparse build —
+// while every paper-scale characterization window (tens to hundreds of
+// abnormal devices) stays comfortably dense.
 const sparseMinVertices = 4096
 
 // gridBuildReach is the Chebyshev cell distance the grid build pairs
@@ -93,9 +96,11 @@ const gridBuildMaxRes = 1 << 25
 // cells with side 2r over the k-1 positions and only pairs from nearby
 // cells are distance-tested, instead of all m^2 pairs. Small or
 // degenerate inputs use the plain all-pairs scan. From sparseMinVertices
-// vertices the cell-pair walk is sharded across GOMAXPROCS workers and
-// the result is stored as CSR neighbour lists instead of bitset rows.
-// The adjacency relation is identical on every path.
+// vertices the cell-pair walk is sharded across GOMAXPROCS workers into
+// per-worker edge buffers, and the representation — CSR neighbour lists
+// or dense bitset rows — is picked from the measured edge count after
+// collection, not the vertex count before it. The adjacency relation is
+// identical on every path.
 func NewGraph(p *Pair, ids []int, r float64) *Graph {
 	g := newGraphVertices(p, ids, r)
 	m := len(g.ids)
@@ -103,7 +108,7 @@ func NewGraph(p *Pair, ids []int, r float64) *Graph {
 	gridOK := prm.Res <= gridBuildMaxRes && gridBuildWorthwhile(p.Dim(), m)
 	switch {
 	case m >= sparseMinVertices:
-		g.buildSparse(prm, gridOK, 0)
+		g.buildCollected(prm, gridOK, 0, false)
 	case m >= gridBuildMinVertices && gridOK:
 		g.allocDense()
 		g.buildGrid(prm)
@@ -151,13 +156,10 @@ func newGraphVertices(p *Pair, ids []int, r float64) *Graph {
 	return g
 }
 
-// allocDense sizes the dense bitset rows (dense mode only).
+// allocDense sizes the dense bitset rows (dense mode only): one shared
+// words arena behind every row, 3 allocations however many vertices.
 func (g *Graph) allocDense() {
-	m := len(g.ids)
-	g.adj = make([]*sets.Bits, m)
-	for i := range g.adj {
-		g.adj[i] = sets.NewBits(m)
-	}
+	g.adj = sets.NewBitsRows(len(g.ids), len(g.ids))
 }
 
 // Sparse reports whether the graph stores its adjacency as CSR neighbour
@@ -251,21 +253,21 @@ type cellLocals struct {
 	loc []int32
 }
 
-func (c *cellLocals) row(i int) []int32 { return c.loc[c.off[i] : c.off[i+1] : c.off[i+1]] }
+func (c *cellLocals) row(i int) []int32 { return c.loc[c.off[i]:c.off[i+1]:c.off[i+1]] }
 
 // resolveCellLocals converts each cell's device ids to local indices
 // once, so the pair walks never re-derive them.
-func (g *Graph) resolveCellLocals(cells []*grid.Cell) *cellLocals {
+func (g *Graph) resolveCellLocals(cells []grid.Cell) *cellLocals {
 	total := 0
-	for _, c := range cells {
-		total += len(c.Ids)
+	for i := range cells {
+		total += len(cells[i].Ids)
 	}
 	out := &cellLocals{
 		off: make([]int32, len(cells)+1),
 		loc: make([]int32, 0, total),
 	}
-	for i, c := range cells {
-		for _, id := range c.Ids {
+	for i := range cells {
+		for _, id := range cells[i].Ids {
 			li, _ := g.Local(id) // indexed ids are always vertices
 			out.loc = append(out.loc, int32(li))
 		}
@@ -315,8 +317,7 @@ func (g *Graph) Local(id int) (int, bool) {
 		li, ok := g.local[id]
 		return li, ok
 	}
-	li := sort.SearchInts(g.ids, id)
-	if li < len(g.ids) && g.ids[li] == id {
+	if li, ok := slices.BinarySearch(g.ids, id); ok {
 		return li, true
 	}
 	return 0, false
@@ -751,12 +752,13 @@ func newGraphGrid(p *Pair, ids []int, r float64) *Graph {
 	return g
 }
 
-// newGraphSparse builds the CSR-backed graph regardless of size
-// (testing/benchmark hook); workers <= 0 selects GOMAXPROCS.
+// newGraphSparse builds the CSR-backed graph regardless of size or
+// measured density (testing/benchmark hook); workers <= 0 selects
+// GOMAXPROCS.
 func newGraphSparse(p *Pair, ids []int, r float64, workers int) *Graph {
 	g := newGraphVertices(p, ids, r)
 	prm := grid.ForRadius(r)
 	gridOK := prm.Res <= gridBuildMaxRes && gridBuildWorthwhile(p.Dim(), len(g.ids))
-	g.buildSparse(prm, gridOK, workers)
+	g.buildCollected(prm, gridOK, workers, true)
 	return g
 }

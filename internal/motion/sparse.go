@@ -9,10 +9,11 @@ import (
 	"anomalia/internal/sets"
 )
 
-// This file is the sparse half of the hybrid adjacency: the parallel
-// CSR construction (NewGraph at >= sparseMinVertices) and the
-// neighbourhood-densified clique enumeration that keeps Bron–Kerbosch
-// word-parallel without ever materializing O(m²/64) bits.
+// This file is the collected half of the hybrid adjacency: the parallel
+// edge collection and CSR construction (NewGraph at >=
+// sparseMinVertices) and the neighbourhood-densified clique enumeration
+// that keeps Bron–Kerbosch word-parallel without ever materializing
+// O(m²/64) bits.
 //
 // Construction pipeline:
 //
@@ -22,9 +23,13 @@ import (
 //  2. Shard the grid's cell-pair walk across workers; each worker
 //     distance-tests its candidate pairs and appends surviving edges to
 //     a private buffer (no shared state, no locks).
-//  3. Merge the buffers into one CSR arena — offsets plus neighbours,
-//     2 allocations regardless of m — via a count / prefix-sum / fill
-//     pass, then sort each row. Sorted rows make the arena a pure
+//  3. Pick the representation from the measured edge count: windows so
+//     edge-dense that the CSR arena would be no smaller than the dense
+//     bitset rows fill the rows straight from the buffers (word-parallel
+//     enumeration, no per-row merge+sort); everything else merges the
+//     buffers into one CSR arena — offsets plus neighbours, 2
+//     allocations regardless of m — via a count / prefix-sum / fill
+//     pass, then sorts each row. Sorted rows make the arena a pure
 //     function of the edge set: the same adjacency comes out for every
 //     worker count and shard interleaving.
 
@@ -37,11 +42,16 @@ type sparseBuilder struct {
 	curF  []float64
 }
 
-// buildSparse constructs the CSR adjacency. gridOK selects the sharded
-// cell-pair walk; when the geometry rules the grid out (exponential
-// high-dimension fan-out, degenerate resolution) the workers stripe an
-// all-pairs scan instead. workers <= 0 selects GOMAXPROCS.
-func (g *Graph) buildSparse(prm grid.Params, gridOK bool, workers int) {
+// buildCollected constructs the adjacency for graphs at or above
+// sparseMinVertices: collect the edge set into per-worker buffers, then
+// pick the representation from the measured edge count (density-
+// adaptive) — unless forceCSR pins the CSR arena (testing hook, and the
+// guarantee newGraphSparse gives the parity suites). gridOK selects the
+// sharded cell-pair walk; when the geometry rules the grid out
+// (exponential high-dimension fan-out, degenerate resolution) the
+// workers stripe an all-pairs scan instead. workers <= 0 selects
+// GOMAXPROCS.
+func (g *Graph) buildCollected(prm grid.Params, gridOK bool, workers int, forceCSR bool) {
 	m := len(g.ids)
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -70,7 +80,45 @@ func (g *Graph) buildSparse(prm grid.Params, gridOK bool, workers int) {
 	} else {
 		bufs = b.collectAllPairs(workers)
 	}
+	if !forceCSR && denseWorthwhile(m, countEdges(bufs)) {
+		g.denseFromEdges(bufs)
+		return
+	}
 	g.mergeCSR(bufs, workers)
+}
+
+// countEdges totals the collected edge buffers.
+func countEdges(bufs [][]uint64) int {
+	total := 0
+	for _, buf := range bufs {
+		total += len(buf)
+	}
+	return total
+}
+
+// denseWorthwhile picks the adjacency representation from the measured
+// edge count: dense words are m·ceil(m/64), the CSR arena holds 2 int32
+// entries (one 64-bit word) per edge — when the dense rows are no
+// bigger, sparsity buys no memory and the word-parallel dense
+// enumeration plus a fill-from-buffers build (no per-row merge+sort) is
+// strictly better. Edge-dense clustered windows near the old vertex
+// crossover land here; uniform fleets at scale never do, so the ratio
+// needs no separate memory cap.
+func denseWorthwhile(m, edges int) bool {
+	return m*((m+63)/64) <= edges
+}
+
+// denseFromEdges fills slab-backed dense bitset rows straight from the
+// per-worker edge buffers.
+func (g *Graph) denseFromEdges(bufs [][]uint64) {
+	g.allocDense()
+	for _, buf := range bufs {
+		for _, e := range buf {
+			a, c := unpack(e)
+			g.adj[a].Add(int(c))
+			g.adj[c].Add(int(a))
+		}
+	}
 }
 
 // adjacent is the inlined edge test over the flattened coordinates:

@@ -47,6 +47,29 @@ func BitsOf(n int, members ...int) *Bits {
 	return b
 }
 
+// NewBitsRows returns count empty bitsets over [0, n), all backed by a
+// single shared words arena — 3 allocations however many rows, where
+// one NewBits per row costs 2·count. This is the slab behind the dense
+// motion-graph adjacency; rows must not be Resized (Resize would leave
+// the arena but every other operation keeps the backing shared).
+func NewBitsRows(count, n int) []*Bits {
+	if count < 0 {
+		count = 0
+	}
+	if n < 0 {
+		n = 0
+	}
+	wpr := (n + wordBits - 1) / wordBits
+	arena := make([]uint64, count*wpr)
+	rows := make([]Bits, count)
+	out := make([]*Bits, count)
+	for i := range rows {
+		rows[i] = Bits{words: arena[i*wpr : (i+1)*wpr : (i+1)*wpr], n: n}
+		out[i] = &rows[i]
+	}
+	return out
+}
+
 // Universe returns the size n of the universe [0, n).
 func (b *Bits) Universe() int { return b.n }
 

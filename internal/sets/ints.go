@@ -1,6 +1,6 @@
 package sets
 
-import "sort"
+import "slices"
 
 // Ints provides set algebra over sorted, duplicate-free []int slices.
 // These are the exchange format between packages (bitsets stay internal to
@@ -13,7 +13,7 @@ func Canon(s []int) []int {
 	if len(s) < 2 {
 		return s
 	}
-	sort.Ints(s)
+	slices.Sort(s)
 	out := s[:1]
 	for _, v := range s[1:] {
 		if v != out[len(out)-1] {
@@ -25,8 +25,8 @@ func Canon(s []int) []int {
 
 // ContainsInt reports whether sorted slice s contains v.
 func ContainsInt(s []int, v int) bool {
-	i := sort.SearchInts(s, v)
-	return i < len(s) && s[i] == v
+	_, ok := slices.BinarySearch(s, v)
+	return ok
 }
 
 // EqualInts reports whether two sorted slices hold the same elements.
@@ -155,13 +155,5 @@ func CloneInts(s []int) []int {
 // on ties of the common prefix), giving deterministic output for families
 // produced from map iteration.
 func SortSets(family [][]int) {
-	sort.Slice(family, func(i, j int) bool {
-		a, b := family[i], family[j]
-		for k := 0; k < len(a) && k < len(b); k++ {
-			if a[k] != b[k] {
-				return a[k] < b[k]
-			}
-		}
-		return len(a) < len(b)
-	})
+	slices.SortFunc(family, slices.Compare)
 }

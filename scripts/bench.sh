@@ -8,26 +8,34 @@
 #                             previous-PR baseline, including the
 #                             million-device graph-build entry) and
 #                             prints the raw benchmarks
-#   scripts/bench.sh -short   CI smoke: quick subset plus two -benchmem
+#   scripts/bench.sh -short   CI smoke: quick subset plus three -benchmem
 #                             regression gates — allocs/op on
-#                             BenchmarkCharacterizeWindow and B/op on
-#                             the m=100k graph build (the n=1M entry is
-#                             skipped via -short)
+#                             BenchmarkCharacterizeWindow, B/op on the
+#                             m=100k graph build, and allocs/op on the
+#                             m=1M graph build (run once, without
+#                             -short, just for the gate)
 #
 # The window gate fails when allocs/op exceeds MAX_WINDOW_ALLOCS, chosen
 # with ~15% headroom over the PR 2 hot path (1735 allocs/op; the seed
-# was 4046). The graph gate fails when the hybrid (sparse CSR) build of
-# a 100k-vertex uniform window allocates more than MAX_GRAPH100K_BYTES,
-# chosen with ~1.5x headroom over the PR 3 build (~100 MB; the dense
-# representation it replaced allocated 1.37 GB) so any regression back
-# toward quadratic storage trips CI.
+# was 4046). The graph byte gate fails when the hybrid (sparse CSR)
+# build of a 100k-vertex uniform window allocates more than
+# MAX_GRAPH100K_BYTES, chosen with ~1.5x headroom over the PR 3 build
+# (~100 MB; the dense representation it replaced allocated 1.37 GB) so
+# any regression back toward quadratic storage trips CI. The graph
+# alloc gate fails when the 1M-vertex build allocates more than
+# MAX_GRAPH1M_ALLOCS times: the PR 4 flat slab-allocated grid index
+# builds the window in a few hundred allocations (PR 3's map-based
+# index paid 1.5M — one map entry, cell struct, coords slice and
+# id-list growth per occupied cell), so the 10k ceiling trips on any
+# per-cell or per-device allocation creeping back in.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PR=3
+PR=4
 OUT="BENCH_${PR}.json"
 MAX_WINDOW_ALLOCS=2000
 MAX_GRAPH100K_BYTES=150000000
+MAX_GRAPH1M_ALLOCS=10000
 
 # bench_json BENCH_OUTPUT -> JSON entries "name": {ns_op, b_op, allocs_op}.
 # Repeated lines for one benchmark (-count > 1) keep the per-metric
@@ -90,6 +98,19 @@ if [ "${1:-}" = "-short" ]; then
     exit 1
   fi
   echo "bench.sh: graph-build byte gate OK ($gbytes <= $MAX_GRAPH100K_BYTES B/op)"
+  mout=$(go test -run='^$' -bench='BenchmarkNewGraph/grid/sparse/n=1000000$' \
+    -benchmem -benchtime=1x -timeout=20m ./internal/motion/)
+  echo "$mout"
+  mallocs=$(metric "$mout" '^BenchmarkNewGraph/grid/sparse/n=1000000' 'allocs/op')
+  if [ -z "$mallocs" ]; then
+    echo "bench.sh: could not parse allocs/op from BenchmarkNewGraph/grid/sparse/n=1000000" >&2
+    exit 1
+  fi
+  if [ "$mallocs" -gt "$MAX_GRAPH1M_ALLOCS" ]; then
+    echo "bench.sh: graph-build allocation regression — n=1M build at $mallocs allocs/op, gate is $MAX_GRAPH1M_ALLOCS" >&2
+    exit 1
+  fi
+  echo "bench.sh: graph-build allocation gate OK ($mallocs <= $MAX_GRAPH1M_ALLOCS allocs/op)"
   exit 0
 fi
 
@@ -117,23 +138,28 @@ go test -run='^$' -bench='BenchmarkDirectoryBuild|BenchmarkDistDecide' \
   echo "  \"pr\": ${PR},"
   echo "  \"date\": \"$(date -u +%Y-%m-%d)\","
   echo "  \"go\": \"$(go env GOVERSION)\","
-  echo "  \"note\": \"PR ${PR}: hybrid sparse/dense motion-graph adjacency + parallel CSR grid build. 'before' is the recorded PR 2 state: dense bitset-per-vertex adjacency built single-threaded. The n>=10k grid/* entries now exercise the sparse CSR side of the hybrid; grid/sparse/n=1000000 is new (radius dimensioned per §VII-A to r=0.001 — at r=0.01 a 1M uniform window carries ~10^9 edges and is unrepresentable either way). The clustered placement holds per-cluster population at 500 from n=100k (cluster count scales with n) per the same dimensioning; up to n=10k it is unchanged, so the n=100k clustered row compares the dense representation against the sparse one on the workload shape a dimensioned deployment produces at that scale.\","
+  echo "  \"note\": \"PR ${PR}: slab-allocated flat grid index + density-adaptive adjacency. 'before' is the recorded PR 3 state: map-based grid.Index (one map entry, cell struct, coords slice and id-list growth per occupied cell — ~1.5M allocs/op at n=1M) and a vertex-count dense/sparse crossover. The flat index materializes as one key-sorted []Cell slab plus shared id/coords/key arenas (a handful of allocations at any scale) with binary-search lookups; NewGraph now picks dense rows vs CSR from the measured edge count after collection, so edge-dense clustered windows near the old crossover (grid/clustered/n=10000) ride slab-backed dense rows instead of paying the CSR merge+sort. The dist Directory shares the flat index (per-cell atomic block cache, no shard maps) and DecideAll assembles views through one recycled scratch buffer.\","
   echo "  \"before\": {"
   cat <<'PREV'
-    "BenchmarkNewGraph/grid/sparse/n=1000": {"ns_op": 913660, "b_op": 393672, "allocs_op": 6328},
-    "BenchmarkNewGraph/grid/sparse/n=10000": {"ns_op": 30657636, "b_op": 14644200, "allocs_op": 37475},
-    "BenchmarkNewGraph/grid/sparse/n=100000": {"ns_op": 2680844449, "b_op": 1371046680, "allocs_op": 227757},
-    "BenchmarkNewGraph/grid/clustered/n=1000": {"ns_op": 2348873, "b_op": 333320, "allocs_op": 3722},
-    "BenchmarkNewGraph/grid/clustered/n=10000": {"ns_op": 75354720, "b_op": 14357064, "allocs_op": 22924},
-    "BenchmarkNewGraph/grid/clustered/n=100000": {"ns_op": 9286334429, "b_op": 1370714712, "allocs_op": 204390},
-    "BenchmarkCharacterizeWindow": {"ns_op": 254551, "b_op": 164068, "allocs_op": 1734},
-    "BenchmarkCharacterizeWindowCheap": {"ns_op": 223059, "b_op": 149622, "allocs_op": 1305},
-    "BenchmarkCharacterizeLargeFleet": {"ns_op": 1734646, "b_op": 1315660, "allocs_op": 8210},
-    "BenchmarkMonitorObserve": {"ns_op": 58181, "b_op": 22226, "allocs_op": 458},
-    "BenchmarkDirectoryBuild/n=1k": {"ns_op": 18543, "b_op": 15072, "allocs_op": 228},
-    "BenchmarkDirectoryBuild/n=10k": {"ns_op": 74553, "b_op": 56880, "allocs_op": 946},
-    "BenchmarkDistDecide/n=1k": {"ns_op": 721977, "b_op": 307187, "allocs_op": 7606},
-    "BenchmarkDistDecide/n=10k": {"ns_op": 2124661, "b_op": 854043, "allocs_op": 20524}
+    "BenchmarkNewGraph/grid/sparse/n=1000": {"ns_op": 969156, "b_op": 349568, "allocs_op": 5506},
+    "BenchmarkNewGraph/allpairs/sparse/n=1000": {"ns_op": 12054410, "b_op": 176560, "allocs_op": 2003},
+    "BenchmarkNewGraph/grid/sparse/n=10000": {"ns_op": 12763800, "b_op": 2538368, "allocs_op": 15022},
+    "BenchmarkNewGraph/allpairs/sparse/n=10000": {"ns_op": 751960404, "b_op": 13284016, "allocs_op": 20003},
+    "BenchmarkNewGraph/grid/sparse/n=100000": {"ns_op": 901021940, "b_op": 99813488, "allocs_op": 25192},
+    "BenchmarkNewGraph/grid/clustered/n=1000": {"ns_op": 889302, "b_op": 290432, "allocs_op": 3478},
+    "BenchmarkNewGraph/allpairs/clustered/n=1000": {"ns_op": 4895004, "b_op": 176560, "allocs_op": 2003},
+    "BenchmarkNewGraph/grid/clustered/n=10000": {"ns_op": 80127715, "b_op": 11239160, "allocs_op": 2653},
+    "BenchmarkNewGraph/allpairs/clustered/n=10000": {"ns_op": 531162213, "b_op": 13284016, "allocs_op": 20003},
+    "BenchmarkNewGraph/grid/clustered/n=100000": {"ns_op": 1623325426, "b_op": 183907856, "allocs_op": 18069},
+    "BenchmarkNewGraph/grid/sparse/n=1000000": {"ns_op": 4351938912, "b_op": 259791536, "allocs_op": 1502469},
+    "BenchmarkCharacterizeWindow": {"ns_op": 256380, "b_op": 164209, "allocs_op": 1734},
+    "BenchmarkCharacterizeWindowCheap": {"ns_op": 184569, "b_op": 149759, "allocs_op": 1305},
+    "BenchmarkCharacterizeLargeFleet": {"ns_op": 1472739, "b_op": 1313759, "allocs_op": 8044},
+    "BenchmarkMonitorObserve": {"ns_op": 49442, "b_op": 21760, "allocs_op": 450},
+    "BenchmarkDirectoryBuild/n=1k": {"ns_op": 15171, "b_op": 12680, "allocs_op": 224},
+    "BenchmarkDirectoryBuild/n=10k": {"ns_op": 72540, "b_op": 47320, "allocs_op": 942},
+    "BenchmarkDistDecide/n=1k": {"ns_op": 732206, "b_op": 314058, "allocs_op": 7605},
+    "BenchmarkDistDecide/n=10k": {"ns_op": 2219902, "b_op": 871710, "allocs_op": 20523}
 PREV
   echo "  },"
   echo "  \"after\": {"
@@ -143,3 +169,15 @@ PREV
 } >"$OUT"
 
 echo "bench.sh: wrote $OUT"
+
+# The n=1M allocation gate also holds on the full run's numbers.
+mallocs=$(awk '/^BenchmarkNewGraph\/grid\/sparse\/n=1000000/ { for (i=2;i<=NF;i++) if ($(i)=="allocs/op") print $(i-1) }' "$tmp" | sort -n | head -1)
+if [ -z "$mallocs" ]; then
+  echo "bench.sh: could not parse allocs/op from BenchmarkNewGraph/grid/sparse/n=1000000" >&2
+  exit 1
+fi
+if [ "$mallocs" -gt "$MAX_GRAPH1M_ALLOCS" ]; then
+  echo "bench.sh: graph-build allocation regression — n=1M build at $mallocs allocs/op, gate is $MAX_GRAPH1M_ALLOCS" >&2
+  exit 1
+fi
+echo "bench.sh: graph-build allocation gate OK ($mallocs <= $MAX_GRAPH1M_ALLOCS allocs/op)"

@@ -299,17 +299,33 @@ func (o *Outcome) addReport(res core.Result) {
 // abnormal device characterizes itself on its fetched 4r view. The cell
 // side is 2r so a view spans at most two cells per axis.
 func characterizeDistributed(pair *motion.Pair, abnormal []int, cfg config) (*Outcome, error) {
-	coreCfg := core.Config{R: cfg.radius, Tau: cfg.tau, Exact: cfg.exact, Budget: cfg.budget}
-	// Validate the characterization config first so a bad radius or tau
-	// surfaces as the same error the centralized path reports, not as an
-	// internal grid-parameter complaint from the directory build.
-	if _, err := core.New(pair, nil, coreCfg); err != nil {
+	coreCfg, err := validateDistConfig(pair, cfg)
+	if err != nil {
 		return nil, err
 	}
 	dir, err := dist.NewDirectory(pair, abnormal, cfg.radius)
 	if err != nil {
 		return nil, err
 	}
+	return decideDistributed(dir, coreCfg)
+}
+
+// validateDistConfig validates the characterization config first so a
+// bad radius or tau surfaces as the same error the centralized path
+// reports, not as an internal grid-parameter complaint from the
+// directory build.
+func validateDistConfig(pair *motion.Pair, cfg config) (core.Config, error) {
+	coreCfg := core.Config{R: cfg.radius, Tau: cfg.tau, Exact: cfg.exact, Budget: cfg.budget}
+	if _, err := core.New(pair, nil, coreCfg); err != nil {
+		return core.Config{}, err
+	}
+	return coreCfg, nil
+}
+
+// decideDistributed batches a whole window's decisions against a built
+// (or advanced) directory and folds them into an Outcome with the
+// summed directory traffic.
+func decideDistributed(dir *dist.Directory, coreCfg core.Config) (*Outcome, error) {
 	decisions, total, err := dist.DecideAll(dir, coreCfg)
 	if err != nil {
 		return nil, err

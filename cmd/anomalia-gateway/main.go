@@ -13,12 +13,16 @@
 // With -in omitted, snapshots are read from standard input.
 //
 // With -distributed, verdicts are routed through the distributed
-// deployment path instead of the in-process characterizer: the window's
-// abnormal trajectories are indexed in a sharded directory service and
-// each abnormal device decides on the 4r view it fetches from it — the
-// same code path the DistCost study of anomalia-experiments bills. The
-// verdicts are identical (the paper's locality result); each anomalous
-// window additionally reports the directory traffic it generated.
+// deployment path instead of the in-process characterizer: the abnormal
+// trajectories are indexed in a sharded directory service that persists
+// across observation windows — the monitor builds it on the first
+// abnormal window and advances it incrementally (a sorted-merge patch
+// of the retained spatial index, not a rebuild) on every later one —
+// and each abnormal device decides on the 4r view it fetches from it,
+// the same code path the DistCost study of anomalia-experiments bills.
+// The verdicts are identical (the paper's locality result); each
+// anomalous window additionally reports the directory traffic it
+// generated.
 package main
 
 import (

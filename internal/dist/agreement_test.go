@@ -92,7 +92,7 @@ func TestDecideAllMatchesDecide(t *testing.T) {
 
 	const r = 0.03
 	coreCfg := core.Config{R: r, Tau: 3, Exact: true}
-	step := window(t, scenario.Config{
+	step := genWindow(t, scenario.Config{
 		N: 400, D: 2, R: r, Tau: 3, A: 25, G: 0.3,
 		Concomitant: true, MaxShift: 2 * r, Seed: 21,
 	})

@@ -14,16 +14,20 @@ import (
 // the directory: fetch the 4r view, run core's decision procedures
 // (Theorems 5-7 / Corollary 8) over that view alone, and report the
 // communication bill. The verdict is identical to the omniscient one by
-// the paper's locality result.
+// the paper's locality result. The current window is snapshotted once
+// at entry, so a concurrent Advance cannot tear the decision across two
+// windows.
 func Decide(d *Directory, j int, cfg core.Config) (core.Result, Stats, error) {
 	if err := d.checkRadius(cfg); err != nil {
 		return core.Result{}, Stats{}, err
 	}
-	view, st, err := d.View(j)
-	if err != nil {
-		return core.Result{}, Stats{}, err
+	w := d.win.Load()
+	pos, ok := slices.BinarySearch(w.abnormal, j)
+	if !ok {
+		return core.Result{}, Stats{}, fmt.Errorf("device %d: %w", j, ErrUnknownDevice)
 	}
-	c, err := core.New(d.pair, view, cfg)
+	view, st := d.viewInto(w, j, pos, nil)
+	c, err := core.New(w.pair, view, cfg)
 	if err != nil {
 		return core.Result{}, Stats{}, err
 	}
@@ -60,12 +64,15 @@ type Decision struct {
 // neighbourhood is enumerated once, and the view groups run on parallel
 // workers writing disjoint slots of the result slice. Decisions come
 // back in device order with the summed Stats; every per-device Result
-// and Stats is identical to a standalone Decide call.
+// and Stats is identical to a standalone Decide call. The whole batch
+// runs against one window snapshot taken at entry: a concurrent Advance
+// never mixes two windows into one batch.
 func DecideAll(d *Directory, cfg core.Config) ([]Decision, Stats, error) {
+	w := d.win.Load()
 	// Validate the configuration up front: the per-group characterizers
 	// only exist when there are devices to decide, and an empty window
 	// must reject a bad config exactly like the centralized path does.
-	if _, err := core.New(d.pair, nil, cfg); err != nil {
+	if _, err := core.New(w.pair, nil, cfg); err != nil {
 		return nil, Stats{}, err
 	}
 	if err := d.checkRadius(cfg); err != nil {
@@ -80,9 +87,9 @@ func DecideAll(d *Directory, cfg core.Config) ([]Decision, Stats, error) {
 	order := make([]*group, 0)
 	var scratch []int
 	var keyBuf []byte
-	for pos, j := range d.abnormal {
+	for pos, j := range w.abnormal {
 		var st Stats
-		scratch, st = d.viewInto(j, pos, scratch[:0])
+		scratch, st = d.viewInto(w, j, pos, scratch[:0])
 		// Views are sorted id sets, so the shared grid encoding is a
 		// collision-free group key; the map probe converts in place and
 		// the string only materializes for a new group.
@@ -97,7 +104,7 @@ func DecideAll(d *Directory, cfg core.Config) ([]Decision, Stats, error) {
 		g.stats = append(g.stats, st)
 	}
 
-	out := make([]Decision, len(d.abnormal))
+	out := make([]Decision, len(w.abnormal))
 	var mu sync.Mutex
 	var firstErr error
 	workers := runtime.GOMAXPROCS(0)
@@ -109,12 +116,12 @@ func DecideAll(d *Directory, cfg core.Config) ([]Decision, Stats, error) {
 	}
 	work := make(chan *group)
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for wk := 0; wk < workers; wk++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for g := range work {
-				c, err := core.New(d.pair, g.view, cfg)
+				c, err := core.New(w.pair, g.view, cfg)
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
@@ -124,7 +131,7 @@ func DecideAll(d *Directory, cfg core.Config) ([]Decision, Stats, error) {
 					continue
 				}
 				for i, pos := range g.positions {
-					j := d.abnormal[pos]
+					j := w.abnormal[pos]
 					res, err := c.Characterize(j)
 					if err != nil {
 						mu.Lock()

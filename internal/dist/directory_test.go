@@ -15,7 +15,7 @@ import (
 )
 
 // window generates one seeded observation window with ground truth.
-func window(t testing.TB, cfg scenario.Config) *scenario.Step {
+func genWindow(t testing.TB, cfg scenario.Config) *scenario.Step {
 	t.Helper()
 	gen, err := scenario.New(cfg)
 	if err != nil {
@@ -57,7 +57,7 @@ func TestViewMatchesBruteForce(t *testing.T) {
 
 	const r = 0.03
 	for _, concomitant := range []bool{false, true} {
-		step := window(t, scenario.Config{
+		step := genWindow(t, scenario.Config{
 			N: 400, D: 2, R: r, Tau: 3, A: 20, G: 0.3,
 			Concomitant: concomitant, MaxShift: 2 * r, Seed: 11,
 		})
@@ -95,7 +95,7 @@ func TestViewStatsStable(t *testing.T) {
 	t.Parallel()
 
 	const r = 0.03
-	step := window(t, scenario.Config{
+	step := genWindow(t, scenario.Config{
 		N: 300, D: 2, R: r, Tau: 3, A: 10, G: 0.5,
 		Concomitant: true, MaxShift: 2 * r, Seed: 5,
 	})
@@ -163,7 +163,7 @@ func TestBlockStrategiesAgree(t *testing.T) {
 	t.Parallel()
 
 	const r = 0.03
-	step := window(t, scenario.Config{
+	step := genWindow(t, scenario.Config{
 		N: 400, D: 2, R: r, Tau: 3, A: 30, G: 0.7,
 		Concomitant: true, MaxShift: 2 * r, Seed: 19,
 	})
@@ -171,11 +171,12 @@ func TestBlockStrategiesAgree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	w := dir.win.Load()
 	for _, j := range step.Abnormal {
 		center := dir.geom.Coords(step.Pair.Prev.At(j), nil)
 		var lookup, scan block
-		dir.lookupBlock(center, &lookup)
-		dir.scanBlock(center, &scan)
+		dir.lookupBlock(w, center, &lookup)
+		dir.scanBlock(w, center, &scan)
 		sort.Ints(lookup.cands)
 		sort.Ints(scan.cands)
 		if !sets.EqualInts(lookup.cands, scan.cands) {
@@ -269,7 +270,7 @@ func TestNewDirectoryAllocs(t *testing.T) {
 		t.Skip("allocation counting is slow under -short")
 	}
 	const r = 0.01
-	step := window(t, scenario.Config{
+	step := genWindow(t, scenario.Config{
 		N: 10000, D: 2, R: r, Tau: 3, A: 100, G: 0.3,
 		Concomitant: true, MaxShift: 2 * r, Seed: 4242,
 	})

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"time"
 
 	"anomalia/internal/core"
 	"anomalia/internal/dist"
@@ -38,15 +39,28 @@ func DefaultDistCost() DistCostConfig {
 	}
 }
 
+// DistCostDeterministicCols is the number of leading columns of the
+// DistCost table that are a pure function of the configuration — the
+// trailing speedup column measures wall time and varies run to run.
+const DistCostDeterministicCols = 6
+
 // DistCost measures the per-device communication cost of the distributed
 // decision: messages exchanged with the directory, trajectories
 // transferred, and 4r-view sizes — the quantities that make the approach
 // scale where the centralized clustering of [15] does not.
+//
+// Each window is decided twice: on a directory rebuilt from scratch
+// (the pre-persistence deployment) and on one persistent directory
+// advanced window to window. The "msgΔ incr" column is the summed
+// difference in protocol messages between the two paths — zero by the
+// directory's parity guarantee, and asserted here — and "rebuild/adv"
+// the measured wall-time ratio of rebuilding versus advancing the
+// index, the quantity the cross-window persistence buys.
 func DistCost(cfg DistCostConfig) (*Table, error) {
 	t := &Table{
 		Title: fmt.Sprintf("Distributed deployment cost per deciding device (n=%d, G=%g)",
 			cfg.N, cfg.G),
-		Header: []string{"A", "mean |A_k|", "messages", "trajectories", "view size"},
+		Header: []string{"A", "mean |A_k|", "messages", "trajectories", "view size", "msgΔ incr", "rebuild/adv"},
 	}
 	coreCfg := core.Config{R: cfg.R, Tau: cfg.Tau, Exact: true}
 	for _, a := range cfg.As {
@@ -60,6 +74,9 @@ func DistCost(cfg DistCostConfig) (*Table, error) {
 			return nil, err
 		}
 		var msgs, trajs, views, abnormal stats.Welford
+		var advDir *dist.Directory
+		msgDelta := 0
+		var rebuildTime, advanceTime time.Duration
 		for s := 0; s < cfg.Steps; s++ {
 			step, err := gen.Step()
 			if err != nil {
@@ -68,10 +85,23 @@ func DistCost(cfg DistCostConfig) (*Table, error) {
 			if len(step.Abnormal) == 0 {
 				continue
 			}
+			t0 := time.Now()
 			dir, err := dist.NewDirectory(step.Pair, step.Abnormal, cfg.R)
 			if err != nil {
 				return nil, err
 			}
+			rebuildTime += time.Since(t0)
+			t0 = time.Now()
+			if advDir == nil {
+				// The persistent service pays one initial build too.
+				if advDir, err = dist.NewDirectory(step.Pair, step.Abnormal, cfg.R); err != nil {
+					return nil, err
+				}
+			} else if _, err := advDir.Advance(step.Pair, step.Abnormal, nil); err != nil {
+				return nil, err
+			}
+			advanceTime += time.Since(t0)
+
 			abnormal.Add(float64(len(step.Abnormal)))
 			for _, j := range step.Abnormal {
 				_, st, err := dist.Decide(dir, j, coreCfg)
@@ -81,7 +111,19 @@ func DistCost(cfg DistCostConfig) (*Table, error) {
 				msgs.Add(float64(st.Messages))
 				trajs.Add(float64(st.Trajectories))
 				views.Add(float64(st.ViewSize))
+				_, ast, err := dist.Decide(advDir, j, coreCfg)
+				if err != nil {
+					return nil, fmt.Errorf("A=%d device %d (incremental): %w", a, j, err)
+				}
+				msgDelta += ast.Messages - st.Messages
 			}
+		}
+		if msgDelta != 0 {
+			return nil, fmt.Errorf("A=%d: incremental directory billed %+d messages vs rebuild — parity broken", a, msgDelta)
+		}
+		ratio := 0.0
+		if advanceTime > 0 {
+			ratio = float64(rebuildTime) / float64(advanceTime)
 		}
 		t.AddRow(
 			fmt.Sprintf("%d", a),
@@ -89,6 +131,8 @@ func DistCost(cfg DistCostConfig) (*Table, error) {
 			f(msgs.Mean()),
 			f(trajs.Mean()),
 			f(views.Mean()),
+			fmt.Sprintf("%d", msgDelta),
+			f(ratio),
 		)
 	}
 	return t, nil

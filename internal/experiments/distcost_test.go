@@ -27,8 +27,11 @@ func TestDistCostSmall(t *testing.T) {
 		t.Fatalf("%d rows for %d error loads", len(tab.Rows), len(cfg.As))
 	}
 	for _, row := range tab.Rows {
-		if len(row) != 5 {
-			t.Fatalf("row %v has %d cells, want 5", row, len(row))
+		if len(row) != 7 {
+			t.Fatalf("row %v has %d cells, want 7", row, len(row))
+		}
+		if row[5] != "0" {
+			t.Fatalf("row %v: incremental-vs-rebuild message delta %q, want 0", row, row[5])
 		}
 		msgs, err := strconv.ParseFloat(row[2], 64)
 		if err != nil {
@@ -48,8 +51,8 @@ func TestDistCostSmall(t *testing.T) {
 }
 
 // TestDistCostDeterministic: equal seeds must reproduce the cost table
-// cell for cell — the property that makes BENCH_*.json trajectories
-// comparable across runs.
+// cell for cell across its deterministic columns — the property that
+// makes BENCH_*.json trajectories comparable across runs.
 func TestDistCostDeterministic(t *testing.T) {
 	t.Parallel()
 
@@ -69,7 +72,9 @@ func TestDistCostDeterministic(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range a.Rows {
-		for c := range a.Rows[i] {
+		// The trailing column is a wall-time ratio; everything before it
+		// must reproduce cell for cell.
+		for c := 0; c < DistCostDeterministicCols; c++ {
 			if a.Rows[i][c] != b.Rows[i][c] {
 				t.Fatalf("row %d cell %d: %q != %q", i, c, a.Rows[i][c], b.Rows[i][c])
 			}

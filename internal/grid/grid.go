@@ -256,6 +256,18 @@ type Index struct {
 	cells   []Cell
 	coords  []int
 	idArena []int
+	// ids is the indexed id slice as given (shared with the caller,
+	// read-only) and idCell the cell position of each of its entries —
+	// filled for free during the build and the membership record Update
+	// diffs against, so the delta path never has to re-derive old cells
+	// from positions (the old state may already be recycled).
+	ids       []int
+	idCell    []int32
+	idsSorted bool
+	// arenaWaste counts dead id-arena entries accumulated by fastPatch
+	// updates (churned cells abandon their old lists in place); when it
+	// outgrows the live id count, the next Update compacts.
+	arenaWaste int
 }
 
 // New indexes the given device ids (typically the abnormal set, sorted)
@@ -265,6 +277,8 @@ type Index struct {
 func New(state *space.State, ids []int, p Params) *Index {
 	dim := state.Dim()
 	ix := &Index{Params: p, state: state, dim: dim, kc: newKeyCodec(dim, p.Res)}
+	ix.ids = ids
+	ix.idsSorted = sortedUnique(ids)
 	m := len(ids)
 	if m == 0 {
 		return ix
@@ -277,12 +291,25 @@ func New(state *space.State, ids []int, p Params) *Index {
 	return ix
 }
 
-// alloc sizes the four slabs for n occupied cells over m indexed ids.
+// alloc sizes the slabs for n occupied cells over m indexed ids.
 func (ix *Index) alloc(n, m int) {
 	ix.keys = make([]uint64, 0, n*ix.kc.stride)
 	ix.cells = make([]Cell, n)
 	ix.coords = make([]int, 0, n*ix.dim)
 	ix.idArena = make([]int, m)
+	ix.idCell = make([]int32, m)
+}
+
+// sortedUnique reports whether ids is strictly ascending — the canonical
+// input every production caller indexes, and the precondition of the
+// sorted-merge delta path (Update).
+func sortedUnique(ids []int) bool {
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			return false
+		}
+	}
+	return true
 }
 
 // openCell appends cell ci's key and coordinates to the slabs, deriving
@@ -334,6 +361,7 @@ func (ix *Index) buildPacked32(ids []int) {
 			ix.openCell(ci, id, kbuf[:])
 		}
 		ix.idArena[s] = id
+		ix.idCell[uint32(c)] = int32(ci)
 	}
 	ix.cells[ci].Ids = ix.idArena[start:m:m]
 }
@@ -385,6 +413,7 @@ func (ix *Index) buildGeneral(ids []int) {
 			ix.openCell(ci, id, keyAt(oi))
 		}
 		ix.idArena[s] = id
+		ix.idCell[oi] = int32(ci)
 	}
 	ix.cells[ci].Ids = ix.idArena[start:m:m]
 }
@@ -419,6 +448,20 @@ func parallelRanges(m int, fn func(lo, hi int)) {
 
 // State returns the indexed state.
 func (ix *Index) State() *space.State { return ix.state }
+
+// Ids returns the indexed ids in input order. The slice is shared with
+// the caller that built the index — read-only for both sides.
+func (ix *Index) Ids() []int { return ix.ids }
+
+// CellOf returns the position (into CellAt / SortedCells order) of the
+// occupied cell holding the i-th indexed id — the inverse of the cell
+// membership lists, recorded for free during the build.
+func (ix *Index) CellOf(i int) int { return int(ix.idCell[i]) }
+
+// CellIndexes returns the whole id-position → cell-position record
+// (aligned with Ids). The slab is the index's own storage — free to
+// obtain, read-only to use.
+func (ix *Index) CellIndexes() []int32 { return ix.idCell }
 
 // Cells returns the number of occupied cells.
 func (ix *Index) Cells() int { return len(ix.cells) }
@@ -577,15 +620,44 @@ func (w *PairWalk) Shard(shard, nshards int, fn func(a, b int)) {
 	}
 }
 
+// NeighborWalk amortizes the offset fan of repeated neighbourhood
+// probes: build it once per reach and ForEach probes any number of
+// centers without re-materializing the (2*reach+1)^d offsets. The walk
+// is read-only and safe for concurrent ForEach calls.
+type NeighborWalk struct {
+	ix  *Index
+	fan [][]int
+}
+
+// NewNeighborWalk prepares a reusable neighbourhood walk at the given
+// reach. Callers must bound the fan (NeighborCells) first, exactly like
+// ForEachNeighbor.
+func (ix *Index) NewNeighborWalk(reach int) *NeighborWalk {
+	return &NeighborWalk{ix: ix, fan: offsetFan(ix.dim, reach)}
+}
+
+// ForEach calls fn — with the cell's key-sorted index and the cell — for
+// every occupied cell at Chebyshev cell distance <= reach of the given
+// center coordinates (including the center cell itself when occupied),
+// in the fan's odometer order.
+func (w *NeighborWalk) ForEach(center []int, fn func(i int, c *Cell)) {
+	w.ix.forEachNeighborFan(center, w.fan, fn)
+}
+
 // ForEachNeighbor calls fn — with the cell's key-sorted index and the
 // cell — for every occupied cell at Chebyshev cell distance <= reach of
 // the given center coordinates (including the center cell itself when
 // occupied), in the fan's odometer order. It probes the (2*reach+1)^d
 // neighbour keys directly, skipping coordinates outside [0, Res);
-// callers must bound the fan (NeighborCells) first.
+// callers must bound the fan (NeighborCells) first. Repeated probes at
+// one reach should share a NeighborWalk instead, which materializes the
+// fan once.
 func (ix *Index) ForEachNeighbor(center []int, reach int, fn func(i int, c *Cell)) {
+	ix.forEachNeighborFan(center, offsetFan(ix.dim, reach), fn)
+}
+
+func (ix *Index) forEachNeighborFan(center []int, fan [][]int, fn func(i int, c *Cell)) {
 	dim := ix.dim
-	fan := offsetFan(dim, reach)
 	var cbuf [space.MaxDim]int
 	var kbuf [space.MaxDim]uint64
 	coords := cbuf[:dim]

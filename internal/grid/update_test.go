@@ -1,0 +1,567 @@
+package grid
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"testing"
+
+	"anomalia/internal/sets"
+	"anomalia/internal/space"
+	"anomalia/internal/stats"
+)
+
+// This file pins the delta path: an index evolved by Update across a
+// window sequence must be byte-identical — every slab, every view, every
+// probe — to an index built fresh by New from the same state and ids.
+// The sequences are adversarial: no-op moves, devices oscillating across
+// one cell boundary, boundary-snapped and coincident positions, id churn
+// from 0% to 100%, and old states scrambled after every step (the
+// production Monitor recycles its snapshot buffers, so Update must never
+// read the old state).
+
+// assertIndexEqual compares two indexes slab by slab.
+func assertIndexEqual(t *testing.T, label string, got, want *Index) {
+	t.Helper()
+	if got.Params != want.Params || got.kc != want.kc || got.dim != want.dim {
+		t.Fatalf("%s: geometry %+v/%+v vs %+v/%+v", label, got.Params, got.kc, want.Params, want.kc)
+	}
+	if !slices.Equal(got.keys, want.keys) {
+		t.Fatalf("%s: key slabs differ (%d vs %d words)", label, len(got.keys), len(want.keys))
+	}
+	if len(got.cells) != len(want.cells) {
+		t.Fatalf("%s: %d cells, want %d", label, len(got.cells), len(want.cells))
+	}
+	for ci := range want.cells {
+		if !slices.Equal(got.cells[ci].Coords, want.cells[ci].Coords) {
+			t.Fatalf("%s: cell %d coords %v, want %v", label, ci, got.cells[ci].Coords, want.cells[ci].Coords)
+		}
+		if !slices.Equal(got.cells[ci].Ids, want.cells[ci].Ids) {
+			t.Fatalf("%s: cell %d ids %v, want %v", label, ci, got.cells[ci].Ids, want.cells[ci].Ids)
+		}
+	}
+	// The arena order — ids grouped by key-sorted cell, ascending within
+	// each cell — must match the fresh build's exactly, wherever the
+	// backing storage lives (patched indexes share unchurned storage
+	// with their ancestors).
+	var gotArena, wantArena []int
+	for ci := range want.cells {
+		gotArena = append(gotArena, got.cells[ci].Ids...)
+		wantArena = append(wantArena, want.cells[ci].Ids...)
+	}
+	if !slices.Equal(gotArena, wantArena) {
+		t.Fatalf("%s: id arena order differs", label)
+	}
+	if !slices.Equal(got.idCell, want.idCell) {
+		t.Fatalf("%s: idCell records differ", label)
+	}
+	if !slices.Equal(got.ids, want.ids) {
+		t.Fatalf("%s: ids differ", label)
+	}
+}
+
+// updateSeq drives one evolving window sequence and checks parity after
+// every step. mode selects the movement distribution.
+type updateSeq struct {
+	rng  *stats.RNG
+	prm  Params
+	n    int
+	dim  int
+	mode string
+	// cur is the live state; ids the current indexed set.
+	cur    *space.State
+	ids    []int
+	ix     *Index
+	stepNo int
+}
+
+func newUpdateSeq(t *testing.T, rng *stats.RNG, n, dim int, side float64, mode string) *updateSeq {
+	t.Helper()
+	st, err := space.NewState(n, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Uniform(rng.Float64)
+	s := &updateSeq{rng: rng, prm: ForSide(side), n: n, dim: dim, mode: mode, cur: st}
+	for j := 0; j < n; j++ {
+		if rng.Float64() < 0.8 {
+			s.ids = append(s.ids, j)
+		}
+	}
+	s.ix = New(st, s.ids, s.prm)
+	return s
+}
+
+// point draws a position according to the sequence's distribution mode.
+func (s *updateSeq) point(anchor space.Point) space.Point {
+	pt := make(space.Point, s.dim)
+	switch s.mode {
+	case "clustered":
+		for i := range pt {
+			pt[i] = math.Min(1, math.Max(0, anchor[i]+(s.rng.Float64()-0.5)*4*s.prm.Side))
+		}
+	case "boundary":
+		for i := range pt {
+			pt[i] = math.Min(1, float64(s.rng.Intn(s.prm.Res+1))*s.prm.Side)
+		}
+	default: // uniform
+		for i := range pt {
+			pt[i] = s.rng.Float64()
+		}
+	}
+	return pt
+}
+
+// step evolves the window: moveFrac of the indexed ids get new positions
+// (plus no-op rewrites and one-cell oscillations), churnFrac of the id
+// set is swapped out/in, and the previous state buffer is scrambled
+// after the update — like the Monitor's recycled snapshots. Every other
+// step feeds Update the honest moved list (sometimes padded with
+// unmoved ids — supersets are legal); the rest pass nil and exercise
+// the recheck-everything path.
+func (s *updateSeq) step(t *testing.T, label string, moveFrac, churnFrac float64) {
+	t.Helper()
+	next := s.cur.Clone()
+	movedSet := map[int]bool{}
+
+	// Position churn over the whole population (indexed or not).
+	moves := int(moveFrac * float64(s.n))
+	for k := 0; k < moves; k++ {
+		j := s.rng.Intn(s.n)
+		anchor := next.At(s.rng.Intn(s.n))
+		if err := next.Set(j, s.point(anchor)); err != nil {
+			t.Fatal(err)
+		}
+		movedSet[j] = true
+	}
+	// Coincident devices: copy another device's position exactly.
+	for k := 0; k < moves/4; k++ {
+		a, b := s.rng.Intn(s.n), s.rng.Intn(s.n)
+		if err := next.Set(a, next.At(b)); err != nil {
+			t.Fatal(err)
+		}
+		movedSet[a] = true
+	}
+	// No-op move: rewrite a position unchanged (listing it is legal).
+	if s.n > 0 {
+		j := s.rng.Intn(s.n)
+		if err := next.Set(j, next.At(j).Clone()); err != nil {
+			t.Fatal(err)
+		}
+		movedSet[j] = true
+	}
+	// Oscillation: shift one device by exactly one cell side, so it hops
+	// a boundary without leaving its neighbourhood.
+	if len(s.ids) > 0 {
+		j := s.ids[s.rng.Intn(len(s.ids))]
+		pt := next.At(j).Clone()
+		pt[0] = math.Min(1, math.Max(0, pt[0]+s.prm.Side))
+		if err := next.Set(j, pt); err != nil {
+			t.Fatal(err)
+		}
+		movedSet[j] = true
+	}
+
+	// Id churn: drop and add churnFrac of the indexed set.
+	ids := slices.Clone(s.ids)
+	drop := int(churnFrac * float64(len(ids)))
+	for k := 0; k < drop && len(ids) > 1; k++ {
+		p := s.rng.Intn(len(ids))
+		ids = slices.Delete(ids, p, p+1)
+	}
+	for k := 0; k < drop; k++ {
+		j := s.rng.Intn(s.n)
+		if p, ok := slices.BinarySearch(ids, j); !ok {
+			ids = slices.Insert(ids, p, j)
+		}
+	}
+
+	var moved []int
+	s.stepNo++
+	if s.stepNo%2 == 1 {
+		for j := range movedSet {
+			moved = append(moved, j)
+		}
+		// Pad with a few unmoved ids: supersets must be harmless.
+		for k := 0; k < 3; k++ {
+			moved = append(moved, s.rng.Intn(s.n))
+		}
+		moved = sets.Canon(moved)
+	}
+	nix, st := s.ix.Update(next, ids, moved)
+	want := New(next, ids, s.prm)
+	assertIndexEqual(t, label, nix, want)
+	if nix.State() != next {
+		t.Fatalf("%s: updated index does not reference the new state", label)
+	}
+	if !st.Rebuilt {
+		if st.Sources == nil {
+			// Identity: the cell set must be unchanged position for
+			// position.
+			if len(nix.cells) != len(s.ix.cells) {
+				t.Fatalf("%s: nil Sources but %d cells vs %d", label, len(nix.cells), len(s.ix.cells))
+			}
+			for ci := range nix.cells {
+				if !slices.Equal(nix.cells[ci].Coords, s.ix.cells[ci].Coords) {
+					t.Fatalf("%s: nil Sources but cell %d coords changed", label, ci)
+				}
+			}
+		} else {
+			if len(st.Sources) != len(nix.cells) {
+				t.Fatalf("%s: %d sources for %d cells", label, len(st.Sources), len(nix.cells))
+			}
+			for nc, src := range st.Sources {
+				if src < 0 {
+					continue
+				}
+				if !slices.Equal(nix.cells[nc].Coords, s.ix.cells[src].Coords) {
+					t.Fatalf("%s: source %d->%d coords mismatch", label, src, nc)
+				}
+			}
+		}
+		// Every membership difference must be flagged as churned.
+		churned := make(map[string]bool, len(st.ChurnedCells))
+		for _, nc := range st.ChurnedCells {
+			churned[Key(nix.cells[nc].Coords)] = true
+		}
+		oldByKey := make(map[string][]int, len(s.ix.cells))
+		for ci := range s.ix.cells {
+			oldByKey[Key(s.ix.cells[ci].Coords)] = s.ix.cells[ci].Ids
+		}
+		for ci := range nix.cells {
+			key := Key(nix.cells[ci].Coords)
+			if !slices.Equal(nix.cells[ci].Ids, oldByKey[key]) && !churned[key] {
+				t.Fatalf("%s: cell %v changed membership but is not in ChurnedCells", label, nix.cells[ci].Coords)
+			}
+		}
+		if len(st.VacatedCoords)%s.dim != 0 {
+			t.Fatalf("%s: vacated coords length %d not a multiple of dim", label, len(st.VacatedCoords))
+		}
+		for off := 0; off < len(st.VacatedCoords); off += s.dim {
+			vc := st.VacatedCoords[off : off+s.dim]
+			if nix.Find(vc) != -1 {
+				t.Fatalf("%s: vacated cell %v still occupied", label, vc)
+			}
+			if s.ix.Find(vc) == -1 {
+				t.Fatalf("%s: vacated cell %v was never occupied", label, vc)
+			}
+		}
+	}
+
+	// Scramble the state the old index was built on: Update and the new
+	// index must be independent of it (the Monitor recycles buffers).
+	s.cur.Uniform(s.rng.Float64)
+
+	s.cur, s.ids, s.ix = next, ids, nix
+
+	// Spot-check lookups against the freshly built twin.
+	for trial := 0; trial < 5 && len(ids) > 0; trial++ {
+		q := next.At(ids[s.rng.Intn(len(ids))])
+		radius := s.prm.Side * []float64{0.5, 1, 2}[trial%3]
+		got := nix.Within(q, radius, nil)
+		exp := want.Within(q, radius, nil)
+		if !slices.Equal(got, exp) {
+			t.Fatalf("%s: Within diverged from fresh build", label)
+		}
+	}
+}
+
+// TestUpdateMatchesFreshBuild: the parity property suite over random
+// move/churn sequences — uniform, clustered, boundary-snapped and
+// coincident devices, churn fractions including 0% and 100%, single-word
+// and word-per-axis key codecs.
+func TestUpdateMatchesFreshBuild(t *testing.T) {
+	t.Parallel()
+
+	rng := stats.NewRNG(20260729)
+	configs := []struct {
+		n, dim int
+		side   float64
+		mode   string
+	}{
+		{300, 2, 0.06, "uniform"},
+		{400, 2, 0.02, "clustered"},
+		{250, 1, 0.13, "boundary"},
+		{300, 3, 0.1, "uniform"},
+		{200, 2, 1, "uniform"},     // single spanning cell
+		{150, 12, 0.31, "uniform"}, // word-per-axis codec (stride == dim)
+		{120, 3, 1e-7, "uniform"},  // huge resolution: wide keys, singleton cells
+	}
+	churns := []struct{ move, churn float64 }{
+		{0, 0},    // identical window
+		{0.01, 0}, // a handful of moves, no id churn
+		{0.05, 0.02},
+		{0.2, 0.1},
+		{0.3, 0.3}, // near and past the rebuild threshold
+		{1, 1},     // full churn: everything replaced
+	}
+	for ci, cfg := range configs {
+		s := newUpdateSeq(t, rng, cfg.n, cfg.dim, cfg.side, cfg.mode)
+		for step, ch := range churns {
+			label := fmt.Sprintf("config %d (%s d=%d side=%v) step %d (move=%v churn=%v)",
+				ci, cfg.mode, cfg.dim, cfg.side, step, ch.move, ch.churn)
+			s.step(t, label, ch.move, ch.churn)
+		}
+	}
+}
+
+// TestUpdatePairWalkParity: the cell-pair sets the updated index walks
+// must match the fresh build's, across shard counts — the property the
+// sparse graph construction shards on.
+func TestUpdatePairWalkParity(t *testing.T) {
+	t.Parallel()
+
+	rng := stats.NewRNG(555)
+	s := newUpdateSeq(t, rng, 300, 2, 0.06, "clustered")
+	for step := 0; step < 4; step++ {
+		s.step(t, fmt.Sprintf("step %d", step), 0.1, 0.05)
+		fresh := New(s.cur, s.ids, s.prm)
+		for _, nshards := range []int{1, 3} {
+			want := map[[2]string]bool{}
+			fw := fresh.NewPairWalk(2)
+			for sh := 0; sh < nshards; sh++ {
+				fw.Shard(sh, nshards, func(a, b int) {
+					want[[2]string{Key(fw.Cells()[a].Coords), Key(fw.Cells()[b].Coords)}] = true
+				})
+			}
+			got := map[[2]string]bool{}
+			uw := s.ix.NewPairWalk(2)
+			for sh := 0; sh < nshards; sh++ {
+				uw.Shard(sh, nshards, func(a, b int) {
+					pair := [2]string{Key(uw.Cells()[a].Coords), Key(uw.Cells()[b].Coords)}
+					if got[pair] {
+						t.Fatalf("step %d nshards=%d: duplicate pair", step, nshards)
+					}
+					got[pair] = true
+				})
+			}
+			if len(got) != len(want) {
+				t.Fatalf("step %d nshards=%d: %d pairs, want %d", step, nshards, len(got), len(want))
+			}
+			for pair := range got {
+				if !want[pair] {
+					t.Fatalf("step %d nshards=%d: spurious pair", step, nshards)
+				}
+			}
+		}
+	}
+}
+
+// TestUpdateRebuildFallbacks: inputs outside the delta path's
+// preconditions must fall back to a full rebuild — and still produce an
+// index identical to New.
+func TestUpdateRebuildFallbacks(t *testing.T) {
+	t.Parallel()
+
+	rng := stats.NewRNG(4242)
+	st, err := space.NewState(100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Uniform(rng.Float64)
+	prm := ForSide(0.06)
+	ids := make([]int, 0, 100)
+	for j := 0; j < 100; j += 2 {
+		ids = append(ids, j)
+	}
+	ix := New(st, ids, prm)
+
+	// Unsorted ids.
+	unsorted := []int{5, 3, 9}
+	nix, us := ix.Update(st, unsorted, nil)
+	if !us.Rebuilt {
+		t.Error("unsorted ids must rebuild")
+	}
+	assertIndexEqual(t, "unsorted", nix, New(st, unsorted, prm))
+
+	// Duplicate ids.
+	if _, us := ix.Update(st, []int{1, 1, 2}, nil); !us.Rebuilt {
+		t.Error("duplicate ids must rebuild")
+	}
+
+	// Empty new set.
+	nix, us = ix.Update(st, nil, nil)
+	if !us.Rebuilt || nix.Cells() != 0 {
+		t.Errorf("empty new set: rebuilt=%v cells=%d", us.Rebuilt, nix.Cells())
+	}
+
+	// Empty old index.
+	empty := New(st, nil, prm)
+	nix, us = empty.Update(st, ids, nil)
+	if !us.Rebuilt {
+		t.Error("empty old index must rebuild")
+	}
+	assertIndexEqual(t, "empty-old", nix, New(st, ids, prm))
+
+	// Dimension change.
+	st3, err := space.NewState(100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st3.Uniform(rng.Float64)
+	nix, us = ix.Update(st3, ids, nil)
+	if !us.Rebuilt {
+		t.Error("dimension change must rebuild")
+	}
+	assertIndexEqual(t, "dim-change", nix, New(st3, ids, prm))
+
+	// Churn fraction above the threshold.
+	moved := st.Clone()
+	for _, j := range ids {
+		pt := make(space.Point, 2)
+		pt[0], pt[1] = rng.Float64(), rng.Float64()
+		if err := moved.Set(j, pt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nix, us = ix.Update(moved, ids, nil)
+	if !us.Rebuilt {
+		t.Error("full-churn update must rebuild")
+	}
+	assertIndexEqual(t, "full-churn", nix, New(moved, ids, prm))
+}
+
+// TestUpdateAllocs pins the delta hot path: advancing a 12k-id index at
+// ~1% churn stays a bounded handful of allocations — slab headers and
+// churn-sized delta lists, never a per-id or per-cell term.
+func TestUpdateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation counting is slow under -short")
+	}
+	const n = 12000
+	rng := stats.NewRNG(77)
+	st, err := space.NewState(n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Uniform(rng.Float64)
+	prm := ForSide(0.02)
+	ids := make([]int, n)
+	for j := range ids {
+		ids[j] = j
+	}
+	ix := New(st, ids, prm)
+
+	next := st.Clone()
+	var movedIds []int
+	for k := 0; k < n/100; k++ {
+		j := rng.Intn(n)
+		pt := space.Point{rng.Float64(), rng.Float64()}
+		if err := next.Set(j, pt); err != nil {
+			t.Fatal(err)
+		}
+		movedIds = append(movedIds, j)
+	}
+	movedIds = sets.Canon(movedIds)
+	for _, moved := range [][]int{movedIds, nil} {
+		got := testing.AllocsPerRun(10, func() {
+			nix, us := ix.Update(next, ids, moved)
+			if us.Rebuilt || nix.Cells() == 0 {
+				t.Fatal("1% churn must take the delta path")
+			}
+		})
+		if limit := 96.0; got > limit {
+			t.Errorf("Update (moved=%v) allocates %.0f times at 1%% churn over %d ids, want <= %.0f",
+				moved != nil, got, n, limit)
+		}
+	}
+}
+
+// FuzzIndexUpdate: arbitrary delta sequences — add/remove/move,
+// including no-op moves and boundary oscillations — applied through
+// Update must match both the map-based oracle retained from the flat
+// index migration and a byte-identical fresh build.
+func FuzzIndexUpdate(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint8(1), uint8(50))
+	f.Add(int64(99), uint8(8), uint8(0), uint8(200))
+	f.Add(int64(31337), uint8(5), uint8(3), uint8(30))
+	f.Add(int64(-7), uint8(2), uint8(4), uint8(120))
+	f.Fuzz(func(t *testing.T, seed int64, steps, sideSel, nSel uint8) {
+		rng := stats.NewRNG(seed)
+		n := 10 + int(nSel)
+		side := []float64{0.02, 0.06, 0.13, 0.31, 1}[int(sideSel)%5]
+		prm := ForSide(side)
+		st, err := space.NewState(n, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.Uniform(rng.Float64)
+		ids := []int{}
+		for j := 0; j < n; j++ {
+			if rng.Float64() < 0.7 {
+				ids = append(ids, j)
+			}
+		}
+		ix := New(st, ids, prm)
+		for step := 0; step < int(steps%12)+1; step++ {
+			next := st.Clone()
+			movedSet := map[int]bool{}
+			// A burst of random ops: moves (uniform, snapped, oscillating,
+			// no-op) and id adds/removes.
+			ops := rng.Intn(1 + n/4)
+			for op := 0; op < ops; op++ {
+				j := rng.Intn(n)
+				switch rng.Intn(5) {
+				case 0: // uniform move
+					next.Set(j, space.Point{rng.Float64(), rng.Float64()})
+					movedSet[j] = true
+				case 1: // boundary-snapped move
+					next.Set(j, space.Point{
+						math.Min(1, float64(rng.Intn(prm.Res+1))*prm.Side),
+						math.Min(1, float64(rng.Intn(prm.Res+1))*prm.Side),
+					})
+					movedSet[j] = true
+				case 2: // oscillate exactly one cell side
+					pt := next.At(j).Clone()
+					pt[0] = math.Min(1, math.Max(0, pt[0]+prm.Side))
+					next.Set(j, pt)
+					movedSet[j] = true
+				case 3: // membership toggle
+					if p, ok := slices.BinarySearch(ids, j); ok {
+						ids = slices.Delete(slices.Clone(ids), p, p+1)
+					} else {
+						ids = slices.Insert(slices.Clone(ids), p, j)
+					}
+				default: // no-op move
+					next.Set(j, next.At(j).Clone())
+					movedSet[j] = true
+				}
+			}
+			// Alternate the delta feed: honest moved list, a padded
+			// superset, or nil (recheck everything).
+			var moved []int
+			switch step % 3 {
+			case 0:
+				for j := range movedSet {
+					moved = append(moved, j)
+				}
+				moved = sets.Canon(moved)
+			case 1:
+				for j := range movedSet {
+					moved = append(moved, j)
+				}
+				moved = append(moved, rng.Intn(n), rng.Intn(n))
+				moved = sets.Canon(moved)
+			}
+			nix, _ := ix.Update(next, ids, moved)
+			assertIndexEqual(t, fmt.Sprintf("seed=%d step=%d", seed, step), nix, New(next, ids, prm))
+
+			// Cross-check against the retained map-based oracle.
+			oracle := mapIndex(next, ids, prm)
+			if nix.Cells() != len(oracle) {
+				t.Fatalf("seed=%d step=%d: %d cells, oracle has %d", seed, step, nix.Cells(), len(oracle))
+			}
+			for ci := 0; ci < nix.Cells(); ci++ {
+				c := nix.CellAt(ci)
+				want, ok := oracle[Key(c.Coords)]
+				if !ok || !slices.Equal(c.Ids, want.ids) {
+					t.Fatalf("seed=%d step=%d: cell %v ids %v, oracle %v (ok=%v)",
+						seed, step, c.Coords, c.Ids, want, ok)
+				}
+			}
+			// Scramble the displaced state: Update must not have read it.
+			st.Uniform(rng.Float64)
+			st, ix = next, nix
+		}
+	})
+}

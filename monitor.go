@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"anomalia/internal/detect"
+	"anomalia/internal/dist"
 	"anomalia/internal/motion"
 	"anomalia/internal/space"
 )
@@ -28,6 +29,13 @@ type Monitor struct {
 	// for reuse once Observe returns.
 	spare  *space.State
 	abnBuf []int
+	// dir is the persistent directory service of the distributed path:
+	// the monitor owns consecutive windows, so it hosts the cross-window
+	// index — built on the first abnormal window and advanced (delta
+	// patch, not rebuild) on every later one. Buffer recycling above is
+	// safe against it: Advance never reads the previous window's
+	// positions, only its retained cell membership.
+	dir *dist.Directory
 }
 
 // NewMonitor builds a monitor for a fleet of devices, each consuming the
@@ -133,7 +141,7 @@ func (m *Monitor) Observe(samples [][]float64) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	out, err := characterizePair(pair, abnormal, m.cfg)
+	out, err := m.characterizeWindow(pair, abnormal)
 	if err != nil {
 		return nil, err
 	}
@@ -143,8 +151,36 @@ func (m *Monitor) Observe(samples [][]float64) (*Outcome, error) {
 	return out, nil
 }
 
-// Reset clears the detectors and the snapshot history, keeping the
-// configuration.
+// characterizeWindow runs one abnormal window through the configured
+// deployment model. The centralized path is stateless; the distributed
+// path persists the directory service across windows — the first
+// abnormal window builds it, every later one advances it with the
+// window-to-window delta (the monitor cannot know which devices crossed
+// cells, so the advance rechecks every indexed id — still sort-free and
+// cheaper than the rebuild it replaces; deployments with a per-device
+// update stream feed Advance their moved list directly).
+func (m *Monitor) characterizeWindow(pair *motion.Pair, abnormal []int) (*Outcome, error) {
+	if !m.cfg.distributed {
+		return characterizePair(pair, abnormal, m.cfg)
+	}
+	coreCfg, err := validateDistConfig(pair, m.cfg)
+	if err != nil {
+		return nil, err
+	}
+	if m.dir == nil {
+		dir, err := dist.NewDirectory(pair, abnormal, m.cfg.radius)
+		if err != nil {
+			return nil, err
+		}
+		m.dir = dir
+	} else if _, err := m.dir.Advance(pair, abnormal, nil); err != nil {
+		return nil, err
+	}
+	return decideDistributed(m.dir, coreCfg)
+}
+
+// Reset clears the detectors, the snapshot history and the persistent
+// directory, keeping the configuration.
 func (m *Monitor) Reset() {
 	for _, d := range m.dets {
 		d.Reset()
@@ -152,4 +188,5 @@ func (m *Monitor) Reset() {
 	m.prev = nil
 	m.spare = nil
 	m.time = 0
+	m.dir = nil
 }

@@ -141,3 +141,110 @@ func TestSoakFullStack(t *testing.T) {
 		t.Errorf("sampling interval = %v after calm tail, want ceiling", ctl.Interval())
 	}
 }
+
+// TestSoakDistributedPersistent drives the persistent distributed path
+// through hundreds of consecutive Observe windows: a distributed
+// monitor (whose directory service survives across windows, advanced by
+// delta instead of rebuilt) and a centralized monitor consume the same
+// snapshot stream, under a dense fault schedule so the directory is
+// built and advanced across many abnormal windows. Verdicts must agree
+// tick for tick — the paper's locality result end to end — and the
+// distributed outcomes must carry directory traffic.
+func TestSoakDistributedPersistent(t *testing.T) {
+	t.Parallel()
+
+	const (
+		aggs      = 2
+		dslams    = 2
+		gws       = 8
+		services  = 2
+		nGateways = aggs * dslams * gws
+		ticks     = 220
+	)
+	net, err := netsim.New(netsim.Config{
+		Aggregations:     aggs,
+		DSLAMsPerAgg:     dslams,
+		GatewaysPerDSLAM: gws,
+		Services:         services,
+		BaseQoS:          0.95,
+		Noise:            0.004,
+		Seed:             1234,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A dense rotation of faults: some component misbehaves every few
+	// ticks, so a large share of the ≥200 windows is abnormal and the
+	// persistent directory advances again and again with real churn.
+	var schedule []netsim.ScheduledFault
+	for tick := 8; tick < ticks-4; tick += 6 {
+		var f netsim.Fault
+		switch (tick / 6) % 3 {
+		case 0:
+			f = netsim.Fault{Component: netsim.Component{Level: netsim.LevelDSLAM, Index: (tick / 6) % (aggs * dslams)}, Severity: 0.3}
+		case 1:
+			f = netsim.Fault{Component: netsim.Component{Level: netsim.LevelGateway, Index: (tick * 7) % nGateways}, Severity: 0.5}
+		default:
+			f = netsim.Fault{Component: netsim.Component{Level: netsim.LevelAggregation, Index: (tick / 6) % aggs}, Severity: 0.25}
+		}
+		schedule = append(schedule, netsim.ScheduledFault{Fault: f, Start: tick, Duration: 1 + tick%2})
+	}
+	runner, err := netsim.NewRunner(net, schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := []anomalia.Option{anomalia.WithRadius(0.03), anomalia.WithTau(3)}
+	central, err := anomalia.NewMonitor(nGateways, services, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distributed, err := anomalia.NewMonitor(nGateways, services,
+		append(opts, anomalia.WithDistributed(true))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	abnormalWindows := 0
+	for tick := 0; tick < ticks; tick++ {
+		st, _, err := runner.Step()
+		if err != nil {
+			t.Fatalf("tick %d: %v", tick, err)
+		}
+		snapshot := make([][]float64, nGateways)
+		for g := 0; g < nGateways; g++ {
+			snapshot[g] = st.At(g)
+		}
+		want, err := central.Observe(snapshot)
+		if err != nil {
+			t.Fatalf("tick %d centralized: %v", tick, err)
+		}
+		got, err := distributed.Observe(snapshot)
+		if err != nil {
+			t.Fatalf("tick %d distributed: %v", tick, err)
+		}
+		if (want == nil) != (got == nil) {
+			t.Fatalf("tick %d: distributed detection diverged (central=%v dist=%v)", tick, want != nil, got != nil)
+		}
+		if want == nil {
+			continue
+		}
+		abnormalWindows++
+		if !sets.EqualInts(got.Massive, want.Massive) ||
+			!sets.EqualInts(got.Isolated, want.Isolated) ||
+			!sets.EqualInts(got.Unresolved, want.Unresolved) {
+			t.Fatalf("tick %d: verdicts diverged:\ncentral M=%v I=%v U=%v\ndist    M=%v I=%v U=%v",
+				tick, want.Massive, want.Isolated, want.Unresolved,
+				got.Massive, got.Isolated, got.Unresolved)
+		}
+		if got.Dist == nil || got.Dist.Messages < 2*len(got.Reports) {
+			t.Fatalf("tick %d: distributed outcome lacks plausible traffic stats: %+v", tick, got.Dist)
+		}
+	}
+	// The schedule must actually have exercised the persistent path:
+	// many abnormal windows, i.e. many directory advances.
+	if abnormalWindows < 30 {
+		t.Fatalf("only %d abnormal windows in %d ticks — soak did not stress the persistent directory", abnormalWindows, ticks)
+	}
+}

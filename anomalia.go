@@ -129,12 +129,13 @@ const (
 )
 
 type config struct {
-	radius      float64
-	tau         int
-	exact       bool
-	budget      int
-	distributed bool
-	factory     func(device, service int) (Detector, error)
+	radius        float64
+	tau           int
+	exact         bool
+	budget        int
+	distributed   bool
+	ingestWorkers int
+	factory       func(device, service int) (Detector, error)
 }
 
 func defaultConfig() config {
@@ -186,6 +187,19 @@ func WithBudget(budget int) Option {
 // per-device operation.
 func WithDistributed(distributed bool) Option {
 	return func(c *config) { c.distributed = distributed }
+}
+
+// WithIngestWorkers sets how many workers Monitor.Observe shards its
+// snapshot validation and per-device detector walk across: 1 forces the
+// serial walk, 0 or negative selects GOMAXPROCS (the default). The
+// abnormal set is identical whatever the count — the error-detection
+// functions a_k(j) are independent per-device tests, the fleet is
+// sliced into contiguous id ranges, and the per-worker abnormal-id
+// buffers merge in range order. Small fleets fall back to the serial
+// walk regardless. Ignored by Characterize, which takes the abnormal
+// set as input.
+func WithIngestWorkers(workers int) Option {
+	return func(c *config) { c.ingestWorkers = workers }
 }
 
 // WithDetectorFactory sets the per-(device, service) error-detection

@@ -14,7 +14,10 @@ import (
 	"testing"
 
 	"anomalia/internal/experiments"
+	"anomalia/internal/motion"
 	"anomalia/internal/scenario"
+	"anomalia/internal/snapio"
+	"anomalia/internal/space"
 	"anomalia/internal/stats"
 )
 
@@ -307,6 +310,133 @@ func BenchmarkMonitorObserve(b *testing.B) {
 		// Re-seat the detectors on the healthy level.
 		if _, err := m.Observe(healthy); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// bench1MN is the fleet size of the raw-speed tick benchmarks; the
+// §VII-A dimensioning rule sets the matching radius (r=0.001 keeps the
+// expected error-ball population at the paper's level for n=1e6, d=2).
+const (
+	bench1MN = 1_000_000
+	bench1MR = 0.001
+)
+
+// benchSnap1M builds the million-device ingest fixtures. Positions are
+// uniform; the devices whose QoS point falls in the box [0.2,0.4)² —
+// ~4% of the fleet — are jointly shifted by +0.1 in snapB, a paper-R2
+// mass event: alternating the snapshots trips exactly those devices'
+// threshold detectors, and the joint shift is an r-consistent motion,
+// so the window's characterization cost is bounded by the event's
+// size, not the fleet's. Repeating either snapshot is a quiet tick.
+func benchSnap1M(b *testing.B) (snapA, snapB [][]float64, faulty []int) {
+	b.Helper()
+	const d = 2
+	rng := stats.NewRNG(5)
+	flatA := make([]float64, bench1MN*d)
+	flatB := make([]float64, bench1MN*d)
+	for dev := 0; dev < bench1MN; dev++ {
+		x, y := rng.Float64(), rng.Float64()
+		flatA[dev*d], flatA[dev*d+1] = x, y
+		if x >= 0.2 && x < 0.4 && y >= 0.2 && y < 0.4 {
+			x, y = x+0.1, y+0.1
+			faulty = append(faulty, dev)
+		}
+		flatB[dev*d], flatB[dev*d+1] = x, y
+	}
+	return snapio.Rows(flatA, nil, d), snapio.Rows(flatB, nil, d), faulty
+}
+
+// BenchmarkTickBare1M is the denominator of the ingest acceptance gate:
+// characterization alone — no parsing, no detection, no state copy — of
+// the all-abnormal million-device window on a prebuilt motion pair.
+func BenchmarkTickBare1M(b *testing.B) {
+	snapA, snapB, faulty := benchSnap1M(b)
+	prev, err := space.StateFromPoints(snapA)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cur, err := space.StateFromPoints(snapB)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pair, err := motion.NewPair(prev, cur)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := defaultConfig()
+	cfg.radius = bench1MR
+	// Theorem-6-only mode: the mass event proves massive via Theorem 6;
+	// the box-boundary devices would otherwise fall through to the exact
+	// collection search, whose budget blowups measure the NSC search,
+	// not the ingest overhead this pair of benchmarks gates.
+	cfg.exact = false
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := characterizePair(pair, faulty, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTickObserve1M is the numerator: the same all-abnormal window
+// through the full streaming path — snapshot copy, sharded detector
+// walk, characterization — serial and at the default worker count. The
+// bench gate holds its time within ~2x of BenchmarkTickBare1M.
+func BenchmarkTickObserve1M(b *testing.B) {
+	snapA, snapB, _ := benchSnap1M(b)
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"sharded", 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			m, err := NewMonitor(bench1MN, 2, WithRadius(bench1MR),
+				WithExact(false), WithIngestWorkers(bc.workers))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := m.Observe(snapA); err != nil {
+				b.Fatal(err)
+			}
+			snaps := [2][][]float64{snapB, snapA}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Observe(snaps[i%2]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTickIngestDetect1M isolates the front-end the tentpole
+// optimizes: a quiet steady-state tick (validate, copy, walk a million
+// detectors, nothing abnormal). The double-buffered monitor makes this
+// allocation-free after warm-up, which the bench gate pins.
+func BenchmarkTickIngestDetect1M(b *testing.B) {
+	snapA, _, _ := benchSnap1M(b)
+	m, err := NewMonitor(bench1MN, 2, WithRadius(bench1MR))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := m.Observe(snapA); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := m.Observe(snapA)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out != nil {
+			b.Fatal("quiet tick produced an outcome")
 		}
 	}
 }

@@ -111,13 +111,15 @@ func TestGatewayQuietStream(t *testing.T) {
 func TestGatewayDetectorSelection(t *testing.T) {
 	t.Parallel()
 
-	for _, det := range []string{"threshold", "ewma", "cusum", "holtwinters", "kalman", "shewhart"} {
+	// Iterate the table itself so a detector added there is exercised
+	// here without this list needing to know about it.
+	for _, det := range detectorTable {
 		healthy := []float64{0.9, 0.9}
 		csvData := buildCSV([][]float64{healthy, healthy})
 		var out bytes.Buffer
-		if err := run([]string{"-devices", "2", "-detector", det},
+		if err := run([]string{"-devices", "2", "-detector", det.name},
 			strings.NewReader(csvData), &out); err != nil {
-			t.Errorf("detector %s: %v", det, err)
+			t.Errorf("detector %s: %v", det.name, err)
 		}
 	}
 }

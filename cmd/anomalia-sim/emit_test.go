@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"anomalia/internal/snapio"
+)
+
+// TestEmitCSV: -emit csv must produce steps+1 full-width rows of
+// in-range values, deterministically for a fixed seed.
+func TestEmitCSV(t *testing.T) {
+	t.Parallel()
+
+	args := []string{"-n", "50", "-d", "2", "-a", "3", "-steps", "4", "-seed", "7", "-emit", "csv"}
+	var a, b bytes.Buffer
+	if err := run(args, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same seed must emit identical streams")
+	}
+
+	lines := strings.Split(strings.TrimRight(a.String(), "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("emitted %d frames, want steps+1 = 5", len(lines))
+	}
+	for i, line := range lines {
+		cells := strings.Split(line, ",")
+		if len(cells) != 100 {
+			t.Fatalf("frame %d has %d cells, want n*d = 100", i, len(cells))
+		}
+		for _, cell := range cells {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				t.Fatalf("frame %d cell %q: %v", i, cell, err)
+			}
+			if v < 0 || v > 1 {
+				t.Fatalf("frame %d value %v outside [0,1]", i, v)
+			}
+		}
+	}
+}
+
+// TestEmitBinMatchesCSV: both formats must carry bit-identical values —
+// CSV uses shortest round-trip formatting precisely so this holds.
+func TestEmitBinMatchesCSV(t *testing.T) {
+	t.Parallel()
+
+	base := []string{"-n", "40", "-d", "3", "-a", "3", "-steps", "3", "-seed", "11", "-emit"}
+	var csvOut, binOut bytes.Buffer
+	if err := run(append(base, "csv"), &csvOut); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(base, "bin"), &binOut); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := strings.Split(strings.TrimRight(csvOut.String(), "\n"), "\n")
+	fr := snapio.NewFrameReader(&binOut, 120)
+	for i, line := range lines {
+		frame, err := fr.Next()
+		if err != nil {
+			t.Fatalf("binary frame %d: %v", i, err)
+		}
+		cells := strings.Split(line, ",")
+		if len(cells) != len(frame) {
+			t.Fatalf("frame %d: csv %d cells vs bin %d values", i, len(cells), len(frame))
+		}
+		for c, cell := range cells {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v != frame[c] {
+				t.Fatalf("frame %d value %d: csv %v vs bin %v (must be bit-identical)", i, c, v, frame[c])
+			}
+		}
+	}
+	if _, err := fr.Next(); err != io.EOF {
+		t.Errorf("binary stream has extra frames: %v", err)
+	}
+}
+
+// TestEmitToFile: -out writes the stream to the named file.
+func TestEmitToFile(t *testing.T) {
+	t.Parallel()
+
+	path := t.TempDir() + "/snaps.bin"
+	var out bytes.Buffer
+	err := run([]string{"-n", "30", "-d", "1", "-steps", "2", "-seed", "3",
+		"-emit", "bin", "-out", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Errorf("-out must leave stdout quiet, got %q", out.String())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	fr := snapio.NewFrameReader(f, 30)
+	frames := 0
+	for {
+		if _, err := fr.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		frames++
+	}
+	if frames != 3 {
+		t.Errorf("file holds %d frames, want steps+1 = 3", frames)
+	}
+}
+
+func TestEmitBadFormat(t *testing.T) {
+	t.Parallel()
+
+	var out bytes.Buffer
+	if err := run([]string{"-n", "30", "-emit", "yaml"}, &out); err == nil {
+		t.Error("unknown emit format must error")
+	}
+}

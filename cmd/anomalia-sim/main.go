@@ -8,17 +8,31 @@
 //	anomalia-sim [-n 1000] [-d 2] [-r 0.03] [-tau 3] [-a 20] [-g 0.3]
 //	             [-steps 10] [-seed 1] [-exact] [-r3] [-concomitant]
 //	             [-maxshift 0.06] [-v]
+//	anomalia-sim -n 1000 -d 2 -steps 10 -emit csv|bin [-out snaps.bin]
+//
+// With -emit, the simulator skips characterization and instead streams
+// the generated QoS snapshots in anomalia-gateway's input format — one
+// frame per discrete time, device-major, steps+1 frames (the first
+// window's previous state, then every window's current state; windows
+// chain, so nothing repeats). -emit csv writes full-precision CSV rows
+// and -emit bin the snapio binary stream, so piping either into the
+// gateway reproduces the same verdicts. -out redirects the stream to a
+// file (default: standard output).
 package main
 
 import (
+	"bufio"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 
 	"anomalia/internal/core"
 	"anomalia/internal/scenario"
+	"anomalia/internal/snapio"
+	"anomalia/internal/space"
 )
 
 func main() {
@@ -44,6 +58,8 @@ func run(args []string, out io.Writer) error {
 		concomitant = fs.Bool("concomitant", true, "apply errors sequentially between snapshots")
 		maxShift    = fs.Float64("maxshift", 0.06, "bound on per-error displacement (0: uniform targets)")
 		verbose     = fs.Bool("v", false, "print per-window detail")
+		emit        = fs.String("emit", "", "emit generated snapshots as gateway input (csv or bin) instead of characterizing")
+		outPath     = fs.String("out", "", "write the -emit stream to this file (default: stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -56,6 +72,21 @@ func run(args []string, out io.Writer) error {
 	})
 	if err != nil {
 		return err
+	}
+
+	if *emit != "" {
+		if *outPath == "" {
+			return emitFrames(gen, *steps, *emit, out)
+		}
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		if err := emitFrames(gen, *steps, *emit, f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
 	}
 
 	var totalAb, totalI, totalM, totalU, totalMissed, budgetFailures int
@@ -122,4 +153,61 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "exact-search budget failures: %d\n", budgetFailures)
 	}
 	return nil
+}
+
+// emitFrames streams the generated trajectory as gateway input: the
+// first window's previous state, then every window's current state.
+// CSV cells use strconv's shortest round-trip form, so a CSV stream and
+// a binary one carry bit-identical values into the gateway.
+func emitFrames(gen *scenario.Generator, steps int, format string, w io.Writer) error {
+	var write func([]float64) error
+	var flush func() error
+	switch format {
+	case "csv":
+		bw := bufio.NewWriterSize(w, 1<<16)
+		write = func(vals []float64) error {
+			for i, v := range vals {
+				if i > 0 {
+					if err := bw.WriteByte(','); err != nil {
+						return err
+					}
+				}
+				if _, err := bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64)); err != nil {
+					return err
+				}
+			}
+			return bw.WriteByte('\n')
+		}
+		flush = bw.Flush
+	case "bin":
+		fw := snapio.NewFrameWriter(w)
+		write = fw.Write
+		flush = fw.Flush
+	default:
+		return fmt.Errorf("unknown -emit format %q (csv or bin)", format)
+	}
+
+	var flat []float64
+	emitState := func(st *space.State) error {
+		flat = flat[:0]
+		for j := 0; j < st.Len(); j++ {
+			flat = append(flat, st.At(j)...)
+		}
+		return write(flat)
+	}
+	for k := 1; k <= steps; k++ {
+		step, err := gen.Step()
+		if err != nil {
+			return fmt.Errorf("window %d: %w", k, err)
+		}
+		if k == 1 {
+			if err := emitState(step.Pair.Prev); err != nil {
+				return err
+			}
+		}
+		if err := emitState(step.Pair.Cur); err != nil {
+			return err
+		}
+	}
+	return flush()
 }

@@ -25,8 +25,8 @@
 //
 // For streaming deployments, Monitor couples the characterizer with
 // per-service error-detection functions (threshold, EWMA, CUSUM,
-// Holt-Winters, Kalman) so that raw QoS samples go in and verdicts come
-// out; see NewMonitor.
+// Holt-Winters, Kalman, Shewhart) so that raw QoS samples go in and
+// verdicts come out; see NewMonitor.
 //
 // Parameter selection (the consistency radius r and density threshold τ)
 // follows Section VII-A of the paper via TuneTau and TuneRadius.
@@ -64,6 +64,37 @@
 // the deployment model the advance is fed by the update stream moving
 // devices push to the service, which keeps its cost proportional to
 // the churn, not the fleet.
+//
+// # Ingestion
+//
+// The paper's detection layer (Section III-A) is a per-device local
+// test: device j's error-detection function looks only at j's own QoS
+// samples. Monitor.Observe exploits that independence — snapshot
+// validation and the detector walk are sharded across WithIngestWorkers
+// goroutines (default GOMAXPROCS) over contiguous device ranges, with
+// per-shard abnormal-id buffers concatenated in shard order, so the
+// abnormal set handed to characterization is byte-identical to a serial
+// walk whatever the worker count (pinned by a parity suite run under
+// the race detector). The walk is two-phase: every row is validated —
+// width, and non-finite values rejected by name, since v < 0 || v > 1
+// is false for NaN — before the first detector consumes a sample, so a
+// rejected snapshot leaves the monitor exactly as it was, while an
+// error after acceptance (e.g. an exact-search budget) reports a
+// consumed observation whose clock and buffers advanced coherently.
+//
+// Feeding snapshots in, cmd/anomalia-gateway reads either CSV (one row
+// per discrete time, parsed into reused buffers) or the binary stream
+// of internal/snapio: per frame, a little-endian uint32 value count
+// followed by that many float64 bit patterns, device-major. A binary
+// tick decodes with one bulk read and no per-tick allocation —
+// several times the CSV rate at large n (BenchmarkIngest) — and
+// -convert bridges existing CSV archives to it. cmd/anomalia-sim
+// -emit generates either format from the Section VII-A workload, so
+// the two binaries compose into an end-to-end pipeline. At n = 1M the
+// full streaming tick (decode, validate, copy, walk a million
+// detectors, characterize the window's mass event) stays within ~2x
+// of the bare characterization of the same window, and a quiet tick
+// runs allocation-free (BENCH_6.json; both gated in CI).
 //
 // # Performance
 //
@@ -120,7 +151,9 @@
 //     untouched by the hybrid.
 //   - Monitor recycles the displaced snapshot as the next window's
 //     buffer and reuses the abnormal-id slice, so steady-state
-//     observation does not grow the heap per snapshot.
+//     observation does not grow the heap per snapshot; the detector
+//     walk reuses its per-shard flag buffers the same way, so a quiet
+//     n = 1M tick runs in ~1 allocation (BenchmarkTickIngestDetect1M).
 //   - The distributed directory rides the same flat index: occupied
 //     cells live in the index's key-sorted slab annotated with their
 //     owning shard, the 4r block cache is one atomic pointer per cell
@@ -152,6 +185,8 @@
 // across repeated runs). CI runs scripts/bench.sh -short, which fails
 // on allocation regressions in the window hot path, on allocated-byte
 // regressions in the m = 100k graph build, on allocation regressions in
-// the m = 1M graph build, and on allocation regressions in the n = 1M
-// 1%-churn incremental directory advance.
+// the m = 1M graph build, on allocation regressions in the n = 1M
+// 1%-churn incremental directory advance, on allocation regressions in
+// the quiet n = 1M streaming tick, and on the end-to-end/bare latency
+// ratio of the n = 1M mass-event tick drifting past its envelope.
 package anomalia

@@ -1,0 +1,165 @@
+package detect
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// ErrSample is returned when a snapshot row cannot be consumed as-is: a
+// width mismatch, or a non-finite QoS value that would poison detector
+// state (NaN slips through interval tests — v < 0 || v > 1 is false for
+// NaN — so finiteness is tested by name). Walk reports it before any
+// detector has been updated.
+var ErrSample = errors.New("detect: invalid sample")
+
+// minShard is the smallest per-worker device range worth a goroutine:
+// below it the spawn/join overhead exceeds the detector work itself, so
+// Walk degrades to the serial walk.
+const minShard = 2048
+
+// Walker shards the per-device detection walk of one snapshot across a
+// fixed pool size. The error-detection functions a_k(j) are independent
+// local tests (Section III-A), which makes the walk embarrassingly
+// parallel per device: Walker slices the fleet into contiguous id
+// ranges, one per worker, and concatenates the per-worker abnormal-id
+// buffers in range order, so the merged abnormal set is byte-identical
+// to a serial walk whatever the worker count.
+//
+// A Walker's buffers are reused across snapshots; it is not safe for
+// concurrent use.
+type Walker struct {
+	workers int
+	flags   [][]int
+	errs    []error
+}
+
+// NewWalker returns a walker with the given pool size; workers <= 0
+// selects GOMAXPROCS.
+func NewWalker(workers int) *Walker {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Walker{
+		workers: workers,
+		flags:   make([][]int, workers),
+		errs:    make([]error, workers),
+	}
+}
+
+// Workers returns the configured pool size.
+func (w *Walker) Workers() int { return w.workers }
+
+// Walk feeds row j of samples to device j — exactly one Update per
+// device — and appends the ids whose abnormal flag a_k(j) fired to out
+// in ascending order, reusing out's storage. Every row is validated
+// (width and finiteness) before the first detector update, so a non-nil
+// error means no detector state changed.
+//
+// visit, when non-nil, runs once per device inside the same sharded
+// pass, before that device's Update. Shards are disjoint contiguous id
+// ranges, so visit may write to per-device slots of a shared structure
+// without synchronization, but must not touch state shared across
+// devices.
+func (w *Walker) Walk(devs []*Device, samples [][]float64, visit func(dev int, row []float64), out []int) ([]int, error) {
+	out = out[:0]
+	n := len(devs)
+	if len(samples) != n {
+		return out, fmt.Errorf("snapshot has %d rows, want %d: %w", len(samples), n, ErrSample)
+	}
+	workers := w.workers
+	if maxUseful := (n + minShard - 1) / minShard; workers > maxUseful {
+		workers = maxUseful
+	}
+	if workers <= 1 {
+		if err := validateRange(devs, samples, 0, n); err != nil {
+			return out, err
+		}
+		return walkRange(devs, samples, visit, 0, n, out)
+	}
+
+	// Phase 1: validate every shard before mutating anything, so a
+	// malformed row in one shard cannot leave another shard's detectors
+	// half-updated. Shards are contiguous ascending, so the first
+	// worker with an error holds the lowest offending device — the same
+	// error a serial walk would report.
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		lo, hi := i*n/workers, (i+1)*n/workers
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			w.errs[i] = validateRange(devs, samples, lo, hi)
+		}(i, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range w.errs[:workers] {
+		if err != nil {
+			return out, err
+		}
+	}
+
+	// Phase 2: the walk proper, each worker flagging into its own
+	// reused buffer.
+	for i := 0; i < workers; i++ {
+		lo, hi := i*n/workers, (i+1)*n/workers
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			buf := w.flags[i]
+			if buf == nil {
+				buf = make([]int, 0, (hi-lo)/8+16)
+			}
+			w.flags[i], w.errs[i] = walkRange(devs, samples, visit, lo, hi, buf[:0])
+		}(i, lo, hi)
+	}
+	wg.Wait()
+	for i := 0; i < workers; i++ {
+		out = append(out, w.flags[i]...)
+	}
+	for _, err := range w.errs[:workers] {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// validateRange rejects malformed rows in [lo, hi) without touching any
+// detector.
+func validateRange(devs []*Device, samples [][]float64, lo, hi int) error {
+	for dev := lo; dev < hi; dev++ {
+		row := samples[dev]
+		if len(row) != len(devs[dev].detectors) {
+			return fmt.Errorf("device %d has %d coords, want %d: %w",
+				dev, len(row), len(devs[dev].detectors), ErrSample)
+		}
+		for svc, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("device %d service %d: non-finite QoS %v: %w",
+					dev, svc, v, ErrSample)
+			}
+		}
+	}
+	return nil
+}
+
+// walkRange runs the serial walk over [lo, hi), appending flagged ids.
+func walkRange(devs []*Device, samples [][]float64, visit func(dev int, row []float64), lo, hi int, flagged []int) ([]int, error) {
+	for dev := lo; dev < hi; dev++ {
+		row := samples[dev]
+		if visit != nil {
+			visit(dev, row)
+		}
+		abnormal, err := devs[dev].Update(row)
+		if err != nil {
+			return flagged, fmt.Errorf("device %d: %w", dev, err)
+		}
+		if abnormal {
+			flagged = append(flagged, dev)
+		}
+	}
+	return flagged, nil
+}

@@ -3,10 +3,17 @@ package space
 import (
 	"errors"
 	"fmt"
+	"math"
 )
 
 // ErrIndex is returned for device indices outside [0, n).
 var ErrIndex = errors.New("space: device index out of range")
+
+// ErrNonFinite is returned when a coordinate is NaN or ±Inf. Interval
+// tests cannot catch NaN (v < 0 || v > 1 is false for it) and Clamp
+// would silently rewrite it to 0, so state mutation rejects non-finite
+// coordinates by name before they can poison downstream geometry.
+var ErrNonFinite = errors.New("space: non-finite coordinate")
 
 // State is the system state S_k of Section III-A: the positions of n
 // devices in E at one discrete time. Device identifiers are 0-based
@@ -48,6 +55,11 @@ func StateFromPoints(coords [][]float64) (*State, error) {
 		if len(row) != d {
 			return nil, fmt.Errorf("device %d has %d coords, want %d: %w", i, len(row), d, ErrDimension)
 		}
+		for c, x := range row {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return nil, fmt.Errorf("device %d coordinate %d: %v: %w", i, c, x, ErrNonFinite)
+			}
+		}
 		copy(s.pts[i], row)
 	}
 	return s, nil
@@ -67,12 +79,19 @@ func (s *State) At(j int) Point { return s.pts[j] }
 func (s *State) AtClone(j int) Point { return s.pts[j].Clone() }
 
 // Set overwrites the position of device j, clamping into [0,1]^d.
+// Non-finite coordinates are rejected (ErrNonFinite) with the state
+// untouched.
 func (s *State) Set(j int, p Point) error {
 	if j < 0 || j >= len(s.pts) {
 		return fmt.Errorf("device %d of %d: %w", j, len(s.pts), ErrIndex)
 	}
 	if len(p) != s.dim {
 		return fmt.Errorf("point dim %d, state dim %d: %w", len(p), s.dim, ErrDimension)
+	}
+	for c, x := range p {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("device %d coordinate %d: %v: %w", j, c, x, ErrNonFinite)
+		}
 	}
 	copy(s.pts[j], p)
 	s.pts[j].Clamp()

@@ -2,6 +2,7 @@ package space
 
 import (
 	"errors"
+	"math"
 	"testing"
 
 	"anomalia/internal/stats"
@@ -145,5 +146,32 @@ func TestAtClone(t *testing.T) {
 	p[0] = 0.99
 	if s.At(0)[0] != 0.3 {
 		t.Error("AtClone must copy")
+	}
+}
+
+// TestStateRejectsNonFinite: NaN and ±Inf coordinates must be refused by
+// name — Clamp would silently rewrite NaN to 0 and an interval test
+// cannot see it — and a refused Set must leave the position untouched.
+func TestStateRejectsNonFinite(t *testing.T) {
+	t.Parallel()
+
+	nan := math.NaN()
+	for _, bad := range []Point{{nan, 0.5}, {0.5, nan}, {math.Inf(1), 0}, {0, math.Inf(-1)}} {
+		s, err := NewState(3, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Set(1, Point{0.25, 0.75}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Set(1, bad); !errors.Is(err, ErrNonFinite) {
+			t.Errorf("Set(%v) error = %v, want ErrNonFinite", bad, err)
+		}
+		if got := s.At(1); got[0] != 0.25 || got[1] != 0.75 {
+			t.Errorf("rejected Set mutated position to %v", got)
+		}
+		if _, err := StateFromPoints([][]float64{{0.1, 0.2}, bad}); !errors.Is(err, ErrNonFinite) {
+			t.Errorf("StateFromPoints(%v) error = %v, want ErrNonFinite", bad, err)
+		}
 	}
 }

@@ -20,8 +20,12 @@ type Monitor struct {
 	services int
 	cfg      config
 	dets     []*detect.Device
-	prev     *space.State
-	time     int
+	// walker shards snapshot validation and the per-device detector
+	// walk across WithIngestWorkers workers (default GOMAXPROCS); the
+	// merged abnormal set is byte-identical to a serial walk.
+	walker *detect.Walker
+	prev   *space.State
+	time   int
 	// spare recycles the state displaced by the previous Observe as the
 	// next snapshot buffer (a double buffer: Observe fully overwrites
 	// every row before reading it), and abnBuf recycles the abnormal-id
@@ -70,6 +74,7 @@ func NewMonitor(devices, services int, opts ...Option) (*Monitor, error) {
 		services: services,
 		cfg:      cfg,
 		dets:     make([]*detect.Device, devices),
+		walker:   detect.NewWalker(cfg.ingestWorkers),
 	}
 	for dev := 0; dev < devices; dev++ {
 		dev := dev
@@ -99,6 +104,20 @@ func (m *Monitor) Time() int { return m.time }
 // behaved abnormally over the window (including the first snapshot, which
 // only trains the detectors); otherwise it returns the characterization
 // of the abnormal set.
+//
+// Snapshot validation and the per-device detector walk are sharded
+// across WithIngestWorkers workers; the abnormal set is identical to a
+// serial walk whatever the count.
+//
+// Error behavior: a rejected snapshot — wrong row count or width, or a
+// non-finite QoS value (NaN would pass an interval test and poison
+// detector state, so it is rejected by name) — leaves the monitor
+// exactly as it was: no detector consumed a sample, the clock did not
+// advance, and the recycled buffers are intact. An error from the
+// characterization of an accepted snapshot reports a consumed
+// observation: the detectors have already folded the snapshot in, so
+// the clock and the previous-state buffer advance with them, the
+// displaced state is recycled, and the next Observe proceeds cleanly.
 func (m *Monitor) Observe(samples [][]float64) (*Outcome, error) {
 	if len(samples) != m.devices {
 		return nil, fmt.Errorf("snapshot has %d rows, want %d: %w", len(samples), m.devices, ErrInvalidInput)
@@ -112,28 +131,30 @@ func (m *Monitor) Observe(samples [][]float64) (*Outcome, error) {
 			return nil, err
 		}
 	}
-	abnormal := m.abnBuf[:0]
-	for dev, row := range samples {
-		if len(row) != m.services {
-			return nil, fmt.Errorf("device %d has %d services, want %d: %w", dev, len(row), m.services, ErrInvalidInput)
-		}
-		if err := cur.Set(dev, space.Point(row)); err != nil {
-			return nil, err
-		}
-		flagged, err := m.dets[dev].Update(row)
-		if err != nil {
-			return nil, err
-		}
-		if flagged {
-			abnormal = append(abnormal, dev)
-		}
+	// One sharded pass copies each row into the current state and runs
+	// the device's detectors; the walker validates every row (width,
+	// finiteness) before the first mutation. Shards are disjoint device
+	// ranges, so the copies need no synchronization.
+	abnormal, err := m.walker.Walk(m.dets, samples, func(dev int, row []float64) {
+		dst := cur.At(dev)
+		copy(dst, row)
+		dst.Clamp()
+	}, m.abnBuf[:0])
+	m.abnBuf = abnormal
+	if err != nil {
+		// Nothing was consumed: hand the snapshot buffer back untouched.
+		m.spare = cur
+		return nil, fmt.Errorf("%w: %w", ErrInvalidInput, err)
 	}
 	prev := m.prev
 	m.prev = cur
 	m.time++
-	m.abnBuf = abnormal
+	// The displaced snapshot is dead from here on whatever happens next
+	// — outcomes carry device ids, never state references, and the
+	// characterization below only reads it — so recycle it now; that
+	// keeps the double buffer intact on every error path too.
+	m.spare = prev
 	if prev == nil || len(abnormal) == 0 {
-		m.spare = prev
 		return nil, nil
 	}
 
@@ -141,14 +162,7 @@ func (m *Monitor) Observe(samples [][]float64) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	out, err := m.characterizeWindow(pair, abnormal)
-	if err != nil {
-		return nil, err
-	}
-	// The displaced snapshot is dead once the window is characterized
-	// (outcomes carry device ids, never state references) — recycle it.
-	m.spare = prev
-	return out, nil
+	return m.characterizeWindow(pair, abnormal)
 }
 
 // characterizeWindow runs one abnormal window through the configured

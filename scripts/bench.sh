@@ -6,15 +6,17 @@
 #   scripts/bench.sh          full run; writes BENCH_${PR}.json (fresh
 #                             "after" numbers next to the recorded
 #                             previous-PR baseline, including the
-#                             million-device graph build and the
-#                             directory churn sweep) and prints the raw
-#                             benchmarks
-#   scripts/bench.sh -short   CI smoke: quick subset plus four -benchmem
+#                             million-device graph build, the directory
+#                             churn sweep and the n=1M streaming-tick
+#                             suite) and prints the raw benchmarks
+#   scripts/bench.sh -short   CI smoke: quick subset plus the -benchmem
 #                             regression gates — allocs/op on
 #                             BenchmarkCharacterizeWindow, B/op on the
 #                             m=100k graph build, allocs/op on the m=1M
-#                             graph build, and allocs/op on the n=1M
-#                             1%-churn directory advance
+#                             graph build, allocs/op on the n=1M
+#                             1%-churn directory advance, allocs/op on
+#                             the n=1M quiet streaming tick, and the
+#                             end-to-end/bare tick latency ratio
 #
 # The window gate fails when allocs/op exceeds MAX_WINDOW_ALLOCS, chosen
 # with ~15% headroom over the PR 2 hot path (1735 allocs/op; the seed
@@ -37,16 +39,35 @@
 # rebuild by at least MIN_ADVANCE_SPEEDUP_FULL (the PR 5 acceptance
 # level is 10x on quiet hardware; the hard floor is set lower to keep
 # shared-runner noise from flaking the build).
+#
+# The PR 6 tick gates cover the parallel ingestion front-end. The quiet
+# tick gate fails when a steady-state million-device Observe (validate,
+# copy, walk the detectors, nothing abnormal) allocates more than
+# MAX_TICK_ALLOCS times: the double-buffered monitor runs it in ~1
+# allocation, so the 256 ceiling trips on any per-device or per-row
+# allocation creeping back into the walk. The ratio gate fails when the
+# full streaming tick of the n=1M mass-event window (ingest + detect +
+# characterize) exceeds MAX_TICK_RATIO times the bare characterization
+# of the same window on a prebuilt pair — the PR 6 acceptance level is
+# "within ~2x of bare"; the short gate allows extra headroom for
+# shared-runner noise. Both sides are the minimum across -count
+# repetitions: the benchmark framework forces a GC between repetitions
+# but not between iterations, and mid-loop GC state inflates single
+# repetitions by up to 10x on this workload, so the min is the only
+# estimate comparable across runs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PR=5
+PR=6
 OUT="BENCH_${PR}.json"
 MAX_WINDOW_ALLOCS=2000
 MAX_GRAPH100K_BYTES=150000000
 MAX_GRAPH1M_ALLOCS=10000
 MAX_ADVANCE_ALLOCS=512
 MIN_ADVANCE_SPEEDUP_FULL=5
+MAX_TICK_ALLOCS=256
+MAX_TICK_RATIO=2.0
+MAX_TICK_RATIO_SHORT=2.5
 
 # bench_json BENCH_OUTPUT -> JSON entries "name": {ns_op, b_op, allocs_op}.
 # Repeated lines for one benchmark (-count > 1) keep the per-metric
@@ -78,11 +99,30 @@ bench_json() {
   ' "$1"
 }
 
-# metric BENCH_OUTPUT BENCH_REGEX UNIT -> the value column of that unit.
+# metric BENCH_OUTPUT BENCH_REGEX UNIT -> the value column of that unit,
+# one line per matching benchmark line (pipe through min_of for -count).
 metric() {
   awk -v bench="$2" -v unit="$3" '
     $1 ~ bench { for (i=2;i<=NF;i++) if ($(i)==unit) print $(i-1) }
   ' <<<"$1"
+}
+
+min_of() { sort -n | head -1; }
+
+# tick_ratio_gate BARE_NS OBSERVE_NS MAX_RATIO LABEL
+tick_ratio_gate() {
+  local bare="$1" obs="$2" max="$3" label="$4"
+  if [ -z "$bare" ] || [ -z "$obs" ]; then
+    echo "bench.sh: could not parse the n=1M bare/observe tick pair" >&2
+    exit 1
+  fi
+  local ratio
+  ratio=$(awk -v o="$obs" -v b="$bare" 'BEGIN{printf "%.2f", o/b}')
+  echo "bench.sh: n=1M streaming tick ${obs} ns vs bare characterization ${bare} ns — ${ratio}x (${label} gate ${max}x)"
+  if awk -v r="$ratio" -v m="$max" 'BEGIN{exit !(r > m)}'; then
+    echo "bench.sh: streaming-tick latency regression — ${ratio}x bare characterization, gate is ${max}x" >&2
+    exit 1
+  fi
 }
 
 if [ "${1:-}" = "-short" ]; then
@@ -144,6 +184,27 @@ if [ "${1:-}" = "-short" ]; then
   if [ -n "$adv" ] && [ -n "$reb" ]; then
     echo "bench.sh: advance vs rebuild at n=1M/1%: ${adv} ns vs ${reb} ns ($(awk -v a="$adv" -v r="$reb" 'BEGIN{printf "%.1f", r/a}')x)"
   fi
+  # Streaming-tick smoke: the quiet n=1M tick must stay allocation-free
+  # (double-buffered monitor) and the full mass-event tick must stay
+  # within the latency envelope of its own characterization.
+  tout=$(go test -run='^$' -bench='BenchmarkTickIngestDetect1M$' -benchmem -benchtime=3x -timeout=20m .)
+  echo "$tout"
+  tallocs=$(metric "$tout" '^BenchmarkTickIngestDetect1M' 'allocs/op' | min_of)
+  if [ -z "$tallocs" ]; then
+    echo "bench.sh: could not parse allocs/op from BenchmarkTickIngestDetect1M" >&2
+    exit 1
+  fi
+  if [ "$tallocs" -gt "$MAX_TICK_ALLOCS" ]; then
+    echo "bench.sh: quiet-tick allocation regression — n=1M steady-state Observe at $tallocs allocs/op, gate is $MAX_TICK_ALLOCS" >&2
+    exit 1
+  fi
+  echo "bench.sh: quiet-tick allocation gate OK ($tallocs <= $MAX_TICK_ALLOCS allocs/op)"
+  rout=$(go test -run='^$' -bench='BenchmarkTickBare1M$|BenchmarkTickObserve1M/sharded$' \
+    -benchtime=1x -count=2 -timeout=20m .)
+  echo "$rout"
+  bare=$(metric "$rout" '^BenchmarkTickBare1M' 'ns/op' | min_of)
+  obs=$(metric "$rout" '^BenchmarkTickObserve1M/sharded' 'ns/op' | min_of)
+  tick_ratio_gate "$bare" "$obs" "$MAX_TICK_RATIO_SHORT" "short"
   exit 0
 fi
 
@@ -171,34 +232,71 @@ go test -run='^$' -bench='BenchmarkDirectoryBuild|BenchmarkDistDecide' \
 # churn in {0.1%, 1%, 10%}.
 go test -run='^$' -bench='BenchmarkDirectoryAdvance|BenchmarkDirectoryRebuild' \
   -benchmem -benchtime=5x -count=3 -timeout=60m ./internal/dist/ | tee -a "$tmp"
+# Streaming-tick suite: bare characterization of the n=1M mass-event
+# window vs the full Observe tick (serial and sharded walk), the quiet
+# steady-state tick, and the gateway's CSV vs binary frame decode.
+# -benchtime=1x -count=3 on the heavy ticks: the framework forces a GC
+# between repetitions but not between iterations, so single repetitions
+# of one iteration each, min-reduced, are the comparable estimate.
+go test -run='^$' -bench='BenchmarkTickBare1M$|BenchmarkTickObserve1M|BenchmarkTickIngestDetect1M$' \
+  -benchmem -benchtime=1x -count=3 -timeout=30m . | tee -a "$tmp"
+go test -run='^$' -bench='BenchmarkIngest/' \
+  -benchmem -benchtime=10x -count=3 ./cmd/anomalia-gateway/ | tee -a "$tmp"
 
 {
   echo "{"
   echo "  \"pr\": ${PR},"
   echo "  \"date\": \"$(date -u +%Y-%m-%d)\","
   echo "  \"go\": \"$(go env GOVERSION)\","
-  echo "  \"note\": \"PR ${PR}: incremental cross-window directory. 'before' is the recorded PR 4 state: dist.Directory and the flat grid.Index beneath it torn down and rebuilt from scratch every observation window — an O(n log n) key sort plus full slab fill per window however few devices moved cells. The directory now persists across windows: grid.Index.Update diffs the abnormal set and the per-device packed keys (fed by the deployment's moved list, or rechecking every id when none is given), patches the key-sorted cell slab by sorted merge — untouched cells share storage with prior windows, churned cells fill a churn-sized delta arena, compaction amortizes dead fragments — and Directory.Advance republishes the window through one atomic pointer swap, carrying shard annotations and unchurned 4r block caches over. BenchmarkDirectoryAdvance/clustered is the paper-faithful workload (restriction R2: errors displace co-located groups); uniform scatters churn independently and is the worst case. The acceptance headline is clustered n=1M churn=1% vs BenchmarkDirectoryRebuild/clustered/n=1M; BenchmarkDirectoryAdvanceFull is the recheck-all advance the in-process Monitor uses. DirectoryBuild/DistDecide are unchanged paths riding the same index.\","
+  echo "  \"note\": \"PR ${PR}: parallel ingestion + detection front-end. 'before' is the recorded PR 5 state: Monitor.Observe validated and walked the per-device detectors serially, the gateway parsed CSV with a fresh [][]float64 per tick, and a non-finite QoS value slipped past the interval check (v<0||v>1 is false for NaN). The detector walk is now sharded across WithIngestWorkers goroutines with per-shard abnormal buffers merged in shard order (byte-identical to the serial walk, pinned by parity and -race suites), both ingest paths stream through reused row buffers, and the gateway gained a length-prefixed binary frame format (-format bin, -convert bridge from CSV archives) that decodes a tick with one bulk read. New benchmarks: BenchmarkTickBare1M (characterization alone of a ~4%-of-fleet clustered mass event at n=1e6, r dimensioned per §VII-A), BenchmarkTickObserve1M (the same window through the full streaming path; the acceptance headline is sharded-vs-bare within ~2x), BenchmarkTickIngestDetect1M (quiet steady-state tick, allocation-free), BenchmarkIngest (gateway CSV vs binary decode). Heavy tick numbers are min across -count=3 single-iteration repetitions — mid-loop GC state inflates longer loops up to 10x, and the framework only forces a GC between repetitions.\","
   echo "  \"before\": {"
   cat <<'PREV'
-    "BenchmarkNewGraph/grid/sparse/n=1000": {"ns_op": 762038, "b_op": 267280, "allocs_op": 19},
-    "BenchmarkNewGraph/allpairs/sparse/n=1000": {"ns_op": 8105798, "b_op": 180400, "allocs_op": 5},
-    "BenchmarkNewGraph/grid/sparse/n=10000": {"ns_op": 10689044, "b_op": 1942344, "allocs_op": 37},
-    "BenchmarkNewGraph/allpairs/sparse/n=10000": {"ns_op": 723080970, "b_op": 13058224, "allocs_op": 5},
-    "BenchmarkNewGraph/grid/sparse/n=100000": {"ns_op": 863377628, "b_op": 95391144, "allocs_op": 205},
-    "BenchmarkNewGraph/grid/clustered/n=1000": {"ns_op": 767386, "b_op": 221968, "allocs_op": 19},
-    "BenchmarkNewGraph/allpairs/clustered/n=1000": {"ns_op": 4756022, "b_op": 180400, "allocs_op": 5},
-    "BenchmarkNewGraph/grid/clustered/n=10000": {"ns_op": 78535757, "b_op": 10733064, "allocs_op": 55},
-    "BenchmarkNewGraph/allpairs/clustered/n=10000": {"ns_op": 472457883, "b_op": 13058224, "allocs_op": 5},
-    "BenchmarkNewGraph/grid/clustered/n=100000": {"ns_op": 1526260171, "b_op": 179684776, "allocs_op": 367},
-    "BenchmarkNewGraph/grid/sparse/n=1000000": {"ns_op": 1685690482, "b_op": 183678376, "allocs_op": 208},
-    "BenchmarkCharacterizeWindow": {"ns_op": 266121, "b_op": 163958, "allocs_op": 1559},
-    "BenchmarkCharacterizeWindowCheap": {"ns_op": 225436, "b_op": 149923, "allocs_op": 1143},
-    "BenchmarkCharacterizeLargeFleet": {"ns_op": 1668376, "b_op": 1290185, "allocs_op": 6343},
-    "BenchmarkMonitorObserve": {"ns_op": 53820, "b_op": 21761, "allocs_op": 414},
-    "BenchmarkDirectoryBuild/n=1k": {"ns_op": 5903, "b_op": 5856, "allocs_op": 12},
-    "BenchmarkDirectoryBuild/n=10k": {"ns_op": 29581, "b_op": 27328, "allocs_op": 12},
-    "BenchmarkDistDecide/n=1k": {"ns_op": 652511, "b_op": 268901, "allocs_op": 5974},
-    "BenchmarkDistDecide/n=10k": {"ns_op": 1972021, "b_op": 672871, "allocs_op": 14757}
+    "BenchmarkNewGraph/grid/sparse/n=1000": {"ns_op": 859522, "b_op": 271440, "allocs_op": 20},
+    "BenchmarkNewGraph/allpairs/sparse/n=1000": {"ns_op": 8203871, "b_op": 180400, "allocs_op": 5},
+    "BenchmarkNewGraph/grid/sparse/n=10000": {"ns_op": 10402304, "b_op": 1983368, "allocs_op": 38},
+    "BenchmarkNewGraph/allpairs/sparse/n=10000": {"ns_op": 724848707, "b_op": 13058224, "allocs_op": 5},
+    "BenchmarkNewGraph/grid/sparse/n=100000": {"ns_op": 854414939, "b_op": 95792616, "allocs_op": 206},
+    "BenchmarkNewGraph/grid/clustered/n=1000": {"ns_op": 841830, "b_op": 226128, "allocs_op": 20},
+    "BenchmarkNewGraph/allpairs/clustered/n=1000": {"ns_op": 5033675, "b_op": 180400, "allocs_op": 5},
+    "BenchmarkNewGraph/grid/clustered/n=10000": {"ns_op": 76999866, "b_op": 10774088, "allocs_op": 56},
+    "BenchmarkNewGraph/allpairs/clustered/n=10000": {"ns_op": 449275802, "b_op": 13058224, "allocs_op": 5},
+    "BenchmarkNewGraph/grid/clustered/n=100000": {"ns_op": 1517899071, "b_op": 180086248, "allocs_op": 368},
+    "BenchmarkNewGraph/grid/sparse/n=1000000": {"ns_op": 1501781745, "b_op": 187684328, "allocs_op": 209},
+    "BenchmarkCharacterizeWindow": {"ns_op": 240096, "b_op": 163957, "allocs_op": 1559},
+    "BenchmarkCharacterizeWindowCheap": {"ns_op": 206400, "b_op": 149920, "allocs_op": 1143},
+    "BenchmarkCharacterizeLargeFleet": {"ns_op": 1637995, "b_op": 1292043, "allocs_op": 6344},
+    "BenchmarkMonitorObserve": {"ns_op": 54046, "b_op": 21760, "allocs_op": 414},
+    "BenchmarkDirectoryBuild/n=1k": {"ns_op": 4015, "b_op": 5920, "allocs_op": 13},
+    "BenchmarkDirectoryBuild/n=10k": {"ns_op": 21325, "b_op": 27392, "allocs_op": 13},
+    "BenchmarkDistDecide/n=1k": {"ns_op": 603621, "b_op": 268896, "allocs_op": 5974},
+    "BenchmarkDistDecide/n=10k": {"ns_op": 1802336, "b_op": 673039, "allocs_op": 14757},
+    "BenchmarkDirectoryAdvance/clustered/n=10k/churn=0.1%": {"ns_op": 44982, "b_op": 57408, "allocs_op": 38},
+    "BenchmarkDirectoryAdvance/clustered/n=10k/churn=1%": {"ns_op": 45212, "b_op": 67737, "allocs_op": 54},
+    "BenchmarkDirectoryAdvance/clustered/n=10k/churn=10%": {"ns_op": 175870, "b_op": 181676, "allocs_op": 81},
+    "BenchmarkDirectoryAdvance/clustered/n=100k/churn=0.1%": {"ns_op": 407151, "b_op": 552748, "allocs_op": 54},
+    "BenchmarkDirectoryAdvance/clustered/n=100k/churn=1%": {"ns_op": 560209, "b_op": 669801, "allocs_op": 85},
+    "BenchmarkDirectoryAdvance/clustered/n=100k/churn=10%": {"ns_op": 2947792, "b_op": 2088793, "allocs_op": 122},
+    "BenchmarkDirectoryAdvance/clustered/n=1M/churn=0.1%": {"ns_op": 5730682, "b_op": 5413737, "allocs_op": 86},
+    "BenchmarkDirectoryAdvance/clustered/n=1M/churn=1%": {"ns_op": 8407679, "b_op": 6857449, "allocs_op": 125},
+    "BenchmarkDirectoryAdvance/clustered/n=1M/churn=10%": {"ns_op": 38480472, "b_op": 24069081, "allocs_op": 179},
+    "BenchmarkDirectoryAdvance/uniform/n=10k/churn=0.1%": {"ns_op": 69853, "b_op": 97369, "allocs_op": 48},
+    "BenchmarkDirectoryAdvance/uniform/n=10k/churn=1%": {"ns_op": 57198, "b_op": 139545, "allocs_op": 66},
+    "BenchmarkDirectoryAdvance/uniform/n=10k/churn=10%": {"ns_op": 353806, "b_op": 385657, "allocs_op": 88},
+    "BenchmarkDirectoryAdvance/uniform/n=100k/churn=0.1%": {"ns_op": 1325613, "b_op": 939817, "allocs_op": 69},
+    "BenchmarkDirectoryAdvance/uniform/n=100k/churn=1%": {"ns_op": 1435960, "b_op": 1412985, "allocs_op": 94},
+    "BenchmarkDirectoryAdvance/uniform/n=100k/churn=10%": {"ns_op": 5385410, "b_op": 4586489, "allocs_op": 133},
+    "BenchmarkDirectoryAdvance/uniform/n=1M/churn=0.1%": {"ns_op": 15169962, "b_op": 9294601, "allocs_op": 97},
+    "BenchmarkDirectoryAdvance/uniform/n=1M/churn=1%": {"ns_op": 21563257, "b_op": 15300345, "allocs_op": 142},
+    "BenchmarkDirectoryAdvance/uniform/n=1M/churn=10%": {"ns_op": 94367495, "b_op": 52336393, "allocs_op": 200},
+    "BenchmarkDirectoryAdvanceFull/n=10k/churn=1%": {"ns_op": 224764, "b_op": 85968, "allocs_op": 9},
+    "BenchmarkDirectoryAdvanceFull/n=100k/churn=1%": {"ns_op": 3008917, "b_op": 1469881, "allocs_op": 87},
+    "BenchmarkDirectoryAdvanceFull/n=1M/churn=1%": {"ns_op": 31153534, "b_op": 14861113, "allocs_op": 127},
+    "BenchmarkDirectoryRebuild/clustered/n=10k": {"ns_op": 513549, "b_op": 300784, "allocs_op": 13},
+    "BenchmarkDirectoryRebuild/clustered/n=100k": {"ns_op": 6881682, "b_op": 2959568, "allocs_op": 13},
+    "BenchmarkDirectoryRebuild/clustered/n=1M": {"ns_op": 90341360, "b_op": 29428176, "allocs_op": 13},
+    "BenchmarkDirectoryRebuild/uniform/n=10k": {"ns_op": 814738, "b_op": 355664, "allocs_op": 13},
+    "BenchmarkDirectoryRebuild/uniform/n=100k": {"ns_op": 12129191, "b_op": 3507920, "allocs_op": 13},
+    "BenchmarkDirectoryRebuild/uniform/n=1M": {"ns_op": 155236314, "b_op": 34742736, "allocs_op": 13}
 PREV
   echo "  },"
   echo "  \"after\": {"
@@ -234,3 +332,20 @@ if awk -v s="$speedup" -v m="$MIN_ADVANCE_SPEEDUP_FULL" 'BEGIN{exit !(s < m)}'; 
   echo "bench.sh: advance speedup regression — ${speedup}x, floor is ${MIN_ADVANCE_SPEEDUP_FULL}x" >&2
   exit 1
 fi
+
+# PR 6 tick gates on the full run's numbers: the quiet n=1M tick stays
+# allocation-free, and the end-to-end mass-event tick stays within the
+# latency envelope of its own characterization.
+tallocs=$(awk '/^BenchmarkTickIngestDetect1M/ { for (i=2;i<=NF;i++) if ($(i)=="allocs/op") print $(i-1) }' "$tmp" | sort -n | head -1)
+if [ -z "$tallocs" ]; then
+  echo "bench.sh: could not parse allocs/op from BenchmarkTickIngestDetect1M" >&2
+  exit 1
+fi
+if [ "$tallocs" -gt "$MAX_TICK_ALLOCS" ]; then
+  echo "bench.sh: quiet-tick allocation regression — n=1M steady-state Observe at $tallocs allocs/op, gate is $MAX_TICK_ALLOCS" >&2
+  exit 1
+fi
+echo "bench.sh: quiet-tick allocation gate OK ($tallocs <= $MAX_TICK_ALLOCS allocs/op)"
+barens=$(awk '/^BenchmarkTickBare1M/ { for (i=2;i<=NF;i++) if ($(i)=="ns/op") print $(i-1) }' "$tmp" | sort -n | head -1)
+obsns=$(awk '/^BenchmarkTickObserve1M\/sharded/ { for (i=2;i<=NF;i++) if ($(i)=="ns/op") print $(i-1) }' "$tmp" | sort -n | head -1)
+tick_ratio_gate "$barens" "$obsns" "$MAX_TICK_RATIO" "full"

@@ -112,7 +112,9 @@
 //     numbers per run are recorded in BENCH_*.json.
 //   - The grid index itself is map-free and slab-allocated: cell
 //     coordinates pack into fixed-width keys, the devices are sorted by
-//     key (key computation sharded across GOMAXPROCS workers), and the
+//     key (key computation and the sort itself sharded across
+//     GOMAXPROCS workers, with a deterministic pairwise merge so the
+//     index is byte-identical for any worker count), and the
 //     whole index materializes as one key-sorted cell slab plus shared
 //     id/coordinate/key arenas — a handful of allocations however many
 //     cells a window occupies, with lookups served by binary search.
@@ -142,13 +144,36 @@
 //     degree), so enumeration scratch is O(Δ^2/64) bits from the same
 //     recycled pool and results are property-tested identical to the
 //     dense representation.
-//   - The characterization hot path works on bitsets over graph-local
-//     indices: D_k(j) union, the J_k/L_k split and the Theorem-6
-//     intersection test are word-parallel and draw their working sets
-//     from a pool, materializing device-id slices only at the Result
-//     boundary. Paper-scale windows (tens to hundreds of abnormal
-//     devices) sit far below the sparse crossover, so this path is
-//     untouched by the hybrid.
+//   - Characterization is component-local. The motion graph is
+//     decomposed into connected components once per window, and every
+//     rule of Theorems 5-7 is local to a component — a maximal motion
+//     is a clique, D_k(j) unions motions containing j, and J_k/L_k
+//     split D_k(j), so none of them crosses a component boundary. Each
+//     decision therefore works on bitsets over component ranks: the
+//     D_k union, the J_k/L_k split and the Theorem-6 intersection test
+//     are word-parallel over O(|C|/64) words for a |C|-member
+//     component instead of O(m/64) over the whole abnormal universe,
+//     and device-id slices materialize only at the Result boundary.
+//     Maximal motions are enumerated once per component — a single
+//     Bron-Kerbosch over the densified component subgraph, falling
+//     back to Δ-bounded anchored per-vertex enumeration when a
+//     CSR-mode component exceeds the dense crossover (dense-row graphs
+//     densify whatever the component size: that scratch never exceeds
+//     the adjacency they already carry) — and every member reads
+//     its family out of the shared sorted result, so an adversarial
+//     window in which all m devices are abnormal pays enumeration per
+//     component, not per device. Decision scratch is leased from
+//     size-class-bucketed pools (power-of-two word classes), so a
+//     mass-event-sized decision never hands its giant buffer to a
+//     later tiny component's lease. At m = 200k all-abnormal the fleet
+//     characterizes in ~1.9 s and ~0.35 GB allocated, from ~128 s and
+//     29.5 GB before the decomposition, and the latency scaling
+//     exponent across m = 10k -> 200k drops from 1.69 to ~1.2
+//     (BENCH_7.json; the m = 50k point is gated in CI). A parity suite
+//     pins verdicts, sets and cost counters bit-identical to the
+//     whole-graph-universe reference across placement families,
+//     adjacency representations and exact modes, serial and parallel
+//     under the race detector.
 //   - Monitor recycles the displaced snapshot as the next window's
 //     buffer and reuses the abnormal-id slice, so steady-state
 //     observation does not grow the heap per snapshot; the detector
@@ -187,6 +212,8 @@
 // regressions in the m = 100k graph build, on allocation regressions in
 // the m = 1M graph build, on allocation regressions in the n = 1M
 // 1%-churn incremental directory advance, on allocation regressions in
-// the quiet n = 1M streaming tick, and on the end-to-end/bare latency
-// ratio of the n = 1M mass-event tick drifting past its envelope.
+// the quiet n = 1M streaming tick, on the end-to-end/bare latency
+// ratio of the n = 1M mass-event tick drifting past its envelope, and
+// on latency or allocation regressions in the m = 50k all-abnormal
+// fleet characterization.
 package anomalia

@@ -28,44 +28,49 @@ func (c *Characterizer) Characterize(j int) (Result, error) {
 	}
 
 	// Build D_k(j) and split it into J_k(j) / L_k(j), all as bitsets over
-	// graph-local indices: the motions are cached in that representation,
-	// so the D_k union, the membership probes of the split and the
-	// Theorem-6 intersection are pure word operations with no id
-	// translation; device-id slices are materialized only at the Result
-	// boundary. Local indices follow sorted device ids, so iteration and
-	// the appended slices come out in id order, exactly as the original
-	// sorted-slice implementation produced them. The working bitsets come
-	// from the characterizer's pool: a fleet pass reuses one set per
-	// worker instead of allocating three per device.
-	sc := c.getScratch()
+	// j's component-local indices: the motions are cached in that
+	// representation, so the D_k union, the membership probes of the
+	// split and the Theorem-6 intersection are pure word operations with
+	// no id translation; device-id slices are materialized only at the
+	// Result boundary. Component-local indices follow sorted device ids,
+	// so iteration and the appended slices come out in id order, exactly
+	// as the full-graph implementation produced them. The working bitsets
+	// come from the characterizer's size-bucketed pool, leased at the
+	// component's universe: a fleet pass reuses one set per worker and
+	// size class, and the word algebra costs O(|component|/64) per
+	// operation instead of O(m/64).
+	lj, _ := c.graph.Local(j)
+	comp := c.comps.Of(lj)
+	verts := c.comps.Verts(comp)
+	rj := c.comps.Rank(lj)
+	sc := c.getScratch(len(verts))
 	defer c.putScratch(sc)
 	dkB, jB, lB := sc.dk, sc.j, sc.l
 	for _, mo := range ent.bits {
 		dkB.Or(mo)
 	}
-	lj, _ := c.graph.Local(j)
-	dkB.ForEach(func(li int) bool {
-		l := c.graph.IDOf(li)
+	dkB.ForEach(func(ri int) bool {
+		l := c.graph.IDOf(int(verts[ri]))
 		lEnt := c.denseMotionsOf(l)
 		if l != j {
 			res.Cost.NeighborsScanned++
 		}
 		inL := false
 		for _, mo := range lEnt.bits {
-			if !mo.Has(lj) {
+			if !mo.Has(rj) {
 				inL = true
 				break
 			}
 		}
 		if inL {
-			lB.Add(li)
+			lB.Add(ri)
 		} else {
-			jB.Add(li)
+			jB.Add(ri)
 		}
 		return true
 	})
-	res.J = c.graph.AppendIds(jB, make([]int, 0, jB.Len()))
-	res.L = c.graph.AppendIds(lB, make([]int, 0, lB.Len()))
+	res.J = c.comps.AppendIds(jB, comp, make([]int, 0, jB.Len()))
+	res.L = c.comps.AppendIds(lB, comp, make([]int, 0, lB.Len()))
 
 	// Theorem 6 (lines 17-18 of Algorithm 3): a dense motion of j inside
 	// J_k(j) proves massive. |M ∩ J| > τ suffices because M ∩ J is itself
@@ -88,7 +93,7 @@ func (c *Characterizer) Characterize(j int) (Result, error) {
 	// Theorem 7 (massive) and Corollary 8 (unresolved). The search works
 	// on sorted id slices; D_k is materialized into pooled scratch (the
 	// search reads it only for the duration of the call).
-	sc.dkIds = c.graph.AppendIds(dkB, sc.dkIds[:0])
+	sc.dkIds = c.comps.AppendIds(dkB, comp, sc.dkIds[:0])
 	violating, tested, err := c.searchViolating(j, sc.dkIds, res.L)
 	res.Cost.CollectionsTested = tested
 	if err != nil {

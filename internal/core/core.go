@@ -21,6 +21,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"sync"
 
 	"anomalia/internal/motion"
@@ -159,24 +160,32 @@ type Characterizer struct {
 	abnormal []int
 	cfg      Config
 	graph    *motion.Graph
+	// comps is the connected-component decomposition of the motion graph.
+	// Every set a decision for device j consults lives inside j's
+	// component, so all per-decision bitsets are sized to the component's
+	// compact renumbering instead of the full vertex universe.
+	comps *motion.Components
 	// denseCache memoizes W̄_k(ℓ) per device, in both representations.
 	denseCache map[int]denseEntry
 	// scratch pools the per-decision working sets of Characterize so a
 	// fleet-wide pass reuses a handful of bitsets instead of allocating
-	// three per device; pooling keeps the parallel pass safe.
-	scratch sync.Pool
+	// three per device; pooling keeps the parallel pass safe. Pools are
+	// bucketed by universe size class so decisions in a 40-device
+	// component never inherit (or retain) bitsets sized for a 200k-device
+	// mass event.
+	scratch scratchPools
 }
 
 // denseEntry is the memoized enumeration for one device ℓ: the maximal
 // τ-dense motions W̄_k(ℓ) as sorted device-id sets (shared with
-// Result.Dense) and as bitsets over graph-local indices (element i of
-// both slices is the same motion — the hot path does its set algebra on
-// the bitsets with no id translation), plus |M(ℓ)| before density
-// filtering for cost reporting. The graph guarantees the bitset
-// representation in both of its adjacency modes: sparse-mode (CSR)
-// windows enumerate inside densified neighbourhood subgraphs and widen
-// only the reported cliques, so the D_k/J_k/L_k word algebra below is
-// representation-blind.
+// Result.Dense) and as bitsets over ℓ's component-local indices
+// (element i of both slices is the same motion — the hot path does its
+// set algebra on the bitsets with no id translation), plus |M(ℓ)|
+// before density filtering for cost reporting. The graph guarantees the
+// bitset representation in both of its adjacency modes: sparse-mode
+// (CSR) windows enumerate inside densified neighbourhood subgraphs and
+// project the reported cliques, so the D_k/J_k/L_k word algebra below
+// is representation-blind.
 type denseEntry struct {
 	ids   [][]int
 	bits  []*sets.Bits
@@ -184,11 +193,62 @@ type denseEntry struct {
 }
 
 // charScratch is the reusable working set of one Characterize call:
-// bitsets over graph-local indices for D_k(j), J_k(j) and L_k(j), plus
-// a buffer for materializing D_k ids.
+// bitsets over component-local indices for D_k(j), J_k(j) and L_k(j),
+// plus a buffer for materializing D_k ids.
 type charScratch struct {
 	dk, j, l *sets.Bits
 	dkIds    []int
+}
+
+// scratchPools buckets pooled charScratch values by universe size class:
+// pools[k] serves universes of up to 64<<k bits (word counts in
+// (2^(k-1), 2^k]). Leases resize within the class they came from, so a
+// scratch never migrates classes and Put-time classification by current
+// universe is exact. Bucketing is what makes pooling safe across mixed
+// component sizes — without it, one mass-event decision would seed the
+// pool with full-window bitsets that every later 40-device decision
+// drags around (and pins in memory) for the life of the characterizer.
+type scratchPools struct {
+	pools [scratchClasses]sync.Pool
+}
+
+// scratchClasses covers word counts up to 2^31 — universes far beyond
+// any device population; larger requests clamp into the last class.
+const scratchClasses = 32
+
+// scratchClass returns the pool bucket for a universe of n bits.
+func scratchClass(n int) int {
+	words := (n + 63) / 64
+	if words <= 1 {
+		return 0
+	}
+	k := bits.Len(uint(words - 1))
+	if k >= scratchClasses {
+		k = scratchClasses - 1
+	}
+	return k
+}
+
+// getScratch leases a cleared working set over the universe [0, n);
+// return it with putScratch.
+func (c *Characterizer) getScratch(n int) *charScratch {
+	sc, _ := c.scratch.pools[scratchClass(n)].Get().(*charScratch)
+	if sc == nil {
+		return &charScratch{
+			dk: sets.NewBits(n),
+			j:  sets.NewBits(n),
+			l:  sets.NewBits(n),
+		}
+	}
+	sc.dk.Resize(n)
+	sc.j.Resize(n)
+	sc.l.Resize(n)
+	sc.dkIds = sc.dkIds[:0]
+	return sc
+}
+
+func (c *Characterizer) putScratch(sc *charScratch) {
+	c.scratch.pools[scratchClass(sc.dk.Universe())].Put(sc)
 }
 
 // New builds a characterizer for the window described by pair, the
@@ -209,35 +269,30 @@ func New(pair *motion.Pair, abnormal []int, cfg Config) (*Characterizer, error) 
 			return nil, fmt.Errorf("abnormal device %d outside population of %d: %w", id, pair.N(), ErrConfig)
 		}
 	}
-	c := &Characterizer{
+	return newCharacterizer(pair, ids, cfg, motion.NewGraph(pair, ids, cfg.R)), nil
+}
+
+// newCharacterizer wires a characterizer over an already-built motion
+// graph of the abnormal set (benchmarks reuse one read-only graph across
+// fresh characterizers; New builds it fresh).
+func newCharacterizer(pair *motion.Pair, ids []int, cfg Config, g *motion.Graph) *Characterizer {
+	return newCharacterizerComps(pair, ids, cfg, g, g.Components())
+}
+
+// newCharacterizerComps additionally injects the component decomposition.
+// Production always passes g.Components(); the parity suite passes
+// g.WholeGraphComponent() to run the identical code path with full-graph
+// universes — the pre-component reference behaviour.
+func newCharacterizerComps(pair *motion.Pair, ids []int, cfg Config, g *motion.Graph, cs *motion.Components) *Characterizer {
+	return &Characterizer{
 		pair:       pair,
 		abnormal:   ids,
 		cfg:        cfg,
-		graph:      motion.NewGraph(pair, ids, cfg.R),
+		graph:      g,
+		comps:      cs,
 		denseCache: make(map[int]denseEntry, len(ids)),
 	}
-	m := c.graph.Len()
-	c.scratch.New = func() any {
-		return &charScratch{
-			dk: sets.NewBits(m),
-			j:  sets.NewBits(m),
-			l:  sets.NewBits(m),
-		}
-	}
-	return c, nil
 }
-
-// getScratch leases a cleared working set; return it with putScratch.
-func (c *Characterizer) getScratch() *charScratch {
-	sc := c.scratch.Get().(*charScratch)
-	sc.dk.Clear()
-	sc.j.Clear()
-	sc.l.Clear()
-	sc.dkIds = sc.dkIds[:0]
-	return sc
-}
-
-func (c *Characterizer) putScratch(sc *charScratch) { c.scratch.Put(sc) }
 
 // Abnormal returns the sorted abnormal set the characterizer covers.
 // Ownership rule (shared with motion.Graph.Ids and dist.Directory.
@@ -245,28 +300,50 @@ func (c *Characterizer) putScratch(sc *charScratch) { c.scratch.Put(sc) }
 // callers must treat it as read-only and copy before modifying.
 func (c *Characterizer) Abnormal() []int { return c.abnormal }
 
-// enumerateDense computes W̄_k(ℓ) — the maximal τ-dense motions
-// containing ℓ, in both representations — and |M(ℓ)|, without touching
-// the memo. The parallel fleet pass enumerates into worker-local shards
-// through this helper before merging them into the shared cache.
-func (c *Characterizer) enumerateDense(l int) denseEntry {
-	allIds, allBits := c.graph.MaximalMotionsContainingSets(l)
-	e := denseEntry{total: len(allIds)}
-	for i, mo := range allIds {
-		if motion.Dense(len(mo), c.cfg.Tau) {
-			e.ids = append(e.ids, mo)
-			e.bits = append(e.bits, allBits[i])
-		}
+// enumerateComponent enumerates component comp's maximal motions once
+// and folds them into a denseEntry per member: entry i (component rank
+// i) holds W̄_k of the i-th member — the dense motions that include it,
+// in lexicographic order because the component family is sorted and a
+// member's family is a subsequence of it — plus its |M(ℓ)| count. One
+// Bron–Kerbosch run serves every device of the component, instead of
+// each member re-enumerating its own neighbourhood; motion id-slices
+// and bitsets are shared across the members' entries (all read-only).
+func (c *Characterizer) enumerateComponent(comp int) []denseEntry {
+	moIds, moBits := c.graph.MaximalMotionsOfComponent(comp, c.comps)
+	entries := make([]denseEntry, c.comps.Size(comp))
+	for mi, mo := range moIds {
+		dense := motion.Dense(len(mo), c.cfg.Tau)
+		bits := moBits[mi]
+		bits.ForEach(func(ri int) bool {
+			e := &entries[ri]
+			e.total++
+			if dense {
+				e.ids = append(e.ids, mo)
+				e.bits = append(e.bits, bits)
+			}
+			return true
+		})
 	}
-	return e
+	return entries
 }
 
-// denseMotionsOf returns the memoized W̄_k(ℓ).
+// cacheComponent memoizes every member entry of component comp and
+// returns the entries (indexed by component rank).
+func (c *Characterizer) cacheComponent(comp int) []denseEntry {
+	entries := c.enumerateComponent(comp)
+	for i, v := range c.comps.Verts(comp) {
+		c.denseCache[c.graph.IDOf(int(v))] = entries[i]
+	}
+	return entries
+}
+
+// denseMotionsOf returns the memoized W̄_k(ℓ), enumerating ℓ's whole
+// component on a miss.
 func (c *Characterizer) denseMotionsOf(l int) denseEntry {
 	if cached, ok := c.denseCache[l]; ok {
 		return cached
 	}
-	e := c.enumerateDense(l)
-	c.denseCache[l] = e
-	return e
+	ll, _ := c.graph.Local(l)
+	entries := c.cacheComponent(c.comps.Of(ll))
+	return entries[c.comps.Rank(ll)]
 }

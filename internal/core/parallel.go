@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 )
 
@@ -16,6 +15,13 @@ import (
 // parallel; then the decisions themselves run in parallel against the
 // read-only cache. This mirrors the deployment reality that each device
 // decides independently once trajectories are exchanged.
+//
+// Work is partitioned along the component decomposition: each task is a
+// contiguous range of the component member slab, cut at component
+// boundaries (oversized components are split). A worker therefore works
+// through whole components at a time, touching one compact universe's
+// scratch and memo entries before moving on, instead of hopping between
+// components on every device.
 //
 // Worth knowing: per-device decisions are microseconds at the paper's
 // density, so the pool only pays off on windows with expensive exact
@@ -32,36 +38,48 @@ func (c *Characterizer) CharacterizeAllParallel(workers int) ([]Result, error) {
 		return c.CharacterizeAll()
 	}
 
-	// Phase 1: fill the motion memo for every abnormal device in
-	// parallel. Each worker computes into its own shard; shards merge
-	// into the shared cache before any decision reads it.
-	type entry struct {
-		id int
-		e  denseEntry
+	// The graph is built over exactly c.abnormal, so graph-local vertex
+	// li is also the position of its device in c.abnormal — the slab
+	// entries double as result indices, and filling results by vertex
+	// yields device order with no final sort.
+	slab := c.comps.AllVerts()
+	ranges := c.componentRanges(workers)
+
+	// Phase 1: fill the motion memo in parallel, one enumeration per
+	// component (components are the memo's natural unit — one
+	// Bron–Kerbosch run yields every member's entry). Each worker
+	// computes into its own shard; shards merge into the shared cache
+	// before any decision reads it.
+	type compEntries struct {
+		comp    int
+		entries []denseEntry
 	}
 	var (
 		wg    sync.WaitGroup
 		mu    sync.Mutex
-		tasks = make(chan int)
+		tasks = make(chan [2]int)
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			local := make([]entry, 0, len(c.abnormal)/workers+1)
-			for idx := range tasks {
-				id := c.abnormal[idx]
-				local = append(local, entry{id: id, e: c.enumerateDense(id)})
+			var local []compEntries
+			for r := range tasks {
+				for ci := r[0]; ci < r[1]; ci++ {
+					local = append(local, compEntries{comp: ci, entries: c.enumerateComponent(ci)})
+				}
 			}
 			mu.Lock()
-			for _, e := range local {
-				c.denseCache[e.id] = e.e
+			for _, ce := range local {
+				for i, v := range c.comps.Verts(ce.comp) {
+					c.denseCache[c.graph.IDOf(int(v))] = ce.entries[i]
+				}
 			}
 			mu.Unlock()
 		}()
 	}
-	for idx := range c.abnormal {
-		tasks <- idx
+	for _, r := range c.componentIndexRanges(workers) {
+		tasks <- r
 	}
 	close(tasks)
 	wg.Wait()
@@ -69,27 +87,100 @@ func (c *Characterizer) CharacterizeAllParallel(workers int) ([]Result, error) {
 	// Phase 2: decide in parallel against the warm, now read-only cache.
 	results := make([]Result, len(c.abnormal))
 	errs := make([]error, len(c.abnormal))
-	tasks2 := make(chan int)
+	tasks2 := make(chan [2]int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for idx := range tasks2 {
-				results[idx], errs[idx] = c.Characterize(c.abnormal[idx])
+			for r := range tasks2 {
+				for p := r[0]; p < r[1]; p++ {
+					li := int(slab[p])
+					results[li], errs[li] = c.Characterize(c.graph.IDOf(li))
+				}
 			}
 		}()
 	}
-	for idx := range c.abnormal {
-		tasks2 <- idx
+	for _, r := range ranges {
+		tasks2 <- r
 	}
 	close(tasks2)
 	wg.Wait()
 
-	for idx, err := range errs {
+	// Vertex order is device order, so the first error found scanning
+	// ascending is the first error CharacterizeAll would have hit.
+	for li, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("characterizing device %d: %w", c.abnormal[idx], err)
+			return nil, fmt.Errorf("characterizing device %d: %w", c.graph.IDOf(li), err)
 		}
 	}
-	sort.Slice(results, func(a, b int) bool { return results[a].Device < results[b].Device })
 	return results, nil
+}
+
+// componentIndexRanges batches component indices into [lo, hi) task
+// ranges of roughly equal member mass, never splitting a component — the
+// phase-1 work unit is a whole component's enumeration.
+func (c *Characterizer) componentIndexRanges(workers int) [][2]int {
+	n := c.comps.Count()
+	target := len(c.abnormal) / (workers * 4)
+	if target < 16 {
+		target = 16
+	}
+	var ranges [][2]int
+	start, mass := 0, 0
+	for ci := 0; ci < n; ci++ {
+		mass += c.comps.Size(ci)
+		if mass >= target {
+			ranges = append(ranges, [2]int{start, ci + 1})
+			start, mass = ci+1, 0
+		}
+	}
+	if start < n {
+		ranges = append(ranges, [2]int{start, n})
+	}
+	return ranges
+}
+
+// componentRanges cuts the component member slab into contiguous [lo, hi)
+// task ranges: small components are batched together up to a per-task
+// target, components larger than the target are split into target-sized
+// chunks. Every range respects the slab's grouping — a range only spans
+// multiple components when each of them fits inside it whole.
+func (c *Characterizer) componentRanges(workers int) [][2]int {
+	m := len(c.abnormal)
+	target := m / (workers * 4)
+	if target < 16 {
+		target = 16
+	}
+	var ranges [][2]int
+	pending := -1 // start of an unflushed batch of small components
+	flush := func(end int) {
+		if pending >= 0 && end > pending {
+			ranges = append(ranges, [2]int{pending, end})
+		}
+		pending = -1
+	}
+	cum := 0
+	for ci := 0; ci < c.comps.Count(); ci++ {
+		lo, hi := cum, cum+c.comps.Size(ci)
+		cum = hi
+		if hi-lo >= target {
+			flush(lo)
+			for p := lo; p < hi; p += target {
+				end := p + target
+				if end > hi {
+					end = hi
+				}
+				ranges = append(ranges, [2]int{p, end})
+			}
+			continue
+		}
+		if pending < 0 {
+			pending = lo
+		}
+		if hi-pending >= target {
+			flush(hi)
+		}
+	}
+	flush(cum)
+	return ranges
 }

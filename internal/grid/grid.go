@@ -339,7 +339,7 @@ func (ix *Index) buildPacked32(ids []int) {
 			com[i] = key[0]<<32 | uint64(uint32(i))
 		}
 	})
-	slices.Sort(com)
+	parallelSortUint64(com)
 	n := 0
 	for s, c := range com {
 		if s == 0 || c>>32 != com[s-1]>>32 {

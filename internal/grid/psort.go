@@ -1,0 +1,101 @@
+package grid
+
+import (
+	"runtime"
+	"slices"
+	"sync"
+)
+
+// parallelSortThreshold is the input size below which the composite-key
+// sort runs single-threaded: shard + merge overhead only pays for itself
+// on bulk builds, and per-window builds at paper scale should spawn
+// nothing (mirroring parallelRanges).
+const parallelSortThreshold = 1 << 15
+
+// parallelSortUint64 sorts a ascending using up to GOMAXPROCS workers:
+// per-shard sorts followed by rounds of pairwise merges. The output is
+// the ascending ordering of the values — unique whatever the shard
+// count — so index builds are deterministic across machines and
+// GOMAXPROCS settings.
+func parallelSortUint64(a []uint64) {
+	workers := runtime.GOMAXPROCS(0)
+	if len(a) < parallelSortThreshold {
+		workers = 1
+	}
+	parallelSortUint64Workers(a, workers)
+}
+
+// parallelSortUint64Workers is the worker-count-parameterized core,
+// split out so tests can pin output equality across worker counts.
+func parallelSortUint64Workers(a []uint64, workers int) {
+	n := len(a)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 2 {
+		slices.Sort(a)
+		return
+	}
+
+	// Shard and sort: worker w owns a[w*n/workers : (w+1)*n/workers).
+	bounds := make([]int, workers+1)
+	for i := range bounds {
+		bounds[i] = i * n / workers
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			slices.Sort(a[lo:hi])
+		}(bounds[w], bounds[w+1])
+	}
+	wg.Wait()
+
+	// Merge rounds: adjacent run pairs merge in parallel, ping-ponging
+	// between a and one scratch buffer, until a single run remains.
+	buf := make([]uint64, n)
+	src, dst := a, buf
+	for len(bounds) > 2 {
+		next := make([]int, 0, len(bounds)/2+2)
+		var mg sync.WaitGroup
+		i := 0
+		for ; i+2 < len(bounds); i += 2 {
+			lo, mid, hi := bounds[i], bounds[i+1], bounds[i+2]
+			next = append(next, lo)
+			mg.Add(1)
+			go func(lo, mid, hi int) {
+				defer mg.Done()
+				mergeUint64(dst[lo:hi], src[lo:mid], src[mid:hi])
+			}(lo, mid, hi)
+		}
+		if i+1 < len(bounds) { // odd run out: carry it into the next round
+			next = append(next, bounds[i])
+			copy(dst[bounds[i]:n], src[bounds[i]:n])
+		}
+		next = append(next, n)
+		mg.Wait()
+		bounds = next
+		src, dst = dst, src
+	}
+	if &src[0] != &a[0] {
+		copy(a, src)
+	}
+}
+
+// mergeUint64 merges the sorted runs x and y into dst, which must have
+// length len(x)+len(y).
+func mergeUint64(dst, x, y []uint64) {
+	for len(x) > 0 && len(y) > 0 {
+		if y[0] < x[0] {
+			dst[0] = y[0]
+			y = y[1:]
+		} else {
+			dst[0] = x[0]
+			x = x[1:]
+		}
+		dst = dst[1:]
+	}
+	copy(dst, x)
+	copy(dst[len(x):], y)
+}

@@ -1,0 +1,73 @@
+package grid
+
+import (
+	"slices"
+	"testing"
+
+	"anomalia/internal/stats"
+)
+
+// psortInputs builds the adversarial input families for the parallel
+// composite-key sort: random words, heavy duplicates (many devices in
+// one cell), already sorted, reverse sorted, and the packed key<<32|pos
+// shape buildPacked32 feeds it.
+func psortInputs(rng *stats.RNG, n int) map[string][]uint64 {
+	random := make([]uint64, n)
+	dups := make([]uint64, n)
+	asc := make([]uint64, n)
+	desc := make([]uint64, n)
+	packed := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		random[i] = rng.Uint64()
+		dups[i] = uint64(rng.Intn(7))
+		asc[i] = uint64(i)
+		desc[i] = uint64(n - i)
+		packed[i] = uint64(rng.Intn(n/64+1))<<32 | uint64(uint32(i))
+	}
+	return map[string][]uint64{
+		"random": random, "dups": dups, "asc": asc, "desc": desc, "packed": packed,
+	}
+}
+
+// TestParallelSortUint64MatchesSlicesSort: for every input family, size
+// and worker count — including counts that do not divide the length and
+// exceed it — the sharded sort must produce exactly the slices.Sort
+// ordering, so index builds are identical across GOMAXPROCS settings.
+func TestParallelSortUint64MatchesSlicesSort(t *testing.T) {
+	t.Parallel()
+
+	rng := stats.NewRNG(171)
+	for _, n := range []int{0, 1, 2, 3, 100, 1023, parallelSortThreshold + 17} {
+		for name, input := range psortInputs(rng, n) {
+			want := slices.Clone(input)
+			slices.Sort(want)
+			for _, workers := range []int{1, 2, 3, 4, 7, 16, n + 1} {
+				got := slices.Clone(input)
+				parallelSortUint64Workers(got, workers)
+				if !slices.Equal(got, want) {
+					t.Fatalf("n=%d %s workers=%d: parallel sort diverged from slices.Sort", n, name, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelSortUint64Auto covers the production entry point on both
+// sides of the inline threshold.
+func TestParallelSortUint64Auto(t *testing.T) {
+	t.Parallel()
+
+	rng := stats.NewRNG(99)
+	for _, n := range []int{parallelSortThreshold - 1, 2*parallelSortThreshold + 5} {
+		a := make([]uint64, n)
+		for i := range a {
+			a[i] = rng.Uint64()
+		}
+		want := slices.Clone(a)
+		slices.Sort(want)
+		parallelSortUint64(a)
+		if !slices.Equal(a, want) {
+			t.Fatalf("n=%d: parallelSortUint64 diverged from slices.Sort", n)
+		}
+	}
+}

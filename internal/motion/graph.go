@@ -441,6 +441,30 @@ func (g *Graph) MaximalMotionsContaining(j int) [][]int {
 // modes — in sparse mode the enumeration itself runs over j's densified
 // neighbourhood subgraph and only the reported cliques are widened.
 func (g *Graph) MaximalMotionsContainingSets(j int) ([][]int, []*sets.Bits) {
+	return g.maximalMotionsContainingProj(j, len(g.ids), nil)
+}
+
+// MaximalMotionsContainingIn is MaximalMotionsContainingSets with the
+// bitsets projected into the component-local index space of j's
+// connected component under cs: bit i of a motion is rank i within the
+// component's sorted member list, and the universe is the component
+// size. Every member of a motion containing j shares j's component, so
+// the projection loses nothing — it shrinks each bitset from O(Len/64)
+// words to O(|component|/64), which is what keeps adversarial
+// all-abnormal windows linear in total component mass instead of
+// quadratic in the vertex count.
+func (g *Graph) MaximalMotionsContainingIn(j int, cs *Components) ([][]int, []*sets.Bits) {
+	lj, ok := g.Local(j)
+	if !ok {
+		return nil, nil
+	}
+	return g.maximalMotionsContainingProj(j, cs.Size(cs.Of(lj)), cs.rank)
+}
+
+// maximalMotionsContainingProj enumerates W(j) with the reported
+// cliques projected through rank into bitsets over [0, universe); a nil
+// rank is the identity projection over the graph-local universe.
+func (g *Graph) maximalMotionsContainingProj(j, universe int, rank []int32) ([][]int, []*sets.Bits) {
 	lj, ok := g.Local(j)
 	if !ok {
 		return nil, nil
@@ -458,8 +482,22 @@ func (g *Graph) MaximalMotionsContainingSets(j int) ([][]int, []*sets.Bits) {
 		p.CopyFrom(sub[pos])
 		x := sc.lease(s)
 		bkOver(sub, r, p, x, sc, func(clique *sets.Bits) {
-			wide := g.widenClique(verts, clique)
-			out.ids = append(out.ids, g.toIds(wide))
+			// Widen the clique from sub-indices straight into the target
+			// universe, collecting ids on the way: sub-index i is verts[i]
+			// graph-locally, whose rank and id both follow ascending order.
+			wide := sets.NewBits(universe)
+			ids := make([]int, 0, clique.Len())
+			clique.ForEach(func(i int) bool {
+				v := verts[i]
+				if rank != nil {
+					wide.Add(int(rank[v]))
+				} else {
+					wide.Add(int(v))
+				}
+				ids = append(ids, g.ids[v])
+				return true
+			})
+			out.ids = append(out.ids, ids)
 			out.cliques = append(out.cliques, wide)
 		})
 		sc.put(x)
@@ -474,24 +512,35 @@ func (g *Graph) MaximalMotionsContainingSets(j int) ([][]int, []*sets.Bits) {
 		x := sets.NewBits(m)
 		bkOver(g.adj, r, p, x, sc, func(clique *sets.Bits) {
 			out.ids = append(out.ids, g.toIds(clique))
-			out.cliques = append(out.cliques, clique)
+			if rank != nil {
+				wide := sets.NewBits(universe)
+				clique.ProjectInto(wide, rank)
+				out.cliques = append(out.cliques, wide)
+			} else {
+				out.cliques = append(out.cliques, clique)
+			}
 		})
 	}
 	g.putScratch(sc)
-	// Sort both representations together, in the id sets' lexicographic
-	// order (the deterministic order SortSets establishes). Families are
-	// typically a handful of motions; insertion sort keeps the common
-	// case allocation-free (sort.Sort would heap-allocate the interface).
+	sortMotionFamily(&out)
+	return out.ids, out.cliques
+}
+
+// sortMotionFamily sorts both motion representations together, in the id
+// sets' lexicographic order (the deterministic order SortSets
+// establishes). Families are typically a handful of motions; insertion
+// sort keeps the common case allocation-free (sort.Sort would
+// heap-allocate the interface).
+func sortMotionFamily(out *motionFamily) {
 	if len(out.ids) > 32 {
-		sort.Sort(&out)
-	} else {
-		for i := 1; i < len(out.ids); i++ {
-			for j := i; j > 0 && out.Less(j, j-1); j-- {
-				out.Swap(j, j-1)
-			}
+		sort.Sort(out)
+		return
+	}
+	for i := 1; i < len(out.ids); i++ {
+		for j := i; j > 0 && out.Less(j, j-1); j-- {
+			out.Swap(j, j-1)
 		}
 	}
-	return out.ids, out.cliques
 }
 
 // searchSorted returns the index of v in the sorted slice s (which must
@@ -507,17 +556,6 @@ func searchSorted(s sets.Sorted, v int32) int {
 		}
 	}
 	return lo
-}
-
-// widenClique translates a clique over a subgraph's sub-indices into a
-// bitset over graph-local indices.
-func (g *Graph) widenClique(verts sets.Sorted, clique *sets.Bits) *sets.Bits {
-	wide := sets.NewBits(len(g.ids))
-	clique.ForEach(func(i int) bool {
-		wide.Add(int(verts[i]))
-		return true
-	})
-	return wide
 }
 
 // motionFamily sorts the two motion representations in lockstep, by the

@@ -246,6 +246,18 @@ func (b *Bits) Equal(o *Bits) bool {
 	return true
 }
 
+// ProjectInto adds rank[i] to dst for every member i of b — the
+// local-index projection used to re-express a set over a compact
+// sub-universe (e.g. graph-local indices into component-local ranks).
+// dst is not cleared first; members whose rank falls outside dst's
+// universe are ignored, like any other Add.
+func (b *Bits) ProjectInto(dst *Bits, rank []int32) {
+	b.ForEach(func(i int) bool {
+		dst.Add(int(rank[i]))
+		return true
+	})
+}
+
 // Members appends the elements of the set, in increasing order, to dst and
 // returns the extended slice. Pass nil to allocate.
 func (b *Bits) Members(dst []int) []int {

@@ -1,0 +1,32 @@
+package sets
+
+import "testing"
+
+// TestProjectInto: members map through rank into the destination
+// universe, without clearing dst, and out-of-universe ranks are dropped
+// like any other Add.
+func TestProjectInto(t *testing.T) {
+	t.Parallel()
+
+	b := BitsOf(10, 1, 4, 7, 9)
+	rank := []int32{9, 0, 8, 1, 2, 7, 3, 5, 4, 6}
+	dst := BitsOf(8, 6) // pre-existing member must survive
+	b.ProjectInto(dst, rank)
+	want := BitsOf(8, 6, 0, 2, 5) // rank[1]=0, rank[4]=2, rank[7]=5; rank[9]=6 joins existing
+	if !dst.Equal(want) {
+		t.Fatalf("ProjectInto = %v, want %v", dst, want)
+	}
+
+	tiny := NewBits(3)
+	b.ProjectInto(tiny, rank) // ranks 5, 6 fall outside [0,3)
+	if got := tiny.String(); got != "{0 2}" {
+		t.Fatalf("clamped projection = %s, want {0 2}", got)
+	}
+
+	empty := NewBits(10)
+	out := NewBits(4)
+	empty.ProjectInto(out, rank)
+	if !out.Empty() {
+		t.Fatalf("empty projection added members: %v", out)
+	}
+}

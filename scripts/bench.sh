@@ -15,8 +15,10 @@
 #                             m=100k graph build, allocs/op on the m=1M
 #                             graph build, allocs/op on the n=1M
 #                             1%-churn directory advance, allocs/op on
-#                             the n=1M quiet streaming tick, and the
-#                             end-to-end/bare tick latency ratio
+#                             the n=1M quiet streaming tick, the
+#                             end-to-end/bare tick latency ratio, and
+#                             ns/op + allocs/op on the m=50k
+#                             all-abnormal fleet characterization
 #
 # The window gate fails when allocs/op exceeds MAX_WINDOW_ALLOCS, chosen
 # with ~15% headroom over the PR 2 hot path (1735 allocs/op; the seed
@@ -55,10 +57,26 @@
 # but not between iterations, and mid-loop GC state inflates single
 # repetitions by up to 10x on this workload, so the min is the only
 # estimate comparable across runs.
+#
+# The PR 7 gates cover the component-local characterizer. The
+# all-abnormal gates fail when fleet-wide characterization of the
+# adversarial m=50k all-abnormal clustered window (every device
+# abnormal; decision cost concentrated in maximal-motion enumeration
+# and set algebra) exceeds MAX_ALLABN50K_NS or MAX_ALLABN50K_ALLOCS:
+# the component-local path — one Bron–Kerbosch enumeration per
+# connected component over component-rank universes, with size-class
+# pooled scratch — decides the window in ~0.3 s / ~170k allocs where
+# the full-vertex-universe implementation took ~6.2 s / ~696k allocs
+# (and 29.5 GB allocated at m=200k), so the ceilings trip well before
+# any regression back toward whole-window bitsets or per-device
+# re-enumeration. The full run additionally reports the m=10k -> 200k
+# scaling exponent of the all-abnormal latency curve (time ~ m^exp;
+# 1.69 before the component decomposition, ~1.2 after) and records it
+# in the JSON next to the raw suite.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PR=6
+PR=7
 OUT="BENCH_${PR}.json"
 MAX_WINDOW_ALLOCS=2000
 MAX_GRAPH100K_BYTES=150000000
@@ -68,6 +86,8 @@ MIN_ADVANCE_SPEEDUP_FULL=5
 MAX_TICK_ALLOCS=256
 MAX_TICK_RATIO=2.0
 MAX_TICK_RATIO_SHORT=2.5
+MAX_ALLABN50K_NS=2000000000
+MAX_ALLABN50K_ALLOCS=300000
 
 # bench_json BENCH_OUTPUT -> JSON entries "name": {ns_op, b_op, allocs_op}.
 # Repeated lines for one benchmark (-count > 1) keep the per-metric
@@ -108,6 +128,25 @@ metric() {
 }
 
 min_of() { sort -n | head -1; }
+
+# allabn_gate NS ALLOCS LABEL — the m=50k all-abnormal ceilings on the
+# component-local characterizer.
+allabn_gate() {
+  local ns="$1" allocs="$2" label="$3"
+  if [ -z "$ns" ] || [ -z "$allocs" ]; then
+    echo "bench.sh: could not parse BenchmarkCharacterizeAllAbnormal/m=50k" >&2
+    exit 1
+  fi
+  if [ "$ns" -gt "$MAX_ALLABN50K_NS" ]; then
+    echo "bench.sh: all-abnormal latency regression — m=50k fleet characterization at ${ns} ns/op, ${label} gate is ${MAX_ALLABN50K_NS}" >&2
+    exit 1
+  fi
+  if [ "$allocs" -gt "$MAX_ALLABN50K_ALLOCS" ]; then
+    echo "bench.sh: all-abnormal allocation regression — m=50k fleet characterization at ${allocs} allocs/op, ${label} gate is ${MAX_ALLABN50K_ALLOCS}" >&2
+    exit 1
+  fi
+  echo "bench.sh: all-abnormal m=50k gate OK (${ns} <= ${MAX_ALLABN50K_NS} ns/op, ${allocs} <= ${MAX_ALLABN50K_ALLOCS} allocs/op)"
+}
 
 # tick_ratio_gate BARE_NS OBSERVE_NS MAX_RATIO LABEL
 tick_ratio_gate() {
@@ -205,6 +244,14 @@ if [ "${1:-}" = "-short" ]; then
   bare=$(metric "$rout" '^BenchmarkTickBare1M' 'ns/op' | min_of)
   obs=$(metric "$rout" '^BenchmarkTickObserve1M/sharded' 'ns/op' | min_of)
   tick_ratio_gate "$bare" "$obs" "$MAX_TICK_RATIO_SHORT" "short"
+  # Component-local characterizer smoke: fleet-wide characterization of
+  # the adversarial m=50k all-abnormal clustered window must stay within
+  # the component-local latency/allocation envelope.
+  cout=$(go test -run='^$' -bench='BenchmarkCharacterizeAllAbnormal/m=50k$' \
+    -benchmem -benchtime=1x -count=2 -timeout=20m ./internal/core/)
+  echo "$cout"
+  allabn_gate "$(metric "$cout" '^BenchmarkCharacterizeAllAbnormal/m=50k' 'ns/op' | min_of)" \
+    "$(metric "$cout" '^BenchmarkCharacterizeAllAbnormal/m=50k' 'allocs/op' | min_of)" "short"
   exit 0
 fi
 
@@ -242,65 +289,97 @@ go test -run='^$' -bench='BenchmarkTickBare1M$|BenchmarkTickObserve1M|BenchmarkT
   -benchmem -benchtime=1x -count=3 -timeout=30m . | tee -a "$tmp"
 go test -run='^$' -bench='BenchmarkIngest/' \
   -benchmem -benchtime=10x -count=3 ./cmd/anomalia-gateway/ | tee -a "$tmp"
+# Adversarial all-abnormal suite: clustered windows with every device
+# abnormal at m in {10k, 50k, 200k}, fleet-wide characterization over a
+# prebuilt graph with a fresh characterizer per iteration — the
+# component-local decomposition's headline curve. -benchtime=1x
+# -count=3 min-reduced for the same GC reasoning as the heavy ticks.
+go test -run='^$' -bench='BenchmarkCharacterizeAllAbnormal/' \
+  -benchmem -benchtime=1x -count=3 -timeout=30m ./internal/core/ | tee -a "$tmp"
+
+# Scaling exponent of the all-abnormal latency curve across the 20x
+# span m=10k -> m=200k (time ~ m^exp; 1.0 is linear, the pre-component
+# baseline measured 1.69).
+abn10ns=$(awk '/^BenchmarkCharacterizeAllAbnormal\/m=10k/ { for (i=2;i<=NF;i++) if ($(i)=="ns/op") print $(i-1) }' "$tmp" | sort -n | head -1)
+abn200ns=$(awk '/^BenchmarkCharacterizeAllAbnormal\/m=200k/ { for (i=2;i<=NF;i++) if ($(i)=="ns/op") print $(i-1) }' "$tmp" | sort -n | head -1)
+if [ -z "$abn10ns" ] || [ -z "$abn200ns" ]; then
+  echo "bench.sh: could not parse the all-abnormal m=10k/m=200k pair" >&2
+  exit 1
+fi
+abnexp=$(awk -v a="$abn10ns" -v b="$abn200ns" 'BEGIN{printf "%.2f", log(b/a)/log(20)}')
 
 {
   echo "{"
   echo "  \"pr\": ${PR},"
   echo "  \"date\": \"$(date -u +%Y-%m-%d)\","
   echo "  \"go\": \"$(go env GOVERSION)\","
-  echo "  \"note\": \"PR ${PR}: parallel ingestion + detection front-end. 'before' is the recorded PR 5 state: Monitor.Observe validated and walked the per-device detectors serially, the gateway parsed CSV with a fresh [][]float64 per tick, and a non-finite QoS value slipped past the interval check (v<0||v>1 is false for NaN). The detector walk is now sharded across WithIngestWorkers goroutines with per-shard abnormal buffers merged in shard order (byte-identical to the serial walk, pinned by parity and -race suites), both ingest paths stream through reused row buffers, and the gateway gained a length-prefixed binary frame format (-format bin, -convert bridge from CSV archives) that decodes a tick with one bulk read. New benchmarks: BenchmarkTickBare1M (characterization alone of a ~4%-of-fleet clustered mass event at n=1e6, r dimensioned per §VII-A), BenchmarkTickObserve1M (the same window through the full streaming path; the acceptance headline is sharded-vs-bare within ~2x), BenchmarkTickIngestDetect1M (quiet steady-state tick, allocation-free), BenchmarkIngest (gateway CSV vs binary decode). Heavy tick numbers are min across -count=3 single-iteration repetitions — mid-loop GC state inflates longer loops up to 10x, and the framework only forces a GC between repetitions.\","
+  echo "  \"note\": \"PR ${PR}: component-local characterizer scratch. 'before' is the recorded PR 6 state: every per-device decision allocated and cleared window-sized D_k/J_k/L_k bitsets over the full abnormal universe, every enumerated motion was widened to a window-sized bitset, and each device ran its own neighbourhood Bron-Kerbosch — the O(m^2/64) word traffic put the adversarial m=200k all-abnormal window at 127.9 s and 29.5 GB allocated fleet-wide on this hardware. The characterizer now decomposes the motion graph into connected components (every rule of Theorems 5-7 is component-local: motions, J_k and L_k never cross a component boundary), runs one Bron-Kerbosch per component over component-rank universes whose lexicographically sorted family serves every member by projection, and leases decision scratch from size-class-bucketed pools so a mass-event-sized lease is never handed back for a tiny component (pinned by the alloc-footprint regression test). The flat grid build's composite-key sort is sharded across GOMAXPROCS with deterministic pairwise merging — byte-identical output for any worker count. New suite: BenchmarkCharacterizeAllAbnormal (clustered all-abnormal m in {10k, 50k, 200k}, prebuilt graph, fresh characterizer per iteration): m=50k 6.2 s -> 0.29 s, m=200k 127.9 s -> 1.9 s (29.5 GB -> 0.35 GB, 6.8M -> 0.88M allocs); the latency scaling exponent over the 20x span drops from 1.69 to ~1.2 (allabnormal_scaling below). Parity with the whole-graph-universe reference is pinned bit-for-bit across placements, representations and exact modes, serial and parallel, under -race.\","
   echo "  \"before\": {"
   cat <<'PREV'
-    "BenchmarkNewGraph/grid/sparse/n=1000": {"ns_op": 859522, "b_op": 271440, "allocs_op": 20},
-    "BenchmarkNewGraph/allpairs/sparse/n=1000": {"ns_op": 8203871, "b_op": 180400, "allocs_op": 5},
-    "BenchmarkNewGraph/grid/sparse/n=10000": {"ns_op": 10402304, "b_op": 1983368, "allocs_op": 38},
-    "BenchmarkNewGraph/allpairs/sparse/n=10000": {"ns_op": 724848707, "b_op": 13058224, "allocs_op": 5},
-    "BenchmarkNewGraph/grid/sparse/n=100000": {"ns_op": 854414939, "b_op": 95792616, "allocs_op": 206},
-    "BenchmarkNewGraph/grid/clustered/n=1000": {"ns_op": 841830, "b_op": 226128, "allocs_op": 20},
-    "BenchmarkNewGraph/allpairs/clustered/n=1000": {"ns_op": 5033675, "b_op": 180400, "allocs_op": 5},
-    "BenchmarkNewGraph/grid/clustered/n=10000": {"ns_op": 76999866, "b_op": 10774088, "allocs_op": 56},
-    "BenchmarkNewGraph/allpairs/clustered/n=10000": {"ns_op": 449275802, "b_op": 13058224, "allocs_op": 5},
-    "BenchmarkNewGraph/grid/clustered/n=100000": {"ns_op": 1517899071, "b_op": 180086248, "allocs_op": 368},
-    "BenchmarkNewGraph/grid/sparse/n=1000000": {"ns_op": 1501781745, "b_op": 187684328, "allocs_op": 209},
-    "BenchmarkCharacterizeWindow": {"ns_op": 240096, "b_op": 163957, "allocs_op": 1559},
-    "BenchmarkCharacterizeWindowCheap": {"ns_op": 206400, "b_op": 149920, "allocs_op": 1143},
-    "BenchmarkCharacterizeLargeFleet": {"ns_op": 1637995, "b_op": 1292043, "allocs_op": 6344},
-    "BenchmarkMonitorObserve": {"ns_op": 54046, "b_op": 21760, "allocs_op": 414},
-    "BenchmarkDirectoryBuild/n=1k": {"ns_op": 4015, "b_op": 5920, "allocs_op": 13},
-    "BenchmarkDirectoryBuild/n=10k": {"ns_op": 21325, "b_op": 27392, "allocs_op": 13},
-    "BenchmarkDistDecide/n=1k": {"ns_op": 603621, "b_op": 268896, "allocs_op": 5974},
-    "BenchmarkDistDecide/n=10k": {"ns_op": 1802336, "b_op": 673039, "allocs_op": 14757},
-    "BenchmarkDirectoryAdvance/clustered/n=10k/churn=0.1%": {"ns_op": 44982, "b_op": 57408, "allocs_op": 38},
-    "BenchmarkDirectoryAdvance/clustered/n=10k/churn=1%": {"ns_op": 45212, "b_op": 67737, "allocs_op": 54},
-    "BenchmarkDirectoryAdvance/clustered/n=10k/churn=10%": {"ns_op": 175870, "b_op": 181676, "allocs_op": 81},
-    "BenchmarkDirectoryAdvance/clustered/n=100k/churn=0.1%": {"ns_op": 407151, "b_op": 552748, "allocs_op": 54},
-    "BenchmarkDirectoryAdvance/clustered/n=100k/churn=1%": {"ns_op": 560209, "b_op": 669801, "allocs_op": 85},
-    "BenchmarkDirectoryAdvance/clustered/n=100k/churn=10%": {"ns_op": 2947792, "b_op": 2088793, "allocs_op": 122},
-    "BenchmarkDirectoryAdvance/clustered/n=1M/churn=0.1%": {"ns_op": 5730682, "b_op": 5413737, "allocs_op": 86},
-    "BenchmarkDirectoryAdvance/clustered/n=1M/churn=1%": {"ns_op": 8407679, "b_op": 6857449, "allocs_op": 125},
-    "BenchmarkDirectoryAdvance/clustered/n=1M/churn=10%": {"ns_op": 38480472, "b_op": 24069081, "allocs_op": 179},
-    "BenchmarkDirectoryAdvance/uniform/n=10k/churn=0.1%": {"ns_op": 69853, "b_op": 97369, "allocs_op": 48},
-    "BenchmarkDirectoryAdvance/uniform/n=10k/churn=1%": {"ns_op": 57198, "b_op": 139545, "allocs_op": 66},
-    "BenchmarkDirectoryAdvance/uniform/n=10k/churn=10%": {"ns_op": 353806, "b_op": 385657, "allocs_op": 88},
-    "BenchmarkDirectoryAdvance/uniform/n=100k/churn=0.1%": {"ns_op": 1325613, "b_op": 939817, "allocs_op": 69},
-    "BenchmarkDirectoryAdvance/uniform/n=100k/churn=1%": {"ns_op": 1435960, "b_op": 1412985, "allocs_op": 94},
-    "BenchmarkDirectoryAdvance/uniform/n=100k/churn=10%": {"ns_op": 5385410, "b_op": 4586489, "allocs_op": 133},
-    "BenchmarkDirectoryAdvance/uniform/n=1M/churn=0.1%": {"ns_op": 15169962, "b_op": 9294601, "allocs_op": 97},
-    "BenchmarkDirectoryAdvance/uniform/n=1M/churn=1%": {"ns_op": 21563257, "b_op": 15300345, "allocs_op": 142},
-    "BenchmarkDirectoryAdvance/uniform/n=1M/churn=10%": {"ns_op": 94367495, "b_op": 52336393, "allocs_op": 200},
-    "BenchmarkDirectoryAdvanceFull/n=10k/churn=1%": {"ns_op": 224764, "b_op": 85968, "allocs_op": 9},
-    "BenchmarkDirectoryAdvanceFull/n=100k/churn=1%": {"ns_op": 3008917, "b_op": 1469881, "allocs_op": 87},
-    "BenchmarkDirectoryAdvanceFull/n=1M/churn=1%": {"ns_op": 31153534, "b_op": 14861113, "allocs_op": 127},
-    "BenchmarkDirectoryRebuild/clustered/n=10k": {"ns_op": 513549, "b_op": 300784, "allocs_op": 13},
-    "BenchmarkDirectoryRebuild/clustered/n=100k": {"ns_op": 6881682, "b_op": 2959568, "allocs_op": 13},
-    "BenchmarkDirectoryRebuild/clustered/n=1M": {"ns_op": 90341360, "b_op": 29428176, "allocs_op": 13},
-    "BenchmarkDirectoryRebuild/uniform/n=10k": {"ns_op": 814738, "b_op": 355664, "allocs_op": 13},
-    "BenchmarkDirectoryRebuild/uniform/n=100k": {"ns_op": 12129191, "b_op": 3507920, "allocs_op": 13},
-    "BenchmarkDirectoryRebuild/uniform/n=1M": {"ns_op": 155236314, "b_op": 34742736, "allocs_op": 13}
+    "BenchmarkNewGraph/grid/sparse/n=1000": {"ns_op": 1374332, "b_op": 271440, "allocs_op": 20},
+    "BenchmarkNewGraph/allpairs/sparse/n=1000": {"ns_op": 9423085, "b_op": 180400, "allocs_op": 5},
+    "BenchmarkNewGraph/grid/sparse/n=10000": {"ns_op": 15203606, "b_op": 1983368, "allocs_op": 38},
+    "BenchmarkNewGraph/allpairs/sparse/n=10000": {"ns_op": 958488755, "b_op": 13058224, "allocs_op": 5},
+    "BenchmarkNewGraph/grid/sparse/n=100000": {"ns_op": 1219776283, "b_op": 95792616, "allocs_op": 206},
+    "BenchmarkNewGraph/grid/clustered/n=1000": {"ns_op": 1035073, "b_op": 226128, "allocs_op": 20},
+    "BenchmarkNewGraph/allpairs/clustered/n=1000": {"ns_op": 5496123, "b_op": 180400, "allocs_op": 5},
+    "BenchmarkNewGraph/grid/clustered/n=10000": {"ns_op": 90799458, "b_op": 10774088, "allocs_op": 56},
+    "BenchmarkNewGraph/allpairs/clustered/n=10000": {"ns_op": 619286157, "b_op": 13058224, "allocs_op": 5},
+    "BenchmarkNewGraph/grid/clustered/n=100000": {"ns_op": 1877461926, "b_op": 180086248, "allocs_op": 368},
+    "BenchmarkNewGraph/grid/sparse/n=1000000": {"ns_op": 1845902945, "b_op": 187684328, "allocs_op": 209},
+    "BenchmarkCharacterizeWindow": {"ns_op": 314543, "b_op": 163976, "allocs_op": 1559},
+    "BenchmarkCharacterizeWindowCheap": {"ns_op": 242711, "b_op": 149938, "allocs_op": 1143},
+    "BenchmarkCharacterizeLargeFleet": {"ns_op": 1842074, "b_op": 1292064, "allocs_op": 6344},
+    "BenchmarkMonitorObserve": {"ns_op": 67954, "b_op": 21808, "allocs_op": 417},
+    "BenchmarkDirectoryBuild/n=1k": {"ns_op": 4653, "b_op": 5920, "allocs_op": 13},
+    "BenchmarkDirectoryBuild/n=10k": {"ns_op": 25752, "b_op": 27392, "allocs_op": 13},
+    "BenchmarkDistDecide/n=1k": {"ns_op": 772718, "b_op": 268893, "allocs_op": 5974},
+    "BenchmarkDistDecide/n=10k": {"ns_op": 2336077, "b_op": 673390, "allocs_op": 14758},
+    "BenchmarkDirectoryAdvance/clustered/n=10k/churn=0.1%": {"ns_op": 20606, "b_op": 57408, "allocs_op": 38},
+    "BenchmarkDirectoryAdvance/clustered/n=10k/churn=1%": {"ns_op": 70334, "b_op": 67737, "allocs_op": 54},
+    "BenchmarkDirectoryAdvance/clustered/n=10k/churn=10%": {"ns_op": 182315, "b_op": 181676, "allocs_op": 81},
+    "BenchmarkDirectoryAdvance/clustered/n=100k/churn=0.1%": {"ns_op": 313112, "b_op": 552748, "allocs_op": 54},
+    "BenchmarkDirectoryAdvance/clustered/n=100k/churn=1%": {"ns_op": 505205, "b_op": 669801, "allocs_op": 85},
+    "BenchmarkDirectoryAdvance/clustered/n=100k/churn=10%": {"ns_op": 2685030, "b_op": 2088793, "allocs_op": 122},
+    "BenchmarkDirectoryAdvance/clustered/n=1M/churn=0.1%": {"ns_op": 5232823, "b_op": 5413737, "allocs_op": 86},
+    "BenchmarkDirectoryAdvance/clustered/n=1M/churn=1%": {"ns_op": 8423848, "b_op": 6857449, "allocs_op": 125},
+    "BenchmarkDirectoryAdvance/clustered/n=1M/churn=10%": {"ns_op": 37982829, "b_op": 24069081, "allocs_op": 179},
+    "BenchmarkDirectoryAdvance/uniform/n=10k/churn=0.1%": {"ns_op": 58140, "b_op": 96473, "allocs_op": 47},
+    "BenchmarkDirectoryAdvance/uniform/n=10k/churn=1%": {"ns_op": 58372, "b_op": 138649, "allocs_op": 65},
+    "BenchmarkDirectoryAdvance/uniform/n=10k/churn=10%": {"ns_op": 346608, "b_op": 384761, "allocs_op": 87},
+    "BenchmarkDirectoryAdvance/uniform/n=100k/churn=0.1%": {"ns_op": 1011688, "b_op": 930345, "allocs_op": 68},
+    "BenchmarkDirectoryAdvance/uniform/n=100k/churn=1%": {"ns_op": 1554036, "b_op": 1403513, "allocs_op": 93},
+    "BenchmarkDirectoryAdvance/uniform/n=100k/churn=10%": {"ns_op": 6504619, "b_op": 4577017, "allocs_op": 132},
+    "BenchmarkDirectoryAdvance/uniform/n=1M/churn=0.1%": {"ns_op": 16564730, "b_op": 9204489, "allocs_op": 96},
+    "BenchmarkDirectoryAdvance/uniform/n=1M/churn=1%": {"ns_op": 29302157, "b_op": 15210233, "allocs_op": 141},
+    "BenchmarkDirectoryAdvance/uniform/n=1M/churn=10%": {"ns_op": 99047034, "b_op": 52336393, "allocs_op": 200},
+    "BenchmarkDirectoryRebuild/clustered/n=10k": {"ns_op": 597578, "b_op": 300784, "allocs_op": 13},
+    "BenchmarkDirectoryRebuild/clustered/n=100k": {"ns_op": 10042138, "b_op": 2959568, "allocs_op": 13},
+    "BenchmarkDirectoryRebuild/clustered/n=1M": {"ns_op": 142160487, "b_op": 29428176, "allocs_op": 13},
+    "BenchmarkDirectoryRebuild/uniform/n=10k": {"ns_op": 1293049, "b_op": 355664, "allocs_op": 13},
+    "BenchmarkDirectoryRebuild/uniform/n=100k": {"ns_op": 19200647, "b_op": 3507920, "allocs_op": 13},
+    "BenchmarkDirectoryRebuild/uniform/n=1M": {"ns_op": 174986286, "b_op": 34742736, "allocs_op": 13},
+    "BenchmarkDirectoryAdvanceFull/n=10k/churn=1%": {"ns_op": 206714, "b_op": 149737, "allocs_op": 56},
+    "BenchmarkDirectoryAdvanceFull/n=100k/churn=1%": {"ns_op": 2667849, "b_op": 1472697, "allocs_op": 87},
+    "BenchmarkDirectoryAdvanceFull/n=1M/churn=1%": {"ns_op": 30701735, "b_op": 14861113, "allocs_op": 127},
+    "BenchmarkTickBare1M": {"ns_op": 4068167376, "b_op": 2202096320, "allocs_op": 2753144},
+    "BenchmarkTickObserve1M/serial": {"ns_op": 4192191711, "b_op": 2243618816, "allocs_op": 2753173},
+    "BenchmarkTickObserve1M/sharded": {"ns_op": 4375181876, "b_op": 2243618800, "allocs_op": 2753173},
+    "BenchmarkTickIngestDetect1M": {"ns_op": 36531306, "b_op": 16, "allocs_op": 1},
+    "BenchmarkIngest/csv": {"ns_op": 105246585, "b_op": 90344200, "allocs_op": 138},
+    "BenchmarkIngest/bin": {"ns_op": 5889698, "b_op": 5677281, "allocs_op": 11},
+    "BenchmarkCharacterizeAllAbnormal/m=10k": {"ns_op": 810075429, "b_op": 35141408, "allocs_op": 110785},
+    "BenchmarkCharacterizeAllAbnormal/m=50k": {"ns_op": 6247869823, "b_op": 624289872, "allocs_op": 695582},
+    "BenchmarkCharacterizeAllAbnormal/m=200k": {"ns_op": 127931100754, "b_op": 29466394304, "allocs_op": 6774193}
 PREV
   echo "  },"
   echo "  \"after\": {"
   bench_json "$tmp"
+  echo "  },"
+  echo "  \"allabnormal_scaling\": {"
+  echo "    \"span\": \"m=10k -> m=200k (20x)\","
+  echo "    \"before_time_exponent\": 1.69,"
+  echo "    \"after_time_exponent\": ${abnexp}"
   echo "  }"
   echo "}"
 } >"$OUT"
@@ -349,3 +428,10 @@ echo "bench.sh: quiet-tick allocation gate OK ($tallocs <= $MAX_TICK_ALLOCS allo
 barens=$(awk '/^BenchmarkTickBare1M/ { for (i=2;i<=NF;i++) if ($(i)=="ns/op") print $(i-1) }' "$tmp" | sort -n | head -1)
 obsns=$(awk '/^BenchmarkTickObserve1M\/sharded/ { for (i=2;i<=NF;i++) if ($(i)=="ns/op") print $(i-1) }' "$tmp" | sort -n | head -1)
 tick_ratio_gate "$barens" "$obsns" "$MAX_TICK_RATIO" "full"
+
+# PR 7 all-abnormal gates on the full run's numbers, plus the scaling
+# exponent of the latency curve.
+abn50ns=$(awk '/^BenchmarkCharacterizeAllAbnormal\/m=50k/ { for (i=2;i<=NF;i++) if ($(i)=="ns/op") print $(i-1) }' "$tmp" | sort -n | head -1)
+abn50al=$(awk '/^BenchmarkCharacterizeAllAbnormal\/m=50k/ { for (i=2;i<=NF;i++) if ($(i)=="allocs/op") print $(i-1) }' "$tmp" | sort -n | head -1)
+allabn_gate "$abn50ns" "$abn50al" "full"
+echo "bench.sh: all-abnormal latency scaling exponent m=10k->200k: ${abnexp} (pre-component baseline 1.69)"

@@ -1,0 +1,83 @@
+package anomalia
+
+import (
+	"testing"
+
+	"anomalia/internal/motion"
+	"anomalia/internal/space"
+)
+
+// TestAdvanceErrorDropsDirectory pins the monitor's mid-window error
+// policy for the persistent distributed directory: Advance validates
+// before it mutates, so a failed advance leaves the retained window
+// intact but possibly stale against the monitor's abnormal set — the
+// monitor must drop the directory and let the next abnormal window
+// rebuild it from scratch, not keep serving the old membership.
+func TestAdvanceErrorDropsDirectory(t *testing.T) {
+	t.Parallel()
+
+	const n = 12
+	m, err := NewMonitor(n, 1, WithDistributed(true), WithRadius(0.03), WithTau(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	event := map[int]float64{0: 0.50, 1: 0.50, 2: 0.51, 3: 0.49, 5: 0.20}
+
+	if _, err := m.Observe(fleetSnapshot(n, 0.95, nil)); err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.Observe(fleetSnapshot(n, 0.95, event))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == nil || m.dir == nil {
+		t.Fatal("abnormal window did not build the directory")
+	}
+	// Recovery tick: the move back to base is itself abnormal and
+	// advances the retained directory.
+	out, err = m.Observe(fleetSnapshot(n, 0.95, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == nil || m.dir == nil {
+		t.Fatal("second abnormal window did not advance the directory")
+	}
+
+	// Inject a failing advance: an abnormal id outside the population
+	// fails canonicalization inside Directory.Advance, after the
+	// directory exists and before anything is stored.
+	prev, err := space.NewState(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := space.NewState(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := motion.NewPair(prev, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.characterizeWindow(pair, []int{n + 3}); err == nil {
+		t.Fatal("out-of-range abnormal id must fail the advance")
+	}
+	if m.dir != nil {
+		t.Fatal("directory retained after a failed Advance — stale membership would leak into later windows")
+	}
+
+	// The monitor recovers on its own: the next abnormal window rebuilds
+	// the directory and still reaches the reference verdicts.
+	if _, err := m.Observe(fleetSnapshot(n, 0.95, event)); err != nil {
+		t.Fatal(err)
+	}
+	out, err = m.Observe(fleetSnapshot(n, 0.95, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == nil || m.dir == nil {
+		t.Fatal("directory was not rebuilt after the dropped advance")
+	}
+	if out.Dist == nil {
+		t.Fatal("rebuilt window lost its distributed decision stats")
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"anomalia/internal/core"
 	"anomalia/internal/dist"
+	"anomalia/internal/health"
 	"anomalia/internal/motion"
 	"anomalia/internal/space"
 )
@@ -136,6 +137,7 @@ type config struct {
 	distributed   bool
 	ingestWorkers int
 	factory       func(device, service int) (Detector, error)
+	health        health.Policy
 }
 
 func defaultConfig() config {
@@ -143,6 +145,7 @@ func defaultConfig() config {
 		radius: DefaultRadius,
 		tau:    DefaultTau,
 		exact:  true,
+		health: health.DefaultPolicy(),
 	}
 }
 
@@ -200,6 +203,86 @@ func WithDistributed(distributed bool) Option {
 // set as input.
 func WithIngestWorkers(workers int) Option {
 	return func(c *config) { c.ingestWorkers = workers }
+}
+
+// HealthState is a device's position in the degraded-ingestion state
+// machine that Monitor.ObservePartial drives (see WithHealthPolicy).
+type HealthState int
+
+// Health states. The zero value is HealthLive: every device is live
+// until a partial tick impairs it.
+const (
+	// HealthLive: reporting cleanly; reports are consumed as delivered.
+	HealthLive HealthState = iota
+	// HealthStale: missing or malformed for at most HoldTicks
+	// consecutive ticks; the device's last-known value is held.
+	HealthStale
+	// HealthQuarantined: faulty past HoldTicks; excluded from the
+	// window's population until ReadmitTicks consecutive clean reports.
+	HealthQuarantined
+)
+
+// String renders the state.
+func (s HealthState) String() string {
+	switch s {
+	case HealthLive:
+		return "live"
+	case HealthStale:
+		return "stale"
+	case HealthQuarantined:
+		return "quarantined"
+	default:
+		return "unknown"
+	}
+}
+
+// HealthStats is the fleet's current health split plus the lifetime
+// degraded-ingestion counters (see Monitor.HealthStats).
+type HealthStats struct {
+	// Live, Stale and Quarantined split the fleet by current state.
+	Live        int `json:"live"`
+	Stale       int `json:"stale"`
+	Quarantined int `json:"quarantined"`
+	// Quarantines and Readmissions count state-machine transitions into
+	// and out of quarantine over the monitor's lifetime.
+	Quarantines  int64 `json:"quarantines"`
+	Readmissions int64 `json:"readmissions"`
+	// HeldTicks counts device-ticks served from a held last-known value,
+	// DroppedReports clean reports dropped while still quarantined, and
+	// FaultyTicks device-ticks whose report was missing or malformed.
+	HeldTicks      int64 `json:"held_ticks"`
+	DroppedReports int64 `json:"dropped_reports"`
+	FaultyTicks    int64 `json:"faulty_ticks"`
+}
+
+// HealthPolicy configures the per-device health state machine of
+// Monitor.ObservePartial: a device whose report is missing or
+// malformed has its last-known value held for up to HoldTicks
+// consecutive faulty ticks (0 quarantines immediately), is then
+// quarantined — excluded from the window's population — and re-admits
+// after ReadmitTicks consecutive clean reports (at least 1; the
+// re-admitting report is consumed, earlier ones in the run dropped).
+type HealthPolicy struct {
+	HoldTicks    int `json:"hold_ticks"`
+	ReadmitTicks int `json:"readmit_ticks"`
+}
+
+// DefaultHealthPolicy returns the policy NewMonitor applies when
+// WithHealthPolicy is omitted.
+func DefaultHealthPolicy() HealthPolicy {
+	p := health.DefaultPolicy()
+	return HealthPolicy{HoldTicks: p.HoldTicks, ReadmitTicks: p.ReadmitTicks}
+}
+
+// WithHealthPolicy sets the degraded-ingestion policy applied by
+// Monitor.ObservePartial. Ignored by Observe, which rejects degraded
+// snapshots outright, and by Characterize, which takes the abnormal
+// set as input. NewMonitor rejects negative HoldTicks and
+// ReadmitTicks < 1.
+func WithHealthPolicy(p HealthPolicy) Option {
+	return func(c *config) {
+		c.health = health.Policy{HoldTicks: p.HoldTicks, ReadmitTicks: p.ReadmitTicks}
+	}
 }
 
 // WithDetectorFactory sets the per-(device, service) error-detection

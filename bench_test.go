@@ -440,3 +440,39 @@ func BenchmarkTickIngestDetect1M(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkTickObservePartial1M is the degraded-mode counterpart of
+// BenchmarkTickIngestDetect1M: the same quiet steady-state tick through
+// ObservePartial with the health tracker enabled but idle (every report
+// delivered and clean, every device live). The fast path proves the
+// tick is an Observe tick before touching any per-device health state,
+// so the cost and allocation profile must match the plain quiet tick —
+// the bench gate pins both the alloc ceiling and the latency ratio.
+func BenchmarkTickObservePartial1M(b *testing.B) {
+	snapA, _, _ := benchSnap1M(b)
+	m, err := NewMonitor(bench1MN, 2, WithRadius(bench1MR),
+		WithHealthPolicy(HealthPolicy{HoldTicks: 2, ReadmitTicks: 2}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := m.ObservePartial(snapA); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := m.ObservePartial(snapA)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out != nil {
+			b.Fatal("quiet partial tick produced an outcome")
+		}
+	}
+	b.StopTimer()
+	if st := m.HealthStats(); st != (HealthStats{Live: bench1MN}) {
+		b.Fatalf("idle health layer did work: %+v", st)
+	}
+}

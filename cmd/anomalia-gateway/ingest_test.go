@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"strconv"
@@ -38,7 +39,7 @@ func TestGatewayRejectsNonFinite(t *testing.T) {
 	for _, cell := range []string{"NaN", "nan", "+Inf", "-Inf", "Infinity"} {
 		csvData := "0.5,0.5\n0.5," + cell + "\n"
 		var out bytes.Buffer
-		err := run([]string{"-devices", "2"}, strings.NewReader(csvData), &out)
+		err := run([]string{"-devices", "2", "-strict"}, strings.NewReader(csvData), &out, io.Discard)
 		if err == nil {
 			t.Errorf("CSV cell %q accepted", cell)
 			continue
@@ -61,7 +62,7 @@ func TestGatewayRejectsNonFinite(t *testing.T) {
 			t.Fatal(err)
 		}
 		var out bytes.Buffer
-		err := run([]string{"-devices", "2", "-format", "bin"}, &frames, &out)
+		err := run([]string{"-devices", "2", "-format", "bin", "-strict"}, &frames, &out, io.Discard)
 		if err == nil {
 			t.Errorf("binary value %v accepted", bad)
 			continue
@@ -85,7 +86,7 @@ func TestGatewayBinaryMatchesCSV(t *testing.T) {
 	binPath := t.TempDir() + "/snaps.bin"
 	var convOut bytes.Buffer
 	if err := run([]string{"-devices", "6", "-convert", binPath},
-		strings.NewReader(csvData), &convOut); err != nil {
+		strings.NewReader(csvData), &convOut, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(convOut.String(), "converted 5 snapshots") {
@@ -96,10 +97,10 @@ func TestGatewayBinaryMatchesCSV(t *testing.T) {
 		argsCSV := append([]string{"-devices", "6"}, extra...)
 		argsBin := append([]string{"-devices", "6", "-format", "bin", "-in", binPath}, extra...)
 		var fromCSV, fromBin bytes.Buffer
-		if err := run(argsCSV, strings.NewReader(csvData), &fromCSV); err != nil {
+		if err := run(argsCSV, strings.NewReader(csvData), &fromCSV, io.Discard); err != nil {
 			t.Fatal(err)
 		}
-		if err := run(argsBin, strings.NewReader(""), &fromBin); err != nil {
+		if err := run(argsBin, strings.NewReader(""), &fromBin, io.Discard); err != nil {
 			t.Fatal(err)
 		}
 		if fromCSV.String() != fromBin.String() {
@@ -124,7 +125,7 @@ func TestGatewayWorkersParity(t *testing.T) {
 	for _, w := range []string{"1", "2", "8"} {
 		var out bytes.Buffer
 		if err := run([]string{"-devices", "6", "-workers", w},
-			strings.NewReader(csvData), &out); err != nil {
+			strings.NewReader(csvData), &out, io.Discard); err != nil {
 			t.Fatalf("workers=%s: %v", w, err)
 		}
 		if want == "" {
@@ -145,16 +146,16 @@ func TestGatewayConvertErrors(t *testing.T) {
 	// The converter validates: garbage CSV must not produce a frame file
 	// that the bin path would then trust.
 	if err := run([]string{"-devices", "2", "-convert", dir + "/bad.bin"},
-		strings.NewReader("0.5,NaN\n"), &out); err == nil {
+		strings.NewReader("0.5,NaN\n"), &out, io.Discard); err == nil {
 		t.Error("convert accepted a non-finite value")
 	}
 	if err := run([]string{"-devices", "2", "-convert", dir + "/bad2.bin"},
-		strings.NewReader("0.5,1.5\n"), &out); err == nil {
+		strings.NewReader("0.5,1.5\n"), &out, io.Discard); err == nil {
 		t.Error("convert accepted an out-of-range value")
 	}
 	// -convert is a CSV-to-bin bridge; converting from bin is a config error.
 	if err := run([]string{"-devices", "2", "-format", "bin", "-convert", dir + "/x.bin"},
-		strings.NewReader(""), &out); err == nil {
+		strings.NewReader(""), &out, io.Discard); err == nil {
 		t.Error("convert from bin input must error")
 	}
 	// A truncated binary stream must fail loudly, not end cleanly.
@@ -168,11 +169,11 @@ func TestGatewayConvertErrors(t *testing.T) {
 	}
 	cut := frames.Bytes()[:frames.Len()-4]
 	if err := run([]string{"-devices", "2", "-format", "bin"},
-		bytes.NewReader(cut), &out); err == nil {
+		bytes.NewReader(cut), &out, io.Discard); err == nil {
 		t.Error("truncated binary stream must error")
 	}
 	if err := run([]string{"-devices", "2", "-format", "qcow2"},
-		strings.NewReader(""), &out); err == nil {
+		strings.NewReader(""), &out, io.Discard); err == nil {
 		t.Error("unknown format must error")
 	}
 }
@@ -200,6 +201,7 @@ func TestGatewayDocSync(t *testing.T) {
 	for _, flagName := range []string{
 		"-devices", "-services", "-r", "-tau", "-detector", "-in",
 		"-format", "-convert", "-workers", "-json", "-distributed",
+		"-strict", "-hold", "-readmit", "-maxbad",
 	} {
 		if !strings.Contains(header, flagName) {
 			t.Errorf("usage comment omits flag %s", flagName)
@@ -242,9 +244,9 @@ func BenchmarkIngest(b *testing.B) {
 		b.SetBytes(int64(len(csvPayload)))
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			src := newCSVSource(strings.NewReader(csvPayload), devices, services)
+			src := newCSVSource(strings.NewReader(csvPayload), devices, services, false)
 			for t := 0; t < ticks; t++ {
-				if _, err := src.Next(); err != nil {
+				if _, _, err := src.Next(); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -254,9 +256,9 @@ func BenchmarkIngest(b *testing.B) {
 		b.SetBytes(int64(len(binPayload)))
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			src := newBinSource(bytes.NewReader(binPayload), devices, services)
+			src := newBinSource(bytes.NewReader(binPayload), devices, services, false)
 			for t := 0; t < ticks; t++ {
-				if _, err := src.Next(); err != nil {
+				if _, _, err := src.Next(); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,20 +1,40 @@
 // Command anomalia-gateway runs the streaming monitor over a stream of
 // QoS snapshots: one frame per discrete time, devices*services values
 // (device-major: dev0_svc0, dev0_svc1, dev1_svc0, ...), each in [0,1].
-// NaN and ±Inf values are rejected by name — an interval test alone
-// would wave NaN through. For every observation window containing
-// abnormal devices it prints the massive / isolated / unresolved
-// verdicts, or with -json one JSON object per anomalous window.
+// For every observation window containing abnormal devices it prints
+// the massive / isolated / unresolved verdicts, or with -json one JSON
+// object per anomalous window.
 //
 // Usage:
 //
 //	anomalia-gateway -devices 48 -services 2 [-r 0.03] [-tau 3]
 //	                 [-detector threshold|ewma|cusum|holtwinters|kalman|shewhart]
 //	                 [-in snapshots.csv] [-format csv|bin] [-workers 4]
+//	                 [-strict] [-hold 2] [-readmit 2] [-maxbad 16]
 //	                 [-json] [-distributed]
 //	anomalia-gateway -devices 48 -services 2 -in snaps.csv -convert snaps.bin
 //
 // With -in omitted, snapshots are read from standard input.
+//
+// By default the gateway runs in degraded mode: a report that cannot be
+// used — a CSV cell that does not parse, a value that is non-finite
+// (NaN slips through interval tests, so it is tested by name) or
+// outside [0,1], or a whole line that is not valid CSV — costs exactly
+// the devices it belongs to, not the stream. The offending device-tick
+// is handed to the monitor as missing, a counted diagnostic naming the
+// snapshot index and the position (CSV line number, or binary frame
+// index and byte offset) goes to standard error, and the monitor's
+// per-device health machine takes over: the device's last-known value
+// is held for up to -hold consecutive faulty ticks, then the device is
+// quarantined out of the window's population until -readmit
+// consecutive clean reports re-admit it. -maxbad is the wedged-source
+// backstop: that many consecutive snapshots with no usable report at
+// all terminate the run (0 disables). -strict restores fail-fast
+// ingestion: the first malformed report kills the stream with a
+// positioned error, and -hold/-readmit/-maxbad are ignored. Binary
+// framing damage — a bad length prefix or a truncated frame — is fatal
+// in both modes, with the frame index and byte offset in the error: a
+// length-prefixed stream has no line boundaries to resync on.
 //
 // -format csv reads one CSV row per snapshot; -format bin reads the
 // snapio binary stream (per frame: a little-endian uint32 value count,
@@ -22,10 +42,11 @@
 // large fleet's tick several times faster than CSV and without per-tick
 // allocation. -convert reads the CSV input once, writes it as binary
 // frames to the given path and exits — the bridge from existing CSV
-// archives to the fast path. -workers shards snapshot validation and
-// the per-device detector walk across that many goroutines (0 means
-// GOMAXPROCS, 1 forces serial); the abnormal set is identical whatever
-// the count.
+// archives to the fast path; conversion always validates strictly, so
+// a produced archive replays clean. -workers shards snapshot
+// validation and the per-device detector walk across that many
+// goroutines (0 means GOMAXPROCS, 1 forces serial); the abnormal set
+// is identical whatever the count.
 //
 // With -distributed, verdicts are routed through the distributed
 // deployment path instead of the in-process characterizer: the abnormal
@@ -37,7 +58,9 @@
 // the same code path the DistCost study of anomalia-experiments bills.
 // The verdicts are identical (the paper's locality result); each
 // anomalous window additionally reports the directory traffic it
-// generated.
+// generated. Degraded mode composes with it: devices quarantined out
+// of a window leave the directory's index with the same membership
+// churn any abnormal-set change causes.
 package main
 
 import (
@@ -57,7 +80,7 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "anomalia-gateway:", err)
 		os.Exit(1)
 	}
@@ -110,90 +133,230 @@ func detectorFactory(name string) (func(int, int) (anomalia.Detector, error), er
 	return nil, fmt.Errorf("unknown detector %q (have %s)", name, detectorNames())
 }
 
-// tickSource yields one snapshot per discrete time and io.EOF at the
-// end of the stream. Implementations reuse the returned matrix across
-// calls — Observe copies it before returning, so that is safe.
-type tickSource interface {
-	Next() ([][]float64, error)
+// fault is one recovered ingest diagnostic: which device of the tick
+// was lost (-1: the whole tick), where in the input it happened, and
+// why. Sources reuse the backing slice across ticks.
+type fault struct {
+	device int    // offending device, -1 when the whole tick is lost
+	pos    string // "line 17" (CSV) or "frame 4 at byte 130052" (binary)
+	reason string
 }
 
-// checkQoS validates one flat device-major frame. Non-finite values are
-// tested by name: v < 0 || v > 1 is false for NaN, so the interval test
-// alone would let NaN poison detector and characterizer state.
-func checkQoS(flat []float64, services int) error {
-	for i, v := range flat {
+// tickSource yields one snapshot per discrete time and io.EOF at the
+// end of the stream. In degraded mode an unusable device's row is nil
+// and the tick carries one fault per loss; in strict mode the first
+// unusable report is an error instead. Implementations reuse the
+// returned matrix and fault slice across calls — the monitor copies
+// what it keeps before returning, so that is safe.
+type tickSource interface {
+	Next() ([][]float64, []fault, error)
+}
+
+// gradeRow checks one device's values and returns "" when usable, else
+// the reason it is not. Non-finite values are tested by name: v < 0 ||
+// v > 1 is false for NaN, so the interval test alone would let NaN
+// poison detector and characterizer state.
+func gradeRow(row []float64) string {
+	for s, v := range row {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return fmt.Errorf("device %d service %d: non-finite QoS %v", i/services, i%services, v)
+			return fmt.Sprintf("service %d: non-finite QoS %v", s, v)
 		}
 		if v < 0 || v > 1 {
-			return fmt.Errorf("device %d service %d: QoS %v outside [0,1]", i/services, i%services, v)
+			return fmt.Sprintf("service %d: QoS %v outside [0,1]", s, v)
 		}
 	}
-	return nil
+	return ""
 }
 
-// csvSource parses one CSV record per tick into reused buffers.
+// csvSource parses one CSV record per tick into reused buffers. In
+// strict mode any malformed cell or record is a positioned error; in
+// degraded mode a malformed cell costs its device the tick and a
+// malformed record costs the whole tick, and CSV's line framing means
+// the next tick resyncs cleanly either way.
 type csvSource struct {
-	r        *csv.Reader
+	devices  int
 	services int
+	strict   bool
+	r        *csv.Reader
 	flat     []float64
 	rows     [][]float64
+	faults   []fault
+	// dirty marks rows entries nil'd for a faulty tick: snapio.Rows'
+	// reuse check only inspects rows[0], so a later clean tick must
+	// rebuild the table itself or ship last tick's holes again.
+	dirty bool
 }
 
-func newCSVSource(r io.Reader, devices, services int) *csvSource {
+func newCSVSource(r io.Reader, devices, services int, strict bool) *csvSource {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = devices * services
 	cr.ReuseRecord = true
-	return &csvSource{r: cr, services: services, flat: make([]float64, devices*services)}
+	return &csvSource{
+		devices:  devices,
+		services: services,
+		strict:   strict,
+		r:        cr,
+		flat:     make([]float64, devices*services),
+		rows:     make([][]float64, devices),
+	}
 }
 
-func (s *csvSource) Next() ([][]float64, error) {
+func (s *csvSource) Next() ([][]float64, []fault, error) {
 	record, err := s.r.Read()
 	if err != nil {
-		return nil, err
-	}
-	for i, cell := range record {
-		v, err := strconv.ParseFloat(strings.TrimSpace(cell), 64)
-		if err != nil {
-			return nil, fmt.Errorf("device %d service %d: %w", i/s.services, i%s.services, err)
+		if err == io.EOF {
+			return nil, nil, io.EOF
 		}
-		s.flat[i] = v
+		// A record-level fault: wrong field count, bare quote, ... The
+		// csv reader already resynced to the next line, so in degraded
+		// mode the tick is lost but the stream lives on.
+		if s.strict {
+			return nil, nil, err // csv.ParseError already carries the line
+		}
+		pos := "unknown line"
+		var pe *csv.ParseError
+		if errors.As(err, &pe) {
+			pos = fmt.Sprintf("line %d", pe.Line)
+		}
+		for dev := range s.rows {
+			s.rows[dev] = nil
+		}
+		s.dirty = true
+		s.faults = append(s.faults[:0], fault{device: -1, pos: pos, reason: err.Error()})
+		return s.rows, s.faults, nil
 	}
-	if err := checkQoS(s.flat, s.services); err != nil {
-		return nil, err
+
+	s.faults = s.faults[:0]
+	bad := func(dev int, field int, reason string) error {
+		line, col := s.r.FieldPos(field)
+		if s.strict {
+			return fmt.Errorf("line %d column %d: device %d: %s", line, col, dev, reason)
+		}
+		s.faults = append(s.faults, fault{
+			device: dev,
+			pos:    fmt.Sprintf("line %d", line),
+			reason: reason,
+		})
+		return nil
 	}
-	s.rows = snapio.Rows(s.flat, s.rows, s.services)
-	return s.rows, nil
+	for dev := 0; dev < s.devices; dev++ {
+	cells:
+		for svc := 0; svc < s.services; svc++ {
+			i := dev*s.services + svc
+			v, err := strconv.ParseFloat(strings.TrimSpace(record[i]), 64)
+			if err != nil {
+				if err := bad(dev, i, fmt.Sprintf("service %d: %v", svc, err)); err != nil {
+					return nil, nil, err
+				}
+				break cells
+			}
+			s.flat[i] = v
+		}
+	}
+	// Value policy: grade every device whose cells all parsed — a parse
+	// fault already cost its device the tick and must not be re-counted.
+	var parseFaulted map[int]bool
+	if len(s.faults) > 0 {
+		parseFaulted = make(map[int]bool, len(s.faults))
+		for _, f := range s.faults {
+			parseFaulted[f.device] = true
+		}
+	}
+	for dev := 0; dev < s.devices; dev++ {
+		if parseFaulted[dev] {
+			continue
+		}
+		row := s.flat[dev*s.services : (dev+1)*s.services]
+		if reason := gradeRow(row); reason != "" {
+			if err := bad(dev, dev*s.services, reason); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	if len(s.faults) == 0 && !s.dirty {
+		s.rows = snapio.Rows(s.flat, s.rows, s.services)
+		return s.rows, nil, nil
+	}
+	for dev := 0; dev < s.devices; dev++ {
+		s.rows[dev] = s.flat[dev*s.services : (dev+1)*s.services : (dev+1)*s.services]
+	}
+	s.dirty = len(s.faults) > 0
+	for _, f := range s.faults {
+		s.rows[f.device] = nil
+	}
+	if len(s.faults) == 0 {
+		return s.rows, nil, nil
+	}
+	return s.rows, s.faults, nil
 }
 
 // binSource decodes one snapio frame per tick; the frame reader and the
 // row table are both reused, so a steady-state tick does not allocate.
+// Framing damage — a bad length prefix, a truncated frame — is fatal in
+// both modes (the positioned error comes from snapio: a length-prefixed
+// stream cannot resync); value damage costs only the affected devices
+// in degraded mode.
 type binSource struct {
-	r        *snapio.FrameReader
 	services int
+	strict   bool
+	r        *snapio.FrameReader
 	rows     [][]float64
+	faults   []fault
+	// dirty: see csvSource.dirty.
+	dirty bool
 }
 
-func newBinSource(r io.Reader, devices, services int) *binSource {
-	return &binSource{r: snapio.NewFrameReader(r, devices*services), services: services}
+func newBinSource(r io.Reader, devices, services int, strict bool) *binSource {
+	return &binSource{
+		services: services,
+		strict:   strict,
+		r:        snapio.NewFrameReader(r, devices*services),
+	}
 }
 
-func (s *binSource) Next() ([][]float64, error) {
+func (s *binSource) Next() ([][]float64, []fault, error) {
 	flat, err := s.r.Next()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	if err := checkQoS(flat, s.services); err != nil {
-		return nil, err
+	frame, start := s.r.Frames()-1, s.r.Offset()-int64(4+8*len(flat))
+	s.faults = s.faults[:0]
+	for dev := 0; dev*s.services < len(flat); dev++ {
+		row := flat[dev*s.services : (dev+1)*s.services]
+		reason := gradeRow(row)
+		if reason == "" {
+			continue
+		}
+		if s.strict {
+			return nil, nil, fmt.Errorf("frame %d at byte %d: device %d: %s", frame, start, dev, reason)
+		}
+		s.faults = append(s.faults, fault{
+			device: dev,
+			pos:    fmt.Sprintf("frame %d at byte %d", frame, start+int64(4+8*dev*s.services)),
+			reason: reason,
+		})
 	}
 	s.rows = snapio.Rows(flat, s.rows, s.services)
-	return s.rows, nil
+	if s.dirty {
+		for dev := range s.rows {
+			s.rows[dev] = flat[dev*s.services : (dev+1)*s.services : (dev+1)*s.services]
+		}
+	}
+	s.dirty = len(s.faults) > 0
+	for _, f := range s.faults {
+		s.rows[f.device] = nil
+	}
+	if len(s.faults) == 0 {
+		return s.rows, nil, nil
+	}
+	return s.rows, s.faults, nil
 }
 
 // convertCSV streams the CSV input into binary frames at path,
-// validating every value on the way, and reports the tick count.
+// validating every value on the way (always strictly: a produced
+// archive must replay clean), and reports the tick count.
 func convertCSV(in io.Reader, path string, devices, services int) (int, error) {
-	src := newCSVSource(in, devices, services)
+	src := newCSVSource(in, devices, services, true)
 	f, err := os.Create(path)
 	if err != nil {
 		return 0, fmt.Errorf("creating %s: %w", path, err)
@@ -201,7 +364,7 @@ func convertCSV(in io.Reader, path string, devices, services int) (int, error) {
 	w := snapio.NewFrameWriter(f)
 	ticks := 0
 	for {
-		_, err := src.Next()
+		_, _, err := src.Next()
 		if errors.Is(err, io.EOF) {
 			break
 		}
@@ -222,8 +385,32 @@ func convertCSV(in io.Reader, path string, devices, services int) (int, error) {
 	return ticks, f.Close()
 }
 
-func run(args []string, stdin io.Reader, out io.Writer) error {
+// maxFaultDetail bounds how many of a tick's faults are spelled out on
+// standard error; the rest are summarized by count so a mass outage
+// cannot flood the diagnostics channel.
+const maxFaultDetail = 4
+
+// reportFaults emits one counted, positioned diagnostic line for a
+// degraded tick.
+func reportFaults(w io.Writer, tick int, faults []fault) {
+	fmt.Fprintf(w, "snapshot %d: %d fault(s):", tick, len(faults))
+	for i, f := range faults {
+		if i == maxFaultDetail {
+			fmt.Fprintf(w, " ... and %d more", len(faults)-maxFaultDetail)
+			break
+		}
+		if f.device < 0 {
+			fmt.Fprintf(w, " [tick lost, %s: %s]", f.pos, f.reason)
+		} else {
+			fmt.Fprintf(w, " [device %d, %s: %s]", f.device, f.pos, f.reason)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+func run(args []string, stdin io.Reader, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet("anomalia-gateway", flag.ContinueOnError)
+	defaultHealth := anomalia.DefaultHealthPolicy()
 	var (
 		devices     = fs.Int("devices", 0, "number of monitored devices (required)")
 		services    = fs.Int("services", 1, "services per device")
@@ -234,6 +421,10 @@ func run(args []string, stdin io.Reader, out io.Writer) error {
 		format      = fs.String("format", "csv", "input format: csv, or bin (length-prefixed float64 frames)")
 		convertPath = fs.String("convert", "", "convert the CSV input to binary frames at this path and exit")
 		workers     = fs.Int("workers", 0, "detector-walk shards: 0 = GOMAXPROCS, 1 = serial")
+		strict      = fs.Bool("strict", false, "fail fast on the first malformed report instead of degrading per device")
+		holdTicks   = fs.Int("hold", defaultHealth.HoldTicks, "degraded mode: ticks a faulty device's last value is held before quarantine")
+		readmit     = fs.Int("readmit", defaultHealth.ReadmitTicks, "degraded mode: consecutive clean reports that re-admit a quarantined device")
+		maxBad      = fs.Int("maxbad", 16, "degraded mode: terminate after this many consecutive fully-degraded snapshots (0 disables)")
 		asJSON      = fs.Bool("json", false, "emit one JSON object per anomalous window")
 		distMode    = fs.Bool("distributed", false, "decide via the sharded directory service (4r views) instead of the in-process characterizer")
 	)
@@ -273,9 +464,9 @@ func run(args []string, stdin io.Reader, out io.Writer) error {
 	var src tickSource
 	switch *format {
 	case "csv":
-		src = newCSVSource(input, *devices, *services)
+		src = newCSVSource(input, *devices, *services, *strict)
 	case "bin":
-		src = newBinSource(input, *devices, *services)
+		src = newBinSource(input, *devices, *services, *strict)
 	default:
 		return fmt.Errorf("unknown format %q (csv or bin)", *format)
 	}
@@ -286,21 +477,51 @@ func run(args []string, stdin io.Reader, out io.Writer) error {
 		anomalia.WithDetectorFactory(factory),
 		anomalia.WithDistributed(*distMode),
 		anomalia.WithIngestWorkers(*workers),
+		anomalia.WithHealthPolicy(anomalia.HealthPolicy{HoldTicks: *holdTicks, ReadmitTicks: *readmit}),
 	)
 	if err != nil {
 		return err
 	}
 
-	row := 0
+	var (
+		row           int
+		degradedTicks int
+		faultTotal    int
+		consecLost    int
+	)
 	for {
-		snapshot, err := src.Next()
+		snapshot, faults, err := src.Next()
 		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {
 			return fmt.Errorf("snapshot %d: %w", row, err)
 		}
-		outcome, err := mon.Observe(snapshot)
+		if len(faults) > 0 {
+			degradedTicks++
+			reportFaults(errOut, row, faults)
+			lost := len(faults)
+			if faults[0].device < 0 {
+				lost = *devices
+			}
+			faultTotal += lost
+			if lost == *devices {
+				consecLost++
+				if *maxBad > 0 && consecLost >= *maxBad {
+					return fmt.Errorf("snapshot %d: %d consecutive snapshots with no usable report — source looks wedged", row, consecLost)
+				}
+			} else {
+				consecLost = 0
+			}
+		} else {
+			consecLost = 0
+		}
+		var outcome *anomalia.Outcome
+		if *strict {
+			outcome, err = mon.Observe(snapshot)
+		} else {
+			outcome, err = mon.ObservePartial(snapshot)
+		}
 		if err != nil {
 			return fmt.Errorf("observing snapshot %d: %w", row, err)
 		}
@@ -323,6 +544,11 @@ func run(args []string, stdin io.Reader, out io.Writer) error {
 	}
 	if !*asJSON {
 		fmt.Fprintf(out, "processed %d snapshots\n", row)
+	}
+	if degradedTicks > 0 {
+		hs := mon.HealthStats()
+		fmt.Fprintf(errOut, "degraded stream: %d fault(s) across %d snapshot(s); health: %d live, %d stale, %d quarantined; %d quarantine(s), %d readmission(s), %d held tick(s)\n",
+			faultTotal, degradedTicks, hs.Live, hs.Stale, hs.Quarantined, hs.Quarantines, hs.Readmissions, hs.HeldTicks)
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"testing"
@@ -32,7 +33,7 @@ func TestGatewayEndToEnd(t *testing.T) {
 	csvData := buildCSV([][]float64{healthy, healthy, healthy, faulty})
 
 	var out bytes.Buffer
-	err := run([]string{"-devices", "6"}, strings.NewReader(csvData), &out)
+	err := run([]string{"-devices", "6"}, strings.NewReader(csvData), &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestGatewayDistributedMode(t *testing.T) {
 	csvData := buildCSV([][]float64{healthy, healthy, healthy, faulty})
 
 	var out bytes.Buffer
-	err := run([]string{"-devices", "6", "-distributed"}, strings.NewReader(csvData), &out)
+	err := run([]string{"-devices", "6", "-distributed"}, strings.NewReader(csvData), &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestGatewayJSONOutput(t *testing.T) {
 	csvData := buildCSV([][]float64{healthy, healthy, faulty})
 
 	var out bytes.Buffer
-	if err := run([]string{"-devices", "6", "-json"}, strings.NewReader(csvData), &out); err != nil {
+	if err := run([]string{"-devices", "6", "-json"}, strings.NewReader(csvData), &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -100,7 +101,7 @@ func TestGatewayQuietStream(t *testing.T) {
 	healthy := []float64{0.9, 0.9, 0.9}
 	csvData := buildCSV([][]float64{healthy, healthy, healthy})
 	var out bytes.Buffer
-	if err := run([]string{"-devices", "3"}, strings.NewReader(csvData), &out); err != nil {
+	if err := run([]string{"-devices", "3"}, strings.NewReader(csvData), &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(out.String(), "t=") {
@@ -118,7 +119,7 @@ func TestGatewayDetectorSelection(t *testing.T) {
 		csvData := buildCSV([][]float64{healthy, healthy})
 		var out bytes.Buffer
 		if err := run([]string{"-devices", "2", "-detector", det.name},
-			strings.NewReader(csvData), &out); err != nil {
+			strings.NewReader(csvData), &out, io.Discard); err != nil {
 			t.Errorf("detector %s: %v", det.name, err)
 		}
 	}
@@ -128,27 +129,35 @@ func TestGatewayErrors(t *testing.T) {
 	t.Parallel()
 
 	var out bytes.Buffer
-	if err := run(nil, strings.NewReader(""), &out); err == nil {
+	if err := run(nil, strings.NewReader(""), &out, io.Discard); err == nil {
 		t.Error("missing -devices must error")
 	}
 	if err := run([]string{"-devices", "2", "-detector", "magic"},
-		strings.NewReader(""), &out); err == nil {
+		strings.NewReader(""), &out, io.Discard); err == nil {
 		t.Error("unknown detector must error")
 	}
-	if err := run([]string{"-devices", "2"},
-		strings.NewReader("0.5,0.5,0.5\n"), &out); err == nil {
-		t.Error("wrong column count must error")
+	if err := run([]string{"-devices", "2", "-strict"},
+		strings.NewReader("0.5,0.5,0.5\n"), &out, io.Discard); err == nil {
+		t.Error("wrong column count must error under -strict")
 	}
-	if err := run([]string{"-devices", "2"},
-		strings.NewReader("0.5,abc\n"), &out); err == nil {
-		t.Error("non-numeric cell must error")
+	if err := run([]string{"-devices", "2", "-strict"},
+		strings.NewReader("0.5,abc\n"), &out, io.Discard); err == nil {
+		t.Error("non-numeric cell must error under -strict")
 	}
-	if err := run([]string{"-devices", "2"},
-		strings.NewReader("0.5,1.5\n"), &out); err == nil {
-		t.Error("out-of-range QoS must error")
+	if err := run([]string{"-devices", "2", "-strict"},
+		strings.NewReader("0.5,1.5\n"), &out, io.Discard); err == nil {
+		t.Error("out-of-range QoS must error under -strict")
+	}
+	if err := run([]string{"-devices", "2", "-readmit", "0"},
+		strings.NewReader(""), &out, io.Discard); err == nil {
+		t.Error("-readmit 0 must be rejected")
+	}
+	if err := run([]string{"-devices", "2", "-hold", "-1"},
+		strings.NewReader(""), &out, io.Discard); err == nil {
+		t.Error("negative -hold must be rejected")
 	}
 	if err := run([]string{"-devices", "2", "-in", "/nonexistent.csv"},
-		strings.NewReader(""), &out); err == nil {
+		strings.NewReader(""), &out, io.Discard); err == nil {
 		t.Error("missing input file must error")
 	}
 }
@@ -163,7 +172,7 @@ func TestGatewayReadsFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	if err := run([]string{"-devices", "2", "-in", path}, strings.NewReader(""), &out); err != nil {
+	if err := run([]string{"-devices", "2", "-in", path}, strings.NewReader(""), &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "processed 2 snapshots") {

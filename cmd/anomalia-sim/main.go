@@ -9,6 +9,8 @@
 //	             [-steps 10] [-seed 1] [-exact] [-r3] [-concomitant]
 //	             [-maxshift 0.06] [-v]
 //	anomalia-sim -n 1000 -d 2 -steps 10 -emit csv|bin [-out snaps.bin]
+//	             [-drop 0.01] [-corrupt 0.01] [-faultseed 1]
+//	             [-outages 0:48:30:45[,from:to:start:end...]] [-truncate 64]
 //
 // With -emit, the simulator skips characterization and instead streams
 // the generated QoS snapshots in anomalia-gateway's input format — one
@@ -18,6 +20,20 @@
 // and -emit bin the snapio binary stream, so piping either into the
 // gateway reproduces the same verdicts. -out redirects the stream to a
 // file (default: standard output).
+//
+// The emitted stream can be degraded on the way out through the same
+// seeded fault injector the degraded-mode soak tests use
+// (internal/netsim.Injector), producing fixtures for the gateway's
+// tolerant ingestion: -drop is the per-device-frame probability a
+// report is lost (its CSV cells are emitted empty; its binary values as
+// NaN), -corrupt the probability a delivered report carries a
+// non-finite value, and -outages schedules burst losses over a device
+// range and frame range (from:to:start:end, comma-separated, both
+// half-open). The injection is deterministic for a fixed -faultseed.
+// -truncate cuts that many trailing bytes off the -out file after the
+// stream is written, damaging the last frame's framing — the
+// unrecoverable shape (a length-prefixed stream cannot resync) that
+// must kill the gateway with a positioned error even in tolerant mode.
 package main
 
 import (
@@ -26,10 +42,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
+	"strings"
 
 	"anomalia/internal/core"
+	"anomalia/internal/netsim"
 	"anomalia/internal/scenario"
 	"anomalia/internal/snapio"
 	"anomalia/internal/space"
@@ -60,9 +79,38 @@ func run(args []string, out io.Writer) error {
 		verbose     = fs.Bool("v", false, "print per-window detail")
 		emit        = fs.String("emit", "", "emit generated snapshots as gateway input (csv or bin) instead of characterizing")
 		outPath     = fs.String("out", "", "write the -emit stream to this file (default: stdout)")
+		drop        = fs.Float64("drop", 0, "with -emit: per device-frame probability the report is dropped")
+		corrupt     = fs.Float64("corrupt", 0, "with -emit: per device-frame probability the report carries a non-finite value")
+		faultSeed   = fs.Int64("faultseed", 1, "with -emit: seed for the fault injector")
+		outages     = fs.String("outages", "", "with -emit: burst outages as from:to:start:end device/frame ranges, comma-separated")
+		truncate    = fs.Int("truncate", 0, "with -emit -out: cut this many trailing bytes off the emitted file (garbles the final frame)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *emit == "" && (*drop > 0 || *corrupt > 0 || *outages != "" || *truncate > 0) {
+		return errors.New("-drop/-corrupt/-outages/-truncate degrade an emitted stream and require -emit")
+	}
+	if *truncate > 0 && *outPath == "" {
+		return errors.New("-truncate rewrites the emitted file and requires -out")
+	}
+	var inj *netsim.Injector
+	if *drop > 0 || *corrupt > 0 || *outages != "" {
+		cfg := netsim.InjectorConfig{Seed: *faultSeed, DropProb: *drop, CorruptProb: *corrupt}
+		for _, spec := range strings.Split(*outages, ",") {
+			if spec == "" {
+				continue
+			}
+			var o netsim.Outage
+			if _, err := fmt.Sscanf(spec, "%d:%d:%d:%d", &o.From, &o.To, &o.Start, &o.End); err != nil {
+				return fmt.Errorf("-outages %q: want from:to:start:end: %w", spec, err)
+			}
+			cfg.Outages = append(cfg.Outages, o)
+		}
+		var err error
+		if inj, err = netsim.NewInjector(cfg); err != nil {
+			return err
+		}
 	}
 
 	gen, err := scenario.New(scenario.Config{
@@ -76,17 +124,30 @@ func run(args []string, out io.Writer) error {
 
 	if *emit != "" {
 		if *outPath == "" {
-			return emitFrames(gen, *steps, *emit, out)
+			return emitFrames(gen, *steps, *d, *emit, inj, out)
 		}
 		f, err := os.Create(*outPath)
 		if err != nil {
 			return err
 		}
-		if err := emitFrames(gen, *steps, *emit, f); err != nil {
+		if err := emitFrames(gen, *steps, *d, *emit, inj, f); err != nil {
 			f.Close()
 			return err
 		}
-		return f.Close()
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if *truncate > 0 {
+			fi, err := os.Stat(*outPath)
+			if err != nil {
+				return err
+			}
+			if int64(*truncate) >= fi.Size() {
+				return fmt.Errorf("-truncate %d would erase the whole %d-byte stream", *truncate, fi.Size())
+			}
+			return os.Truncate(*outPath, fi.Size()-int64(*truncate))
+		}
+		return nil
 	}
 
 	var totalAb, totalI, totalM, totalU, totalMissed, budgetFailures int
@@ -158,22 +219,32 @@ func run(args []string, out io.Writer) error {
 // emitFrames streams the generated trajectory as gateway input: the
 // first window's previous state, then every window's current state.
 // CSV cells use strconv's shortest round-trip form, so a CSV stream and
-// a binary one carry bit-identical values into the gateway.
-func emitFrames(gen *scenario.Generator, steps int, format string, w io.Writer) error {
-	var write func([]float64) error
+// a binary one carry bit-identical values into the gateway. A non-nil
+// injector degrades each frame on the way out; a dropped device is
+// emitted as empty CSV cells or NaN binary values — the wire has fixed
+// geometry, so loss is in-band.
+func emitFrames(gen *scenario.Generator, steps, services int, format string, inj *netsim.Injector, w io.Writer) error {
+	var writeRows func(rows [][]float64) error
 	var flush func() error
 	switch format {
 	case "csv":
 		bw := bufio.NewWriterSize(w, 1<<16)
-		write = func(vals []float64) error {
-			for i, v := range vals {
-				if i > 0 {
-					if err := bw.WriteByte(','); err != nil {
+		writeRows = func(rows [][]float64) error {
+			first := true
+			for _, row := range rows {
+				for s := 0; s < services; s++ {
+					if !first {
+						if err := bw.WriteByte(','); err != nil {
+							return err
+						}
+					}
+					first = false
+					if row == nil {
+						continue // dropped: empty cell
+					}
+					if _, err := bw.WriteString(strconv.FormatFloat(row[s], 'g', -1, 64)); err != nil {
 						return err
 					}
-				}
-				if _, err := bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64)); err != nil {
-					return err
 				}
 			}
 			return bw.WriteByte('\n')
@@ -181,19 +252,46 @@ func emitFrames(gen *scenario.Generator, steps int, format string, w io.Writer) 
 		flush = bw.Flush
 	case "bin":
 		fw := snapio.NewFrameWriter(w)
-		write = fw.Write
+		var wire []float64
+		writeRows = func(rows [][]float64) error {
+			wire = wire[:0]
+			for _, row := range rows {
+				if row == nil {
+					for s := 0; s < services; s++ {
+						wire = append(wire, math.NaN())
+					}
+					continue
+				}
+				wire = append(wire, row...)
+			}
+			return fw.Write(wire)
+		}
 		flush = fw.Flush
 	default:
 		return fmt.Errorf("unknown -emit format %q (csv or bin)", format)
 	}
 
 	var flat []float64
+	var rows [][]float64
+	frame := 0
 	emitState := func(st *space.State) error {
 		flat = flat[:0]
 		for j := 0; j < st.Len(); j++ {
 			flat = append(flat, st.At(j)...)
 		}
-		return write(flat)
+		if cap(rows) < st.Len() {
+			rows = make([][]float64, st.Len())
+		}
+		rows = rows[:st.Len()]
+		for j := range rows {
+			rows[j] = flat[j*services : (j+1)*services]
+		}
+		out := rows
+		if inj != nil {
+			out, _ = inj.Apply(frame, rows)
+		}
+		frame++
+		return writeRows(out)
 	}
 	for k := 1; k <= steps; k++ {
 		step, err := gen.Step()

@@ -1,0 +1,155 @@
+package anomalia
+
+import (
+	"reflect"
+	"testing"
+
+	"anomalia/internal/netsim"
+)
+
+// runDegradedSoak drives a simulated access network through scheduled
+// component faults (the anomalies the monitor must characterize) while
+// a netsim.Injector degrades delivery (drops, corruption, burst
+// outages). The degraded monitor must agree tick for tick with an
+// oracle monitor fed the clean values masked by the delivered set:
+// malformed and missing are equivalent to ObservePartial, so the two
+// streams are the same input by construction, and any divergence is a
+// health/detection/characterization bug on the degraded path.
+func runDegradedSoak(t *testing.T, distributed bool) {
+	t.Helper()
+
+	net, err := netsim.New(netsim.Config{
+		Aggregations: 4, DSLAMsPerAgg: 4, GatewaysPerDSLAM: 32,
+		Services: 2, BaseQoS: 0.95, Noise: 0.004, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, d := net.Gateways(), net.Dim()
+
+	ticks := 200
+	if testing.Short() {
+		ticks = 80
+	}
+	inj, err := netsim.NewInjector(netsim.InjectorConfig{
+		Seed: 11, DropProb: 0.01, CorruptProb: 0.01,
+		Outages: []netsim.Outage{
+			{From: 0, To: 48, Start: 30, End: 45},
+			{From: 100, To: 132, Start: 60, End: 72},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := []Option{
+		WithHealthPolicy(HealthPolicy{HoldTicks: 2, ReadmitTicks: 2}),
+		WithDistributed(distributed),
+		WithIngestWorkers(4),
+	}
+	mon, err := NewMonitor(n, d, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := NewMonitor(n, d, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rows := make([][]float64, n)
+	masked := make([][]float64, n)
+	var abnormalWindows int
+	var faultIDs []int
+	for k := 0; k < ticks; k++ {
+		// Scheduled ground events, repeating every 25 ticks: a DSLAM
+		// fault (massive, 32 gateways move coherently) at phase 10..13
+		// and an isolated gateway fault at phase 12..15. The tick-30
+		// DSLAM event overlaps the first outage window, so abnormal sets
+		// shrink by their quarantined members mid-event.
+		switch k % 25 {
+		case 10:
+			id, err := net.Inject(netsim.Fault{
+				Component: netsim.Component{Level: netsim.LevelDSLAM, Index: (k / 25) % 16},
+				Severity:  0.4,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			faultIDs = append(faultIDs, id)
+		case 12:
+			id, err := net.Inject(netsim.Fault{
+				Component: netsim.Component{Level: netsim.LevelGateway, Index: (37 * (k + 1)) % n},
+				Severity:  0.5,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			faultIDs = append(faultIDs, id)
+		case 16:
+			for _, id := range faultIDs {
+				if err := net.Clear(id); err != nil {
+					t.Fatal(err)
+				}
+			}
+			faultIDs = faultIDs[:0]
+		}
+
+		st, err := net.Sample()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for dev := 0; dev < n; dev++ {
+			rows[dev] = st.At(dev)
+		}
+		degraded, delivered := inj.Apply(k, rows)
+		for dev := 0; dev < n; dev++ {
+			if delivered[dev] {
+				masked[dev] = rows[dev]
+			} else {
+				masked[dev] = nil
+			}
+		}
+
+		got, err := mon.ObservePartial(degraded)
+		if err != nil {
+			t.Fatalf("tick %d: degraded monitor: %v", k, err)
+		}
+		want, err := oracle.ObservePartial(masked)
+		if err != nil {
+			t.Fatalf("tick %d: oracle monitor: %v", k, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("tick %d: degraded outcome diverges from oracle:\n%+v\nvs\n%+v", k, got, want)
+		}
+		if got != nil {
+			abnormalWindows++
+		}
+	}
+
+	if abnormalWindows == 0 {
+		t.Fatal("soak produced no abnormal windows — the scenario is not exercising characterization")
+	}
+	hs, ohs := mon.HealthStats(), oracle.HealthStats()
+	if !reflect.DeepEqual(hs, ohs) {
+		t.Fatalf("health stats diverge: %+v vs %+v", hs, ohs)
+	}
+	// The burst outages are long enough to march their devices through
+	// hold, quarantine and re-admission; the probabilistic faults keep
+	// HeldTicks and DroppedReports moving too.
+	if hs.Quarantines < 48 || hs.Readmissions < 48 || hs.HeldTicks == 0 || hs.DroppedReports == 0 {
+		t.Fatalf("soak did not exercise the full health lifecycle: %+v", hs)
+	}
+	if is := inj.Stats(); is.Dropped == 0 || is.Corrupted == 0 || is.OutageTicks == 0 {
+		t.Fatalf("injector idle: %+v", is)
+	}
+}
+
+func TestDegradedSoakCentralized(t *testing.T) {
+	t.Parallel()
+	runDegradedSoak(t, false)
+}
+
+func TestDegradedSoakDistributed(t *testing.T) {
+	t.Parallel()
+	runDegradedSoak(t, true)
+}

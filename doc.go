@@ -96,6 +96,60 @@
 // of the bare characterization of the same window, and a quiet tick
 // runs allocation-free (BENCH_6.json; both gated in CI).
 //
+// # Degraded operation
+//
+// A million-device deployment never delivers a perfect snapshot: reports
+// go missing, arrive truncated, or carry garbage. The paper's model
+// assumes each monitored device reports every discrete time; the
+// implementation keeps that model honest by reconciling the imperfect
+// stream to it explicitly instead of dying on the first bad frame.
+//
+// Monitor.ObservePartial accepts snapshots in which a device's row may
+// be nil (no report) or malformed (wrong width, non-finite values) and
+// drives a per-device health state machine (see WithHealthPolicy): a
+// live device whose report goes bad turns stale and has its last-known
+// value held for up to HoldTicks consecutive faulty ticks — brief
+// delivery hiccups don't perturb detection — after which it is
+// quarantined: excluded from the window's population entirely, so its
+// silence is never mistaken for motion, until ReadmitTicks consecutive
+// clean reports re-admit it. Detection and characterization then run
+// over the live subset, and the verdicts are exactly the omniscient
+// verdicts on that subset: a soak suite pins a degraded monitor
+// tick-for-tick against an oracle fed the clean values masked by the
+// delivered set, centralized and distributed, under the race detector.
+// Monitor.DeviceHealth and Monitor.HealthStats expose the per-device
+// state and the fleet split with its lifetime
+// quarantine/re-admission counters. A
+// fully clean tick over an all-live fleet takes a fast path that
+// proves it equivalent to Observe before touching any per-device
+// health state, so the idle health layer is free — the quiet n = 1M
+// ObservePartial tick matches the plain quiet tick's ~1 allocation and
+// latency (BenchmarkTickObservePartial1M; gated in CI).
+//
+// cmd/anomalia-gateway applies the same discipline to the wire: by
+// default a malformed CSV cell or binary value quarantines the
+// offending device for that tick — counted, and diagnosed with the
+// line and column (CSV) or frame index and byte offset (binary) — and
+// the stream keeps flowing; a whole-tick loss (a CSV record that does
+// not parse) degrades that tick; -maxbad consecutive fully-lost ticks
+// abort the run (a wedged source should fail loudly, not hold the
+// last value forever); -strict restores fail-fast on the first fault.
+// Binary framing damage (a torn length prefix or truncated frame
+// body) is fatal in both modes — a length-prefixed stream cannot
+// resync — with the frame index and byte offset in the error
+// (internal/snapio positions every decode error; its reader is
+// fuzzed: no panic, no geometry-escaping allocation, truncation at
+// every byte boundary distinguished from clean end of stream).
+//
+// The fault model is reproducible: internal/netsim.Injector degrades a
+// simulated network's delivery with seeded per-report drop and
+// corruption probabilities plus scheduled burst outages over device
+// and tick ranges, and cmd/anomalia-sim -emit exposes it (-drop,
+// -corrupt, -outages, -faultseed, -truncate) so a degraded wire
+// fixture — empty CSV cells and NaN binary values for lost reports, a
+// truncated final frame for framing damage — reproduces end to end
+// with one seed.
+//
 // # Performance
 //
 // The paper's locality result — every decision needs only the
@@ -212,8 +266,11 @@
 // regressions in the m = 100k graph build, on allocation regressions in
 // the m = 1M graph build, on allocation regressions in the n = 1M
 // 1%-churn incremental directory advance, on allocation regressions in
-// the quiet n = 1M streaming tick, on the end-to-end/bare latency
-// ratio of the n = 1M mass-event tick drifting past its envelope, and
-// on latency or allocation regressions in the m = 50k all-abnormal
-// fleet characterization.
+// the quiet n = 1M streaming tick and its idle-health ObservePartial
+// twin (whose latency is additionally gated against the plain quiet
+// tick), on the end-to-end/bare latency ratio of the n = 1M mass-event
+// tick drifting past its envelope, and on latency or allocation
+// regressions in the m = 50k all-abnormal fleet characterization. A
+// separate CI step repeats the seeded fault-injection soak under the
+// race detector.
 package anomalia

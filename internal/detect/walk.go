@@ -34,6 +34,7 @@ type Walker struct {
 	workers int
 	flags   [][]int
 	errs    []error
+	counts  []int
 }
 
 // NewWalker returns a walker with the given pool size; workers <= 0
@@ -46,6 +47,7 @@ func NewWalker(workers int) *Walker {
 		workers: workers,
 		flags:   make([][]int, workers),
 		errs:    make([]error, workers),
+		counts:  make([]int, workers),
 	}
 }
 
@@ -125,6 +127,131 @@ func (w *Walker) Walk(devs []*Device, samples [][]float64, visit func(dev int, r
 		}
 	}
 	return out, nil
+}
+
+// Classify grades every row of a possibly-degraded snapshot without
+// touching any detector, sharded like Walk: clean[dev] is set to
+// whether row dev is present (non-nil), matches device dev's width,
+// and is finite in every coordinate. The degraded ingest path treats
+// malformed and missing reports identically — neither carries a usable
+// measurement — so classification folds both into one bit instead of
+// reporting an error. Returns the number of clean rows. len(samples)
+// and len(clean) must equal len(devs).
+func (w *Walker) Classify(devs []*Device, samples [][]float64, clean []bool) int {
+	n := len(devs)
+	workers := w.workers
+	if maxUseful := (n + minShard - 1) / minShard; workers > maxUseful {
+		workers = maxUseful
+	}
+	if workers <= 1 {
+		return classifyRange(devs, samples, clean, 0, n)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		lo, hi := i*n/workers, (i+1)*n/workers
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			w.counts[i] = classifyRange(devs, samples, clean, lo, hi)
+		}(i, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range w.counts[:workers] {
+		total += c
+	}
+	return total
+}
+
+func classifyRange(devs []*Device, samples [][]float64, clean []bool, lo, hi int) int {
+	n := 0
+	for dev := lo; dev < hi; dev++ {
+		row := samples[dev]
+		ok := row != nil && len(row) == len(devs[dev].detectors)
+		if ok {
+			for _, v := range row {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					ok = false
+					break
+				}
+			}
+		}
+		clean[dev] = ok
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// WalkSkip runs the detector walk of one pre-classified partial
+// snapshot: row j of rows is fed to device j unless it is nil, in
+// which case device j's detectors are left untouched for this tick
+// and the device cannot be flagged. visit runs for every device — nil
+// rows included, before any Update — so the caller can park an
+// excluded device's slot of the shared state. The abnormal set merges
+// in the same shard order as Walk, byte-identical to a serial pass.
+//
+// Rows must already be validated (Classify): unlike Walk there is no
+// validation phase, so a detector error surfaces with the offending
+// shard partially consumed.
+func (w *Walker) WalkSkip(devs []*Device, rows [][]float64, visit func(dev int, row []float64), out []int) ([]int, error) {
+	out = out[:0]
+	n := len(devs)
+	if len(rows) != n {
+		return out, fmt.Errorf("snapshot has %d rows, want %d: %w", len(rows), n, ErrSample)
+	}
+	workers := w.workers
+	if maxUseful := (n + minShard - 1) / minShard; workers > maxUseful {
+		workers = maxUseful
+	}
+	if workers <= 1 {
+		return walkSkipRange(devs, rows, visit, 0, n, out)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		lo, hi := i*n/workers, (i+1)*n/workers
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			buf := w.flags[i]
+			if buf == nil {
+				buf = make([]int, 0, (hi-lo)/8+16)
+			}
+			w.flags[i], w.errs[i] = walkSkipRange(devs, rows, visit, lo, hi, buf[:0])
+		}(i, lo, hi)
+	}
+	wg.Wait()
+	for i := 0; i < workers; i++ {
+		out = append(out, w.flags[i]...)
+	}
+	for _, err := range w.errs[:workers] {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// walkSkipRange is walkRange with nil rows excluded from the update.
+func walkSkipRange(devs []*Device, rows [][]float64, visit func(dev int, row []float64), lo, hi int, flagged []int) ([]int, error) {
+	for dev := lo; dev < hi; dev++ {
+		row := rows[dev]
+		if visit != nil {
+			visit(dev, row)
+		}
+		if row == nil {
+			continue
+		}
+		abnormal, err := devs[dev].Update(row)
+		if err != nil {
+			return flagged, fmt.Errorf("device %d: %w", dev, err)
+		}
+		if abnormal {
+			flagged = append(flagged, dev)
+		}
+	}
+	return flagged, nil
 }
 
 // validateRange rejects malformed rows in [lo, hi) without touching any

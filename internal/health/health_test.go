@@ -1,0 +1,215 @@
+package health
+
+import "testing"
+
+// report feeds one tick's pattern and asserts the disposition.
+func expect(t *testing.T, tr *Tracker, dev int, clean bool, want Disposition) {
+	t.Helper()
+	if got := tr.Report(dev, clean); got != want {
+		t.Fatalf("Report(%d, %v) = %v, want %v (state %v)", dev, clean, got, want, tr.State(dev))
+	}
+}
+
+func mustNew(t *testing.T, n int, p Policy) *Tracker {
+	t.Helper()
+	tr, err := New(n, p)
+	if err != nil {
+		t.Fatalf("New(%d, %+v): %v", n, p, err)
+	}
+	return tr
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	for _, tc := range []struct {
+		n int
+		p Policy
+	}{
+		{0, DefaultPolicy()},
+		{-1, DefaultPolicy()},
+		{4, Policy{HoldTicks: -1, ReadmitTicks: 1}},
+		{4, Policy{HoldTicks: 0, ReadmitTicks: 0}},
+		{4, Policy{HoldTicks: 2, ReadmitTicks: -3}},
+	} {
+		if _, err := New(tc.n, tc.p); err == nil {
+			t.Errorf("New(%d, %+v): want error", tc.n, tc.p)
+		}
+	}
+}
+
+func TestFreshTrackerAllLive(t *testing.T) {
+	tr := mustNew(t, 5, DefaultPolicy())
+	if !tr.AllLive() {
+		t.Fatal("fresh tracker not all-live")
+	}
+	live, stale, quar := tr.Counts()
+	if live != 5 || stale != 0 || quar != 0 {
+		t.Fatalf("Counts() = %d, %d, %d", live, stale, quar)
+	}
+	for dev := 0; dev < 5; dev++ {
+		if tr.State(dev) != Live {
+			t.Fatalf("device %d state %v", dev, tr.State(dev))
+		}
+	}
+}
+
+func TestHoldThenQuarantineThenReadmit(t *testing.T) {
+	tr := mustNew(t, 2, Policy{HoldTicks: 2, ReadmitTicks: 2})
+	// Tick 1: both clean, device 0 now has a value to hold.
+	expect(t, tr, 0, true, Consume)
+	expect(t, tr, 1, true, Consume)
+	// Faults: K=2 ticks held, quarantined on the third.
+	expect(t, tr, 0, false, Hold)
+	if tr.State(0) != Stale {
+		t.Fatalf("state after first fault: %v", tr.State(0))
+	}
+	if tr.AllLive() {
+		t.Fatal("AllLive with a stale device")
+	}
+	expect(t, tr, 0, false, Hold)
+	expect(t, tr, 0, false, Skip)
+	if tr.State(0) != Quarantined {
+		t.Fatalf("state after %d faults: %v", 3, tr.State(0))
+	}
+	// Re-admission run: first clean report dropped, second consumed.
+	expect(t, tr, 0, true, Skip)
+	expect(t, tr, 0, true, Consume)
+	if tr.State(0) != Live {
+		t.Fatalf("state after re-admission: %v", tr.State(0))
+	}
+	// Device 1 was untouched by 0's churn.
+	if tr.State(1) != Live {
+		t.Fatalf("bystander state: %v", tr.State(1))
+	}
+	expect(t, tr, 1, true, Consume)
+	if !tr.AllLive() {
+		t.Fatal("not all-live after full recovery")
+	}
+	st := tr.Stats()
+	if st.Quarantines != 1 || st.Readmissions != 1 || st.HeldTicks != 2 ||
+		st.DroppedReports != 1 || st.FaultyTicks != 3 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestCleanReportRevivesStale(t *testing.T) {
+	tr := mustNew(t, 1, Policy{HoldTicks: 3, ReadmitTicks: 2})
+	expect(t, tr, 0, true, Consume)
+	expect(t, tr, 0, false, Hold)
+	expect(t, tr, 0, false, Hold)
+	// One clean report resets the fault run entirely.
+	expect(t, tr, 0, true, Consume)
+	if tr.State(0) != Live || !tr.AllLive() {
+		t.Fatalf("state %v after recovery", tr.State(0))
+	}
+	// The fault counter restarted: three more held ticks before quarantine.
+	expect(t, tr, 0, false, Hold)
+	expect(t, tr, 0, false, Hold)
+	expect(t, tr, 0, false, Hold)
+	expect(t, tr, 0, false, Skip)
+	if tr.State(0) != Quarantined {
+		t.Fatalf("state %v, want quarantined", tr.State(0))
+	}
+}
+
+func TestZeroHoldQuarantinesImmediately(t *testing.T) {
+	tr := mustNew(t, 1, Policy{HoldTicks: 0, ReadmitTicks: 1})
+	expect(t, tr, 0, true, Consume)
+	expect(t, tr, 0, false, Skip)
+	if tr.State(0) != Quarantined {
+		t.Fatalf("state %v, want quarantined", tr.State(0))
+	}
+	// ReadmitTicks=1: the first clean report re-admits and is consumed.
+	expect(t, tr, 0, true, Consume)
+	if tr.State(0) != Live {
+		t.Fatalf("state %v, want live", tr.State(0))
+	}
+}
+
+func TestFaultBreaksReadmissionRun(t *testing.T) {
+	tr := mustNew(t, 1, Policy{HoldTicks: 0, ReadmitTicks: 3})
+	expect(t, tr, 0, true, Consume)
+	expect(t, tr, 0, false, Skip) // quarantined
+	expect(t, tr, 0, true, Skip)  // clean run 1/3
+	expect(t, tr, 0, true, Skip)  // clean run 2/3
+	expect(t, tr, 0, false, Skip) // run broken
+	expect(t, tr, 0, true, Skip)  // must start over: 1/3
+	expect(t, tr, 0, true, Skip)  // 2/3
+	expect(t, tr, 0, true, Consume)
+	if tr.State(0) != Live {
+		t.Fatalf("state %v, want live", tr.State(0))
+	}
+	if st := tr.Stats(); st.DroppedReports != 4 {
+		t.Fatalf("dropped %d, want 4", st.DroppedReports)
+	}
+}
+
+func TestNeverSeenDeviceSkipsNotHolds(t *testing.T) {
+	tr := mustNew(t, 1, Policy{HoldTicks: 5, ReadmitTicks: 1})
+	// No value was ever delivered: nothing to hold, but the quarantine
+	// countdown still advances.
+	for i := 0; i < 5; i++ {
+		expect(t, tr, 0, false, Skip)
+	}
+	if tr.State(0) != Stale {
+		t.Fatalf("state %v, want stale", tr.State(0))
+	}
+	expect(t, tr, 0, false, Skip)
+	if tr.State(0) != Quarantined {
+		t.Fatalf("state %v, want quarantined", tr.State(0))
+	}
+	if st := tr.Stats(); st.HeldTicks != 0 {
+		t.Fatalf("held %d ticks with no value to hold", st.HeldTicks)
+	}
+	// First clean report ever re-admits (R=1) and is consumed; the
+	// device now has a value, so later faults hold.
+	expect(t, tr, 0, true, Consume)
+	expect(t, tr, 0, false, Hold)
+}
+
+func TestResetRestoresFreshState(t *testing.T) {
+	tr := mustNew(t, 3, Policy{HoldTicks: 0, ReadmitTicks: 2})
+	expect(t, tr, 0, true, Consume)
+	expect(t, tr, 0, false, Skip)
+	expect(t, tr, 1, false, Skip)
+	tr.Reset()
+	if !tr.AllLive() {
+		t.Fatal("not all-live after Reset")
+	}
+	if st := (Stats{}); tr.Stats() != st {
+		t.Fatalf("stats %+v after Reset", tr.Stats())
+	}
+	// seen was cleared too: a fault before any report skips, not holds.
+	expect(t, tr, 0, false, Skip)
+}
+
+// TestCountsTrackImpairment drives a small fleet through mixed ticks
+// and checks Counts against a brute-force recount every step.
+func TestCountsTrackImpairment(t *testing.T) {
+	const n = 7
+	tr := mustNew(t, n, Policy{HoldTicks: 1, ReadmitTicks: 2})
+	// Deterministic pseudo-pattern: device d is faulty on tick k when
+	// (k*7+d*3)%5 < 2.
+	for k := 0; k < 40; k++ {
+		for d := 0; d < n; d++ {
+			tr.Report(d, (k*7+d*3)%5 >= 2)
+		}
+		var live, stale, quar int
+		for d := 0; d < n; d++ {
+			switch tr.State(d) {
+			case Live:
+				live++
+			case Stale:
+				stale++
+			default:
+				quar++
+			}
+		}
+		gl, gs, gq := tr.Counts()
+		if gl != live || gs != stale || gq != quar {
+			t.Fatalf("tick %d: Counts() = %d/%d/%d, recount %d/%d/%d", k, gl, gs, gq, live, stale, quar)
+		}
+		if tr.AllLive() != (stale == 0 && quar == 0) {
+			t.Fatalf("tick %d: AllLive() = %v with %d stale %d quarantined", k, tr.AllLive(), stale, quar)
+		}
+	}
+}

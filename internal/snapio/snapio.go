@@ -32,6 +32,13 @@ type FrameReader struct {
 	want int
 	buf  []byte
 	vals []float64
+	// off is the byte offset of the frame Next decodes next — the sum
+	// of fully decoded frames — and frame its stream index. Both feed
+	// the positioned errors the format owes its consumers: a length-
+	// prefixed stream cannot resync after framing corruption, so the
+	// error that kills it must say where the stream died.
+	off   int64
+	frame int
 }
 
 // NewFrameReader wraps r. want is the expected value count per frame
@@ -43,18 +50,20 @@ func NewFrameReader(r io.Reader, want int) *FrameReader {
 }
 
 // Next returns the next frame's values, or io.EOF at a clean end of
-// stream. A frame cut short surfaces io.ErrUnexpectedEOF.
+// stream. A frame cut short surfaces io.ErrUnexpectedEOF; every error
+// except the clean EOF names the frame's stream index and the byte
+// offset of its first byte.
 func (fr *FrameReader) Next() ([]float64, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
 		if err == io.EOF {
 			return nil, io.EOF
 		}
-		return nil, fmt.Errorf("snapio: frame header: %w", err)
+		return nil, fmt.Errorf("snapio: frame %d at byte %d: header: %w", fr.frame, fr.off, err)
 	}
 	count := int(binary.LittleEndian.Uint32(hdr[:]))
 	if count != fr.want {
-		return nil, fmt.Errorf("snapio: frame has %d values, want %d", count, fr.want)
+		return nil, fmt.Errorf("snapio: frame %d at byte %d: frame has %d values, want %d", fr.frame, fr.off, count, fr.want)
 	}
 	need := 8 * count
 	if cap(fr.buf) < need {
@@ -65,7 +74,7 @@ func (fr *FrameReader) Next() ([]float64, error) {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
 		}
-		return nil, fmt.Errorf("snapio: frame body: %w", err)
+		return nil, fmt.Errorf("snapio: frame %d at byte %d: body: %w", fr.frame, fr.off, err)
 	}
 	if cap(fr.vals) < count {
 		fr.vals = make([]float64, count)
@@ -74,8 +83,17 @@ func (fr *FrameReader) Next() ([]float64, error) {
 	for i := range vals {
 		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
 	}
+	fr.off += int64(4 + need)
+	fr.frame++
 	return vals, nil
 }
+
+// Offset returns the byte offset past the last fully decoded frame —
+// equivalently, the offset at which the next frame starts.
+func (fr *FrameReader) Offset() int64 { return fr.off }
+
+// Frames returns the number of frames fully decoded so far.
+func (fr *FrameReader) Frames() int { return fr.frame }
 
 // FrameWriter encodes frames onto a buffered writer; call Flush when
 // the stream is complete.

@@ -5,6 +5,7 @@ import (
 
 	"anomalia/internal/detect"
 	"anomalia/internal/dist"
+	"anomalia/internal/health"
 	"anomalia/internal/motion"
 	"anomalia/internal/space"
 )
@@ -40,6 +41,13 @@ type Monitor struct {
 	// safe against it: Advance never reads the previous window's
 	// positions, only its retained cell membership.
 	dir *dist.Directory
+	// health is the per-device state machine of the degraded ingest path
+	// (ObservePartial), created on the first partial tick so Observe-only
+	// monitors pay nothing for it; cleanBuf and rowsBuf are its recycled
+	// per-tick scratch (classification mask, effective-row table).
+	health   *health.Tracker
+	cleanBuf []bool
+	rowsBuf  [][]float64
 }
 
 // NewMonitor builds a monitor for a fleet of devices, each consuming the
@@ -62,6 +70,9 @@ func NewMonitor(devices, services int, opts ...Option) (*Monitor, error) {
 	}
 	if cfg.tau < 1 {
 		return nil, fmt.Errorf("tau = %d: %w", cfg.tau, ErrInvalidInput)
+	}
+	if err := cfg.health.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrInvalidInput, err)
 	}
 	factory := cfg.factory
 	if factory == nil {
@@ -165,6 +176,171 @@ func (m *Monitor) Observe(samples [][]float64) (*Outcome, error) {
 	return m.characterizeWindow(pair, abnormal)
 }
 
+// ObservePartial consumes one possibly-degraded snapshot: one row per
+// device like Observe, but a row may be nil (no report arrived this
+// tick) or malformed — wrong width, or carrying NaN/±Inf — and instead
+// of rejecting the whole tick, the monitor folds every device's report
+// quality into its health state machine (internal/health, configured
+// by WithHealthPolicy) and characterizes the live subpopulation:
+//
+//   - a live device's clean report is consumed exactly as Observe
+//     would consume it;
+//   - a device missing or malformed for at most HoldTicks consecutive
+//     ticks is stale: its last-known value is held, so its detectors
+//     and the window's population see it at its last observed
+//     position, and one clean report returns it to live;
+//   - past HoldTicks the device is quarantined: excluded from the
+//     window's population — no detector update, never abnormal, its
+//     state slot parked at its last position (the origin if it never
+//     reported) — until ReadmitTicks consecutive clean reports
+//     re-admit it. The re-admitting report is consumed; earlier
+//     reports in the run are dropped, so one lucky packet cannot
+//     re-admit a flapping device.
+//
+// Malformed and missing are deliberately indistinguishable to the
+// state machine: neither carries a usable measurement, and collapsing
+// them makes a degraded stream reproducible against an oracle fed only
+// the delivered clean subset. A fully clean snapshot over an all-live
+// fleet takes a fast path equivalent to Observe — no per-device health
+// bookkeeping, same recycled buffers, same verdicts.
+//
+// Membership churn flows through: quarantined devices leave the
+// abnormal set (and so the distributed directory's index) and
+// re-admitted devices rejoin it on the window their detectors next
+// fire. DeviceHealth and HealthStats expose the current split.
+//
+// Error behavior: a snapshot with the wrong row count is rejected with
+// the monitor untouched, exactly as Observe rejects it. There is no
+// per-value rejection — malformed rows are the input this path exists
+// to absorb.
+func (m *Monitor) ObservePartial(samples [][]float64) (*Outcome, error) {
+	if len(samples) != m.devices {
+		return nil, fmt.Errorf("snapshot has %d rows, want %d: %w", len(samples), m.devices, ErrInvalidInput)
+	}
+	if m.health == nil {
+		t, err := health.New(m.devices, m.cfg.health)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrInvalidInput, err)
+		}
+		m.health = t
+	}
+	if m.cleanBuf == nil {
+		m.cleanBuf = make([]bool, m.devices)
+	}
+	nClean := m.walker.Classify(m.dets, samples, m.cleanBuf)
+
+	// Fast path: a fully clean tick over an all-live fleet is exactly an
+	// Observe tick — every disposition is Consume — so the rows feed
+	// straight through with no per-device health work at all.
+	rows := samples
+	if nClean != m.devices || !m.health.AllLive() {
+		if m.rowsBuf == nil {
+			m.rowsBuf = make([][]float64, m.devices)
+		}
+		rows = m.rowsBuf
+		for dev := range rows {
+			switch m.health.Report(dev, m.cleanBuf[dev]) {
+			case health.Consume:
+				rows[dev] = samples[dev]
+			case health.Hold:
+				// Hold implies a previously consumed report, so m.prev
+				// exists and carries the device's last-known position.
+				rows[dev] = m.prev.At(dev)
+			default: // health.Skip
+				rows[dev] = nil
+			}
+		}
+	}
+
+	cur := m.spare
+	m.spare = nil
+	if cur == nil {
+		var err error
+		cur, err = space.NewState(m.devices, m.services)
+		if err != nil {
+			return nil, err
+		}
+	}
+	prev := m.prev
+	abnormal, err := m.walker.WalkSkip(m.dets, rows, func(dev int, row []float64) {
+		dst := cur.At(dev)
+		if row == nil {
+			// Excluded from the window: park the device at its last
+			// position (origin before any) so the trajectory a later
+			// re-admission window reads is deterministic, never recycled
+			// buffer garbage. Parked devices are never abnormal, so
+			// characterization never reads the parked position itself.
+			if prev != nil {
+				copy(dst, prev.At(dev))
+			} else {
+				clear(dst)
+			}
+			return
+		}
+		copy(dst, row)
+		dst.Clamp()
+	}, m.abnBuf[:0])
+	m.abnBuf = abnormal
+	if err != nil {
+		// Unreachable with the stock detectors — rows are pre-classified,
+		// so Update cannot see a width or finiteness fault — but a custom
+		// Detector may still error; keep the double buffer intact.
+		m.spare = cur
+		return nil, fmt.Errorf("%w: %w", ErrInvalidInput, err)
+	}
+	m.prev = cur
+	m.time++
+	m.spare = prev
+	if prev == nil || len(abnormal) == 0 {
+		return nil, nil
+	}
+	pair, err := motion.NewPair(prev, cur)
+	if err != nil {
+		return nil, err
+	}
+	return m.characterizeWindow(pair, abnormal)
+}
+
+// DeviceHealth returns device dev's current health state. Devices are
+// live until a partial tick impairs them; a monitor fed only through
+// Observe is always all-live.
+func (m *Monitor) DeviceHealth(dev int) (HealthState, error) {
+	if dev < 0 || dev >= m.devices {
+		return HealthLive, fmt.Errorf("device %d of %d: %w", dev, m.devices, ErrInvalidInput)
+	}
+	if m.health == nil {
+		return HealthLive, nil
+	}
+	switch m.health.State(dev) {
+	case health.Stale:
+		return HealthStale, nil
+	case health.Quarantined:
+		return HealthQuarantined, nil
+	default:
+		return HealthLive, nil
+	}
+}
+
+// HealthStats returns the current population split and the lifetime
+// degraded-ingestion counters.
+func (m *Monitor) HealthStats() HealthStats {
+	if m.health == nil {
+		return HealthStats{Live: m.devices}
+	}
+	live, stale, quar := m.health.Counts()
+	st := m.health.Stats()
+	return HealthStats{
+		Live:           live,
+		Stale:          stale,
+		Quarantined:    quar,
+		Quarantines:    st.Quarantines,
+		Readmissions:   st.Readmissions,
+		HeldTicks:      st.HeldTicks,
+		DroppedReports: st.DroppedReports,
+		FaultyTicks:    st.FaultyTicks,
+	}
+}
+
 // characterizeWindow runs one abnormal window through the configured
 // deployment model. The centralized path is stateless; the distributed
 // path persists the directory service across windows — the first
@@ -188,13 +364,18 @@ func (m *Monitor) characterizeWindow(pair *motion.Pair, abnormal []int) (*Outcom
 		}
 		m.dir = dir
 	} else if _, err := m.dir.Advance(pair, abnormal, nil); err != nil {
+		// A failed advance never mutates the retained window, but the
+		// monitor can no longer assume the directory tracks this window's
+		// abnormal set — drop it and let the next abnormal window rebuild
+		// from scratch rather than serve stale membership.
+		m.dir = nil
 		return nil, err
 	}
 	return decideDistributed(m.dir, coreCfg)
 }
 
-// Reset clears the detectors, the snapshot history and the persistent
-// directory, keeping the configuration.
+// Reset clears the detectors, the snapshot history, the persistent
+// directory and the per-device health state, keeping the configuration.
 func (m *Monitor) Reset() {
 	for _, d := range m.dets {
 		d.Reset()
@@ -203,4 +384,7 @@ func (m *Monitor) Reset() {
 	m.spare = nil
 	m.time = 0
 	m.dir = nil
+	if m.health != nil {
+		m.health.Reset()
+	}
 }

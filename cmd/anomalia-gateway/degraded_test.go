@@ -73,7 +73,7 @@ func TestGatewayTolerantCSVRecordLoss(t *testing.T) {
 
 // TestGatewayTolerantBinaryRecovery: a non-finite value in a binary
 // frame costs its device the tick; the diagnostic names the frame index
-// and the byte offset of the device's first value.
+// and the byte offset of the offending value.
 func TestGatewayTolerantBinaryRecovery(t *testing.T) {
 	t.Parallel()
 
@@ -144,6 +144,45 @@ func TestGatewayStrictPositionedErrors(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "frame 1 at byte 20") {
 		t.Errorf("truncation error %q missing frame position", err)
+	}
+}
+
+// TestGatewayValueFaultPositionedAtCell: with more than one service, a
+// value fault must be positioned at the offending service's cell, not
+// the device's first — strict CSV names that cell's column, and the
+// tolerant binary diagnostic names that value's byte offset.
+func TestGatewayValueFaultPositionedAtCell(t *testing.T) {
+	t.Parallel()
+
+	// Device 1's service 1 is the fourth field: columns 1, 5, 9, 13.
+	var out bytes.Buffer
+	err := run([]string{"-devices", "2", "-services", "2", "-strict"},
+		strings.NewReader("0.9,0.9,0.9,0.9\n0.9,0.9,0.9,1.5\n"), &out, io.Discard)
+	if err == nil {
+		t.Fatal("strict CSV run accepted an out-of-range value")
+	}
+	for _, want := range []string{"line 2", "column 13", "device 1", "service 1"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("CSV error %q missing %q", err, want)
+		}
+	}
+
+	// Binary: frames are 4+32 = 36 bytes; frame 1 starts at byte 36 and
+	// device 1's service-1 value sits past the header and three values,
+	// at byte 36+4+24 = 64.
+	frames := buildFrames(t, [][]float64{
+		{0.9, 0.9, 0.9, 0.9},
+		{0.9, 0.9, 0.9, math.NaN()},
+	})
+	var diag bytes.Buffer
+	if err := run([]string{"-devices", "2", "-services", "2", "-format", "bin"},
+		bytes.NewReader(frames), &out, &diag); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"device 1", "frame 1 at byte 64", "non-finite"} {
+		if !strings.Contains(diag.String(), want) {
+			t.Errorf("binary diagnostic missing %q:\n%s", want, diag.String())
+		}
 	}
 }
 

@@ -152,20 +152,22 @@ type tickSource interface {
 	Next() ([][]float64, []fault, error)
 }
 
-// gradeRow checks one device's values and returns "" when usable, else
-// the reason it is not. Non-finite values are tested by name: v < 0 ||
-// v > 1 is false for NaN, so the interval test alone would let NaN
-// poison detector and characterizer state.
-func gradeRow(row []float64) string {
+// gradeRow checks one device's values and returns (-1, "") when usable,
+// else the offending service index and the reason it is not — the index
+// lets callers position the fault at the bad cell, not the device's
+// first. Non-finite values are tested by name: v < 0 || v > 1 is false
+// for NaN, so the interval test alone would let NaN poison detector and
+// characterizer state.
+func gradeRow(row []float64) (int, string) {
 	for s, v := range row {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return fmt.Sprintf("service %d: non-finite QoS %v", s, v)
+			return s, fmt.Sprintf("service %d: non-finite QoS %v", s, v)
 		}
 		if v < 0 || v > 1 {
-			return fmt.Sprintf("service %d: QoS %v outside [0,1]", s, v)
+			return s, fmt.Sprintf("service %d: QoS %v outside [0,1]", s, v)
 		}
 	}
-	return ""
+	return -1, ""
 }
 
 // csvSource parses one CSV record per tick into reused buffers. In
@@ -267,8 +269,8 @@ func (s *csvSource) Next() ([][]float64, []fault, error) {
 			continue
 		}
 		row := s.flat[dev*s.services : (dev+1)*s.services]
-		if reason := gradeRow(row); reason != "" {
-			if err := bad(dev, dev*s.services, reason); err != nil {
+		if svc, reason := gradeRow(row); reason != "" {
+			if err := bad(dev, dev*s.services+svc, reason); err != nil {
 				return nil, nil, err
 			}
 		}
@@ -323,7 +325,7 @@ func (s *binSource) Next() ([][]float64, []fault, error) {
 	s.faults = s.faults[:0]
 	for dev := 0; dev*s.services < len(flat); dev++ {
 		row := flat[dev*s.services : (dev+1)*s.services]
-		reason := gradeRow(row)
+		svc, reason := gradeRow(row)
 		if reason == "" {
 			continue
 		}
@@ -332,7 +334,7 @@ func (s *binSource) Next() ([][]float64, []fault, error) {
 		}
 		s.faults = append(s.faults, fault{
 			device: dev,
-			pos:    fmt.Sprintf("frame %d at byte %d", frame, start+int64(4+8*dev*s.services)),
+			pos:    fmt.Sprintf("frame %d at byte %d", frame, start+int64(4+8*(dev*s.services+svc))),
 			reason: reason,
 		})
 	}

@@ -130,8 +130,13 @@ type Tracker struct {
 	// live/stale devices, consecutive clean reports for quarantined ones.
 	run []int32
 	// seen marks devices that have delivered at least one consumed
-	// report — only they have a last-known value to hold.
-	seen []bool
+	// report — only they have a last-known value to hold. allSeen is the
+	// fast-path form: a fully-clean all-live tick consumes every device's
+	// report without per-device Report calls, and one such tick gives the
+	// whole fleet a last-known value at once (seen is monotone until
+	// Reset, so a single flag is exact).
+	seen    []bool
+	allSeen bool
 	// impaired counts devices not Live, so an all-clean tick over an
 	// all-live fleet can skip per-device bookkeeping entirely.
 	impaired int
@@ -188,6 +193,13 @@ func (t *Tracker) Report(dev int, clean bool) Disposition {
 	}
 	return t.reportFault(dev)
 }
+
+// ConsumeAll records a tick in which every device's report was consumed
+// without per-device Report calls — the fully-clean fast path over an
+// all-live fleet (the caller's guard; no state transitions can be
+// pending). After one such tick every device has a last-known value, so
+// a later first fault is held, not skipped.
+func (t *Tracker) ConsumeAll() { t.allSeen = true }
 
 func (t *Tracker) reportClean(dev int) Disposition {
 	switch t.states[dev] {
@@ -249,7 +261,7 @@ func (t *Tracker) reportFault(dev int) Disposition {
 	// Stale with a last-known value holds it; a device that has never
 	// delivered a report has nothing to hold and sits the window out
 	// (its quarantine countdown still advances above).
-	if !t.seen[dev] {
+	if !t.allSeen && !t.seen[dev] {
 		return Skip
 	}
 	t.stats.HeldTicks++
@@ -261,6 +273,7 @@ func (t *Tracker) Reset() {
 	clear(t.states)
 	clear(t.run)
 	clear(t.seen)
+	t.allSeen = false
 	t.impaired = 0
 	t.stale = 0
 	t.quar = 0

@@ -213,3 +213,27 @@ func TestCountsTrackImpairment(t *testing.T) {
 		}
 	}
 }
+
+// TestConsumeAllGivesHoldSemantics: a fully-clean fast-path tick
+// recorded via ConsumeAll must count as a consumed report for every
+// device — the first fault after an all-clean history is held, not
+// skipped — and Reset must clear that memory.
+func TestConsumeAllGivesHoldSemantics(t *testing.T) {
+	tr := mustNew(t, 3, Policy{HoldTicks: 2, ReadmitTicks: 1})
+	tr.ConsumeAll()
+	expect(t, tr, 0, false, Hold)
+	if tr.State(0) != Stale {
+		t.Fatalf("state after held fault: %v", tr.State(0))
+	}
+	if tr.Stats().HeldTicks != 1 {
+		t.Fatalf("HeldTicks = %d, want 1", tr.Stats().HeldTicks)
+	}
+	// Per-device seen still composes with the flag: device 1 never
+	// reported individually, but the fast-path tick covered it too.
+	expect(t, tr, 1, false, Hold)
+
+	tr.Reset()
+	// The fleet-wide last-known values are gone with everything else: a
+	// fault before any report skips again.
+	expect(t, tr, 2, false, Skip)
+}

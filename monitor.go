@@ -212,7 +212,15 @@ func (m *Monitor) Observe(samples [][]float64) (*Outcome, error) {
 // Error behavior: a snapshot with the wrong row count is rejected with
 // the monitor untouched, exactly as Observe rejects it. There is no
 // per-value rejection — malformed rows are the input this path exists
-// to absorb.
+// to absorb. A detector error during the walk of an accepted snapshot
+// (unreachable with the stock detectors, whose inputs are
+// pre-classified, but a custom Detector may fail) leaves the tick
+// uncommitted — clock, previous state and recycled buffers intact —
+// but not unconsumed: detectors in shards that completed have folded
+// the tick in, and every device's health state has already advanced
+// (states, streaks and lifetime counters include the failed tick).
+// Re-feeding the same snapshot would charge the health machine twice;
+// treat the tick as lost instead.
 func (m *Monitor) ObservePartial(samples [][]float64) (*Outcome, error) {
 	if len(samples) != m.devices {
 		return nil, fmt.Errorf("snapshot has %d rows, want %d: %w", len(samples), m.devices, ErrInvalidInput)
@@ -231,9 +239,14 @@ func (m *Monitor) ObservePartial(samples [][]float64) (*Outcome, error) {
 
 	// Fast path: a fully clean tick over an all-live fleet is exactly an
 	// Observe tick — every disposition is Consume — so the rows feed
-	// straight through with no per-device health work at all.
+	// straight through with no per-device health work at all. The tick
+	// still counts as a consumed report for every device: ConsumeAll
+	// gives the whole fleet a last-known value, so a device's first
+	// fault after an all-clean history is held, not skipped.
 	rows := samples
-	if nClean != m.devices || !m.health.AllLive() {
+	if nClean == m.devices && m.health.AllLive() {
+		m.health.ConsumeAll()
+	} else {
 		if m.rowsBuf == nil {
 			m.rowsBuf = make([][]float64, m.devices)
 		}
@@ -244,8 +257,17 @@ func (m *Monitor) ObservePartial(samples [][]float64) (*Outcome, error) {
 				rows[dev] = samples[dev]
 			case health.Hold:
 				// Hold implies a previously consumed report, so m.prev
-				// exists and carries the device's last-known position.
-				rows[dev] = m.prev.At(dev)
+				// normally carries the device's last-known position. The
+				// one exception: a custom detector erroring on the
+				// consuming tick leaves the report folded into health
+				// state with the tick uncommitted (m.prev still nil) —
+				// park the device instead of dereferencing a state that
+				// never materialized.
+				if m.prev == nil {
+					rows[dev] = nil
+				} else {
+					rows[dev] = m.prev.At(dev)
+				}
 			default: // health.Skip
 				rows[dev] = nil
 			}
@@ -284,7 +306,11 @@ func (m *Monitor) ObservePartial(samples [][]float64) (*Outcome, error) {
 	if err != nil {
 		// Unreachable with the stock detectors — rows are pre-classified,
 		// so Update cannot see a width or finiteness fault — but a custom
-		// Detector may still error; keep the double buffer intact.
+		// Detector may still error; keep the double buffer intact. The
+		// health tracker keeps the tick it already consumed (see the doc
+		// comment): rolling back a partially-applied per-device walk
+		// would leave states and streaks inconsistent with the detectors
+		// that did update.
 		m.spare = cur
 		return nil, fmt.Errorf("%w: %w", ErrInvalidInput, err)
 	}

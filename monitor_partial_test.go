@@ -5,6 +5,8 @@ import (
 	"math"
 	"reflect"
 	"testing"
+
+	"anomalia/internal/health"
 )
 
 // degradedRow marks one device's report for a test stream.
@@ -214,6 +216,13 @@ func TestObservePartialHoldKeepsDeviceInPopulation(t *testing.T) {
 	if st, _ := mon.DeviceHealth(0); st != HealthLive {
 		t.Fatalf("device 0 health %v, want live", st)
 	}
+	// The clean tick above ran on the fully-clean fast path, which skips
+	// per-device Report calls — it must still count as a consumed report
+	// for every device, so device 6's first fault was genuinely held
+	// (HeldTicks charged), not silently skipped out of the population.
+	if hs := mon.HealthStats(); hs.HeldTicks != 1 || hs.FaultyTicks != 1 {
+		t.Fatalf("fast-path ticks did not seed hold semantics: %+v", hs)
+	}
 }
 
 // TestObservePartialQuarantineExcludesDevice: past HoldTicks a device
@@ -396,6 +405,46 @@ func TestObservePartialBufferInvariants(t *testing.T) {
 	}
 	if st, _ := mon.DeviceHealth(3); st != HealthLive {
 		t.Fatalf("device 3 health %v on a clean restart", st)
+	}
+}
+
+// TestObservePartialHoldWithoutCommittedState: a Hold disposition can
+// surface with no committed previous state — a failed walk keeps the
+// health tracker's consumption while the tick never commits (see
+// ObservePartial's error behavior) — and the monitor must park the
+// device for the window instead of dereferencing the state that never
+// materialized.
+func TestObservePartialHoldWithoutCommittedState(t *testing.T) {
+	t.Parallel()
+
+	const n = 8
+	mon, err := NewMonitor(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the aftermath of a consumed-but-failed first tick: every
+	// device's report folded into health state, no tick committed.
+	tr, err := health.New(n, mon.cfg.health)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.ConsumeAll()
+	mon.health = tr
+
+	snap := fleetSnapshot(n, 0.95, nil)
+	snap[3] = nil
+	if _, err := mon.ObservePartial(snap); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := mon.DeviceHealth(3); st != HealthStale {
+		t.Fatalf("device 3 health %v, want stale", st)
+	}
+	// The monitor keeps streaming: device 3 delivers again and rejoins.
+	if _, err := mon.ObservePartial(fleetSnapshot(n, 0.95, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := mon.DeviceHealth(3); st != HealthLive {
+		t.Fatalf("device 3 health %v after clean report, want live", st)
 	}
 }
 

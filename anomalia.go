@@ -3,6 +3,8 @@ package anomalia
 import (
 	"errors"
 	"fmt"
+	"net"
+	"time"
 
 	"anomalia/internal/core"
 	"anomalia/internal/dist"
@@ -135,6 +137,7 @@ type config struct {
 	exact         bool
 	budget        int
 	distributed   bool
+	directory     *DirectoryConfig
 	ingestWorkers int
 	factory       func(device, service int) (Detector, error)
 	health        health.Policy
@@ -190,6 +193,88 @@ func WithBudget(budget int) Option {
 // per-device operation.
 func WithDistributed(distributed bool) Option {
 	return func(c *config) { c.distributed = distributed }
+}
+
+// DirectoryConfig points a Monitor at a fleet of networked directory
+// shard servers (cmd/anomalia-directory) instead of the in-process
+// directory. Every address hosts a full directory replica; each
+// abnormal window the monitor ships the abnormal trajectories to the
+// reachable shards (an incremental moved-stream advance in steady
+// state) and partitions the fleet's decisions contiguously across
+// them, so a breaker-open shard's slice fails over to the survivors.
+//
+// Fault tolerance is built in: per-request deadlines, bounded retries
+// with exponential backoff and full jitter, and a per-shard circuit
+// breaker (closed → open after BreakerFails consecutive failures →
+// one half-open probe after BreakerCooldown abnormal windows). When a
+// window cannot be decided over the wire it falls back to centralized
+// characterization — verdicts unchanged, the degradation counted in
+// Monitor.DirStats — and shards rejoin via the half-open probe without
+// operator action. Observe never returns an error for shard
+// unavailability.
+type DirectoryConfig struct {
+	// Addrs lists the shard servers (host:port). Required.
+	Addrs []string
+	// Dial overrides the transport (nil = TCP with DialTimeout) —
+	// simulations and tests inject in-process pipes and fault models.
+	Dial func(addr string) (net.Conn, error)
+	// DialTimeout and RequestTimeout bound one dial and one
+	// request/response exchange. Zero selects the dirnet defaults
+	// (1s / 2s).
+	DialTimeout    time.Duration
+	RequestTimeout time.Duration
+	// MaxRetries bounds retransmissions per request (0 = default 2),
+	// each preceded by full-jitter exponential backoff between
+	// BackoffBase and BackoffCap (0 = defaults 5ms / 100ms).
+	MaxRetries  int
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// BreakerFails and BreakerCooldown shape the per-shard circuit
+	// breaker (0 = defaults 3 failures / 2 abnormal windows).
+	BreakerFails    int
+	BreakerCooldown int
+	// Seed drives the backoff jitter.
+	Seed int64
+}
+
+// WithDirectory routes the distributed decision path over the wire to
+// the given directory shard fleet; it implies WithDistributed(true).
+// See DirectoryConfig for the fault-tolerance contract. Ignored by
+// Characterize and CharacterizeDevice, which are one-shot calls with
+// no cross-window directory to keep warm.
+func WithDirectory(dc DirectoryConfig) Option {
+	return func(c *config) {
+		c.distributed = true
+		c.directory = &dc
+	}
+}
+
+// DirStats reports the networked directory activity of a Monitor
+// configured with WithDirectory: the window ledger (how many abnormal
+// windows were served over the wire vs degraded to the centralized
+// fallback) plus the lifetime wire counters. The zero value is
+// returned for monitors without a networked directory.
+type DirStats struct {
+	// Windows counts abnormal windows routed to the networked
+	// directory; Networked the ones served over the wire; Degraded the
+	// ones that fell back to centralized characterization (verdicts
+	// unchanged — the fallback is the oracle).
+	Windows   int64 `json:"windows"`
+	Networked int64 `json:"networked"`
+	Degraded  int64 `json:"degraded"`
+	// Retries counts retransmission attempts, Failures requests
+	// abandoned after the retry budget.
+	Retries  int64 `json:"retries"`
+	Failures int64 `json:"failures"`
+	// BreakerOpens counts closed → open breaker transitions, Rejoins
+	// half-open probes that brought a shard back.
+	BreakerOpens int64 `json:"breaker_opens"`
+	Rejoins      int64 `json:"rejoins"`
+	// BytesSent / BytesReceived / RoundTrips are the measured wire
+	// traffic, frame prefixes included.
+	BytesSent     int64 `json:"bytes_sent"`
+	BytesReceived int64 `json:"bytes_received"`
+	RoundTrips    int64 `json:"round_trips"`
 }
 
 // WithIngestWorkers sets how many workers Monitor.Observe shards its
@@ -427,6 +512,13 @@ func decideDistributed(dir *dist.Directory, coreCfg core.Config) (*Outcome, erro
 	if err != nil {
 		return nil, err
 	}
+	return outcomeFromDecisions(decisions, total), nil
+}
+
+// outcomeFromDecisions folds one window's decisions — computed
+// in-process or decoded off the wire, the shapes are identical — into
+// an Outcome with the summed directory traffic.
+func outcomeFromDecisions(decisions []dist.Decision, total dist.Stats) *Outcome {
 	out := &Outcome{
 		Reports: make([]Report, 0, len(decisions)),
 		Dist: &DistStats{
@@ -438,7 +530,7 @@ func decideDistributed(dir *dist.Directory, coreCfg core.Config) (*Outcome, erro
 	for _, dec := range decisions {
 		out.addReport(dec.Result)
 	}
-	return out, nil
+	return out
 }
 
 // CharacterizeDevice classifies a single abnormal device — the strictly

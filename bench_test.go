@@ -11,8 +11,10 @@ package anomalia
 
 import (
 	"io"
+	"net"
 	"testing"
 
+	"anomalia/internal/dirnet"
 	"anomalia/internal/experiments"
 	"anomalia/internal/motion"
 	"anomalia/internal/scenario"
@@ -474,5 +476,50 @@ func BenchmarkTickObservePartial1M(b *testing.B) {
 	b.StopTimer()
 	if st := m.HealthStats(); st != (HealthStats{Live: bench1MN}) {
 		b.Fatalf("idle health layer did work: %+v", st)
+	}
+}
+
+// BenchmarkTickObserveNetworked1M is the networked-directory
+// counterpart of BenchmarkTickIngestDetect1M: the same quiet
+// steady-state tick on a monitor configured with a directory client —
+// breaker closed, shard healthy behind an in-process pipe. A quiet
+// window never reaches the decision path, so the client must cost
+// nothing on the tick: the bench gate pins this benchmark's allocs/op
+// to within one allocation of the plain quiet tick.
+func BenchmarkTickObserveNetworked1M(b *testing.B) {
+	snapA, _, _ := benchSnap1M(b)
+	srv := dirnet.NewServer()
+	defer srv.Close()
+	m, err := NewMonitor(bench1MN, 2, WithRadius(bench1MR),
+		WithDirectory(DirectoryConfig{
+			Addrs: []string{"bench-0"},
+			Dial: func(string) (net.Conn, error) {
+				c1, c2 := net.Pipe()
+				go srv.HandleConn(c2)
+				return c1, nil
+			},
+		}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := m.Observe(snapA); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := m.Observe(snapA)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out != nil {
+			b.Fatal("quiet tick produced an outcome")
+		}
+	}
+	b.StopTimer()
+	if ds := m.DirStats(); ds != (DirStats{}) {
+		b.Fatalf("quiet networked ticks touched the wire: %+v", ds)
 	}
 }

@@ -1,0 +1,72 @@
+// Command anomalia-directory hosts one shard of the networked
+// directory service: a dirnet.Server holding a full directory replica
+// behind the length-prefixed binary protocol, answering the window
+// stream (init / incremental moved-stream advance) and the decision
+// and view queries a Monitor configured with WithDirectory sends.
+//
+// Usage:
+//
+//	anomalia-directory -listen 127.0.0.1:9053 [-iotimeout 2s]
+//
+// Run one process per shard and hand the Monitor (or
+// anomalia-gateway's -directory flag) the full address list. A shard
+// keeps no durable state: after a crash the next client window
+// re-seeds it over the wire (statusNeedInit → msgInit), so restarting
+// a shard costs one extra round-trip, never a wrong verdict —
+// meanwhile the client's breaker fails its slice over to the
+// surviving shards, and a window no shard can serve degrades to the
+// Monitor's centralized fallback with identical verdicts.
+//
+// -iotimeout bounds one frame read or response write once a request's
+// first byte arrives; the wait for the next request is unbounded,
+// because idle connections are normal between abnormal windows.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+
+	"anomalia/internal/dirnet"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "anomalia-directory:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses flags, listens, and serves until the listener dies. The
+// ready hook (tests) receives the bound listener and the server before
+// the accept loop starts — closing the listener is the shutdown path.
+func run(args []string, errOut io.Writer, ready func(l net.Listener, srv *dirnet.Server)) error {
+	fs := flag.NewFlagSet("anomalia-directory", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		listen    = fs.String("listen", "127.0.0.1:9053", "address to listen on")
+		ioTimeout = fs.Duration("iotimeout", dirnet.DefaultRequestTimeout, "per-request IO deadline once a request's first byte arrives")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *ioTimeout <= 0 {
+		return fmt.Errorf("-iotimeout %v: must be positive", *ioTimeout)
+	}
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+	srv := dirnet.NewServer()
+	srv.IOTimeout = *ioTimeout
+	fmt.Fprintf(errOut, "anomalia-directory: shard listening on %s\n", l.Addr())
+	if ready != nil {
+		ready(l, srv)
+	}
+	err = srv.Serve(l)
+	srv.Close()
+	return err
+}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net"
+	"strings"
+	"testing"
+
+	"anomalia/internal/dirnet"
+)
+
+// directoryFixture is a stream with two abnormal windows: a massive
+// block and an isolated straggler, then recovery noise.
+func directoryFixture() string {
+	healthy := []float64{0.95, 0.95, 0.95, 0.95, 0.95, 0.95}
+	faulty := []float64{0.50, 0.50, 0.51, 0.49, 0.95, 0.20}
+	worse := []float64{0.40, 0.40, 0.41, 0.39, 0.95, 0.10}
+	return buildCSV([][]float64{healthy, healthy, faulty, worse, healthy})
+}
+
+// splitSummary cuts a -json run's output into its window-record lines
+// and the decoded final summary.
+func splitSummary(t *testing.T, out string) ([]string, summaryRecord) {
+	t.Helper()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	last := lines[len(lines)-1]
+	var rec summaryRecord
+	if err := json.Unmarshal([]byte(last), &rec); err != nil {
+		t.Fatalf("final line is not a summary record: %v\n%s", err, last)
+	}
+	if rec.Summary.Snapshots == 0 {
+		t.Fatalf("summary did not decode: %s", last)
+	}
+	return lines[:len(lines)-1], rec
+}
+
+// TestGatewayDirectoryFlag routes the gateway's windows through a real
+// TCP directory shard and checks the window records are byte-identical
+// to the in-process distributed path, with the summary ledger showing
+// every abnormal window served over the wire.
+func TestGatewayDirectoryFlag(t *testing.T) {
+	t.Parallel()
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	srv := dirnet.NewServer()
+	go srv.Serve(l)
+	defer srv.Close()
+
+	var inProc, wired bytes.Buffer
+	if err := run([]string{"-devices", "6", "-json", "-distributed"},
+		strings.NewReader(directoryFixture()), &inProc, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-devices", "6", "-json", "-directory", l.Addr().String()},
+		strings.NewReader(directoryFixture()), &wired, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	wantWin, wantSum := splitSummary(t, inProc.String())
+	gotWin, gotSum := splitSummary(t, wired.String())
+	if strings.Join(gotWin, "\n") != strings.Join(wantWin, "\n") {
+		t.Errorf("networked window records diverge from in-process distributed:\n%s\nvs\n%s",
+			strings.Join(gotWin, "\n"), strings.Join(wantWin, "\n"))
+	}
+	if wantSum.Summary.Dir != nil {
+		t.Errorf("in-process run reported a dir ledger: %+v", wantSum.Summary.Dir)
+	}
+	ds := gotSum.Summary.Dir
+	if ds == nil {
+		t.Fatal("-directory run's summary lacks the dir ledger")
+	}
+	if ds.Windows == 0 || ds.Networked != ds.Windows || ds.Degraded != 0 {
+		t.Errorf("dir ledger = %+v, want every abnormal window networked", ds)
+	}
+	if ds.BytesSent == 0 || ds.BytesReceived == 0 || ds.RoundTrips == 0 {
+		t.Errorf("dir ledger carries no wire traffic: %+v", ds)
+	}
+}
+
+// TestGatewayDirectoryUnreachableDegrades points -directory at a port
+// nothing listens on: the stream must complete with identical window
+// records — every window silently degraded to the centralized fallback,
+// whose records carry no dist traffic, so the oracle is a plain
+// centralized run — and the summary must account for the degradation.
+func TestGatewayDirectoryUnreachableDegrades(t *testing.T) {
+	t.Parallel()
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close() // the port now refuses
+
+	var central, wired bytes.Buffer
+	if err := run([]string{"-devices", "6", "-json"},
+		strings.NewReader(directoryFixture()), &central, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-devices", "6", "-json", "-directory", addr},
+		strings.NewReader(directoryFixture()), &wired, io.Discard); err != nil {
+		t.Fatalf("unreachable directory must degrade, not fail the stream: %v", err)
+	}
+	wantWin, _ := splitSummary(t, central.String())
+	gotWin, gotSum := splitSummary(t, wired.String())
+	if strings.Join(gotWin, "\n") != strings.Join(wantWin, "\n") {
+		t.Errorf("degraded window records diverge from the centralized oracle:\n%s\nvs\n%s",
+			strings.Join(gotWin, "\n"), strings.Join(wantWin, "\n"))
+	}
+	ds := gotSum.Summary.Dir
+	if ds == nil {
+		t.Fatal("summary lacks the dir ledger")
+	}
+	if ds.Windows == 0 || ds.Degraded != ds.Windows || ds.Networked != 0 {
+		t.Errorf("dir ledger = %+v, want every abnormal window degraded", ds)
+	}
+	if ds.Failures == 0 {
+		t.Errorf("dir ledger = %+v, want recorded request failures", ds)
+	}
+}

@@ -6,10 +6,12 @@ import (
 	"io"
 	"math"
 	"os"
+	"reflect"
 	"strconv"
 	"strings"
 	"testing"
 
+	"anomalia"
 	"anomalia/internal/snapio"
 )
 
@@ -201,10 +203,28 @@ func TestGatewayDocSync(t *testing.T) {
 	for _, flagName := range []string{
 		"-devices", "-services", "-r", "-tau", "-detector", "-in",
 		"-format", "-convert", "-workers", "-json", "-distributed",
-		"-strict", "-hold", "-readmit", "-maxbad",
+		"-strict", "-hold", "-readmit", "-maxbad", "-directory",
 	} {
 		if !strings.Contains(header, flagName) {
 			t.Errorf("usage comment omits flag %s", flagName)
+		}
+	}
+	// The -json summary record's fields are API: every json tag of the
+	// health and dir payloads must be spelled out in the header, so a
+	// counter added to either surface cannot ship undocumented.
+	for _, typ := range []reflect.Type{
+		reflect.TypeOf(anomalia.HealthStats{}),
+		reflect.TypeOf(anomalia.DirStats{}),
+	} {
+		for i := 0; i < typ.NumField(); i++ {
+			tag, _, _ := strings.Cut(typ.Field(i).Tag.Get("json"), ",")
+			if tag == "" || tag == "-" {
+				t.Errorf("%s.%s has no json tag", typ.Name(), typ.Field(i).Name)
+				continue
+			}
+			if !strings.Contains(header, tag) {
+				t.Errorf("usage comment omits summary field %q (%s.%s)", tag, typ.Name(), typ.Field(i).Name)
+			}
 		}
 	}
 }

@@ -11,7 +11,7 @@
 //	                 [-detector threshold|ewma|cusum|holtwinters|kalman|shewhart]
 //	                 [-in snapshots.csv] [-format csv|bin] [-workers 4]
 //	                 [-strict] [-hold 2] [-readmit 2] [-maxbad 16]
-//	                 [-json] [-distributed]
+//	                 [-json] [-distributed] [-directory host:port,host:port]
 //	anomalia-gateway -devices 48 -services 2 -in snaps.csv -convert snaps.bin
 //
 // With -in omitted, snapshots are read from standard input.
@@ -61,6 +61,24 @@
 // generated. Degraded mode composes with it: devices quarantined out
 // of a window leave the directory's index with the same membership
 // churn any abnormal-set change causes.
+//
+// -directory takes a comma-separated list of anomalia-directory shard
+// addresses and moves the directory service behind the wire (it
+// implies -distributed): each abnormal window is decided by the shard
+// fleet, with per-request deadlines, bounded retries with jittered
+// backoff, and a per-shard circuit breaker; a window the fleet cannot
+// serve silently degrades to centralized characterization with
+// identical verdicts, so a dead shard never kills the stream.
+//
+// At end of stream, -json emits one final summary record after the
+// window records: {"summary":{"snapshots":..., "health":{...},
+// "dir":{...}}}. health carries the degraded-ingestion counters (live,
+// stale, quarantined, quarantines, readmissions, held_ticks,
+// dropped_reports, faulty_ticks); dir appears only with -directory and
+// carries the networked-window ledger and wire counters (windows,
+// networked, degraded, retries, failures, breaker_opens, rejoins,
+// bytes_sent, bytes_received, round_trips). Without -json the same
+// numbers go to standard error as prose.
 package main
 
 import (
@@ -427,8 +445,9 @@ func run(args []string, stdin io.Reader, out, errOut io.Writer) error {
 		holdTicks   = fs.Int("hold", defaultHealth.HoldTicks, "degraded mode: ticks a faulty device's last value is held before quarantine")
 		readmit     = fs.Int("readmit", defaultHealth.ReadmitTicks, "degraded mode: consecutive clean reports that re-admit a quarantined device")
 		maxBad      = fs.Int("maxbad", 16, "degraded mode: terminate after this many consecutive fully-degraded snapshots (0 disables)")
-		asJSON      = fs.Bool("json", false, "emit one JSON object per anomalous window")
+		asJSON      = fs.Bool("json", false, "emit one JSON object per anomalous window, then a final summary record")
 		distMode    = fs.Bool("distributed", false, "decide via the sharded directory service (4r views) instead of the in-process characterizer")
+		directory   = fs.String("directory", "", "comma-separated anomalia-directory shard addresses: decide windows over the wire (implies -distributed), degrading to centralized per window when the fleet is unreachable")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -473,14 +492,20 @@ func run(args []string, stdin io.Reader, out, errOut io.Writer) error {
 		return fmt.Errorf("unknown format %q (csv or bin)", *format)
 	}
 
-	mon, err := anomalia.NewMonitor(*devices, *services,
+	monOpts := []anomalia.Option{
 		anomalia.WithRadius(*radius),
 		anomalia.WithTau(*tau),
 		anomalia.WithDetectorFactory(factory),
 		anomalia.WithDistributed(*distMode),
 		anomalia.WithIngestWorkers(*workers),
 		anomalia.WithHealthPolicy(anomalia.HealthPolicy{HoldTicks: *holdTicks, ReadmitTicks: *readmit}),
-	)
+	}
+	if *directory != "" {
+		monOpts = append(monOpts, anomalia.WithDirectory(anomalia.DirectoryConfig{
+			Addrs: strings.Split(*directory, ","),
+		}))
+	}
+	mon, err := anomalia.NewMonitor(*devices, *services, monOpts...)
 	if err != nil {
 		return err
 	}
@@ -544,7 +569,11 @@ func run(args []string, stdin io.Reader, out, errOut io.Writer) error {
 		}
 		row++
 	}
-	if !*asJSON {
+	if *asJSON {
+		if err := emitSummary(out, row, mon, *directory != ""); err != nil {
+			return err
+		}
+	} else {
 		fmt.Fprintf(out, "processed %d snapshots\n", row)
 	}
 	if degradedTicks > 0 {
@@ -552,7 +581,40 @@ func run(args []string, stdin io.Reader, out, errOut io.Writer) error {
 		fmt.Fprintf(errOut, "degraded stream: %d fault(s) across %d snapshot(s); health: %d live, %d stale, %d quarantined; %d quarantine(s), %d readmission(s), %d held tick(s)\n",
 			faultTotal, degradedTicks, hs.Live, hs.Stale, hs.Quarantined, hs.Quarantines, hs.Readmissions, hs.HeldTicks)
 	}
+	if *directory != "" {
+		ds := mon.DirStats()
+		fmt.Fprintf(errOut, "networked directory: %d abnormal window(s): %d over the wire, %d degraded to centralized; %d retry(ies), %d failure(s), %d breaker open(s), %d rejoin(s); %d B sent, %d B received over %d round-trip(s)\n",
+			ds.Windows, ds.Networked, ds.Degraded, ds.Retries, ds.Failures, ds.BreakerOpens, ds.Rejoins, ds.BytesSent, ds.BytesReceived, ds.RoundTrips)
+	}
 	return nil
+}
+
+// runSummary is the end-of-run record a -json stream closes with: the
+// tick count, the health split and lifetime degraded-ingestion
+// counters, and — when -directory routed windows over the wire — the
+// networked directory ledger.
+type runSummary struct {
+	Snapshots int                  `json:"snapshots"`
+	Health    anomalia.HealthStats `json:"health"`
+	Dir       *anomalia.DirStats   `json:"dir,omitempty"`
+}
+
+// summaryRecord wraps the summary so the stream's final line is
+// distinguishable from window records by its top-level key.
+type summaryRecord struct {
+	Summary runSummary `json:"summary"`
+}
+
+func emitSummary(out io.Writer, snapshots int, mon *anomalia.Monitor, networked bool) error {
+	rec := summaryRecord{Summary: runSummary{
+		Snapshots: snapshots,
+		Health:    mon.HealthStats(),
+	}}
+	if networked {
+		ds := mon.DirStats()
+		rec.Summary.Dir = &ds
+	}
+	return json.NewEncoder(out).Encode(rec)
 }
 
 // windowRecord is the JSON line emitted per anomalous window.

@@ -65,6 +65,52 @@
 // devices push to the service, which keeps its cost proportional to
 // the churn, not the fleet.
 //
+// # Networked deployment
+//
+// WithDirectory moves the directory service out of the Monitor's
+// process: cmd/anomalia-directory hosts the shards behind a
+// length-prefixed binary wire protocol (internal/dirnet — a uint32
+// frame length, a message byte, and sparse trajectory bodies carrying
+// only the abnormal rows, bit-exact), and the Monitor decides each
+// abnormal window through a thin client. The client syncs a shard by
+// shipping the window pair and abnormal set, then advances it window
+// to window with the per-device moved stream as the incremental wire
+// format, partitioning each window's decisions contiguously across
+// whichever shards are in sync — a shard that falls out of sync (or
+// crashes and comes back empty) is rebuilt from the full window, so
+// shard failover is a re-sync, not an error.
+//
+// Every request carries a deadline (DirectoryConfig.RequestTimeout);
+// a transport failure is retried up to MaxRetries times with
+// exponential backoff and full jitter (BackoffBase/BackoffCap,
+// deterministic under Seed), and BreakerFails consecutive failures
+// open a per-shard circuit breaker that stops the client hammering a
+// dead shard — after BreakerCooldown abnormal windows the breaker
+// half-opens, one probe either rejoins the shard or re-opens the
+// breaker. Server-side application errors (a malformed request, a
+// characterization failure) are returned as errors, never retried and
+// never charged to the breaker: retrying cannot fix them and they say
+// nothing about shard health.
+//
+// The degradation contract is the paper's own oracle: a window the
+// wire cannot serve within its deadline budget falls back to
+// centralized characterization in-process, so Observe never errors on
+// shard unavailability and the verdicts are identical either way —
+// only Outcome.Dist (present iff the window was decided by the
+// directory) and the Monitor.DirStats ledger (windows networked vs
+// degraded, retries, breaker opens, shard rejoins, bytes and
+// round-trips on the wire) tell the paths apart. A 220-tick soak
+// drives the full stack through seeded wire weather — latency,
+// dropped windows, shard crashes that lose directory state,
+// partitions that keep it, and a full-fleet blackout — from
+// internal/netsim's wire-fault injector, pinning every networked
+// window byte-identical to the in-process distributed outcome and
+// every degraded window byte-identical to the centralized one, under
+// the race detector. cmd/anomalia-gateway's -directory flag runs the
+// same client on live streams, and the DistCost study reports the
+// measured wire bytes, round-trips and retries per abnormal window
+// next to the paper's billed message economy.
+//
 // # Ingestion
 //
 // The paper's detection layer (Section III-A) is a per-device local
@@ -268,9 +314,12 @@
 // 1%-churn incremental directory advance, on allocation regressions in
 // the quiet n = 1M streaming tick and its idle-health ObservePartial
 // twin (whose latency is additionally gated against the plain quiet
-// tick), on the end-to-end/bare latency ratio of the n = 1M mass-event
-// tick drifting past its envelope, and on latency or allocation
-// regressions in the m = 50k all-abnormal fleet characterization. A
-// separate CI step repeats the seeded fault-injection soak under the
-// race detector.
+// tick), on the quiet tick of a directory-configured monitor adding
+// more than one allocation over the plain quiet tick (the
+// breaker-closed networked client must be free when nothing is
+// abnormal), on the end-to-end/bare latency ratio of the n = 1M
+// mass-event tick drifting past its envelope, and on latency or
+// allocation regressions in the m = 50k all-abnormal fleet
+// characterization. Separate CI steps repeat the seeded
+// fault-injection and wire-fault soaks under the race detector.
 package anomalia

@@ -1,0 +1,626 @@
+package dirnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"anomalia/internal/core"
+	"anomalia/internal/dist"
+	"anomalia/internal/motion"
+	"anomalia/internal/space"
+	"anomalia/internal/stats"
+)
+
+// pipeNet is an in-process transport: one Server per address, dialed
+// over net.Pipe, with per-address fault switches.
+type pipeNet struct {
+	mu      sync.Mutex
+	servers map[string]*Server
+	refuse  map[string]bool
+	dials   map[string]int
+	conns   map[string][]net.Conn
+}
+
+func newPipeNet(addrs ...string) *pipeNet {
+	p := &pipeNet{
+		servers: make(map[string]*Server),
+		refuse:  make(map[string]bool),
+		dials:   make(map[string]int),
+		conns:   make(map[string][]net.Conn),
+	}
+	for _, a := range addrs {
+		p.servers[a] = NewServer()
+	}
+	return p
+}
+
+func (p *pipeNet) dial(addr string) (net.Conn, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.dials[addr]++
+	if p.refuse[addr] {
+		return nil, errors.New("pipenet: connection refused")
+	}
+	srv, ok := p.servers[addr]
+	if !ok {
+		return nil, errors.New("pipenet: no such host")
+	}
+	c1, c2 := net.Pipe()
+	go srv.HandleConn(c2)
+	p.conns[addr] = append(p.conns[addr], c1)
+	return c1, nil
+}
+
+// setRefuse toggles dial refusal and, when turning the link off, also
+// severs the live connections — a partition cuts established flows too.
+func (p *pipeNet) setRefuse(addr string, v bool) {
+	p.mu.Lock()
+	p.refuse[addr] = v
+	if v {
+		for _, c := range p.conns[addr] {
+			c.Close()
+		}
+		p.conns[addr] = nil
+	}
+	p.mu.Unlock()
+}
+
+// crash replaces the server behind addr with a fresh empty one,
+// dropping its connections — state lost, like a process restart.
+func (p *pipeNet) crash(addr string) {
+	p.mu.Lock()
+	old := p.servers[addr]
+	p.servers[addr] = NewServer()
+	p.mu.Unlock()
+	old.Close()
+}
+
+func (p *pipeNet) dialCount(addr string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dials[addr]
+}
+
+func testClient(t *testing.T, pn *pipeNet, addrs []string, mut func(*Config)) *Client {
+	t.Helper()
+	cfg := Config{
+		Addrs:          addrs,
+		Dial:           pn.dial,
+		RequestTimeout: 2 * time.Second,
+		Sleep:          func(time.Duration) {},
+		Seed:           1,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	c, err := NewClient(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// windows generates a deterministic sequence of observation windows:
+// full-population pairs with an evolving abnormal set.
+type windowGen struct {
+	n, d int
+	rng  *stats.RNG
+	cur  *space.State
+}
+
+func newWindowGen(t *testing.T, n, d int, seed int64) *windowGen {
+	t.Helper()
+	s, err := space.NewState(n, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &windowGen{n: n, d: d, rng: stats.NewRNG(seed), cur: s}
+	s.Uniform(g.rng.Float64)
+	return g
+}
+
+// next evolves the population and returns the window pair with its
+// sorted abnormal set: a contiguous cluster plus scattered singletons.
+func (g *windowGen) next() (*motion.Pair, []int) {
+	prev := g.cur
+	cur := prev.Clone()
+	// Drift a random subset of devices.
+	for i := 0; i < g.n/4; i++ {
+		j := int(g.rng.Float64() * float64(g.n))
+		p := cur.At(j)
+		row := make([]float64, g.d)
+		for k := range row {
+			row[k] = p[k] + (g.rng.Float64()-0.5)*0.08
+		}
+		cur.Set(j, row)
+	}
+	start := int(g.rng.Float64() * float64(g.n-20))
+	seen := make(map[int]bool, 16)
+	for j := start; j < start+12; j++ {
+		seen[j] = true
+	}
+	for i := 0; i < 8; i++ {
+		seen[int(g.rng.Float64()*float64(g.n))] = true
+	}
+	abnormal := make([]int, 0, len(seen))
+	for j := range seen {
+		abnormal = append(abnormal, j)
+	}
+	sort.Ints(abnormal)
+	g.cur = cur
+	pair, err := motion.NewPair(prev, cur)
+	if err != nil {
+		panic(err)
+	}
+	return pair, abnormal
+}
+
+// oracle mirrors the server fleet in-process: one persistent directory
+// advanced with the same windows.
+type oracle struct {
+	dir *dist.Directory
+	r   float64
+}
+
+func (o *oracle) decide(t *testing.T, pair *motion.Pair, abnormal []int, cfg core.Config) ([]dist.Decision, dist.Stats) {
+	t.Helper()
+	var err error
+	if o.dir == nil {
+		o.dir, err = dist.NewDirectory(pair, abnormal, o.r)
+	} else {
+		_, err = o.dir.Advance(pair, abnormal, nil)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	decs, total, err := dist.DecideAll(o.dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return decs, total
+}
+
+// sameDecisions compares everything the wire carries: J/L (core's
+// diagnostic neighbourhood split) deliberately stay server-side, so
+// they are masked out of the in-process reference.
+func sameDecisions(t *testing.T, got, want []dist.Decision, wantTotal, gotTotal dist.Stats) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%d decisions, want %d", len(got), len(want))
+	}
+	for i := range want {
+		w := want[i]
+		w.Result.J, w.Result.L = nil, nil
+		if !reflect.DeepEqual(got[i], w) {
+			t.Fatalf("decision %d:\n got %+v\nwant %+v", i, got[i], w)
+		}
+	}
+	if gotTotal != wantTotal {
+		t.Fatalf("total stats %+v, want %+v", gotTotal, wantTotal)
+	}
+}
+
+var testCfg = core.Config{R: 0.05, Tau: 3, Exact: true}
+
+func TestDecideWindowParityMultiShard(t *testing.T) {
+	addrs := []string{"s0", "s1", "s2"}
+	pn := newPipeNet(addrs...)
+	c := testClient(t, pn, addrs, nil)
+	g := newWindowGen(t, 300, 2, 11)
+	o := &oracle{r: testCfg.R}
+	for w := 0; w < 6; w++ {
+		pair, abnormal := g.next()
+		got, gotTotal, err := c.DecideWindow(pair, abnormal, testCfg)
+		if err != nil {
+			t.Fatalf("window %d: %v", w, err)
+		}
+		want, wantTotal := o.decide(t, pair, abnormal, testCfg)
+		sameDecisions(t, got, want, wantTotal, gotTotal)
+	}
+	st := c.Stats()
+	if st.Retries != 0 || st.Failures != 0 || st.BreakerOpens != 0 {
+		t.Fatalf("clean run counted faults: %+v", st)
+	}
+	// 3 syncs + up to 3 decide slices per window; every exchange counted.
+	if st.RoundTrips == 0 || st.BytesSent == 0 || st.BytesReceived == 0 {
+		t.Fatalf("wire counters empty: %+v", st)
+	}
+	// Windows 2.. advance instead of init: servers must hold the last seq.
+	for _, a := range addrs {
+		if pn.servers[a].Seq() != 6 {
+			t.Fatalf("server %s at seq %d, want 6", a, pn.servers[a].Seq())
+		}
+	}
+}
+
+func TestServerCrashResyncsViaInit(t *testing.T) {
+	addrs := []string{"s0", "s1"}
+	pn := newPipeNet(addrs...)
+	c := testClient(t, pn, addrs, nil)
+	g := newWindowGen(t, 200, 2, 5)
+	o := &oracle{r: testCfg.R}
+	step := func(w int) {
+		pair, abnormal := g.next()
+		got, gotTotal, err := c.DecideWindow(pair, abnormal, testCfg)
+		if err != nil {
+			t.Fatalf("window %d: %v", w, err)
+		}
+		want, wantTotal := o.decide(t, pair, abnormal, testCfg)
+		sameDecisions(t, got, want, wantTotal, gotTotal)
+	}
+	step(0)
+	step(1)
+	// Crash s1: state lost, connections dropped. The next window's
+	// advance hits a fresh server, which answers statusNeedInit; the
+	// client re-seeds it with msgInit inside the same window — verdicts
+	// never degrade.
+	pn.crash("s1")
+	step(2)
+	if got := pn.servers["s1"].Seq(); got != 3 {
+		t.Fatalf("restarted server at seq %d, want 3", got)
+	}
+	step(3)
+}
+
+func TestBreakerOpensFailsOverAndRejoins(t *testing.T) {
+	addrs := []string{"s0", "s1"}
+	pn := newPipeNet(addrs...)
+	c := testClient(t, pn, addrs, func(cfg *Config) {
+		cfg.MaxRetries = 1
+		cfg.BreakerFails = 2
+		cfg.BreakerCooldown = 2
+	})
+	g := newWindowGen(t, 200, 2, 9)
+	o := &oracle{r: testCfg.R}
+	decide := func(w int) ([]dist.Decision, dist.Stats, error) {
+		pair, abnormal := g.next()
+		got, gotTotal, err := c.DecideWindow(pair, abnormal, testCfg)
+		want, wantTotal := o.decide(t, pair, abnormal, testCfg)
+		if err == nil {
+			sameDecisions(t, got, want, wantTotal, gotTotal)
+		}
+		return got, gotTotal, err
+	}
+	if _, _, err := decide(0); err != nil {
+		t.Fatal(err)
+	}
+
+	pn.setRefuse("s1", true)
+	// Two windows fail s1's requests past the retry budget and degrade;
+	// the second opens the breaker (BreakerFails=2).
+	for w := 1; w <= 2; w++ {
+		if _, _, err := decide(w); !errors.Is(err, ErrUnavailable) {
+			t.Fatalf("window %d: err = %v, want ErrUnavailable", w, err)
+		}
+	}
+	st := c.Stats()
+	if st.BreakerOpens != 1 {
+		t.Fatalf("BreakerOpens = %d, want 1 (%+v)", st.BreakerOpens, st)
+	}
+	if st.Retries == 0 || st.Failures == 0 {
+		t.Fatalf("retry/failure counters empty: %+v", st)
+	}
+
+	// Breaker open: the next window must succeed on s0 alone — failover
+	// — without dialing s1 at all.
+	dials := pn.dialCount("s1")
+	if _, _, err := decide(3); err != nil {
+		t.Fatalf("failover window: %v", err)
+	}
+	if pn.dialCount("s1") != dials {
+		t.Fatal("open breaker still dialed the dead shard")
+	}
+
+	// Cooldown expires → half-open probe; still refused → re-open
+	// without degrading the window.
+	if _, _, err := decide(4); err != nil {
+		t.Fatalf("half-open-probe window: %v", err)
+	}
+	if pn.dialCount("s1") == dials {
+		t.Fatal("half-open breaker never probed")
+	}
+	if st := c.Stats(); st.Rejoins != 0 {
+		t.Fatalf("Rejoins = %d before heal", st.Rejoins)
+	}
+
+	// Heal; after the cooldown the probe succeeds and the shard rejoins.
+	pn.setRefuse("s1", false)
+	for w := 5; w <= 7; w++ {
+		if _, _, err := decide(w); err != nil {
+			t.Fatalf("window %d after heal: %v", w, err)
+		}
+	}
+	if st := c.Stats(); st.Rejoins != 1 {
+		t.Fatalf("Rejoins = %d, want 1 (%+v)", st.Rejoins, st)
+	}
+}
+
+func TestAllShardsDownDegradesWithoutWedging(t *testing.T) {
+	addrs := []string{"s0"}
+	pn := newPipeNet(addrs...)
+	c := testClient(t, pn, addrs, func(cfg *Config) {
+		cfg.MaxRetries = 1
+		cfg.BreakerFails = 1
+		cfg.BreakerCooldown = 1
+	})
+	g := newWindowGen(t, 100, 2, 3)
+	pn.setRefuse("s0", true)
+	for w := 0; w < 4; w++ {
+		pair, abnormal := g.next()
+		if _, _, err := c.DecideWindow(pair, abnormal, testCfg); !errors.Is(err, ErrUnavailable) {
+			t.Fatalf("window %d: err = %v, want ErrUnavailable", w, err)
+		}
+	}
+	// Recovery needs no operator action: heal, wait out the cooldown,
+	// and the probe re-seeds the shard.
+	pn.setRefuse("s0", false)
+	o := &oracle{r: testCfg.R}
+	for w := 0; w < 3; w++ {
+		pair, abnormal := g.next()
+		got, gotTotal, err := c.DecideWindow(pair, abnormal, testCfg)
+		want, wantTotal := o.decide(t, pair, abnormal, testCfg)
+		if err != nil {
+			if w == 0 {
+				continue // probe window may still be inside cooldown
+			}
+			t.Fatalf("window %d after heal: %v", w, err)
+		}
+		sameDecisions(t, got, want, wantTotal, gotTotal)
+		o.dir = nil // oracle tracked only decided windows; rebuild next
+	}
+}
+
+func TestServerErrorIsNotRetriedAndKeepsBreakerClosed(t *testing.T) {
+	addrs := []string{"s0"}
+	pn := newPipeNet(addrs...)
+	c := testClient(t, pn, addrs, func(cfg *Config) { cfg.BreakerFails = 1 })
+	g := newWindowGen(t, 100, 2, 7)
+	pair, abnormal := g.next()
+	// Out-of-population id: rejected client-side before any wire work.
+	bad := append(append([]int(nil), abnormal...), 100+5)
+	if _, _, err := c.DecideWindow(pair, bad, testCfg); !errors.Is(err, ErrConfig) {
+		t.Fatalf("out-of-range id: err = %v, want ErrConfig", err)
+	}
+	// Invalid tau passes the client and hits the server's decide-path
+	// validation: a deterministic statusErr — no retry, no breaker
+	// charge, not a degradation signal.
+	badCfg := testCfg
+	badCfg.Tau = 0
+	_, _, err := c.DecideWindow(pair, abnormal, badCfg)
+	if err == nil || errors.Is(err, ErrUnavailable) {
+		t.Fatalf("err = %v, want a server application error", err)
+	}
+	st := c.Stats()
+	if st.Retries != 0 || st.Failures != 0 || st.BreakerOpens != 0 {
+		t.Fatalf("app error charged transport counters: %+v", st)
+	}
+	// The same client recovers on the next clean window.
+	pair, abnormal = g.next()
+	got, gotTotal, err := c.DecideWindow(pair, abnormal, testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := &oracle{r: testCfg.R}
+	want, wantTotal := o.decide(t, pair, abnormal, testCfg)
+	sameDecisions(t, got, want, wantTotal, gotTotal)
+}
+
+func TestSingleDeviceOpsParity(t *testing.T) {
+	addrs := []string{"s0"}
+	pn := newPipeNet(addrs...)
+	c := testClient(t, pn, addrs, nil)
+	g := newWindowGen(t, 150, 2, 13)
+	pair, abnormal := g.next()
+	if _, _, err := c.DecideWindow(pair, abnormal, testCfg); err != nil {
+		t.Fatal(err)
+	}
+	dir, err := dist.NewDirectory(pair, abnormal, testCfg.R)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range abnormal[:4] {
+		view, vst, err := c.View(j)
+		if err != nil {
+			t.Fatalf("View(%d): %v", j, err)
+		}
+		wantView, wantSt, err := dir.View(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(view, wantView) || vst != wantSt {
+			t.Fatalf("View(%d) = %v/%+v, want %v/%+v", j, view, vst, wantView, wantSt)
+		}
+		dec, err := c.Decide(j, testCfg)
+		if err != nil {
+			t.Fatalf("Decide(%d): %v", j, err)
+		}
+		wantRes, wantDSt, err := dist.Decide(dir, j, testCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantRes.J, wantRes.L = nil, nil
+		if !reflect.DeepEqual(dec, dist.Decision{Result: wantRes, Stats: wantDSt}) {
+			t.Fatalf("Decide(%d) mismatch", j)
+		}
+	}
+	// Unknown device surfaces the server's application error.
+	if _, _, err := c.View(0); err == nil {
+		if sliceContains(abnormal, 0) {
+			t.Skip("0 happened to be abnormal")
+		}
+		t.Fatal("View(non-abnormal) succeeded")
+	}
+}
+
+func sliceContains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func TestClientResetForcesReinit(t *testing.T) {
+	addrs := []string{"s0"}
+	pn := newPipeNet(addrs...)
+	c := testClient(t, pn, addrs, nil)
+	g := newWindowGen(t, 100, 2, 21)
+	pair, abnormal := g.next()
+	if _, _, err := c.DecideWindow(pair, abnormal, testCfg); err != nil {
+		t.Fatal(err)
+	}
+	c.Reset()
+	pair, abnormal = g.next()
+	got, gotTotal, err := c.DecideWindow(pair, abnormal, testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := &oracle{r: testCfg.R}
+	want, wantTotal := o.decide(t, pair, abnormal, testCfg)
+	sameDecisions(t, got, want, wantTotal, gotTotal)
+}
+
+func TestWindowCodecRoundTrip(t *testing.T) {
+	w := windowMsg{
+		seq: 42, prevSeq: 41, r: 0.07, n: 1000, d: 3,
+		ids:   []int{3, 17, 999},
+		prev:  []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9},
+		cur:   []float64{0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1},
+		moved: []int{17},
+	}
+	b := appendWindow(nil, msgAdvance, w)
+	c := &cursor{b: b, off: 1}
+	got, err := decodeWindow(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, w) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, w)
+	}
+	// Truncations at every prefix must error, never panic or hang.
+	for cut := 1; cut < len(b); cut++ {
+		tc := &cursor{b: b[:cut], off: 1}
+		if _, err := decodeWindow(tc); err == nil {
+			t.Fatalf("truncation at %d decoded cleanly", cut)
+		}
+	}
+}
+
+func TestDecisionCodecRoundTrip(t *testing.T) {
+	dec := dist.Decision{
+		Result: core.Result{
+			Device: 17, Class: core.ClassMassive, Rule: core.RuleTheorem6,
+			Dense: [][]int{{3, 17, 21}, {17, 40}},
+			Cost:  core.Cost{MaximalMotions: 4, DenseMotions: 2, NeighborsScanned: 7, CollectionsTested: 123},
+		},
+		Stats: dist.Stats{Messages: 5, Trajectories: 9, ViewSize: 10},
+	}
+	b := appendDecision(nil, dec)
+	c := &cursor{b: b}
+	got := decodeDecision(c)
+	if err := c.err(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, dec) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, dec)
+	}
+	// Empty dense set decodes to nil, matching the in-process zero value.
+	dec.Result.Dense = nil
+	b = appendDecision(b[:0], dec)
+	got = decodeDecision(&cursor{b: b})
+	if got.Result.Dense != nil {
+		t.Fatalf("empty dense decoded non-nil: %+v", got.Result.Dense)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewClient(Config{}); !errors.Is(err, ErrConfig) {
+		t.Fatalf("no addrs: err = %v", err)
+	}
+	if _, err := NewClient(Config{Addrs: []string{"x"}, MaxRetries: -1}); !errors.Is(err, ErrConfig) {
+		t.Fatalf("negative retries: err = %v", err)
+	}
+	if _, err := NewClient(Config{Addrs: []string{"x"}, BreakerFails: -1}); !errors.Is(err, ErrConfig) {
+		t.Fatalf("negative breaker: err = %v", err)
+	}
+}
+
+func TestUnsortedAbnormalRejected(t *testing.T) {
+	addrs := []string{"s0"}
+	pn := newPipeNet(addrs...)
+	c := testClient(t, pn, addrs, nil)
+	g := newWindowGen(t, 100, 2, 2)
+	pair, _ := g.next()
+	if _, _, err := c.DecideWindow(pair, []int{5, 3}, testCfg); !errors.Is(err, ErrConfig) {
+		t.Fatalf("unsorted abnormal: err = %v, want ErrConfig", err)
+	}
+}
+
+// TestServeOverTCP exercises the real listener path end to end.
+func TestServeOverTCP(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer()
+	go srv.Serve(l)
+	defer l.Close()
+	defer srv.Close()
+
+	c, err := NewClient(Config{Addrs: []string{l.Addr().String()}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	g := newWindowGen(t, 120, 2, 17)
+	o := &oracle{r: testCfg.R}
+	for w := 0; w < 3; w++ {
+		pair, abnormal := g.next()
+		got, gotTotal, err := c.DecideWindow(pair, abnormal, testCfg)
+		if err != nil {
+			t.Fatalf("window %d: %v", w, err)
+		}
+		want, wantTotal := o.decide(t, pair, abnormal, testCfg)
+		sameDecisions(t, got, want, wantTotal, gotTotal)
+	}
+}
+
+// TestMovedStreamDrivesAdvance pins that steady-state windows go over
+// the wire as msgAdvance with a moved list, not full re-inits: the
+// servers' directories survive (their seq trails the client's without
+// resets) and stay verdict-identical.
+func TestMovedStreamDrivesAdvance(t *testing.T) {
+	addrs := []string{"s0"}
+	pn := newPipeNet(addrs...)
+	c := testClient(t, pn, addrs, nil)
+	g := newWindowGen(t, 250, 2, 29)
+	o := &oracle{r: testCfg.R}
+	var lastBytes int64
+	for w := 0; w < 5; w++ {
+		pair, abnormal := g.next()
+		got, gotTotal, err := c.DecideWindow(pair, abnormal, testCfg)
+		if err != nil {
+			t.Fatalf("window %d: %v", w, err)
+		}
+		want, wantTotal := o.decide(t, pair, abnormal, testCfg)
+		sameDecisions(t, got, want, wantTotal, gotTotal)
+		lastBytes = c.Stats().BytesSent
+	}
+	if lastBytes == 0 {
+		t.Fatal("no bytes sent")
+	}
+	if dials := pn.dialCount("s0"); dials != 1 {
+		t.Fatalf("steady stream redialed %d times, want 1 persistent conn", dials)
+	}
+	if fmt.Sprint(pn.servers["s0"].Seq()) != "5" {
+		t.Fatalf("server seq %d, want 5", pn.servers["s0"].Seq())
+	}
+}

@@ -2,9 +2,11 @@ package experiments
 
 import (
 	"fmt"
+	"net"
 	"time"
 
 	"anomalia/internal/core"
+	"anomalia/internal/dirnet"
 	"anomalia/internal/dist"
 	"anomalia/internal/scenario"
 	"anomalia/internal/stats"
@@ -40,8 +42,12 @@ func DefaultDistCost() DistCostConfig {
 }
 
 // DistCostDeterministicCols is the number of leading columns of the
-// DistCost table that are a pure function of the configuration — the
-// trailing speedup column measures wall time and varies run to run.
+// DistCost table that are a pure function of the configuration and
+// pinned by the determinism test: the billed message economy. The
+// columns after them are measured — the wire columns count actual
+// protocol bytes and exchanges over an in-process transport, and the
+// trailing speedup column measures wall time — so they are reported,
+// not pinned.
 const DistCostDeterministicCols = 6
 
 // DistCost measures the per-device communication cost of the distributed
@@ -56,11 +62,18 @@ const DistCostDeterministicCols = 6
 // directory's parity guarantee, and asserted here — and "rebuild/adv"
 // the measured wall-time ratio of rebuilding versus advancing the
 // index, the quantity the cross-window persistence buys.
+//
+// Next to the billed economy sit the measured wire columns: every
+// window is additionally decided over the dirnet protocol through an
+// in-process transport, and "wire B/win" (frame bytes both directions),
+// "RT/win" (request/response exchanges) and "retries" report what the
+// networked deployment actually puts on the wire per abnormal window —
+// retries must read 0 here, the transport is faultless.
 func DistCost(cfg DistCostConfig) (*Table, error) {
 	t := &Table{
 		Title: fmt.Sprintf("Distributed deployment cost per deciding device (n=%d, G=%g)",
 			cfg.N, cfg.G),
-		Header: []string{"A", "mean |A_k|", "messages", "trajectories", "view size", "msgΔ incr", "rebuild/adv"},
+		Header: []string{"A", "mean |A_k|", "messages", "trajectories", "view size", "msgΔ incr", "wire B/win", "RT/win", "retries", "rebuild/adv"},
 	}
 	coreCfg := core.Config{R: cfg.R, Tau: cfg.Tau, Exact: true}
 	for _, a := range cfg.As {
@@ -77,6 +90,22 @@ func DistCost(cfg DistCostConfig) (*Table, error) {
 		var advDir *dist.Directory
 		msgDelta := 0
 		var rebuildTime, advanceTime time.Duration
+		// The wire fixture: one shard server behind an in-process pipe,
+		// deciding the same windows over the dirnet protocol so the table
+		// can report measured bytes and round-trips next to the bills.
+		wireSrv := dirnet.NewServer()
+		wireClient, err := dirnet.NewClient(dirnet.Config{
+			Addrs: []string{"wire-0"},
+			Dial: func(string) (net.Conn, error) {
+				c1, c2 := net.Pipe()
+				go wireSrv.HandleConn(c2)
+				return c1, nil
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		wireWindows := 0
 		for s := 0; s < cfg.Steps; s++ {
 			step, err := gen.Step()
 			if err != nil {
@@ -102,6 +131,11 @@ func DistCost(cfg DistCostConfig) (*Table, error) {
 			}
 			advanceTime += time.Since(t0)
 
+			if _, _, err := wireClient.DecideWindow(step.Pair, step.Abnormal, coreCfg); err != nil {
+				return nil, fmt.Errorf("A=%d window %d over the wire: %w", a, s, err)
+			}
+			wireWindows++
+
 			abnormal.Add(float64(len(step.Abnormal)))
 			for _, j := range step.Abnormal {
 				_, st, err := dist.Decide(dir, j, coreCfg)
@@ -121,9 +155,17 @@ func DistCost(cfg DistCostConfig) (*Table, error) {
 		if msgDelta != 0 {
 			return nil, fmt.Errorf("A=%d: incremental directory billed %+d messages vs rebuild — parity broken", a, msgDelta)
 		}
+		wireStats := wireClient.Stats()
+		wireClient.Close()
+		wireSrv.Close()
 		ratio := 0.0
 		if advanceTime > 0 {
 			ratio = float64(rebuildTime) / float64(advanceTime)
+		}
+		wireBytes, wireRTs := 0.0, 0.0
+		if wireWindows > 0 {
+			wireBytes = float64(wireStats.BytesSent+wireStats.BytesReceived) / float64(wireWindows)
+			wireRTs = float64(wireStats.RoundTrips) / float64(wireWindows)
 		}
 		t.AddRow(
 			fmt.Sprintf("%d", a),
@@ -132,6 +174,9 @@ func DistCost(cfg DistCostConfig) (*Table, error) {
 			f(trajs.Mean()),
 			f(views.Mean()),
 			fmt.Sprintf("%d", msgDelta),
+			f(wireBytes),
+			f(wireRTs),
+			fmt.Sprintf("%d", wireStats.Retries),
 			f(ratio),
 		)
 	}

@@ -27,8 +27,8 @@ func TestDistCostSmall(t *testing.T) {
 		t.Fatalf("%d rows for %d error loads", len(tab.Rows), len(cfg.As))
 	}
 	for _, row := range tab.Rows {
-		if len(row) != 7 {
-			t.Fatalf("row %v has %d cells, want 7", row, len(row))
+		if len(row) != 10 {
+			t.Fatalf("row %v has %d cells, want 10", row, len(row))
 		}
 		if row[5] != "0" {
 			t.Fatalf("row %v: incremental-vs-rebuild message delta %q, want 0", row, row[5])
@@ -46,6 +46,26 @@ func TestDistCostSmall(t *testing.T) {
 		}
 		if views < 1 {
 			t.Errorf("row %v: mean view size %v < 1", row, views)
+		}
+		// The measured wire columns: a decided window costs real frame
+		// bytes and at least two exchanges (sync + decide), and a
+		// faultless in-process transport must never retry.
+		wireBytes, err := strconv.ParseFloat(row[6], 64)
+		if err != nil {
+			t.Fatalf("wire bytes cell %q: %v", row[6], err)
+		}
+		wireRTs, err := strconv.ParseFloat(row[7], 64)
+		if err != nil {
+			t.Fatalf("round-trips cell %q: %v", row[7], err)
+		}
+		if wireBytes <= 0 {
+			t.Errorf("row %v: wire bytes/window %v, want > 0", row, wireBytes)
+		}
+		if wireRTs < 2 {
+			t.Errorf("row %v: wire round-trips/window %v, want >= 2", row, wireRTs)
+		}
+		if row[8] != "0" {
+			t.Errorf("row %v: %q retries over a faultless transport", row, row[8])
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"anomalia/internal/detect"
+	"anomalia/internal/dirnet"
 	"anomalia/internal/dist"
 	"anomalia/internal/health"
 	"anomalia/internal/motion"
@@ -41,6 +42,15 @@ type Monitor struct {
 	// safe against it: Advance never reads the previous window's
 	// positions, only its retained cell membership.
 	dir *dist.Directory
+	// dirClient replaces the in-process directory when WithDirectory is
+	// configured: abnormal windows are decided over the wire by a shard
+	// fleet, and a window the fleet cannot serve degrades to centralized
+	// characterization (verdicts unchanged). dirWindows / dirNetworked /
+	// dirDegraded are the lifetime window ledger behind DirStats.
+	dirClient    *dirnet.Client
+	dirWindows   int64
+	dirNetworked int64
+	dirDegraded  int64
 	// health is the per-device state machine of the degraded ingest path
 	// (ObservePartial), created on the first partial tick so Observe-only
 	// monitors pay nothing for it; cleanBuf and rowsBuf are its recycled
@@ -86,6 +96,25 @@ func NewMonitor(devices, services int, opts ...Option) (*Monitor, error) {
 		cfg:      cfg,
 		dets:     make([]*detect.Device, devices),
 		walker:   detect.NewWalker(cfg.ingestWorkers),
+	}
+	if cfg.directory != nil {
+		dc := cfg.directory
+		client, err := dirnet.NewClient(dirnet.Config{
+			Addrs:           dc.Addrs,
+			Dial:            dc.Dial,
+			DialTimeout:     dc.DialTimeout,
+			RequestTimeout:  dc.RequestTimeout,
+			MaxRetries:      dc.MaxRetries,
+			BackoffBase:     dc.BackoffBase,
+			BackoffCap:      dc.BackoffCap,
+			BreakerFails:    dc.BreakerFails,
+			BreakerCooldown: dc.BreakerCooldown,
+			Seed:            dc.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrInvalidInput, err)
+		}
+		m.dirClient = client
 	}
 	for dev := 0; dev < devices; dev++ {
 		dev := dev
@@ -374,7 +403,13 @@ func (m *Monitor) HealthStats() HealthStats {
 // window-to-window delta (the monitor cannot know which devices crossed
 // cells, so the advance rechecks every indexed id — still sort-free and
 // cheaper than the rebuild it replaces; deployments with a per-device
-// update stream feed Advance their moved list directly).
+// update stream feed Advance their moved list directly). With
+// WithDirectory the directory lives behind the wire instead: the client
+// syncs the shard fleet and merges its decision slices, and any failure
+// past the deadline/retry/breaker budget degrades this one window to
+// centralized characterization — same verdicts, one DirStats
+// degradation — so shard unavailability never surfaces as an Observe
+// error.
 func (m *Monitor) characterizeWindow(pair *motion.Pair, abnormal []int) (*Outcome, error) {
 	if !m.cfg.distributed {
 		return characterizePair(pair, abnormal, m.cfg)
@@ -382,6 +417,22 @@ func (m *Monitor) characterizeWindow(pair *motion.Pair, abnormal []int) (*Outcom
 	coreCfg, err := validateDistConfig(pair, m.cfg)
 	if err != nil {
 		return nil, err
+	}
+	if m.dirClient != nil {
+		m.dirWindows++
+		decisions, total, err := m.dirClient.DecideWindow(pair, abnormal, coreCfg)
+		if err == nil {
+			m.dirNetworked++
+			return outcomeFromDecisions(decisions, total), nil
+		}
+		// Whatever failed — unreachable shards, a mid-window crash, a
+		// deterministic server rejection — the centralized path is the
+		// oracle the networked one is pinned to, so fall back for this
+		// window; the client re-syncs shards on the next abnormal window.
+		m.dirDegraded++
+		central := m.cfg
+		central.distributed = false
+		return characterizePair(pair, abnormal, central)
 	}
 	if m.dir == nil {
 		dir, err := dist.NewDirectory(pair, abnormal, m.cfg.radius)
@@ -400,8 +451,34 @@ func (m *Monitor) characterizeWindow(pair *motion.Pair, abnormal []int) (*Outcom
 	return decideDistributed(m.dir, coreCfg)
 }
 
+// DirStats returns the networked directory's window ledger and
+// lifetime wire counters. Monitors without WithDirectory return the
+// zero value.
+func (m *Monitor) DirStats() DirStats {
+	if m.dirClient == nil {
+		return DirStats{}
+	}
+	st := m.dirClient.Stats()
+	return DirStats{
+		Windows:       m.dirWindows,
+		Networked:     m.dirNetworked,
+		Degraded:      m.dirDegraded,
+		Retries:       st.Retries,
+		Failures:      st.Failures,
+		BreakerOpens:  st.BreakerOpens,
+		Rejoins:       st.Rejoins,
+		BytesSent:     st.BytesSent,
+		BytesReceived: st.BytesReceived,
+		RoundTrips:    st.RoundTrips,
+	}
+}
+
 // Reset clears the detectors, the snapshot history, the persistent
-// directory and the per-device health state, keeping the configuration.
+// directory and the per-device health state, keeping the
+// configuration. A networked directory client drops its connections
+// and forgets shard sync and breaker state, but the lifetime DirStats
+// counters survive — the wire ledger spans resets the way a process's
+// traffic counters span reconnects.
 func (m *Monitor) Reset() {
 	for _, d := range m.dets {
 		d.Reset()
@@ -410,6 +487,9 @@ func (m *Monitor) Reset() {
 	m.spare = nil
 	m.time = 0
 	m.dir = nil
+	if m.dirClient != nil {
+		m.dirClient.Reset()
+	}
 	if m.health != nil {
 		m.health.Reset()
 	}

@@ -18,6 +18,8 @@
 #                             the n=1M quiet streaming tick, allocs/op
 #                             and the plain-tick latency ratio on its
 #                             idle-health ObservePartial twin, the
+#                             added allocs/op of its networked-directory
+#                             twin over the plain quiet tick, the
 #                             end-to-end/bare tick latency ratio, and
 #                             ns/op + allocs/op on the m=50k
 #                             all-abnormal fleet characterization
@@ -74,6 +76,18 @@
 # min-reduced across -count repetitions for the same GC reasoning as
 # the PR 6 tick gates.
 #
+# The PR 9 gate covers the networked directory client. The networked
+# quiet-tick gate fails when the steady-state million-device Observe on
+# a monitor configured with a directory client — breaker closed, shard
+# healthy behind an in-process pipe — allocates more than
+# MAX_NET_TICK_ADDED_ALLOCS allocations over the plain quiet tick
+# measured in the same run: a quiet window never reaches the decision
+# path, so the breaker-closed happy path must cost at most one
+# allocation on the tick, and the gate trips on any per-tick client
+# bookkeeping (breaker probes, stats, buffers) leaking into the
+# steady-state walk. Both sides are min-reduced across -count
+# repetitions for the same GC reasoning as the other tick gates.
+#
 # The PR 7 gates cover the component-local characterizer. The
 # all-abnormal gates fail when fleet-wide characterization of the
 # adversarial m=50k all-abnormal clustered window (every device
@@ -92,7 +106,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PR=8
+PR=9
 OUT="BENCH_${PR}.json"
 MAX_WINDOW_ALLOCS=2000
 MAX_GRAPH100K_BYTES=150000000
@@ -104,6 +118,7 @@ MAX_TICK_RATIO=2.0
 MAX_TICK_RATIO_SHORT=2.5
 MAX_PARTIAL_TICK_RATIO=1.5
 MAX_PARTIAL_TICK_RATIO_SHORT=2.0
+MAX_NET_TICK_ADDED_ALLOCS=1
 MAX_ALLABN50K_NS=2000000000
 MAX_ALLABN50K_ALLOCS=300000
 
@@ -206,6 +221,25 @@ partial_tick_gate() {
   fi
 }
 
+# net_tick_gate PLAIN_ALLOCS NET_ALLOCS LABEL — the PR 9 networked
+# quiet-tick gate: the quiet Observe tick on a directory-configured
+# monitor (breaker closed, in-process shard) must cost at most
+# MAX_NET_TICK_ADDED_ALLOCS allocations over the plain quiet tick
+# measured in the same run.
+net_tick_gate() {
+  local plain_allocs="$1" net_allocs="$2" label="$3"
+  if [ -z "$plain_allocs" ] || [ -z "$net_allocs" ]; then
+    echo "bench.sh: could not parse the quiet Observe/networked tick pair" >&2
+    exit 1
+  fi
+  local ceiling=$((plain_allocs + MAX_NET_TICK_ADDED_ALLOCS))
+  if [ "$net_allocs" -gt "$ceiling" ]; then
+    echo "bench.sh: networked quiet-tick allocation regression — directory-configured n=1M Observe at ${net_allocs} allocs/op vs plain ${plain_allocs}, ${label} gate is plain+${MAX_NET_TICK_ADDED_ALLOCS}" >&2
+    exit 1
+  fi
+  echo "bench.sh: networked quiet-tick allocation gate OK (${net_allocs} <= ${plain_allocs}+${MAX_NET_TICK_ADDED_ALLOCS} allocs/op)"
+}
+
 if [ "${1:-}" = "-short" ]; then
   out=$(go test -run='^$' -bench='BenchmarkCharacterizeWindow$' -benchmem -benchtime=20x .)
   echo "$out"
@@ -266,10 +300,11 @@ if [ "${1:-}" = "-short" ]; then
     echo "bench.sh: advance vs rebuild at n=1M/1%: ${adv} ns vs ${reb} ns ($(awk -v a="$adv" -v r="$reb" 'BEGIN{printf "%.1f", r/a}')x)"
   fi
   # Streaming-tick smoke: the quiet n=1M tick must stay allocation-free
-  # (double-buffered monitor), its idle-health ObservePartial twin must
-  # cost the same, and the full mass-event tick must stay within the
-  # latency envelope of its own characterization.
-  tout=$(go test -run='^$' -bench='BenchmarkTickIngestDetect1M$|BenchmarkTickObservePartial1M$' \
+  # (double-buffered monitor), its idle-health ObservePartial and
+  # networked-directory twins must cost the same, and the full
+  # mass-event tick must stay within the latency envelope of its own
+  # characterization.
+  tout=$(go test -run='^$' -bench='BenchmarkTickIngestDetect1M$|BenchmarkTickObservePartial1M$|BenchmarkTickObserveNetworked1M$' \
     -benchmem -benchtime=3x -timeout=20m .)
   echo "$tout"
   tallocs=$(metric "$tout" '^BenchmarkTickIngestDetect1M' 'allocs/op' | min_of)
@@ -287,6 +322,8 @@ if [ "${1:-}" = "-short" ]; then
     "$(metric "$tout" '^BenchmarkTickObservePartial1M' 'ns/op' | min_of)" \
     "$(metric "$tout" '^BenchmarkTickObservePartial1M' 'allocs/op' | min_of)" \
     "$MAX_PARTIAL_TICK_RATIO_SHORT" "short"
+  net_tick_gate "$tallocs" \
+    "$(metric "$tout" '^BenchmarkTickObserveNetworked1M' 'allocs/op' | min_of)" "short"
   rout=$(go test -run='^$' -bench='BenchmarkTickBare1M$|BenchmarkTickObserve1M/sharded$' \
     -benchtime=1x -count=2 -timeout=20m .)
   echo "$rout"
@@ -330,11 +367,12 @@ go test -run='^$' -bench='BenchmarkDirectoryAdvance|BenchmarkDirectoryRebuild' \
   -benchmem -benchtime=5x -count=3 -timeout=60m ./internal/dist/ | tee -a "$tmp"
 # Streaming-tick suite: bare characterization of the n=1M mass-event
 # window vs the full Observe tick (serial and sharded walk), the quiet
-# steady-state tick, and the gateway's CSV vs binary frame decode.
+# steady-state tick with its idle-health and networked-directory twins,
+# and the gateway's CSV vs binary frame decode.
 # -benchtime=1x -count=3 on the heavy ticks: the framework forces a GC
 # between repetitions but not between iterations, so single repetitions
 # of one iteration each, min-reduced, are the comparable estimate.
-go test -run='^$' -bench='BenchmarkTickBare1M$|BenchmarkTickObserve1M|BenchmarkTickIngestDetect1M$|BenchmarkTickObservePartial1M$' \
+go test -run='^$' -bench='BenchmarkTickBare1M$|BenchmarkTickObserve1M|BenchmarkTickIngestDetect1M$|BenchmarkTickObservePartial1M$|BenchmarkTickObserveNetworked1M$' \
   -benchmem -benchtime=1x -count=3 -timeout=30m . | tee -a "$tmp"
 go test -run='^$' -bench='BenchmarkIngest/' \
   -benchmem -benchtime=10x -count=3 ./cmd/anomalia-gateway/ | tee -a "$tmp"
@@ -362,64 +400,65 @@ abnexp=$(awk -v a="$abn10ns" -v b="$abn200ns" 'BEGIN{printf "%.2f", log(b/a)/log
   echo "  \"pr\": ${PR},"
   echo "  \"date\": \"$(date -u +%Y-%m-%d)\","
   echo "  \"go\": \"$(go env GOVERSION)\","
-  echo "  \"note\": \"PR ${PR}: degraded-mode ingestion. The monitor gains a per-device health state machine (live -> stale with the last-known value held for HoldTicks -> quarantined, re-admitted after ReadmitTicks consecutive clean reports) behind Monitor.ObservePartial, which accepts snapshots with missing or malformed rows and characterizes over the live subset; the gateway recovers per frame from malformed input with positioned diagnostics instead of dying, and a seeded fault injector (internal/netsim) drives drop/corruption/burst-outage soaks whose verdicts are pinned tick-for-tick against a clean-fed oracle under -race. None of the existing hot paths changed, so the interesting rows are the within-run pair: BenchmarkTickObservePartial1M (quiet n=1M ObservePartial, health tracker enabled but idle) must match BenchmarkTickIngestDetect1M (plain quiet Observe) in both allocations (same 256 ceiling) and latency (partial_tick ratio gate, 1.5x full / 2.0x short) — the fast path proves a fully clean tick over an all-live fleet is exactly an Observe tick before touching any per-device health state. 'before' is the recorded PR 6 inline baseline carried forward: PR 7's full-suite JSON was never recorded in-repo (only its -short gates ran), and PR 8 does not touch the characterizer, graph or directory paths those rows measure.\","
+  echo "  \"note\": \"PR ${PR}: fault-tolerant networked directory. The dist.Directory shards move behind a length-prefixed binary wire protocol (internal/dirnet, cmd/anomalia-directory) and the Monitor gains WithDirectory: a deadline/retry/backoff client with per-shard circuit breakers decides abnormal windows over the wire, and any window the wire cannot serve within its budget falls back to centralized characterization with identical verdicts — the networked soak pins both paths byte-identical to their oracles through crashes, partitions and drops under -race. None of the existing hot paths changed, so the interesting row is the within-run pair: BenchmarkTickObserveNetworked1M (quiet n=1M Observe on a directory-configured monitor, breaker closed, in-process shard) must cost at most one allocation over BenchmarkTickIngestDetect1M (plain quiet Observe) — a quiet window never reaches the decision path, so the client must be free on the steady-state tick. 'before' is PR 8's recorded 'after' suite.\","
   echo "  \"before\": {"
   cat <<'PREV'
-    "BenchmarkNewGraph/grid/sparse/n=1000": {"ns_op": 1374332, "b_op": 271440, "allocs_op": 20},
-    "BenchmarkNewGraph/allpairs/sparse/n=1000": {"ns_op": 9423085, "b_op": 180400, "allocs_op": 5},
-    "BenchmarkNewGraph/grid/sparse/n=10000": {"ns_op": 15203606, "b_op": 1983368, "allocs_op": 38},
-    "BenchmarkNewGraph/allpairs/sparse/n=10000": {"ns_op": 958488755, "b_op": 13058224, "allocs_op": 5},
-    "BenchmarkNewGraph/grid/sparse/n=100000": {"ns_op": 1219776283, "b_op": 95792616, "allocs_op": 206},
-    "BenchmarkNewGraph/grid/clustered/n=1000": {"ns_op": 1035073, "b_op": 226128, "allocs_op": 20},
-    "BenchmarkNewGraph/allpairs/clustered/n=1000": {"ns_op": 5496123, "b_op": 180400, "allocs_op": 5},
-    "BenchmarkNewGraph/grid/clustered/n=10000": {"ns_op": 90799458, "b_op": 10774088, "allocs_op": 56},
-    "BenchmarkNewGraph/allpairs/clustered/n=10000": {"ns_op": 619286157, "b_op": 13058224, "allocs_op": 5},
-    "BenchmarkNewGraph/grid/clustered/n=100000": {"ns_op": 1877461926, "b_op": 180086248, "allocs_op": 368},
-    "BenchmarkNewGraph/grid/sparse/n=1000000": {"ns_op": 1845902945, "b_op": 187684328, "allocs_op": 209},
-    "BenchmarkCharacterizeWindow": {"ns_op": 314543, "b_op": 163976, "allocs_op": 1559},
-    "BenchmarkCharacterizeWindowCheap": {"ns_op": 242711, "b_op": 149938, "allocs_op": 1143},
-    "BenchmarkCharacterizeLargeFleet": {"ns_op": 1842074, "b_op": 1292064, "allocs_op": 6344},
-    "BenchmarkMonitorObserve": {"ns_op": 67954, "b_op": 21808, "allocs_op": 417},
-    "BenchmarkDirectoryBuild/n=1k": {"ns_op": 4653, "b_op": 5920, "allocs_op": 13},
-    "BenchmarkDirectoryBuild/n=10k": {"ns_op": 25752, "b_op": 27392, "allocs_op": 13},
-    "BenchmarkDistDecide/n=1k": {"ns_op": 772718, "b_op": 268893, "allocs_op": 5974},
-    "BenchmarkDistDecide/n=10k": {"ns_op": 2336077, "b_op": 673390, "allocs_op": 14758},
-    "BenchmarkDirectoryAdvance/clustered/n=10k/churn=0.1%": {"ns_op": 20606, "b_op": 57408, "allocs_op": 38},
-    "BenchmarkDirectoryAdvance/clustered/n=10k/churn=1%": {"ns_op": 70334, "b_op": 67737, "allocs_op": 54},
-    "BenchmarkDirectoryAdvance/clustered/n=10k/churn=10%": {"ns_op": 182315, "b_op": 181676, "allocs_op": 81},
-    "BenchmarkDirectoryAdvance/clustered/n=100k/churn=0.1%": {"ns_op": 313112, "b_op": 552748, "allocs_op": 54},
-    "BenchmarkDirectoryAdvance/clustered/n=100k/churn=1%": {"ns_op": 505205, "b_op": 669801, "allocs_op": 85},
-    "BenchmarkDirectoryAdvance/clustered/n=100k/churn=10%": {"ns_op": 2685030, "b_op": 2088793, "allocs_op": 122},
-    "BenchmarkDirectoryAdvance/clustered/n=1M/churn=0.1%": {"ns_op": 5232823, "b_op": 5413737, "allocs_op": 86},
-    "BenchmarkDirectoryAdvance/clustered/n=1M/churn=1%": {"ns_op": 8423848, "b_op": 6857449, "allocs_op": 125},
-    "BenchmarkDirectoryAdvance/clustered/n=1M/churn=10%": {"ns_op": 37982829, "b_op": 24069081, "allocs_op": 179},
-    "BenchmarkDirectoryAdvance/uniform/n=10k/churn=0.1%": {"ns_op": 58140, "b_op": 96473, "allocs_op": 47},
-    "BenchmarkDirectoryAdvance/uniform/n=10k/churn=1%": {"ns_op": 58372, "b_op": 138649, "allocs_op": 65},
-    "BenchmarkDirectoryAdvance/uniform/n=10k/churn=10%": {"ns_op": 346608, "b_op": 384761, "allocs_op": 87},
-    "BenchmarkDirectoryAdvance/uniform/n=100k/churn=0.1%": {"ns_op": 1011688, "b_op": 930345, "allocs_op": 68},
-    "BenchmarkDirectoryAdvance/uniform/n=100k/churn=1%": {"ns_op": 1554036, "b_op": 1403513, "allocs_op": 93},
-    "BenchmarkDirectoryAdvance/uniform/n=100k/churn=10%": {"ns_op": 6504619, "b_op": 4577017, "allocs_op": 132},
-    "BenchmarkDirectoryAdvance/uniform/n=1M/churn=0.1%": {"ns_op": 16564730, "b_op": 9204489, "allocs_op": 96},
-    "BenchmarkDirectoryAdvance/uniform/n=1M/churn=1%": {"ns_op": 29302157, "b_op": 15210233, "allocs_op": 141},
-    "BenchmarkDirectoryAdvance/uniform/n=1M/churn=10%": {"ns_op": 99047034, "b_op": 52336393, "allocs_op": 200},
-    "BenchmarkDirectoryRebuild/clustered/n=10k": {"ns_op": 597578, "b_op": 300784, "allocs_op": 13},
-    "BenchmarkDirectoryRebuild/clustered/n=100k": {"ns_op": 10042138, "b_op": 2959568, "allocs_op": 13},
-    "BenchmarkDirectoryRebuild/clustered/n=1M": {"ns_op": 142160487, "b_op": 29428176, "allocs_op": 13},
-    "BenchmarkDirectoryRebuild/uniform/n=10k": {"ns_op": 1293049, "b_op": 355664, "allocs_op": 13},
-    "BenchmarkDirectoryRebuild/uniform/n=100k": {"ns_op": 19200647, "b_op": 3507920, "allocs_op": 13},
-    "BenchmarkDirectoryRebuild/uniform/n=1M": {"ns_op": 174986286, "b_op": 34742736, "allocs_op": 13},
-    "BenchmarkDirectoryAdvanceFull/n=10k/churn=1%": {"ns_op": 206714, "b_op": 149737, "allocs_op": 56},
-    "BenchmarkDirectoryAdvanceFull/n=100k/churn=1%": {"ns_op": 2667849, "b_op": 1472697, "allocs_op": 87},
-    "BenchmarkDirectoryAdvanceFull/n=1M/churn=1%": {"ns_op": 30701735, "b_op": 14861113, "allocs_op": 127},
-    "BenchmarkTickBare1M": {"ns_op": 4068167376, "b_op": 2202096320, "allocs_op": 2753144},
-    "BenchmarkTickObserve1M/serial": {"ns_op": 4192191711, "b_op": 2243618816, "allocs_op": 2753173},
-    "BenchmarkTickObserve1M/sharded": {"ns_op": 4375181876, "b_op": 2243618800, "allocs_op": 2753173},
-    "BenchmarkTickIngestDetect1M": {"ns_op": 36531306, "b_op": 16, "allocs_op": 1},
-    "BenchmarkIngest/csv": {"ns_op": 105246585, "b_op": 90344200, "allocs_op": 138},
-    "BenchmarkIngest/bin": {"ns_op": 5889698, "b_op": 5677281, "allocs_op": 11},
-    "BenchmarkCharacterizeAllAbnormal/m=10k": {"ns_op": 810075429, "b_op": 35141408, "allocs_op": 110785},
-    "BenchmarkCharacterizeAllAbnormal/m=50k": {"ns_op": 6247869823, "b_op": 624289872, "allocs_op": 695582},
-    "BenchmarkCharacterizeAllAbnormal/m=200k": {"ns_op": 127931100754, "b_op": 29466394304, "allocs_op": 6774193}
+    "BenchmarkNewGraph/grid/sparse/n=1000": {"ns_op": 3954289, "b_op": 271440, "allocs_op": 20},
+    "BenchmarkNewGraph/allpairs/sparse/n=1000": {"ns_op": 12456968, "b_op": 180400, "allocs_op": 5},
+    "BenchmarkNewGraph/grid/sparse/n=10000": {"ns_op": 20738672, "b_op": 1983368, "allocs_op": 38},
+    "BenchmarkNewGraph/allpairs/sparse/n=10000": {"ns_op": 1044061206, "b_op": 13058224, "allocs_op": 5},
+    "BenchmarkNewGraph/grid/sparse/n=100000": {"ns_op": 1525414465, "b_op": 95792616, "allocs_op": 206},
+    "BenchmarkNewGraph/grid/clustered/n=1000": {"ns_op": 1158300, "b_op": 226128, "allocs_op": 20},
+    "BenchmarkNewGraph/allpairs/clustered/n=1000": {"ns_op": 6263285, "b_op": 180400, "allocs_op": 5},
+    "BenchmarkNewGraph/grid/clustered/n=10000": {"ns_op": 104512980, "b_op": 10774088, "allocs_op": 56},
+    "BenchmarkNewGraph/allpairs/clustered/n=10000": {"ns_op": 903206035, "b_op": 13058224, "allocs_op": 5},
+    "BenchmarkNewGraph/grid/clustered/n=100000": {"ns_op": 2759875698, "b_op": 180086248, "allocs_op": 368},
+    "BenchmarkNewGraph/grid/sparse/n=1000000": {"ns_op": 2434075590, "b_op": 187684328, "allocs_op": 209},
+    "BenchmarkCharacterizeWindow": {"ns_op": 358305, "b_op": 156061, "allocs_op": 945},
+    "BenchmarkCharacterizeWindowCheap": {"ns_op": 266411, "b_op": 142010, "allocs_op": 527},
+    "BenchmarkCharacterizeLargeFleet": {"ns_op": 1752291, "b_op": 1170353, "allocs_op": 3398},
+    "BenchmarkMonitorObserve": {"ns_op": 70306, "b_op": 23676, "allocs_op": 333},
+    "BenchmarkDirectoryBuild/n=1k": {"ns_op": 7854, "b_op": 5920, "allocs_op": 13},
+    "BenchmarkDirectoryBuild/n=10k": {"ns_op": 35162, "b_op": 27392, "allocs_op": 13},
+    "BenchmarkDistDecide/n=1k": {"ns_op": 1246004, "b_op": 357158, "allocs_op": 5731},
+    "BenchmarkDistDecide/n=10k": {"ns_op": 2786123, "b_op": 879237, "allocs_op": 14055},
+    "BenchmarkDirectoryAdvance/clustered/n=10k/churn=0.1%": {"ns_op": 41199, "b_op": 57408, "allocs_op": 38},
+    "BenchmarkDirectoryAdvance/clustered/n=10k/churn=1%": {"ns_op": 48792, "b_op": 67737, "allocs_op": 54},
+    "BenchmarkDirectoryAdvance/clustered/n=10k/churn=10%": {"ns_op": 196069, "b_op": 181676, "allocs_op": 81},
+    "BenchmarkDirectoryAdvance/clustered/n=100k/churn=0.1%": {"ns_op": 309723, "b_op": 552748, "allocs_op": 54},
+    "BenchmarkDirectoryAdvance/clustered/n=100k/churn=1%": {"ns_op": 662285, "b_op": 669801, "allocs_op": 85},
+    "BenchmarkDirectoryAdvance/clustered/n=100k/churn=10%": {"ns_op": 3006026, "b_op": 2088793, "allocs_op": 122},
+    "BenchmarkDirectoryAdvance/clustered/n=1M/churn=0.1%": {"ns_op": 5765912, "b_op": 5413737, "allocs_op": 86},
+    "BenchmarkDirectoryAdvance/clustered/n=1M/churn=1%": {"ns_op": 9288212, "b_op": 6857449, "allocs_op": 125},
+    "BenchmarkDirectoryAdvance/clustered/n=1M/churn=10%": {"ns_op": 45340009, "b_op": 24069081, "allocs_op": 179},
+    "BenchmarkDirectoryAdvance/uniform/n=10k/churn=0.1%": {"ns_op": 71285, "b_op": 96473, "allocs_op": 47},
+    "BenchmarkDirectoryAdvance/uniform/n=10k/churn=1%": {"ns_op": 59470, "b_op": 138649, "allocs_op": 65},
+    "BenchmarkDirectoryAdvance/uniform/n=10k/churn=10%": {"ns_op": 383367, "b_op": 384761, "allocs_op": 87},
+    "BenchmarkDirectoryAdvance/uniform/n=100k/churn=0.1%": {"ns_op": 1145281, "b_op": 930345, "allocs_op": 68},
+    "BenchmarkDirectoryAdvance/uniform/n=100k/churn=1%": {"ns_op": 1709504, "b_op": 1403513, "allocs_op": 93},
+    "BenchmarkDirectoryAdvance/uniform/n=100k/churn=10%": {"ns_op": 7532169, "b_op": 4577017, "allocs_op": 132},
+    "BenchmarkDirectoryAdvance/uniform/n=1M/churn=0.1%": {"ns_op": 19633182, "b_op": 9204489, "allocs_op": 96},
+    "BenchmarkDirectoryAdvance/uniform/n=1M/churn=1%": {"ns_op": 26553628, "b_op": 15210233, "allocs_op": 141},
+    "BenchmarkDirectoryAdvance/uniform/n=1M/churn=10%": {"ns_op": 116082431, "b_op": 52336393, "allocs_op": 200},
+    "BenchmarkDirectoryRebuild/clustered/n=10k": {"ns_op": 988904, "b_op": 300784, "allocs_op": 13},
+    "BenchmarkDirectoryRebuild/clustered/n=100k": {"ns_op": 8493087, "b_op": 2959568, "allocs_op": 13},
+    "BenchmarkDirectoryRebuild/clustered/n=1M": {"ns_op": 103475185, "b_op": 29428176, "allocs_op": 13},
+    "BenchmarkDirectoryRebuild/uniform/n=10k": {"ns_op": 952986, "b_op": 355664, "allocs_op": 13},
+    "BenchmarkDirectoryRebuild/uniform/n=100k": {"ns_op": 14041590, "b_op": 3507920, "allocs_op": 13},
+    "BenchmarkDirectoryRebuild/uniform/n=1M": {"ns_op": 187685736, "b_op": 34742736, "allocs_op": 13},
+    "BenchmarkDirectoryAdvanceFull/n=10k/churn=1%": {"ns_op": 215734, "b_op": 149737, "allocs_op": 56},
+    "BenchmarkDirectoryAdvanceFull/n=100k/churn=1%": {"ns_op": 2692093, "b_op": 1472697, "allocs_op": 87},
+    "BenchmarkDirectoryAdvanceFull/n=1M/churn=1%": {"ns_op": 32613628, "b_op": 14861113, "allocs_op": 127},
+    "BenchmarkTickBare1M": {"ns_op": 2635973576, "b_op": 397683632, "allocs_op": 732198},
+    "BenchmarkTickObserve1M/serial": {"ns_op": 2688671599, "b_op": 439206112, "allocs_op": 732227},
+    "BenchmarkTickObserve1M/sharded": {"ns_op": 2892508266, "b_op": 439206112, "allocs_op": 732227},
+    "BenchmarkTickIngestDetect1M": {"ns_op": 44513652, "b_op": 16, "allocs_op": 1},
+    "BenchmarkTickObservePartial1M": {"ns_op": 41176733, "b_op": 24, "allocs_op": 1},
+    "BenchmarkIngest/csv": {"ns_op": 158198420, "b_op": 90344248, "allocs_op": 138},
+    "BenchmarkIngest/bin": {"ns_op": 8620034, "b_op": 5677297, "allocs_op": 11},
+    "BenchmarkCharacterizeAllAbnormal/m=10k": {"ns_op": 60604253, "b_op": 12618904, "allocs_op": 31489},
+    "BenchmarkCharacterizeAllAbnormal/m=50k": {"ns_op": 382804363, "b_op": 65964152, "allocs_op": 169446},
+    "BenchmarkCharacterizeAllAbnormal/m=200k": {"ns_op": 2073613054, "b_op": 354345240, "allocs_op": 877656}
 PREV
   echo "  },"
   echo "  \"after\": {"
@@ -427,7 +466,7 @@ PREV
   echo "  },"
   echo "  \"allabnormal_scaling\": {"
   echo "    \"span\": \"m=10k -> m=200k (20x)\","
-  echo "    \"before_time_exponent\": 1.69,"
+  echo "    \"before_time_exponent\": 1.18,"
   echo "    \"after_time_exponent\": ${abnexp}"
   echo "  }"
   echo "}"
@@ -485,6 +524,12 @@ quietns=$(awk '/^BenchmarkTickIngestDetect1M/ { for (i=2;i<=NF;i++) if ($(i)=="n
 partns=$(awk '/^BenchmarkTickObservePartial1M/ { for (i=2;i<=NF;i++) if ($(i)=="ns/op") print $(i-1) }' "$tmp" | sort -n | head -1)
 partal=$(awk '/^BenchmarkTickObservePartial1M/ { for (i=2;i<=NF;i++) if ($(i)=="allocs/op") print $(i-1) }' "$tmp" | sort -n | head -1)
 partial_tick_gate "$quietns" "$tallocs" "$partns" "$partal" "$MAX_PARTIAL_TICK_RATIO" "full"
+
+# PR 9 networked-directory gate on the full run's numbers: the quiet
+# tick on a directory-configured monitor adds at most one allocation
+# over the plain quiet tick.
+netal=$(awk '/^BenchmarkTickObserveNetworked1M/ { for (i=2;i<=NF;i++) if ($(i)=="allocs/op") print $(i-1) }' "$tmp" | sort -n | head -1)
+net_tick_gate "$tallocs" "$netal" "full"
 
 # PR 7 all-abnormal gates on the full run's numbers, plus the scaling
 # exponent of the latency curve.

@@ -16,6 +16,7 @@ import (
 
 	"anomalia/internal/dirnet"
 	"anomalia/internal/experiments"
+	"anomalia/internal/metrics"
 	"anomalia/internal/motion"
 	"anomalia/internal/scenario"
 	"anomalia/internal/snapio"
@@ -422,6 +423,37 @@ func BenchmarkTickObserve1M(b *testing.B) {
 func BenchmarkTickIngestDetect1M(b *testing.B) {
 	snapA, _, _ := benchSnap1M(b)
 	m, err := NewMonitor(bench1MN, 2, WithRadius(bench1MR))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := m.Observe(snapA); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := m.Observe(snapA)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out != nil {
+			b.Fatal("quiet tick produced an outcome")
+		}
+	}
+}
+
+// BenchmarkTickObserveMetrics1M is the instrumented counterpart of
+// BenchmarkTickIngestDetect1M: the same quiet steady-state tick on a
+// monitor feeding a metrics registry. Recording is atomic stores into
+// pre-registered series, so the bench gate pins this benchmark's
+// allocs/op to within one allocation of the plain quiet tick — the
+// observability layer must not tax the hot path it observes.
+func BenchmarkTickObserveMetrics1M(b *testing.B) {
+	snapA, _, _ := benchSnap1M(b)
+	m, err := NewMonitor(bench1MN, 2, WithRadius(bench1MR),
+		WithMetrics(metrics.NewRegistry()))
 	if err != nil {
 		b.Fatal(err)
 	}

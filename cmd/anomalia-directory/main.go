@@ -7,6 +7,7 @@
 // Usage:
 //
 //	anomalia-directory -listen 127.0.0.1:9053 [-iotimeout 2s]
+//	                   [-metrics 127.0.0.1:9138]
 //
 // Run one process per shard and hand the Monitor (or
 // anomalia-gateway's -directory flag) the full address list. A shard
@@ -20,6 +21,14 @@
 // -iotimeout bounds one frame read or response write once a request's
 // first byte arrives; the wait for the next request is unbounded,
 // because idle connections are normal between abnormal windows.
+//
+// -metrics addr serves the shard's Prometheus scrape endpoint at
+// http://addr/metrics: the wire-service counters
+// (anomalia_dirsrv_connections_total, anomalia_dirsrv_requests_total,
+// anomalia_dirsrv_request_errors_total,
+// anomalia_dirsrv_bytes_total{direction=read|written}, and the held
+// window sequence anomalia_dirsrv_window_seq) plus a runtime GC/heap
+// sample refreshed on scrape.
 package main
 
 import (
@@ -27,9 +36,12 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"os"
+	"runtime"
 
 	"anomalia/internal/dirnet"
+	"anomalia/internal/metrics"
 )
 
 func main() {
@@ -46,8 +58,9 @@ func run(args []string, errOut io.Writer, ready func(l net.Listener, srv *dirnet
 	fs := flag.NewFlagSet("anomalia-directory", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
-		listen    = fs.String("listen", "127.0.0.1:9053", "address to listen on")
-		ioTimeout = fs.Duration("iotimeout", dirnet.DefaultRequestTimeout, "per-request IO deadline once a request's first byte arrives")
+		listen      = fs.String("listen", "127.0.0.1:9053", "address to listen on")
+		ioTimeout   = fs.Duration("iotimeout", dirnet.DefaultRequestTimeout, "per-request IO deadline once a request's first byte arrives")
+		metricsAddr = fs.String("metrics", "", "serve the Prometheus scrape endpoint at http://addr/metrics")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,6 +75,17 @@ func run(args []string, errOut io.Writer, ready func(l net.Listener, srv *dirnet
 	defer l.Close()
 	srv := dirnet.NewServer()
 	srv.IOTimeout = *ioTimeout
+	if *metricsAddr != "" {
+		ml, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("-metrics %s: %w", *metricsAddr, err)
+		}
+		defer ml.Close()
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", metricsHandler(srv))
+		go http.Serve(ml, mux)
+		fmt.Fprintf(errOut, "anomalia-directory: serving metrics at http://%s/metrics\n", ml.Addr())
+	}
 	fmt.Fprintf(errOut, "anomalia-directory: shard listening on %s\n", l.Addr())
 	if ready != nil {
 		ready(l, srv)
@@ -69,4 +93,36 @@ func run(args []string, errOut io.Writer, ready func(l net.Listener, srv *dirnet
 	err = srv.Serve(l)
 	srv.Close()
 	return err
+}
+
+// metricsHandler builds the shard's registry: the dirnet server's wire
+// counters and a runtime sample, both refreshed by an OnScrape hook —
+// a shard has no per-window loop to feed them from, and sampling on
+// scrape is exactly as fresh.
+func metricsHandler(srv *dirnet.Server) http.Handler {
+	reg := metrics.NewRegistry()
+	conns := reg.Counter("anomalia_dirsrv_connections_total", "Connections accepted by the shard.")
+	reqs := reg.Counter("anomalia_dirsrv_requests_total", "Requests answered (any status).")
+	reqErrs := reg.Counter("anomalia_dirsrv_request_errors_total", "Requests answered with an application error status.")
+	bytesRead := reg.Counter("anomalia_dirsrv_bytes_total", "Frame bytes moved, prefix included.", metrics.Label{Name: "direction", Value: "read"})
+	bytesWritten := reg.Counter("anomalia_dirsrv_bytes_total", "Frame bytes moved, prefix included.", metrics.Label{Name: "direction", Value: "written"})
+	seq := reg.Gauge("anomalia_dirsrv_window_seq", "Window sequence the directory currently holds (0 = none).")
+	heap := reg.Gauge("anomalia_go_heap_alloc_bytes", "Live heap bytes, sampled on scrape.")
+	gcCycles := reg.Counter("anomalia_go_gc_cycles_total", "Completed GC cycles, sampled on scrape.")
+	gcPause := reg.Counter("anomalia_go_gc_pause_ns_total", "Cumulative GC stop-the-world pause, sampled on scrape.")
+	reg.OnScrape(func() {
+		c := srv.Counters()
+		conns.Set(c.Connections)
+		reqs.Set(c.Requests)
+		reqErrs.Set(c.RequestErrors)
+		bytesRead.Set(c.BytesRead)
+		bytesWritten.Set(c.BytesWritten)
+		seq.Set(float64(srv.Seq()))
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		heap.Set(float64(ms.HeapAlloc))
+		gcCycles.Set(int64(ms.NumGC))
+		gcPause.Set(int64(ms.PauseTotalNs))
+	})
+	return reg.Handler()
 }

@@ -204,6 +204,7 @@ func TestGatewayDocSync(t *testing.T) {
 		"-devices", "-services", "-r", "-tau", "-detector", "-in",
 		"-format", "-convert", "-workers", "-json", "-distributed",
 		"-strict", "-hold", "-readmit", "-maxbad", "-directory",
+		"-metrics",
 	} {
 		if !strings.Contains(header, flagName) {
 			t.Errorf("usage comment omits flag %s", flagName)

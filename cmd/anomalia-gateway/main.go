@@ -12,6 +12,7 @@
 //	                 [-in snapshots.csv] [-format csv|bin] [-workers 4]
 //	                 [-strict] [-hold 2] [-readmit 2] [-maxbad 16]
 //	                 [-json] [-distributed] [-directory host:port,host:port]
+//	                 [-metrics 127.0.0.1:9137]
 //	anomalia-gateway -devices 48 -services 2 -in snaps.csv -convert snaps.bin
 //
 // With -in omitted, snapshots are read from standard input.
@@ -70,6 +71,15 @@
 // serve silently degrades to centralized characterization with
 // identical verdicts, so a dead shard never kills the stream.
 //
+// -metrics addr serves the live Prometheus scrape endpoint at
+// http://addr/metrics while the stream runs: the monitor's per-window
+// families (tick latency by phase, abnormal count and churn,
+// advance-vs-rebuild, the health split, the directory wire ledger, a
+// GC/heap sample — see the Observability section of the anomalia
+// package documentation) plus the gateway's own ingest counters,
+// anomalia_gateway_snapshots_total and
+// anomalia_gateway_recovered_errors_total.
+//
 // At end of stream, -json emits one final summary record after the
 // window records: {"summary":{"snapshots":..., "health":{...},
 // "dir":{...}}}. health carries the degraded-ingestion counters (live,
@@ -78,7 +88,12 @@
 // carries the networked-window ledger and wire counters (windows,
 // networked, degraded, retries, failures, breaker_opens, rejoins,
 // bytes_sent, bytes_received, round_trips). Without -json the same
-// numbers go to standard error as prose.
+// numbers go to standard error as prose. The summary is flushed on
+// every exit path, not just clean EOF: a -maxbad wedge abort or a
+// mid-stream ingest/observe error still emits the record (and the
+// stderr health/directory ledgers), with the failure spelled out in
+// its "aborted" field — the counters an operator needs to diagnose a
+// wedge must survive the wedge.
 package main
 
 import (
@@ -89,12 +104,23 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
 
 	"anomalia"
+	"anomalia/internal/metrics"
 	"anomalia/internal/snapio"
+)
+
+// The gateway's own metric families; the monitor's families ride the
+// same registry (see WithMetrics). Pinned against the anomalia doc.go
+// Observability section by a doc-sync test.
+const (
+	metricSnapshots = "anomalia_gateway_snapshots_total"
+	metricRecovered = "anomalia_gateway_recovered_errors_total"
 )
 
 func main() {
@@ -448,6 +474,7 @@ func run(args []string, stdin io.Reader, out, errOut io.Writer) error {
 		asJSON      = fs.Bool("json", false, "emit one JSON object per anomalous window, then a final summary record")
 		distMode    = fs.Bool("distributed", false, "decide via the sharded directory service (4r views) instead of the in-process characterizer")
 		directory   = fs.String("directory", "", "comma-separated anomalia-directory shard addresses: decide windows over the wire (implies -distributed), degrading to centralized per window when the fleet is unreachable")
+		metricsAddr = fs.String("metrics", "", "serve the Prometheus scrape endpoint at http://addr/metrics while the stream runs")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -505,6 +532,26 @@ func run(args []string, stdin io.Reader, out, errOut io.Writer) error {
 			Addrs: strings.Split(*directory, ","),
 		}))
 	}
+	var (
+		reg          *metrics.Registry
+		ctrSnapshots *metrics.Counter
+		ctrRecovered *metrics.Counter
+	)
+	if *metricsAddr != "" {
+		reg = metrics.NewRegistry()
+		ctrSnapshots = reg.Counter(metricSnapshots, "Snapshots ingested by the gateway.")
+		ctrRecovered = reg.Counter(metricRecovered, "Device-reports lost to recovered ingest faults (degraded mode).")
+		monOpts = append(monOpts, anomalia.WithMetrics(reg))
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("-metrics %s: %w", *metricsAddr, err)
+		}
+		defer ln.Close()
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		go http.Serve(ln, mux)
+		fmt.Fprintf(errOut, "serving metrics at http://%s/metrics\n", ln.Addr())
+	}
 	mon, err := anomalia.NewMonitor(*devices, *services, monOpts...)
 	if err != nil {
 		return err
@@ -516,65 +563,83 @@ func run(args []string, stdin io.Reader, out, errOut io.Writer) error {
 		faultTotal    int
 		consecLost    int
 	)
-	for {
-		snapshot, faults, err := src.Next()
-		if errors.Is(err, io.EOF) {
-			break
-		}
-		if err != nil {
-			return fmt.Errorf("snapshot %d: %w", row, err)
-		}
-		if len(faults) > 0 {
-			degradedTicks++
-			reportFaults(errOut, row, faults)
-			lost := len(faults)
-			if faults[0].device < 0 {
-				lost = *devices
+	// The stream loop runs in a closure so that every exit path — clean
+	// EOF, the -maxbad wedge abort, a mid-stream ingest or observe error
+	// — falls through to the same final flush below: the operator
+	// diagnosing an abort needs the summary counters most of all.
+	streamErr := func() error {
+		for {
+			snapshot, faults, err := src.Next()
+			if errors.Is(err, io.EOF) {
+				return nil
 			}
-			faultTotal += lost
-			if lost == *devices {
-				consecLost++
-				if *maxBad > 0 && consecLost >= *maxBad {
-					return fmt.Errorf("snapshot %d: %d consecutive snapshots with no usable report — source looks wedged", row, consecLost)
+			if err != nil {
+				return fmt.Errorf("snapshot %d: %w", row, err)
+			}
+			if len(faults) > 0 {
+				degradedTicks++
+				reportFaults(errOut, row, faults)
+				lost := len(faults)
+				if faults[0].device < 0 {
+					lost = *devices
+				}
+				faultTotal += lost
+				if ctrRecovered != nil {
+					ctrRecovered.Add(int64(lost))
+				}
+				if lost == *devices {
+					consecLost++
+					if *maxBad > 0 && consecLost >= *maxBad {
+						return fmt.Errorf("snapshot %d: %d consecutive snapshots with no usable report — source looks wedged", row, consecLost)
+					}
+				} else {
+					consecLost = 0
 				}
 			} else {
 				consecLost = 0
 			}
-		} else {
-			consecLost = 0
-		}
-		var outcome *anomalia.Outcome
-		if *strict {
-			outcome, err = mon.Observe(snapshot)
-		} else {
-			outcome, err = mon.ObservePartial(snapshot)
-		}
-		if err != nil {
-			return fmt.Errorf("observing snapshot %d: %w", row, err)
-		}
-		if outcome != nil {
-			if *asJSON {
-				if err := emitJSON(out, row, outcome); err != nil {
-					return err
-				}
+			var outcome *anomalia.Outcome
+			if *strict {
+				outcome, err = mon.Observe(snapshot)
 			} else {
-				fmt.Fprintf(out, "t=%d abnormal=%d massive=%v isolated=%v unresolved=%v",
-					row, len(outcome.Reports), outcome.Massive, outcome.Isolated, outcome.Unresolved)
-				if outcome.Dist != nil {
-					fmt.Fprintf(out, " dist_msgs=%d dist_trajs=%d",
-						outcome.Dist.Messages, outcome.Dist.Trajectories)
-				}
-				fmt.Fprintln(out)
+				outcome, err = mon.ObservePartial(snapshot)
 			}
+			if err != nil {
+				return fmt.Errorf("observing snapshot %d: %w", row, err)
+			}
+			if ctrSnapshots != nil {
+				ctrSnapshots.Inc()
+			}
+			if outcome != nil {
+				if *asJSON {
+					if err := emitJSON(out, row, outcome); err != nil {
+						return err
+					}
+				} else {
+					fmt.Fprintf(out, "t=%d abnormal=%d massive=%v isolated=%v unresolved=%v",
+						row, len(outcome.Reports), outcome.Massive, outcome.Isolated, outcome.Unresolved)
+					if outcome.Dist != nil {
+						fmt.Fprintf(out, " dist_msgs=%d dist_trajs=%d",
+							outcome.Dist.Messages, outcome.Dist.Trajectories)
+					}
+					fmt.Fprintln(out)
+				}
+			}
+			row++
 		}
-		row++
+	}()
+	aborted := ""
+	if streamErr != nil {
+		aborted = streamErr.Error()
 	}
 	if *asJSON {
-		if err := emitSummary(out, row, mon, *directory != ""); err != nil {
+		if err := emitSummary(out, row, mon, *directory != "", aborted); err != nil && streamErr == nil {
 			return err
 		}
-	} else {
+	} else if streamErr == nil {
 		fmt.Fprintf(out, "processed %d snapshots\n", row)
+	} else {
+		fmt.Fprintf(out, "aborted after %d snapshots: %s\n", row, aborted)
 	}
 	if degradedTicks > 0 {
 		hs := mon.HealthStats()
@@ -586,15 +651,18 @@ func run(args []string, stdin io.Reader, out, errOut io.Writer) error {
 		fmt.Fprintf(errOut, "networked directory: %d abnormal window(s): %d over the wire, %d degraded to centralized; %d retry(ies), %d failure(s), %d breaker open(s), %d rejoin(s); %d B sent, %d B received over %d round-trip(s)\n",
 			ds.Windows, ds.Networked, ds.Degraded, ds.Retries, ds.Failures, ds.BreakerOpens, ds.Rejoins, ds.BytesSent, ds.BytesReceived, ds.RoundTrips)
 	}
-	return nil
+	return streamErr
 }
 
 // runSummary is the end-of-run record a -json stream closes with: the
 // tick count, the health split and lifetime degraded-ingestion
 // counters, and — when -directory routed windows over the wire — the
-// networked directory ledger.
+// networked directory ledger. On an abnormal exit (the -maxbad wedge
+// backstop, a mid-stream ingest or observe error) the record still
+// flushes, with the failure in "aborted".
 type runSummary struct {
 	Snapshots int                  `json:"snapshots"`
+	Aborted   string               `json:"aborted,omitempty"`
 	Health    anomalia.HealthStats `json:"health"`
 	Dir       *anomalia.DirStats   `json:"dir,omitempty"`
 }
@@ -605,9 +673,10 @@ type summaryRecord struct {
 	Summary runSummary `json:"summary"`
 }
 
-func emitSummary(out io.Writer, snapshots int, mon *anomalia.Monitor, networked bool) error {
+func emitSummary(out io.Writer, snapshots int, mon *anomalia.Monitor, networked bool, aborted string) error {
 	rec := summaryRecord{Summary: runSummary{
 		Snapshots: snapshots,
+		Aborted:   aborted,
 		Health:    mon.HealthStats(),
 	}}
 	if networked {

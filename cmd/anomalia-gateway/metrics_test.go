@@ -1,0 +1,192 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestGatewayMaxBadAbortEmitsSummary pins the lost-summary fix: the
+// -maxbad wedge backstop must still flush the -json summary record —
+// with the failure in its "aborted" field — and the stderr health
+// ledger, because those counters are exactly what the operator
+// diagnosing the wedge needs.
+func TestGatewayMaxBadAbortEmitsSummary(t *testing.T) {
+	t.Parallel()
+
+	// Two clean ticks, then a wedge: every later line is structurally
+	// broken (wrong field count), losing the whole tick each time.
+	in := "0.9,0.9\n0.9,0.9\n" + strings.Repeat("oops\n", 8)
+	var out, diag bytes.Buffer
+	err := run([]string{"-devices", "2", "-maxbad", "3", "-json"},
+		strings.NewReader(in), &out, &diag)
+	if err == nil || !strings.Contains(err.Error(), "wedged") {
+		t.Fatalf("want wedge abort error, got %v", err)
+	}
+
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	last := lines[len(lines)-1]
+	var rec struct {
+		Summary struct {
+			Snapshots int    `json:"snapshots"`
+			Aborted   string `json:"aborted"`
+			Health    struct {
+				Live  int   `json:"live"`
+				Stale int   `json:"stale"`
+				Quar  int   `json:"quarantined"`
+				Fault int64 `json:"faulty_ticks"`
+			} `json:"health"`
+		} `json:"summary"`
+	}
+	if err := json.Unmarshal([]byte(last), &rec); err != nil {
+		t.Fatalf("last stdout line is not a summary record: %v\n%s", err, out.String())
+	}
+	if rec.Summary.Aborted == "" || !strings.Contains(rec.Summary.Aborted, "wedged") {
+		t.Errorf("summary aborted field = %q, want the wedge reason", rec.Summary.Aborted)
+	}
+	// 2 clean ticks plus the 2 fully-lost ticks committed before the
+	// third consecutive loss trips the backstop.
+	if rec.Summary.Snapshots != 4 {
+		t.Errorf("summary snapshots = %d, want 4 (the committed ticks)", rec.Summary.Snapshots)
+	}
+	if rec.Summary.Health.Fault == 0 {
+		t.Error("summary health.faulty_ticks = 0, want the wedge's faults counted")
+	}
+	if !strings.Contains(diag.String(), "degraded stream:") {
+		t.Errorf("stderr health ledger missing on abort:\n%s", diag.String())
+	}
+}
+
+// TestGatewayMidStreamErrorEmitsSummary: a strict-mode mid-stream
+// ingest error is an abort too — same flush contract.
+func TestGatewayMidStreamErrorEmitsSummary(t *testing.T) {
+	t.Parallel()
+
+	in := "0.9,0.9\nbad,0.9\n"
+	var out, diag bytes.Buffer
+	err := run([]string{"-devices", "2", "-strict", "-json"},
+		strings.NewReader(in), &out, &diag)
+	if err == nil {
+		t.Fatal("want strict-mode parse error")
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	var rec struct {
+		Summary struct {
+			Aborted string `json:"aborted"`
+		} `json:"summary"`
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &rec); err != nil {
+		t.Fatalf("no summary record on mid-stream abort: %v\n%s", err, out.String())
+	}
+	if rec.Summary.Aborted == "" {
+		t.Error("summary aborted field empty on mid-stream abort")
+	}
+}
+
+// TestGatewayMetricsEndpoint boots the gateway with -metrics on an
+// ephemeral port, streams a few ticks through a pipe, scrapes the live
+// endpoint, and checks both the monitor's and the gateway's own
+// families are present and non-empty.
+func TestGatewayMetricsEndpoint(t *testing.T) {
+	t.Parallel()
+
+	inR, inW := io.Pipe()
+	errR, errW := io.Pipe()
+	var out bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		err := run([]string{"-devices", "2", "-metrics", "127.0.0.1:0"}, inR, &out, errW)
+		errW.Close()
+		done <- err
+	}()
+	line, err := bufio.NewReader(errR).ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading metrics banner: %v", err)
+	}
+	go io.Copy(io.Discard, errR) // keep later diagnostics from blocking the pipe
+	url := strings.TrimSpace(strings.TrimPrefix(line, "serving metrics at "))
+	if !strings.HasPrefix(url, "http://") {
+		t.Fatalf("unexpected banner %q", line)
+	}
+
+	for i := 0; i < 3; i++ {
+		if _, err := io.WriteString(inW, "0.9,0.9\n"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var body string
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(url)
+		if err == nil {
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			body = string(b)
+			if strings.Contains(body, "anomalia_gateway_snapshots_total 3") {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("scrape never showed 3 snapshots; err=%v last body:\n%s", err, body)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for _, want := range []string{
+		"# TYPE anomalia_ticks_total counter",
+		"anomalia_ticks_total 3",
+		"# TYPE anomalia_tick_seconds histogram",
+		"anomalia_go_heap_alloc_bytes",
+		"anomalia_gateway_recovered_errors_total 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+
+	inW.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+// TestGatewayMetricsDocSync pins the gateway's family names against
+// both its own usage header and the anomalia package's Observability
+// section — a gateway metric cannot ship undocumented in either place.
+func TestGatewayMetricsDocSync(t *testing.T) {
+	t.Parallel()
+
+	src, err := os.ReadFile("main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	header, _, found := strings.Cut(string(src), "\npackage main")
+	if !found {
+		t.Fatal("cannot locate package clause in main.go")
+	}
+	doc, err := os.ReadFile("../../doc.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, section, found := strings.Cut(string(doc), "# Observability")
+	if !found {
+		t.Fatal("doc.go has no Observability section")
+	}
+	for _, name := range []string{metricSnapshots, metricRecovered} {
+		if !strings.Contains(header, name) {
+			t.Errorf("usage comment omits metric family %s", name)
+		}
+		if !strings.Contains(section, name) {
+			t.Errorf("doc.go Observability section omits %s", name)
+		}
+	}
+	if !strings.Contains(header, "-metrics") {
+		t.Error("usage comment omits the -metrics flag")
+	}
+}

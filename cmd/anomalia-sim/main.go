@@ -11,6 +11,7 @@
 //	anomalia-sim -n 1000 -d 2 -steps 10 -emit csv|bin [-out snaps.bin]
 //	             [-drop 0.01] [-corrupt 0.01] [-faultseed 1]
 //	             [-outages 0:48:30:45[,from:to:start:end...]] [-truncate 64]
+//	anomalia-sim -soak 200 [-slo p99=5ms[,p50=1ms,p999=20ms]]
 //
 // With -emit, the simulator skips characterization and instead streams
 // the generated QoS snapshots in anomalia-gateway's input format — one
@@ -34,6 +35,19 @@
 // stream is written, damaging the last frame's framing — the
 // unrecoverable shape (a length-prefixed stream cannot resync) that
 // must kill the gateway with a positioned error even in tolerant mode.
+//
+// With -soak, the simulator is a latency harness instead: it
+// pre-generates N windows of snapshots, drives them through a full
+// Monitor instrumented with a metrics registry (the anomalia package's
+// WithMetrics option), and emits a one-line JSON report {"soak": ...}
+// with exact p50/p99/p999/max per-Observe tick latency in seconds, the
+// abnormal-window count, and the run's alloc drift (mallocs per window
+// and net heap growth) — the generator runs before the measured loop,
+// so the numbers describe the monitor alone. -slo turns the report
+// into a gate: comma-separated quantile=duration clauses (p50, p99,
+// p999), and any quantile over its bound exits non-zero after the
+// report is written. scripts/bench.sh records the soak report into the
+// PR's BENCH_N.json snapshot and CI runs a short gated soak.
 package main
 
 import (
@@ -84,12 +98,20 @@ func run(args []string, out io.Writer) error {
 		faultSeed   = fs.Int64("faultseed", 1, "with -emit: seed for the fault injector")
 		outages     = fs.String("outages", "", "with -emit: burst outages as from:to:start:end device/frame ranges, comma-separated")
 		truncate    = fs.Int("truncate", 0, "with -emit -out: cut this many trailing bytes off the emitted file (garbles the final frame)")
+		soak        = fs.Int("soak", 0, "run this many windows through an instrumented Monitor and emit a JSON latency report")
+		slo         = fs.String("slo", "", "with -soak: comma-separated latency gates (p50=DUR, p99=DUR, p999=DUR); a breach exits non-zero")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *emit == "" && (*drop > 0 || *corrupt > 0 || *outages != "" || *truncate > 0) {
 		return errors.New("-drop/-corrupt/-outages/-truncate degrade an emitted stream and require -emit")
+	}
+	if *slo != "" && *soak <= 0 {
+		return errors.New("-slo gates a latency soak and requires -soak")
+	}
+	if *soak > 0 && *emit != "" {
+		return errors.New("-soak and -emit are mutually exclusive modes")
 	}
 	if *truncate > 0 && *outPath == "" {
 		return errors.New("-truncate rewrites the emitted file and requires -out")
@@ -120,6 +142,12 @@ func run(args []string, out io.Writer) error {
 	})
 	if err != nil {
 		return err
+	}
+
+	if *soak > 0 {
+		return runSoak(gen, soakConfig{
+			windows: *soak, n: *n, d: *d, r: *r, tau: *tau, slo: *slo,
+		}, out)
 	}
 
 	if *emit != "" {

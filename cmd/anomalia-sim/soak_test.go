@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// soakRecord mirrors the report envelope for decoding in tests.
+type soakRecord struct {
+	Soak soakReport `json:"soak"`
+}
+
+func TestSoakEmitsReport(t *testing.T) {
+	t.Parallel()
+
+	var out bytes.Buffer
+	if err := run([]string{"-n", "300", "-a", "5", "-soak", "6", "-seed", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var rec soakRecord
+	if err := json.Unmarshal(out.Bytes(), &rec); err != nil {
+		t.Fatalf("soak output is not one JSON record: %v\n%s", err, out.String())
+	}
+	r := rec.Soak
+	if r.Windows != 6 || r.Devices != 300 {
+		t.Errorf("report shape %+v, want windows=6 devices=300", r)
+	}
+	if r.P50 <= 0 || r.P99 < r.P50 || r.P999 < r.P99 || r.Max < r.P999 {
+		t.Errorf("latency quantiles not ordered: p50=%v p99=%v p999=%v max=%v",
+			r.P50, r.P99, r.P999, r.Max)
+	}
+	if r.AbnormalWindows == 0 {
+		t.Error("a=5 workload produced no abnormal windows — soak exercised only quiet ticks")
+	}
+	if r.MallocsPerWindow <= 0 {
+		t.Errorf("mallocs_per_window = %v, want > 0 (abnormal windows allocate)", r.MallocsPerWindow)
+	}
+	if len(r.SLO) != 0 {
+		t.Errorf("no -slo given but report carries gates: %+v", r.SLO)
+	}
+}
+
+func TestSoakSLOGate(t *testing.T) {
+	t.Parallel()
+
+	// A generous bound passes and records ok gates.
+	var out bytes.Buffer
+	if err := run([]string{"-n", "300", "-a", "5", "-soak", "4", "-slo", "p99=10m,p50=10m"}, &out); err != nil {
+		t.Fatalf("generous SLO breached: %v", err)
+	}
+	var rec soakRecord
+	if err := json.Unmarshal(out.Bytes(), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Soak.SLO) != 2 || !rec.Soak.SLO[0].OK || !rec.Soak.SLO[1].OK {
+		t.Errorf("generous gates not recorded ok: %+v", rec.Soak.SLO)
+	}
+
+	// An impossible bound fails the run — but the report must still be
+	// written, with the breached gate marked.
+	out.Reset()
+	err := run([]string{"-n", "300", "-a", "5", "-soak", "4", "-slo", "p999=1ns"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "slo breach") {
+		t.Fatalf("impossible SLO passed: %v", err)
+	}
+	if err := json.Unmarshal(out.Bytes(), &rec); err != nil {
+		t.Fatalf("report lost on SLO breach: %v\n%s", err, out.String())
+	}
+	if len(rec.Soak.SLO) != 1 || rec.Soak.SLO[0].OK {
+		t.Errorf("breached gate not recorded: %+v", rec.Soak.SLO)
+	}
+}
+
+func TestSoakFlagValidation(t *testing.T) {
+	t.Parallel()
+
+	var out bytes.Buffer
+	if err := run([]string{"-slo", "p99=1ms"}, &out); err == nil {
+		t.Error("-slo without -soak accepted")
+	}
+	if err := run([]string{"-soak", "2", "-emit", "csv"}, &out); err == nil {
+		t.Error("-soak with -emit accepted")
+	}
+	for _, spec := range []string{"p98=1ms", "p99", "p99=banana", "p99=-1ms", ","} {
+		if err := run([]string{"-n", "300", "-soak", "2", "-slo", spec}, &out); err == nil {
+			t.Errorf("-slo %q accepted", spec)
+		}
+	}
+}
+
+// TestSimDocSync keeps the usage header honest: every flag the sim
+// defines must appear in the text above `package main`.
+func TestSimDocSync(t *testing.T) {
+	t.Parallel()
+
+	src, err := os.ReadFile("main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	header, _, found := strings.Cut(string(src), "\npackage main")
+	if !found {
+		t.Fatal("cannot locate package clause in main.go")
+	}
+	for _, flagName := range []string{
+		"-n", "-d", "-r", "-tau", "-a", "-g", "-steps", "-seed",
+		"-exact", "-r3", "-concomitant", "-maxshift", "-v", "-emit",
+		"-out", "-drop", "-corrupt", "-faultseed", "-outages",
+		"-truncate", "-soak", "-slo",
+	} {
+		if !strings.Contains(header, flagName) {
+			t.Errorf("usage comment omits flag %s", flagName)
+		}
+	}
+}

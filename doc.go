@@ -322,4 +322,63 @@
 // allocation regressions in the m = 50k all-abnormal fleet
 // characterization. Separate CI steps repeat the seeded
 // fault-injection and wire-fault soaks under the race detector.
+//
+// # Observability
+//
+// WithMetrics(reg) instruments a Monitor against an
+// internal/metrics.Registry: every committed tick records a handful of
+// atomic stores — no allocation, no lock — and the registry renders
+// the Prometheus text format (version 0.0.4) via reg.Handler() or
+// reg.WritePrometheus. anomalia-gateway and anomalia-directory expose
+// it with -metrics addr (scrape endpoint /metrics); anomalia-sim
+// -soak N runs N windows against an instrumented monitor and emits a
+// JSON latency report (p50/p99/p999 tick seconds, alloc drift) that
+// -slo p99=DUR turns into an exit-code gate, recorded per PR by
+// scripts/bench.sh into BENCH_N.json.
+//
+// The Monitor feeds these families per window:
+//
+//   - anomalia_ticks_total — snapshots observed (counter)
+//   - anomalia_tick_seconds — latency histogram by phase label:
+//     ingest (classify + health dispatch, ObservePartial only),
+//     detect (the sharded detector walk), characterize (abnormal
+//     windows only), total
+//   - anomalia_abnormal_windows_total — windows with a non-empty
+//     abnormal set (counter)
+//   - anomalia_abnormal_devices — abnormal-set size histogram
+//   - anomalia_abnormal_churn_ratio — symmetric-difference churn of
+//     consecutive abnormal sets over their union (gauge)
+//   - anomalia_directory_builds_total,
+//     anomalia_directory_advances_total{result=patched|rebuilt} —
+//     in-process directory decisions (counters)
+//   - anomalia_health_devices{state=live|stale|quarantined} — the
+//     population split (gauges), plus the lifetime counters
+//     anomalia_health_quarantines_total,
+//     anomalia_health_readmissions_total,
+//     anomalia_health_held_ticks_total,
+//     anomalia_health_dropped_reports_total,
+//     anomalia_health_faulty_ticks_total
+//   - anomalia_dir_windows_total{outcome=networked|degraded},
+//     anomalia_dir_retries_total, anomalia_dir_failures_total,
+//     anomalia_dir_breaker_opens_total, anomalia_dir_rejoins_total,
+//     anomalia_dir_bytes_total{direction=sent|received},
+//     anomalia_dir_round_trips_total — the networked-directory wire
+//     ledger (DirStats as counters)
+//   - anomalia_go_heap_alloc_bytes, anomalia_go_alloc_bytes_total,
+//     anomalia_go_mallocs_total, anomalia_go_gc_cycles_total,
+//     anomalia_go_gc_pause_ns_total — a per-window runtime sample
+//
+// The binaries add their own families on the same registry:
+// anomalia-gateway counts ingested frames
+// (anomalia_gateway_snapshots_total,
+// anomalia_gateway_recovered_errors_total), and anomalia-directory
+// counts wire service (anomalia_dirsrv_connections_total,
+// anomalia_dirsrv_requests_total, anomalia_dirsrv_request_errors_total,
+// anomalia_dirsrv_bytes_total{direction=read|written}, and the held
+// window sequence anomalia_dirsrv_window_seq) with the same
+// runtime sample refreshed on scrape. A doc-sync test pins every
+// family a Monitor registers against this section; the stats snapshots
+// (Time, DeviceHealth, HealthStats, DirStats) and a registry scrape
+// are the one part of the Monitor API that is safe to call
+// concurrently with Observe/ObservePartial.
 package anomalia

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 
 	"anomalia/internal/core"
@@ -70,9 +71,14 @@ type Client struct {
 	lastGood uint64
 	lastRows map[int][]float64
 	rng      *stats.RNG
-	st       Stats
-	enc      []byte // request scratch
-	in       []byte // response scratch
+	// st accumulates the lifetime wire counters; stMu guards it so a
+	// stats snapshot (Monitor.DirStats, a metrics scrape) can run on
+	// another goroutine while a window is in flight. Everything else on
+	// the client keeps the single-caller contract.
+	stMu sync.Mutex
+	st   Stats
+	enc  []byte // request scratch
+	in   []byte // response scratch
 }
 
 // NewClient validates the configuration, applies defaults, and returns
@@ -126,8 +132,21 @@ func NewClient(cfg Config) (*Client, error) {
 	return c, nil
 }
 
-// Stats returns the lifetime wire counters.
-func (c *Client) Stats() Stats { return c.st }
+// Stats returns the lifetime wire counters. Safe to call from any
+// goroutine, including concurrently with an in-flight window.
+func (c *Client) Stats() Stats {
+	c.stMu.Lock()
+	defer c.stMu.Unlock()
+	return c.st
+}
+
+// count applies one mutation to the wire counters under the stats
+// lock — the only way request paths touch c.st.
+func (c *Client) count(f func(*Stats)) {
+	c.stMu.Lock()
+	f(&c.st)
+	c.stMu.Unlock()
+}
 
 // Close drops every connection. The client stays usable — the next
 // window redials.
@@ -200,7 +219,7 @@ func (c *Client) DecideWindow(pair *motion.Pair, abnormal []int, cfg core.Config
 			if c.syncShard(s, w, body, true) != nil {
 				continue
 			}
-			c.st.Rejoins++
+			c.count(func(st *Stats) { st.Rejoins++ })
 			s.state = brClosed
 			s.fails = 0
 			synced = append(synced, s)
@@ -449,7 +468,7 @@ func (c *Client) noteFailure(s *shard) {
 		s.state = brOpen
 		s.cooldown = c.cfg.BreakerCooldown
 		s.fails = 0
-		c.st.BreakerOpens++
+		c.count(func(st *Stats) { st.BreakerOpens++ })
 	}
 }
 
@@ -471,7 +490,7 @@ func (c *Client) request(s *shard, payload []byte, attempts int) ([]byte, error)
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
-			c.st.Retries++
+			c.count(func(st *Stats) { st.Retries++ })
 			c.cfg.Sleep(c.backoff(attempt))
 		}
 		body, err := c.attempt(s, payload)
@@ -480,7 +499,7 @@ func (c *Client) request(s *shard, payload []byte, attempts int) ([]byte, error)
 		}
 		lastErr = err
 	}
-	c.st.Failures++
+	c.count(func(st *Stats) { st.Failures++ })
 	return nil, lastErr
 }
 
@@ -509,7 +528,7 @@ func (c *Client) attempt(s *shard, payload []byte) ([]byte, error) {
 		c.dropConn(s)
 		return nil, err
 	}
-	c.st.BytesSent += int64(sent)
+	c.count(func(st *Stats) { st.BytesSent += int64(sent) })
 	resp, rcvd, err := readFrame(s.rd, c.in)
 	c.in = resp
 	if err != nil {
@@ -518,8 +537,10 @@ func (c *Client) attempt(s *shard, payload []byte) ([]byte, error) {
 		c.dropConn(s)
 		return nil, err
 	}
-	c.st.BytesReceived += int64(rcvd)
-	c.st.RoundTrips++
+	c.count(func(st *Stats) {
+		st.BytesReceived += int64(rcvd)
+		st.RoundTrips++
+	})
 	body, err := decodeStatus(resp)
 	if err != nil && err != errNeedInit && !isAppError(err) {
 		// Malformed response: treat as transport fault.

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"anomalia/internal/dist"
@@ -40,6 +41,38 @@ type Server struct {
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
+
+	// Lifetime wire-service counters behind Counters — atomics, so
+	// concurrent HandleConn goroutines record without coordination and
+	// a scraper reads without stopping service.
+	nConns        atomic.Int64
+	nRequests     atomic.Int64
+	nReqErrors    atomic.Int64
+	nBytesRead    atomic.Int64
+	nBytesWritten atomic.Int64
+}
+
+// ServerCounters is a snapshot of a server's lifetime wire service:
+// connections accepted, requests answered (errors are the subset
+// answered with an application statusErr), and frame bytes moved,
+// prefix included. Safe to call from any goroutine.
+type ServerCounters struct {
+	Connections   int64
+	Requests      int64
+	RequestErrors int64
+	BytesRead     int64
+	BytesWritten  int64
+}
+
+// Counters returns the lifetime wire counters.
+func (s *Server) Counters() ServerCounters {
+	return ServerCounters{
+		Connections:   s.nConns.Load(),
+		Requests:      s.nRequests.Load(),
+		RequestErrors: s.nReqErrors.Load(),
+		BytesRead:     s.nBytesRead.Load(),
+		BytesWritten:  s.nBytesWritten.Load(),
+	}
 }
 
 // NewServer returns an empty server: the first request it can answer
@@ -69,6 +102,7 @@ func (s *Server) HandleConn(conn net.Conn) {
 	}
 	defer s.untrack(conn)
 	defer conn.Close()
+	s.nConns.Add(1)
 	r := bufio.NewReaderSize(conn, 1<<16)
 	timeout := s.IOTimeout
 	if timeout <= 0 {
@@ -79,14 +113,21 @@ func (s *Server) HandleConn(conn net.Conn) {
 		// Block for the next request header indefinitely, then bound the
 		// rest of the exchange.
 		conn.SetDeadline(time.Time{})
-		payload, _, err := readFrameDeadline(conn, r, in, timeout)
+		payload, rcvd, err := readFrameDeadline(conn, r, in, timeout)
 		in = payload
 		if err != nil {
 			return
 		}
+		s.nRequests.Add(1)
+		s.nBytesRead.Add(int64(rcvd))
 		out = s.respond(out[:0], payload)
+		if len(out) > 0 && out[0] == statusErr {
+			s.nReqErrors.Add(1)
+		}
 		conn.SetWriteDeadline(time.Now().Add(timeout))
-		if _, err := writeFrame(conn, out); err != nil {
+		sent, err := writeFrame(conn, out)
+		s.nBytesWritten.Add(int64(sent))
+		if err != nil {
 			return
 		}
 	}

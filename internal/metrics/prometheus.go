@@ -1,0 +1,178 @@
+package metrics
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// escapeHelp escapes HELP text per the Prometheus text format:
+// backslash and newline.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, c := range s {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value: backslash, double quote, newline.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, c := range s {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// writeLabels renders {a="x",b="y"} (empty for no labels), with extra
+// appended after the constant labels — the histogram "le" slot.
+func writeLabels(w *bufio.Writer, labels []Label, extra ...Label) {
+	if len(labels) == 0 && len(extra) == 0 {
+		return
+	}
+	w.WriteByte('{')
+	first := true
+	for _, l := range append(labels, extra...) {
+		if !first {
+			w.WriteByte(',')
+		}
+		first = false
+		w.WriteString(l.Name)
+		w.WriteString(`="`)
+		w.WriteString(escapeLabel(l.Value))
+		w.WriteByte('"')
+	}
+	w.WriteByte('}')
+}
+
+// WritePrometheus renders every family in the Prometheus text
+// exposition format (version 0.0.4), running the OnScrape hooks first.
+// Families appear in registration order, series in their registration
+// order within the family, so the output is deterministic for a fixed
+// wiring.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	hooks := make([]func(), len(r.onScrape))
+	copy(hooks, r.onScrape)
+	r.mu.Unlock()
+	for _, f := range hooks {
+		f()
+	}
+
+	r.mu.Lock()
+	fams := make([]*family, len(r.families))
+	copy(fams, r.families)
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		if f.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(f.help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.String())
+		bw.WriteByte('\n')
+		for _, s := range f.series {
+			switch f.kind {
+			case KindCounter:
+				bw.WriteString(f.name)
+				writeLabels(bw, s.labels)
+				bw.WriteByte(' ')
+				bw.WriteString(strconv.FormatInt(s.ctr.Value(), 10))
+				bw.WriteByte('\n')
+			case KindGauge:
+				bw.WriteString(f.name)
+				writeLabels(bw, s.labels)
+				bw.WriteByte(' ')
+				bw.WriteString(formatFloat(s.gauge.Value()))
+				bw.WriteByte('\n')
+			case KindHistogram:
+				h := s.hist
+				if h == nil { // registration raced the scrape
+					continue
+				}
+				var cum int64
+				for i, bound := range h.bounds {
+					cum += h.counts[i].Load()
+					bw.WriteString(f.name)
+					bw.WriteString("_bucket")
+					writeLabels(bw, s.labels, Label{Name: "le", Value: formatFloat(bound)})
+					bw.WriteByte(' ')
+					bw.WriteString(strconv.FormatInt(cum, 10))
+					bw.WriteByte('\n')
+				}
+				cum += h.counts[len(h.bounds)].Load()
+				bw.WriteString(f.name)
+				bw.WriteString("_bucket")
+				writeLabels(bw, s.labels, Label{Name: "le", Value: "+Inf"})
+				bw.WriteByte(' ')
+				bw.WriteString(strconv.FormatInt(cum, 10))
+				bw.WriteByte('\n')
+				bw.WriteString(f.name)
+				bw.WriteString("_sum")
+				writeLabels(bw, s.labels)
+				bw.WriteByte(' ')
+				bw.WriteString(formatFloat(h.Sum()))
+				bw.WriteByte('\n')
+				bw.WriteString(f.name)
+				bw.WriteString("_count")
+				writeLabels(bw, s.labels)
+				bw.WriteByte(' ')
+				bw.WriteString(strconv.FormatInt(h.Count(), 10))
+				bw.WriteByte('\n')
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler serves the registry at any path in the Prometheus text
+// format — mount it on /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

@@ -2,6 +2,9 @@ package anomalia
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"anomalia/internal/detect"
 	"anomalia/internal/dirnet"
@@ -16,7 +19,12 @@ import (
 // returns, whenever some devices behave abnormally, the massive /
 // isolated / unresolved verdicts for exactly those devices.
 //
-// Monitor is not safe for concurrent use.
+// Monitor is not safe for concurrent use, with one deliberate
+// carve-out: the stats snapshots — Time, DeviceHealth, HealthStats,
+// DirStats — and a metrics scrape (WithMetrics) may run on another
+// goroutine concurrently with Observe/ObservePartial. They read
+// atomics or take the stats mutex, so a scraper never tears a counter
+// and never blocks the fast ingest path.
 type Monitor struct {
 	devices  int
 	services int
@@ -27,7 +35,7 @@ type Monitor struct {
 	// merged abnormal set is byte-identical to a serial walk.
 	walker *detect.Walker
 	prev   *space.State
-	time   int
+	time   atomic.Int64
 	// spare recycles the state displaced by the previous Observe as the
 	// next snapshot buffer (a double buffer: Observe fully overwrites
 	// every row before reading it), and abnBuf recycles the abnormal-id
@@ -46,18 +54,32 @@ type Monitor struct {
 	// configured: abnormal windows are decided over the wire by a shard
 	// fleet, and a window the fleet cannot serve degrades to centralized
 	// characterization (verdicts unchanged). dirWindows / dirNetworked /
-	// dirDegraded are the lifetime window ledger behind DirStats.
+	// dirDegraded are the lifetime window ledger behind DirStats —
+	// atomics, because DirStats may race a scraper against the
+	// observing goroutine.
 	dirClient    *dirnet.Client
-	dirWindows   int64
-	dirNetworked int64
-	dirDegraded  int64
+	dirWindows   atomic.Int64
+	dirNetworked atomic.Int64
+	dirDegraded  atomic.Int64
 	// health is the per-device state machine of the degraded ingest path
 	// (ObservePartial), created on the first partial tick so Observe-only
 	// monitors pay nothing for it; cleanBuf and rowsBuf are its recycled
 	// per-tick scratch (classification mask, effective-row table).
-	health   *health.Tracker
+	// The pointer is atomic so a concurrent stats snapshot sees either
+	// no tracker or a fully built one; statsMu serializes the tracker's
+	// mutations (the slow-path dispatch loop, Reset) against
+	// HealthStats/DeviceHealth readers. The all-clean fast path stays
+	// outside the mutex: ConsumeAll touches only per-device consumption
+	// state no stats reader looks at, which is what keeps the quiet
+	// partial tick at 1 alloc and lock-free.
+	health   atomic.Pointer[health.Tracker]
+	statsMu  sync.Mutex
 	cleanBuf []bool
 	rowsBuf  [][]float64
+	// mx is the per-window metrics feed (WithMetrics); nil when the
+	// monitor is not instrumented — every record site is gated on that,
+	// so the uninstrumented hot path pays one predictable branch.
+	mx *monitorMetrics
 }
 
 // NewMonitor builds a monitor for a fleet of devices, each consuming the
@@ -96,6 +118,9 @@ func NewMonitor(devices, services int, opts ...Option) (*Monitor, error) {
 		cfg:      cfg,
 		dets:     make([]*detect.Device, devices),
 		walker:   detect.NewWalker(cfg.ingestWorkers),
+	}
+	if cfg.metrics != nil {
+		m.mx = newMonitorMetrics(cfg.metrics)
 	}
 	if cfg.directory != nil {
 		dc := cfg.directory
@@ -137,7 +162,7 @@ func NewMonitor(devices, services int, opts ...Option) (*Monitor, error) {
 }
 
 // Time returns the number of snapshots observed so far.
-func (m *Monitor) Time() int { return m.time }
+func (m *Monitor) Time() int { return int(m.time.Load()) }
 
 // Observe consumes the snapshot of one discrete time: one row per device,
 // one QoS value in [0,1] per service. It returns nil when no device
@@ -161,6 +186,10 @@ func (m *Monitor) Time() int { return m.time }
 func (m *Monitor) Observe(samples [][]float64) (*Outcome, error) {
 	if len(samples) != m.devices {
 		return nil, fmt.Errorf("snapshot has %d rows, want %d: %w", len(samples), m.devices, ErrInvalidInput)
+	}
+	var start time.Time
+	if m.mx != nil {
+		start = time.Now()
 	}
 	cur := m.spare
 	m.spare = nil
@@ -186,15 +215,22 @@ func (m *Monitor) Observe(samples [][]float64) (*Outcome, error) {
 		m.spare = cur
 		return nil, fmt.Errorf("%w: %w", ErrInvalidInput, err)
 	}
+	var walked time.Time
+	if m.mx != nil {
+		walked = time.Now()
+	}
 	prev := m.prev
 	m.prev = cur
-	m.time++
+	m.time.Add(1)
 	// The displaced snapshot is dead from here on whatever happens next
 	// — outcomes carry device ids, never state references, and the
 	// characterization below only reads it — so recycle it now; that
 	// keeps the double buffer intact on every error path too.
 	m.spare = prev
 	if prev == nil || len(abnormal) == 0 {
+		if m.mx != nil {
+			m.tickDone(start, time.Time{}, walked, nil, false)
+		}
 		return nil, nil
 	}
 
@@ -202,7 +238,11 @@ func (m *Monitor) Observe(samples [][]float64) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	return m.characterizeWindow(pair, abnormal)
+	out, err := m.characterizeWindow(pair, abnormal)
+	if m.mx != nil {
+		m.tickDone(start, time.Time{}, walked, abnormal, true)
+	}
+	return out, err
 }
 
 // ObservePartial consumes one possibly-degraded snapshot: one row per
@@ -254,12 +294,18 @@ func (m *Monitor) ObservePartial(samples [][]float64) (*Outcome, error) {
 	if len(samples) != m.devices {
 		return nil, fmt.Errorf("snapshot has %d rows, want %d: %w", len(samples), m.devices, ErrInvalidInput)
 	}
-	if m.health == nil {
+	var start time.Time
+	if m.mx != nil {
+		start = time.Now()
+	}
+	tracker := m.health.Load()
+	if tracker == nil {
 		t, err := health.New(m.devices, m.cfg.health)
 		if err != nil {
 			return nil, fmt.Errorf("%w: %w", ErrInvalidInput, err)
 		}
-		m.health = t
+		m.health.Store(t)
+		tracker = t
 	}
 	if m.cleanBuf == nil {
 		m.cleanBuf = make([]bool, m.devices)
@@ -273,15 +319,21 @@ func (m *Monitor) ObservePartial(samples [][]float64) (*Outcome, error) {
 	// gives the whole fleet a last-known value, so a device's first
 	// fault after an all-clean history is held, not skipped.
 	rows := samples
-	if nClean == m.devices && m.health.AllLive() {
-		m.health.ConsumeAll()
+	if nClean == m.devices && tracker.AllLive() {
+		tracker.ConsumeAll()
 	} else {
 		if m.rowsBuf == nil {
 			m.rowsBuf = make([][]float64, m.devices)
 		}
 		rows = m.rowsBuf
+		// The dispatch loop mutates the tracker's states, streaks and
+		// lifetime counters — the fields a concurrent HealthStats or
+		// DeviceHealth snapshot reads — so it runs under the stats
+		// mutex. One lock per tick, not per device; the all-clean fast
+		// path above never takes it.
+		m.statsMu.Lock()
 		for dev := range rows {
-			switch m.health.Report(dev, m.cleanBuf[dev]) {
+			switch tracker.Report(dev, m.cleanBuf[dev]) {
 			case health.Consume:
 				rows[dev] = samples[dev]
 			case health.Hold:
@@ -301,6 +353,11 @@ func (m *Monitor) ObservePartial(samples [][]float64) (*Outcome, error) {
 				rows[dev] = nil
 			}
 		}
+		m.statsMu.Unlock()
+	}
+	var ingested time.Time
+	if m.mx != nil {
+		ingested = time.Now()
 	}
 
 	cur := m.spare
@@ -343,17 +400,28 @@ func (m *Monitor) ObservePartial(samples [][]float64) (*Outcome, error) {
 		m.spare = cur
 		return nil, fmt.Errorf("%w: %w", ErrInvalidInput, err)
 	}
+	var walked time.Time
+	if m.mx != nil {
+		walked = time.Now()
+	}
 	m.prev = cur
-	m.time++
+	m.time.Add(1)
 	m.spare = prev
 	if prev == nil || len(abnormal) == 0 {
+		if m.mx != nil {
+			m.tickDone(start, ingested, walked, nil, false)
+		}
 		return nil, nil
 	}
 	pair, err := motion.NewPair(prev, cur)
 	if err != nil {
 		return nil, err
 	}
-	return m.characterizeWindow(pair, abnormal)
+	out, err := m.characterizeWindow(pair, abnormal)
+	if m.mx != nil {
+		m.tickDone(start, ingested, walked, abnormal, true)
+	}
+	return out, err
 }
 
 // DeviceHealth returns device dev's current health state. Devices are
@@ -363,10 +431,14 @@ func (m *Monitor) DeviceHealth(dev int) (HealthState, error) {
 	if dev < 0 || dev >= m.devices {
 		return HealthLive, fmt.Errorf("device %d of %d: %w", dev, m.devices, ErrInvalidInput)
 	}
-	if m.health == nil {
+	t := m.health.Load()
+	if t == nil {
 		return HealthLive, nil
 	}
-	switch m.health.State(dev) {
+	m.statsMu.Lock()
+	st := t.State(dev)
+	m.statsMu.Unlock()
+	switch st {
 	case health.Stale:
 		return HealthStale, nil
 	case health.Quarantined:
@@ -379,11 +451,14 @@ func (m *Monitor) DeviceHealth(dev int) (HealthState, error) {
 // HealthStats returns the current population split and the lifetime
 // degraded-ingestion counters.
 func (m *Monitor) HealthStats() HealthStats {
-	if m.health == nil {
+	t := m.health.Load()
+	if t == nil {
 		return HealthStats{Live: m.devices}
 	}
-	live, stale, quar := m.health.Counts()
-	st := m.health.Stats()
+	m.statsMu.Lock()
+	live, stale, quar := t.Counts()
+	st := t.Stats()
+	m.statsMu.Unlock()
 	return HealthStats{
 		Live:           live,
 		Stale:          stale,
@@ -419,17 +494,17 @@ func (m *Monitor) characterizeWindow(pair *motion.Pair, abnormal []int) (*Outcom
 		return nil, err
 	}
 	if m.dirClient != nil {
-		m.dirWindows++
+		m.dirWindows.Add(1)
 		decisions, total, err := m.dirClient.DecideWindow(pair, abnormal, coreCfg)
 		if err == nil {
-			m.dirNetworked++
+			m.dirNetworked.Add(1)
 			return outcomeFromDecisions(decisions, total), nil
 		}
 		// Whatever failed — unreachable shards, a mid-window crash, a
 		// deterministic server rejection — the centralized path is the
 		// oracle the networked one is pinned to, so fall back for this
 		// window; the client re-syncs shards on the next abnormal window.
-		m.dirDegraded++
+		m.dirDegraded.Add(1)
 		central := m.cfg
 		central.distributed = false
 		return characterizePair(pair, abnormal, central)
@@ -440,13 +515,26 @@ func (m *Monitor) characterizeWindow(pair *motion.Pair, abnormal []int) (*Outcom
 			return nil, err
 		}
 		m.dir = dir
-	} else if _, err := m.dir.Advance(pair, abnormal, nil); err != nil {
-		// A failed advance never mutates the retained window, but the
-		// monitor can no longer assume the directory tracks this window's
-		// abnormal set — drop it and let the next abnormal window rebuild
-		// from scratch rather than serve stale membership.
-		m.dir = nil
-		return nil, err
+		if m.mx != nil {
+			m.mx.dirBuilds.Inc()
+		}
+	} else {
+		st, err := m.dir.Advance(pair, abnormal, nil)
+		if err != nil {
+			// A failed advance never mutates the retained window, but the
+			// monitor can no longer assume the directory tracks this window's
+			// abnormal set — drop it and let the next abnormal window rebuild
+			// from scratch rather than serve stale membership.
+			m.dir = nil
+			return nil, err
+		}
+		if m.mx != nil {
+			if st.Rebuilt {
+				m.mx.dirAdvanceRebuilt.Inc()
+			} else {
+				m.mx.dirAdvancePatched.Inc()
+			}
+		}
 	}
 	return decideDistributed(m.dir, coreCfg)
 }
@@ -460,9 +548,9 @@ func (m *Monitor) DirStats() DirStats {
 	}
 	st := m.dirClient.Stats()
 	return DirStats{
-		Windows:       m.dirWindows,
-		Networked:     m.dirNetworked,
-		Degraded:      m.dirDegraded,
+		Windows:       m.dirWindows.Load(),
+		Networked:     m.dirNetworked.Load(),
+		Degraded:      m.dirDegraded.Load(),
 		Retries:       st.Retries,
 		Failures:      st.Failures,
 		BreakerOpens:  st.BreakerOpens,
@@ -485,12 +573,14 @@ func (m *Monitor) Reset() {
 	}
 	m.prev = nil
 	m.spare = nil
-	m.time = 0
+	m.time.Store(0)
 	m.dir = nil
 	if m.dirClient != nil {
 		m.dirClient.Reset()
 	}
-	if m.health != nil {
-		m.health.Reset()
+	if t := m.health.Load(); t != nil {
+		m.statsMu.Lock()
+		t.Reset()
+		m.statsMu.Unlock()
 	}
 }

@@ -429,7 +429,7 @@ func TestObservePartialHoldWithoutCommittedState(t *testing.T) {
 		t.Fatal(err)
 	}
 	tr.ConsumeAll()
-	mon.health = tr
+	mon.health.Store(tr)
 
 	snap := fleetSnapshot(n, 0.95, nil)
 	snap[3] = nil

@@ -19,10 +19,13 @@
 #                             and the plain-tick latency ratio on its
 #                             idle-health ObservePartial twin, the
 #                             added allocs/op of its networked-directory
-#                             twin over the plain quiet tick, the
-#                             end-to-end/bare tick latency ratio, and
+#                             twin over the plain quiet tick, the added
+#                             allocs/op of the metrics-fed twin, the
+#                             end-to-end/bare tick latency ratio,
 #                             ns/op + allocs/op on the m=50k
-#                             all-abnormal fleet characterization
+#                             all-abnormal fleet characterization, a
+#                             short SLO-gated latency soak, and the
+#                             BENCH_N.json trajectory completeness check
 #
 # The window gate fails when allocs/op exceeds MAX_WINDOW_ALLOCS, chosen
 # with ~15% headroom over the PR 2 hot path (1735 allocs/op; the seed
@@ -88,6 +91,22 @@
 # steady-state walk. Both sides are min-reduced across -count
 # repetitions for the same GC reasoning as the other tick gates.
 #
+# The PR 10 gates cover the observability layer. The instrumented
+# quiet-tick gate fails when the steady-state million-device Observe on
+# a monitor feeding a metrics registry (WithMetrics) allocates more
+# than MAX_METRICS_TICK_ADDED_ALLOCS allocations over the plain quiet
+# tick measured in the same run: recording is atomic stores into
+# pre-registered series, so any per-tick label formatting, boxing, or
+# map lookup creeping into the record path trips the gate. The latency
+# SLO soak runs anomalia-sim -soak (N windows through an instrumented
+# monitor over pre-generated snapshots) under a -slo p99 bound and
+# records the JSON report — exact p50/p99/p999/max tick seconds plus
+# alloc drift — into the PR snapshot. Both modes also verify the
+# BENCH_${PR}.json trajectory itself: every snapshot from PR 2 up to
+# the current PR must exist at the repo root, so a PR that bumps PR=
+# without committing its snapshot (the PR 7 / PR 9 gap) fails loudly
+# instead of silently losing the perf history.
+#
 # The PR 7 gates cover the component-local characterizer. The
 # all-abnormal gates fail when fleet-wide characterization of the
 # adversarial m=50k all-abnormal clustered window (every device
@@ -106,7 +125,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PR=9
+PR=10
 OUT="BENCH_${PR}.json"
 MAX_WINDOW_ALLOCS=2000
 MAX_GRAPH100K_BYTES=150000000
@@ -119,8 +138,12 @@ MAX_TICK_RATIO_SHORT=2.5
 MAX_PARTIAL_TICK_RATIO=1.5
 MAX_PARTIAL_TICK_RATIO_SHORT=2.0
 MAX_NET_TICK_ADDED_ALLOCS=1
+MAX_METRICS_TICK_ADDED_ALLOCS=1
 MAX_ALLABN50K_NS=2000000000
 MAX_ALLABN50K_ALLOCS=300000
+SOAK_WINDOWS=200
+SOAK_WINDOWS_SHORT=30
+SOAK_SLO="p99=250ms"
 
 # bench_json BENCH_OUTPUT -> JSON entries "name": {ns_op, b_op, allocs_op}.
 # Repeated lines for one benchmark (-count > 1) keep the per-metric
@@ -240,7 +263,56 @@ net_tick_gate() {
   echo "bench.sh: networked quiet-tick allocation gate OK (${net_allocs} <= ${plain_allocs}+${MAX_NET_TICK_ADDED_ALLOCS} allocs/op)"
 }
 
+# metrics_tick_gate PLAIN_ALLOCS MX_ALLOCS LABEL — the PR 10
+# instrumented quiet-tick gate: the quiet Observe tick on a
+# metrics-fed monitor must cost at most MAX_METRICS_TICK_ADDED_ALLOCS
+# allocations over the plain quiet tick measured in the same run.
+metrics_tick_gate() {
+  local plain_allocs="$1" mx_allocs="$2" label="$3"
+  if [ -z "$plain_allocs" ] || [ -z "$mx_allocs" ]; then
+    echo "bench.sh: could not parse the quiet Observe/metrics tick pair" >&2
+    exit 1
+  fi
+  local ceiling=$((plain_allocs + MAX_METRICS_TICK_ADDED_ALLOCS))
+  if [ "$mx_allocs" -gt "$ceiling" ]; then
+    echo "bench.sh: instrumented quiet-tick allocation regression — metrics-fed n=1M Observe at ${mx_allocs} allocs/op vs plain ${plain_allocs}, ${label} gate is plain+${MAX_METRICS_TICK_ADDED_ALLOCS}" >&2
+    exit 1
+  fi
+  echo "bench.sh: instrumented quiet-tick allocation gate OK (${mx_allocs} <= ${plain_allocs}+${MAX_METRICS_TICK_ADDED_ALLOCS} allocs/op)"
+}
+
+# snapshot_gate — the perf trajectory must be complete: every
+# BENCH_N.json from PR 2 up to the PR this script is pinned at must be
+# committed at the repo root. A PR that bumps PR= without committing
+# its snapshot fails loudly here instead of silently losing history.
+snapshot_gate() {
+  local missing=""
+  for n in $(seq 2 "$PR"); do
+    [ -f "BENCH_${n}.json" ] || missing="${missing} BENCH_${n}.json"
+  done
+  if [ -n "$missing" ]; then
+    echo "bench.sh: perf trajectory has holes — missing${missing}; run scripts/bench.sh on the PR that introduced each gap and commit the snapshot" >&2
+    exit 1
+  fi
+  echo "bench.sh: perf trajectory complete (BENCH_2..${PR}.json present)"
+}
+
+# run_soak WINDOWS — the latency SLO soak: anomalia-sim drives WINDOWS
+# windows through an instrumented monitor and the -slo bound gates the
+# exit code. Prints the one-line JSON report on stdout; the failure
+# path dumps it to stderr before exiting.
+run_soak() {
+  local windows="$1" report
+  if ! report=$(go run ./cmd/anomalia-sim -n 1000 -a 20 -soak "$windows" -slo "$SOAK_SLO"); then
+    echo "bench.sh: latency SLO soak failed (${windows} windows, ${SOAK_SLO})" >&2
+    printf '%s\n' "$report" >&2
+    exit 1
+  fi
+  printf '%s\n' "$report"
+}
+
 if [ "${1:-}" = "-short" ]; then
+  snapshot_gate
   out=$(go test -run='^$' -bench='BenchmarkCharacterizeWindow$' -benchmem -benchtime=20x .)
   echo "$out"
   gout=$(go test -short -run='^$' -bench='BenchmarkNewGraph/grid/sparse/n=100000$' \
@@ -304,7 +376,7 @@ if [ "${1:-}" = "-short" ]; then
   # networked-directory twins must cost the same, and the full
   # mass-event tick must stay within the latency envelope of its own
   # characterization.
-  tout=$(go test -run='^$' -bench='BenchmarkTickIngestDetect1M$|BenchmarkTickObservePartial1M$|BenchmarkTickObserveNetworked1M$' \
+  tout=$(go test -run='^$' -bench='BenchmarkTickIngestDetect1M$|BenchmarkTickObservePartial1M$|BenchmarkTickObserveNetworked1M$|BenchmarkTickObserveMetrics1M$' \
     -benchmem -benchtime=3x -timeout=20m .)
   echo "$tout"
   tallocs=$(metric "$tout" '^BenchmarkTickIngestDetect1M' 'allocs/op' | min_of)
@@ -324,6 +396,10 @@ if [ "${1:-}" = "-short" ]; then
     "$MAX_PARTIAL_TICK_RATIO_SHORT" "short"
   net_tick_gate "$tallocs" \
     "$(metric "$tout" '^BenchmarkTickObserveNetworked1M' 'allocs/op' | min_of)" "short"
+  metrics_tick_gate "$tallocs" \
+    "$(metric "$tout" '^BenchmarkTickObserveMetrics1M' 'allocs/op' | min_of)" "short"
+  # Latency SLO soak smoke: a short instrumented run under the p99 gate.
+  run_soak "$SOAK_WINDOWS_SHORT"
   rout=$(go test -run='^$' -bench='BenchmarkTickBare1M$|BenchmarkTickObserve1M/sharded$' \
     -benchtime=1x -count=2 -timeout=20m .)
   echo "$rout"
@@ -372,7 +448,7 @@ go test -run='^$' -bench='BenchmarkDirectoryAdvance|BenchmarkDirectoryRebuild' \
 # -benchtime=1x -count=3 on the heavy ticks: the framework forces a GC
 # between repetitions but not between iterations, so single repetitions
 # of one iteration each, min-reduced, are the comparable estimate.
-go test -run='^$' -bench='BenchmarkTickBare1M$|BenchmarkTickObserve1M|BenchmarkTickIngestDetect1M$|BenchmarkTickObservePartial1M$|BenchmarkTickObserveNetworked1M$' \
+go test -run='^$' -bench='BenchmarkTickBare1M$|BenchmarkTickObserve1M|BenchmarkTickIngestDetect1M$|BenchmarkTickObservePartial1M$|BenchmarkTickObserveNetworked1M$|BenchmarkTickObserveMetrics1M$' \
   -benchmem -benchtime=1x -count=3 -timeout=30m . | tee -a "$tmp"
 go test -run='^$' -bench='BenchmarkIngest/' \
   -benchmem -benchtime=10x -count=3 ./cmd/anomalia-gateway/ | tee -a "$tmp"
@@ -395,70 +471,78 @@ if [ -z "$abn10ns" ] || [ -z "$abn200ns" ]; then
 fi
 abnexp=$(awk -v a="$abn10ns" -v b="$abn200ns" 'BEGIN{printf "%.2f", log(b/a)/log(20)}')
 
+# Latency SLO soak: the instrumented-monitor percentiles recorded next
+# to the raw suite (and gated — a p99 breach kills the run here).
+soakjson=$(run_soak "$SOAK_WINDOWS")
+echo "bench.sh: soak report: ${soakjson}"
+# Strip the {"soak": ...} envelope so the report nests as a JSON value.
+soakbody=$(printf '%s' "$soakjson" | sed 's/^{"soak"://; s/}$//')
+
 {
   echo "{"
   echo "  \"pr\": ${PR},"
   echo "  \"date\": \"$(date -u +%Y-%m-%d)\","
   echo "  \"go\": \"$(go env GOVERSION)\","
-  echo "  \"note\": \"PR ${PR}: fault-tolerant networked directory. The dist.Directory shards move behind a length-prefixed binary wire protocol (internal/dirnet, cmd/anomalia-directory) and the Monitor gains WithDirectory: a deadline/retry/backoff client with per-shard circuit breakers decides abnormal windows over the wire, and any window the wire cannot serve within its budget falls back to centralized characterization with identical verdicts — the networked soak pins both paths byte-identical to their oracles through crashes, partitions and drops under -race. None of the existing hot paths changed, so the interesting row is the within-run pair: BenchmarkTickObserveNetworked1M (quiet n=1M Observe on a directory-configured monitor, breaker closed, in-process shard) must cost at most one allocation over BenchmarkTickIngestDetect1M (plain quiet Observe) — a quiet window never reaches the decision path, so the client must be free on the steady-state tick. 'before' is PR 8's recorded 'after' suite.\","
+  echo "  \"note\": \"PR ${PR}: runtime observability. internal/metrics (counters, gauges, fixed-bucket histograms; zero-allocation atomic recording) feeds a Prometheus text exporter served by anomalia-gateway and anomalia-directory under -metrics, and the Monitor gains WithMetrics: per-window tick latency by phase, abnormal-set/churn ledger, health split, and the DirStats wire ledger, plus a GC/heap sample. The stats surface (Time/HealthStats/DeviceHealth/DirStats) became safe to scrape concurrently with Observe/ObservePartial — atomics plus a slow-path stats mutex — without taxing the hot path, so the interesting row is the within-run pair: BenchmarkTickObserveMetrics1M (quiet n=1M Observe on a metrics-fed monitor) must cost at most one allocation over BenchmarkTickIngestDetect1M (plain quiet Observe). The 'soak' key records the anomalia-sim -soak latency report (exact p50/p99/p999/max tick seconds over ${SOAK_WINDOWS} instrumented windows, alloc drift) gated at ${SOAK_SLO}. 'before' is PR 9's recorded 'after' suite.\","
   echo "  \"before\": {"
   cat <<'PREV'
-    "BenchmarkNewGraph/grid/sparse/n=1000": {"ns_op": 3954289, "b_op": 271440, "allocs_op": 20},
-    "BenchmarkNewGraph/allpairs/sparse/n=1000": {"ns_op": 12456968, "b_op": 180400, "allocs_op": 5},
-    "BenchmarkNewGraph/grid/sparse/n=10000": {"ns_op": 20738672, "b_op": 1983368, "allocs_op": 38},
-    "BenchmarkNewGraph/allpairs/sparse/n=10000": {"ns_op": 1044061206, "b_op": 13058224, "allocs_op": 5},
-    "BenchmarkNewGraph/grid/sparse/n=100000": {"ns_op": 1525414465, "b_op": 95792616, "allocs_op": 206},
-    "BenchmarkNewGraph/grid/clustered/n=1000": {"ns_op": 1158300, "b_op": 226128, "allocs_op": 20},
-    "BenchmarkNewGraph/allpairs/clustered/n=1000": {"ns_op": 6263285, "b_op": 180400, "allocs_op": 5},
-    "BenchmarkNewGraph/grid/clustered/n=10000": {"ns_op": 104512980, "b_op": 10774088, "allocs_op": 56},
-    "BenchmarkNewGraph/allpairs/clustered/n=10000": {"ns_op": 903206035, "b_op": 13058224, "allocs_op": 5},
-    "BenchmarkNewGraph/grid/clustered/n=100000": {"ns_op": 2759875698, "b_op": 180086248, "allocs_op": 368},
-    "BenchmarkNewGraph/grid/sparse/n=1000000": {"ns_op": 2434075590, "b_op": 187684328, "allocs_op": 209},
-    "BenchmarkCharacterizeWindow": {"ns_op": 358305, "b_op": 156061, "allocs_op": 945},
-    "BenchmarkCharacterizeWindowCheap": {"ns_op": 266411, "b_op": 142010, "allocs_op": 527},
-    "BenchmarkCharacterizeLargeFleet": {"ns_op": 1752291, "b_op": 1170353, "allocs_op": 3398},
-    "BenchmarkMonitorObserve": {"ns_op": 70306, "b_op": 23676, "allocs_op": 333},
-    "BenchmarkDirectoryBuild/n=1k": {"ns_op": 7854, "b_op": 5920, "allocs_op": 13},
-    "BenchmarkDirectoryBuild/n=10k": {"ns_op": 35162, "b_op": 27392, "allocs_op": 13},
-    "BenchmarkDistDecide/n=1k": {"ns_op": 1246004, "b_op": 357158, "allocs_op": 5731},
-    "BenchmarkDistDecide/n=10k": {"ns_op": 2786123, "b_op": 879237, "allocs_op": 14055},
-    "BenchmarkDirectoryAdvance/clustered/n=10k/churn=0.1%": {"ns_op": 41199, "b_op": 57408, "allocs_op": 38},
-    "BenchmarkDirectoryAdvance/clustered/n=10k/churn=1%": {"ns_op": 48792, "b_op": 67737, "allocs_op": 54},
-    "BenchmarkDirectoryAdvance/clustered/n=10k/churn=10%": {"ns_op": 196069, "b_op": 181676, "allocs_op": 81},
-    "BenchmarkDirectoryAdvance/clustered/n=100k/churn=0.1%": {"ns_op": 309723, "b_op": 552748, "allocs_op": 54},
-    "BenchmarkDirectoryAdvance/clustered/n=100k/churn=1%": {"ns_op": 662285, "b_op": 669801, "allocs_op": 85},
-    "BenchmarkDirectoryAdvance/clustered/n=100k/churn=10%": {"ns_op": 3006026, "b_op": 2088793, "allocs_op": 122},
-    "BenchmarkDirectoryAdvance/clustered/n=1M/churn=0.1%": {"ns_op": 5765912, "b_op": 5413737, "allocs_op": 86},
-    "BenchmarkDirectoryAdvance/clustered/n=1M/churn=1%": {"ns_op": 9288212, "b_op": 6857449, "allocs_op": 125},
-    "BenchmarkDirectoryAdvance/clustered/n=1M/churn=10%": {"ns_op": 45340009, "b_op": 24069081, "allocs_op": 179},
-    "BenchmarkDirectoryAdvance/uniform/n=10k/churn=0.1%": {"ns_op": 71285, "b_op": 96473, "allocs_op": 47},
-    "BenchmarkDirectoryAdvance/uniform/n=10k/churn=1%": {"ns_op": 59470, "b_op": 138649, "allocs_op": 65},
-    "BenchmarkDirectoryAdvance/uniform/n=10k/churn=10%": {"ns_op": 383367, "b_op": 384761, "allocs_op": 87},
-    "BenchmarkDirectoryAdvance/uniform/n=100k/churn=0.1%": {"ns_op": 1145281, "b_op": 930345, "allocs_op": 68},
-    "BenchmarkDirectoryAdvance/uniform/n=100k/churn=1%": {"ns_op": 1709504, "b_op": 1403513, "allocs_op": 93},
-    "BenchmarkDirectoryAdvance/uniform/n=100k/churn=10%": {"ns_op": 7532169, "b_op": 4577017, "allocs_op": 132},
-    "BenchmarkDirectoryAdvance/uniform/n=1M/churn=0.1%": {"ns_op": 19633182, "b_op": 9204489, "allocs_op": 96},
-    "BenchmarkDirectoryAdvance/uniform/n=1M/churn=1%": {"ns_op": 26553628, "b_op": 15210233, "allocs_op": 141},
-    "BenchmarkDirectoryAdvance/uniform/n=1M/churn=10%": {"ns_op": 116082431, "b_op": 52336393, "allocs_op": 200},
-    "BenchmarkDirectoryRebuild/clustered/n=10k": {"ns_op": 988904, "b_op": 300784, "allocs_op": 13},
-    "BenchmarkDirectoryRebuild/clustered/n=100k": {"ns_op": 8493087, "b_op": 2959568, "allocs_op": 13},
-    "BenchmarkDirectoryRebuild/clustered/n=1M": {"ns_op": 103475185, "b_op": 29428176, "allocs_op": 13},
-    "BenchmarkDirectoryRebuild/uniform/n=10k": {"ns_op": 952986, "b_op": 355664, "allocs_op": 13},
-    "BenchmarkDirectoryRebuild/uniform/n=100k": {"ns_op": 14041590, "b_op": 3507920, "allocs_op": 13},
-    "BenchmarkDirectoryRebuild/uniform/n=1M": {"ns_op": 187685736, "b_op": 34742736, "allocs_op": 13},
-    "BenchmarkDirectoryAdvanceFull/n=10k/churn=1%": {"ns_op": 215734, "b_op": 149737, "allocs_op": 56},
-    "BenchmarkDirectoryAdvanceFull/n=100k/churn=1%": {"ns_op": 2692093, "b_op": 1472697, "allocs_op": 87},
-    "BenchmarkDirectoryAdvanceFull/n=1M/churn=1%": {"ns_op": 32613628, "b_op": 14861113, "allocs_op": 127},
-    "BenchmarkTickBare1M": {"ns_op": 2635973576, "b_op": 397683632, "allocs_op": 732198},
-    "BenchmarkTickObserve1M/serial": {"ns_op": 2688671599, "b_op": 439206112, "allocs_op": 732227},
-    "BenchmarkTickObserve1M/sharded": {"ns_op": 2892508266, "b_op": 439206112, "allocs_op": 732227},
-    "BenchmarkTickIngestDetect1M": {"ns_op": 44513652, "b_op": 16, "allocs_op": 1},
-    "BenchmarkTickObservePartial1M": {"ns_op": 41176733, "b_op": 24, "allocs_op": 1},
-    "BenchmarkIngest/csv": {"ns_op": 158198420, "b_op": 90344248, "allocs_op": 138},
-    "BenchmarkIngest/bin": {"ns_op": 8620034, "b_op": 5677297, "allocs_op": 11},
-    "BenchmarkCharacterizeAllAbnormal/m=10k": {"ns_op": 60604253, "b_op": 12618904, "allocs_op": 31489},
-    "BenchmarkCharacterizeAllAbnormal/m=50k": {"ns_op": 382804363, "b_op": 65964152, "allocs_op": 169446},
-    "BenchmarkCharacterizeAllAbnormal/m=200k": {"ns_op": 2073613054, "b_op": 354345240, "allocs_op": 877656}
+    "BenchmarkNewGraph/grid/sparse/n=1000": {"ns_op": 1297871, "b_op": 271440, "allocs_op": 20},
+    "BenchmarkNewGraph/allpairs/sparse/n=1000": {"ns_op": 10560474, "b_op": 180400, "allocs_op": 5},
+    "BenchmarkNewGraph/grid/sparse/n=10000": {"ns_op": 13911138, "b_op": 1983368, "allocs_op": 38},
+    "BenchmarkNewGraph/allpairs/sparse/n=10000": {"ns_op": 1029705821, "b_op": 13058224, "allocs_op": 5},
+    "BenchmarkNewGraph/grid/sparse/n=100000": {"ns_op": 1224712358, "b_op": 95792616, "allocs_op": 206},
+    "BenchmarkNewGraph/grid/clustered/n=1000": {"ns_op": 1166459, "b_op": 226128, "allocs_op": 20},
+    "BenchmarkNewGraph/allpairs/clustered/n=1000": {"ns_op": 7522402, "b_op": 180400, "allocs_op": 5},
+    "BenchmarkNewGraph/grid/clustered/n=10000": {"ns_op": 99873682, "b_op": 10774088, "allocs_op": 56},
+    "BenchmarkNewGraph/allpairs/clustered/n=10000": {"ns_op": 750126861, "b_op": 13058224, "allocs_op": 5},
+    "BenchmarkNewGraph/grid/clustered/n=100000": {"ns_op": 2265206106, "b_op": 180086248, "allocs_op": 368},
+    "BenchmarkNewGraph/grid/sparse/n=1000000": {"ns_op": 2157444854, "b_op": 187684328, "allocs_op": 209},
+    "BenchmarkCharacterizeWindow": {"ns_op": 340224, "b_op": 156062, "allocs_op": 945},
+    "BenchmarkCharacterizeWindowCheap": {"ns_op": 259171, "b_op": 142006, "allocs_op": 527},
+    "BenchmarkCharacterizeLargeFleet": {"ns_op": 1792798, "b_op": 1170358, "allocs_op": 3398},
+    "BenchmarkMonitorObserve": {"ns_op": 74174, "b_op": 23671, "allocs_op": 333},
+    "BenchmarkDirectoryBuild/n=1k": {"ns_op": 5756, "b_op": 5920, "allocs_op": 13},
+    "BenchmarkDirectoryBuild/n=10k": {"ns_op": 31978, "b_op": 27392, "allocs_op": 13},
+    "BenchmarkDistDecide/n=1k": {"ns_op": 1149074, "b_op": 357210, "allocs_op": 5731},
+    "BenchmarkDistDecide/n=10k": {"ns_op": 3628323, "b_op": 878398, "allocs_op": 14055},
+    "BenchmarkDirectoryAdvance/clustered/n=10k/churn=0.1%": {"ns_op": 26674, "b_op": 57408, "allocs_op": 38},
+    "BenchmarkDirectoryAdvance/clustered/n=10k/churn=1%": {"ns_op": 72496, "b_op": 67737, "allocs_op": 54},
+    "BenchmarkDirectoryAdvance/clustered/n=10k/churn=10%": {"ns_op": 206555, "b_op": 181676, "allocs_op": 81},
+    "BenchmarkDirectoryAdvance/clustered/n=100k/churn=0.1%": {"ns_op": 309853, "b_op": 552748, "allocs_op": 54},
+    "BenchmarkDirectoryAdvance/clustered/n=100k/churn=1%": {"ns_op": 563584, "b_op": 669801, "allocs_op": 85},
+    "BenchmarkDirectoryAdvance/clustered/n=100k/churn=10%": {"ns_op": 2670543, "b_op": 2088793, "allocs_op": 122},
+    "BenchmarkDirectoryAdvance/clustered/n=1M/churn=0.1%": {"ns_op": 6252277, "b_op": 5413737, "allocs_op": 86},
+    "BenchmarkDirectoryAdvance/clustered/n=1M/churn=1%": {"ns_op": 10082567, "b_op": 6857449, "allocs_op": 125},
+    "BenchmarkDirectoryAdvance/clustered/n=1M/churn=10%": {"ns_op": 39783437, "b_op": 24069081, "allocs_op": 179},
+    "BenchmarkDirectoryAdvance/uniform/n=10k/churn=0.1%": {"ns_op": 72792, "b_op": 96473, "allocs_op": 47},
+    "BenchmarkDirectoryAdvance/uniform/n=10k/churn=1%": {"ns_op": 57469, "b_op": 138649, "allocs_op": 65},
+    "BenchmarkDirectoryAdvance/uniform/n=10k/churn=10%": {"ns_op": 366552, "b_op": 384761, "allocs_op": 87},
+    "BenchmarkDirectoryAdvance/uniform/n=100k/churn=0.1%": {"ns_op": 1162709, "b_op": 930345, "allocs_op": 68},
+    "BenchmarkDirectoryAdvance/uniform/n=100k/churn=1%": {"ns_op": 1564519, "b_op": 1403513, "allocs_op": 93},
+    "BenchmarkDirectoryAdvance/uniform/n=100k/churn=10%": {"ns_op": 8422186, "b_op": 4577017, "allocs_op": 132},
+    "BenchmarkDirectoryAdvance/uniform/n=1M/churn=0.1%": {"ns_op": 19854031, "b_op": 9204489, "allocs_op": 96},
+    "BenchmarkDirectoryAdvance/uniform/n=1M/churn=1%": {"ns_op": 25527617, "b_op": 15210233, "allocs_op": 141},
+    "BenchmarkDirectoryAdvance/uniform/n=1M/churn=10%": {"ns_op": 107627590, "b_op": 52336396, "allocs_op": 200},
+    "BenchmarkDirectoryRebuild/clustered/n=10k": {"ns_op": 640788, "b_op": 300784, "allocs_op": 13},
+    "BenchmarkDirectoryRebuild/clustered/n=100k": {"ns_op": 8494434, "b_op": 2959568, "allocs_op": 13},
+    "BenchmarkDirectoryRebuild/clustered/n=1M": {"ns_op": 111632171, "b_op": 29428176, "allocs_op": 13},
+    "BenchmarkDirectoryRebuild/uniform/n=10k": {"ns_op": 947386, "b_op": 355664, "allocs_op": 13},
+    "BenchmarkDirectoryRebuild/uniform/n=100k": {"ns_op": 16766069, "b_op": 3507920, "allocs_op": 13},
+    "BenchmarkDirectoryRebuild/uniform/n=1M": {"ns_op": 211036838, "b_op": 34742736, "allocs_op": 13},
+    "BenchmarkDirectoryAdvanceFull/n=10k/churn=1%": {"ns_op": 461119, "b_op": 149737, "allocs_op": 56},
+    "BenchmarkDirectoryAdvanceFull/n=100k/churn=1%": {"ns_op": 4962826, "b_op": 1472697, "allocs_op": 87},
+    "BenchmarkDirectoryAdvanceFull/n=1M/churn=1%": {"ns_op": 54853365, "b_op": 14861113, "allocs_op": 127},
+    "BenchmarkTickBare1M": {"ns_op": 2758371346, "b_op": 397683728, "allocs_op": 732202},
+    "BenchmarkTickObserve1M/serial": {"ns_op": 2647370397, "b_op": 439206160, "allocs_op": 732229},
+    "BenchmarkTickObserve1M/sharded": {"ns_op": 2806199490, "b_op": 439206160, "allocs_op": 732229},
+    "BenchmarkTickIngestDetect1M": {"ns_op": 42234900, "b_op": 16, "allocs_op": 1},
+    "BenchmarkTickObservePartial1M": {"ns_op": 36919057, "b_op": 24, "allocs_op": 1},
+    "BenchmarkTickObserveNetworked1M": {"ns_op": 40992850, "b_op": 16, "allocs_op": 1},
+    "BenchmarkIngest/csv": {"ns_op": 128720371, "b_op": 90344348, "allocs_op": 142},
+    "BenchmarkIngest/bin": {"ns_op": 7239342, "b_op": 5677312, "allocs_op": 11},
+    "BenchmarkCharacterizeAllAbnormal/m=10k": {"ns_op": 51503361, "b_op": 12618904, "allocs_op": 31489},
+    "BenchmarkCharacterizeAllAbnormal/m=50k": {"ns_op": 270802390, "b_op": 65964152, "allocs_op": 169446},
+    "BenchmarkCharacterizeAllAbnormal/m=200k": {"ns_op": 1533274392, "b_op": 354345240, "allocs_op": 877656}
 PREV
   echo "  },"
   echo "  \"after\": {"
@@ -466,9 +550,10 @@ PREV
   echo "  },"
   echo "  \"allabnormal_scaling\": {"
   echo "    \"span\": \"m=10k -> m=200k (20x)\","
-  echo "    \"before_time_exponent\": 1.18,"
+  echo "    \"before_time_exponent\": 1.13,"
   echo "    \"after_time_exponent\": ${abnexp}"
-  echo "  }"
+  echo "  },"
+  echo "  \"soak\": ${soakbody}"
   echo "}"
 } >"$OUT"
 
@@ -531,9 +616,19 @@ partial_tick_gate "$quietns" "$tallocs" "$partns" "$partal" "$MAX_PARTIAL_TICK_R
 netal=$(awk '/^BenchmarkTickObserveNetworked1M/ { for (i=2;i<=NF;i++) if ($(i)=="allocs/op") print $(i-1) }' "$tmp" | sort -n | head -1)
 net_tick_gate "$tallocs" "$netal" "full"
 
+# PR 10 instrumented quiet-tick gate on the full run's numbers: the
+# metrics-fed quiet tick adds at most one allocation over the plain
+# quiet tick.
+mxal=$(awk '/^BenchmarkTickObserveMetrics1M/ { for (i=2;i<=NF;i++) if ($(i)=="allocs/op") print $(i-1) }' "$tmp" | sort -n | head -1)
+metrics_tick_gate "$tallocs" "$mxal" "full"
+
 # PR 7 all-abnormal gates on the full run's numbers, plus the scaling
 # exponent of the latency curve.
 abn50ns=$(awk '/^BenchmarkCharacterizeAllAbnormal\/m=50k/ { for (i=2;i<=NF;i++) if ($(i)=="ns/op") print $(i-1) }' "$tmp" | sort -n | head -1)
 abn50al=$(awk '/^BenchmarkCharacterizeAllAbnormal\/m=50k/ { for (i=2;i<=NF;i++) if ($(i)=="allocs/op") print $(i-1) }' "$tmp" | sort -n | head -1)
 allabn_gate "$abn50ns" "$abn50al" "full"
 echo "bench.sh: all-abnormal latency scaling exponent m=10k->200k: ${abnexp} (pre-component baseline 1.69)"
+
+# The trajectory check last: this run just wrote BENCH_${PR}.json, so a
+# failure here means an older snapshot is missing from the repo.
+snapshot_gate
